@@ -1,0 +1,65 @@
+"""Ablation: faithful vs fast execution of the matrix multiplications.
+
+DESIGN.md calls out the choice between running the full Lemma 9-16 schedule
+("faithful": cube partition, per-subcube products, balancing from actual
+loads) and charging the same formulas from measured densities while
+computing the product with fast kernels ("fast").  This ablation checks, on
+a spread of workloads, that the two modes produce identical products and
+round counts within a small constant factor of each other — which is what
+justifies using the fast mode inside the higher-level algorithms.
+"""
+
+from __future__ import annotations
+
+import random
+
+from _harness import format_table
+from conftest import run_experiment
+
+from repro.matmul import SemiringMatrix, filtered_mm, output_sensitive_mm
+from repro.semiring import MIN_PLUS
+
+
+def _random_matrix(n, per_row, seed):
+    rng = random.Random(seed)
+    matrix = SemiringMatrix(n, MIN_PLUS)
+    for i in range(n):
+        for _ in range(per_row):
+            matrix.set(i, rng.randrange(n), float(rng.randint(1, 99)))
+    return matrix
+
+
+def _experiment(n=96):
+    rows = []
+    for per_row in (2, 4, 8, 16):
+        S = _random_matrix(n, per_row, per_row)
+        T = _random_matrix(n, per_row, per_row + 100)
+        faithful = output_sensitive_mm(S, T, rho_hat=n, execution="faithful")
+        fast = output_sensitive_mm(S, T, rho_hat=n, execution="fast")
+        faithful_filtered = filtered_mm(S, T, rho=4, execution="faithful")
+        fast_filtered = filtered_mm(S, T, rho=4, execution="fast")
+        rows.append(
+            {
+                "per_row_density": per_row,
+                "thm8_faithful": faithful.rounds,
+                "thm8_fast": fast.rounds,
+                "thm8_products_equal": faithful.product.equals(fast.product),
+                "thm14_faithful": faithful_filtered.rounds,
+                "thm14_fast": fast_filtered.rounds,
+                "thm14_products_equal": faithful_filtered.product.equals(
+                    fast_filtered.product
+                ),
+            }
+        )
+    return rows
+
+
+def test_ablation_execution_modes(benchmark):
+    rows = run_experiment(benchmark, _experiment, 96)
+    print()
+    print(format_table("Ablation: faithful vs fast execution (n=96)", rows))
+    for row in rows:
+        assert row["thm8_products_equal"]
+        assert row["thm14_products_equal"]
+        assert 0.25 <= row["thm8_faithful"] / row["thm8_fast"] <= 4
+        assert 0.25 <= row["thm14_faithful"] / row["thm14_fast"] <= 4

@@ -1,0 +1,47 @@
+"""Ablation: the shortcut ball size k in the exact SSSP (Theorem 33).
+
+Theorem 33 balances the k-nearest phase (cost grows with k) against the
+Bellman-Ford phase (iterations bounded by 4n/k) at k = n^{5/6}.  This
+ablation sweeps k on a large-hop-diameter workload and reports both phases,
+confirming the trade-off and that correctness never depends on k.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from _harness import format_table
+from conftest import run_experiment
+
+from repro.core import exact_sssp
+from repro.graphs import dijkstra, grid_graph
+
+
+def _experiment():
+    graph = grid_graph(12, 12, max_weight=8, seed=9)
+    expected = np.array(dijkstra(graph, 0))
+    rows = []
+    for k in (4, 8, 16, 32, 64, 121):
+        result = exact_sssp(graph, 0, k=k)
+        rows.append(
+            {
+                "k": k,
+                "bf_iterations": result.details["bellman_ford_iterations"],
+                "spd_bound_4n/k": 4 * graph.n / k,
+                "total_rounds": result.rounds,
+                "exact": bool(np.allclose(result.distances, expected)),
+            }
+        )
+    return rows
+
+
+def test_ablation_sssp_k(benchmark):
+    rows = run_experiment(benchmark, _experiment)
+    print()
+    print(format_table("Ablation: shortcut ball size k (Theorem 33), 12x12 grid", rows))
+    for row in rows:
+        assert row["exact"]
+        assert row["bf_iterations"] <= row["spd_bound_4n/k"] + 1
+    # Bellman-Ford iterations decrease (weakly) as k grows.
+    iterations = [row["bf_iterations"] for row in rows]
+    assert all(a >= b for a, b in zip(iterations, iterations[1:]))

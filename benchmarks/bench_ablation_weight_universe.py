@@ -1,0 +1,56 @@
+"""Ablation: the log W filtering term of Theorem 14.
+
+The filtered multiplication pays an additive O(log W) for the distributed
+binary search over the value universe R'.  This ablation sweeps the weight
+universe (i.e. the magnitude of the matrix entries) and confirms the round
+cost grows additively and logarithmically — the design point DESIGN.md calls
+out for ablation.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from _harness import format_table
+from conftest import run_experiment
+
+from repro.matmul import SemiringMatrix, filtered_mm
+from repro.semiring import MIN_PLUS
+
+
+def _experiment(n=96):
+    rng = random.Random(1)
+    entries = [(i, rng.randrange(n)) for i in range(n) for _ in range(4)]
+    rows = []
+    for max_value in (2 ** 4, 2 ** 8, 2 ** 16, 2 ** 24):
+        S = SemiringMatrix(n, MIN_PLUS)
+        T = SemiringMatrix(n, MIN_PLUS)
+        for (i, j) in entries:
+            S.set(i, j, float(rng.randint(1, max_value)))
+            T.set(j, i, float(rng.randint(1, max_value)))
+        universe = 2 * max_value  # values appearing during the computation
+        result = filtered_mm(S, T, rho=4, weight_universe_size=universe)
+        rows.append(
+            {
+                "max_entry": max_value,
+                "log2_universe": math.log2(universe),
+                "rounds": result.rounds,
+            }
+        )
+    return rows
+
+
+def test_ablation_weight_universe(benchmark):
+    rows = run_experiment(benchmark, _experiment, 96)
+    print()
+    print(format_table("Ablation: log W term of the filtered MM (n=96, rho=4)", rows))
+    # Rounds grow with log W ...
+    rounds = [row["rounds"] for row in rows]
+    assert all(a <= b for a, b in zip(rounds, rounds[1:]))
+    # ... and the growth is additive-logarithmic: the increase from the
+    # smallest to the largest universe is within a small factor of the
+    # difference of the log terms.
+    delta_rounds = rows[-1]["rounds"] - rows[0]["rounds"]
+    delta_log = rows[-1]["log2_universe"] - rows[0]["log2_universe"]
+    assert delta_rounds <= 3 * delta_log + 5

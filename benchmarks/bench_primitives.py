@@ -1,0 +1,26 @@
+"""E-PRIM: model primitives on the message-level simulator.
+
+Validates, at small n where full message-level simulation is feasible, that
+the routing and sorting primitives complete full (load n per node) instances
+in a constant number of rounds — the assumption under which the accounting
+layer charges the algorithms.  This is the ablation called out in DESIGN.md
+(accounting vs message-level simulation).
+"""
+
+from __future__ import annotations
+
+from _harness import experiment_primitives, format_table
+from conftest import run_experiment
+
+
+def test_primitives_constant_rounds(benchmark):
+    rows = run_experiment(benchmark, experiment_primitives, (8, 12, 16, 24))
+    print()
+    print(format_table("E-PRIM: routing / sorting on the message-level simulator", rows))
+    for row in rows:
+        assert row["routing_rounds"] <= 8
+        assert row["sorting_rounds"] <= 24
+    # Constant rounds: the largest instance takes no more rounds than twice
+    # the smallest (no growth trend with n).
+    assert rows[-1]["routing_rounds"] <= 2 * max(1, rows[0]["routing_rounds"])
+    assert rows[-1]["sorting_rounds"] <= 2 * max(1, rows[0]["sorting_rounds"])

@@ -1,0 +1,24 @@
+"""E-T18: the k-nearest problem (Theorem 18).
+
+Sweeps k and reports measured rounds next to the theoretical
+O((k/n^{2/3} + log n) log k) expression; also asserts that the computed
+distances are exact (the theorem's correctness claim).
+"""
+
+from __future__ import annotations
+
+from _harness import experiment_t18_k_nearest, format_table
+from conftest import run_experiment
+
+
+def test_theorem18_k_nearest(benchmark):
+    rows = run_experiment(benchmark, experiment_t18_k_nearest, 96)
+    print()
+    print(format_table("E-T18: k-nearest rounds vs k (n=96)", rows))
+    assert all(row["exact_distances"] for row in rows)
+    # Rounds are monotone (weakly) in k and stay within a constant factor of
+    # the bound's growth: compare the largest-k and smallest-k ratios.
+    first, last = rows[0], rows[-1]
+    measured_growth = last["rounds"] / first["rounds"]
+    bound_growth = last["bound"] / first["bound"]
+    assert measured_growth <= 6 * bound_growth

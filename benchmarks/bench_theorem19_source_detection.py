@@ -1,0 +1,27 @@
+"""E-T19: (S, d, k)-source detection (Theorem 19).
+
+Sweeps the source-set size and the hop bound d; the round cost must be
+linear in d (the paper's trade-off for exploiting sparsity) and grow slowly
+with |S|.
+"""
+
+from __future__ import annotations
+
+import collections
+
+from _harness import experiment_t19_source_detection, format_table
+from conftest import run_experiment
+
+
+def test_theorem19_source_detection(benchmark):
+    rows = run_experiment(benchmark, experiment_t19_source_detection, 96)
+    print()
+    print(format_table("E-T19: source detection rounds vs |S| and d (n=96)", rows))
+
+    # Linear-in-d: for a fixed source count, rounds/d is roughly constant.
+    by_sources = collections.defaultdict(list)
+    for row in rows:
+        by_sources[row["|S|"]].append(row)
+    for source_count, group in by_sources.items():
+        per_hop = [row["rounds_per_hop"] for row in group]
+        assert max(per_hop) <= 2.5 * min(per_hop), f"|S|={source_count}: {per_hop}"

@@ -1,0 +1,22 @@
+"""E-T20: distance through node sets (Theorem 20).
+
+Sweeps the per-node set size (k-nearest balls of growing k) and reports the
+round cost next to the O(ρ^{2/3}/n^{1/3} + 1) bound.
+"""
+
+from __future__ import annotations
+
+from _harness import experiment_t20_through_sets, format_table
+from conftest import run_experiment
+
+
+def test_theorem20_through_sets(benchmark):
+    rows = run_experiment(benchmark, experiment_t20_through_sets, 96)
+    print()
+    print(format_table("E-T20: distance-through-sets rounds vs set size (n=96)", rows))
+    # Rounds grow no faster than the bound's growth across the sweep, up to a
+    # constant (the absolute values include the O(1) additive constants).
+    first, last = rows[0], rows[-1]
+    measured_growth = last["rounds"] / first["rounds"]
+    bound_growth = max(1.0, last["bound"] / first["bound"])
+    assert measured_growth <= 8 * bound_growth

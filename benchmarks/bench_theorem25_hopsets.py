@@ -1,0 +1,24 @@
+"""E-T25: hopset construction (Theorem 25).
+
+Sweeps ε and reports hopset size (vs the Õ(n^{3/2}) bound), β (vs
+O(log n / ε)), the measured β-hop stretch (vs 1 + ε), and the construction
+rounds (vs O(log² n / ε)).
+"""
+
+from __future__ import annotations
+
+from _harness import experiment_t25_hopsets, format_table
+from conftest import run_experiment
+
+
+def test_theorem25_hopsets(benchmark):
+    rows = run_experiment(benchmark, experiment_t25_hopsets, 80)
+    print()
+    print(format_table("E-T25: hopsets, weighted ER graph (n=80)", rows))
+    for row in rows:
+        assert row["measured_stretch"] <= row["stretch_bound"] + 1e-9
+        assert row["edges"] <= 4 * row["size_bound"]
+        assert row["beta"] <= row["beta_bound"]
+    # Smaller epsilon => larger beta (the theorem's trade-off).
+    betas = [row["beta"] for row in rows]
+    assert betas == sorted(betas, reverse=True)

@@ -1,0 +1,19 @@
+"""E-T2: (2 + ε)-approximate unweighted APSP (Theorems 2 and 31).
+
+Runs the full Section 6.3 algorithm on three unweighted workloads and two ε
+values; measured stretch must stay within 2 + ε and rounds are reported next
+to the O(log² n / ε) bound.
+"""
+
+from __future__ import annotations
+
+from _harness import experiment_t2_apsp_unweighted, format_table
+from conftest import run_experiment
+
+
+def test_theorem2_apsp_unweighted(benchmark):
+    rows = run_experiment(benchmark, experiment_t2_apsp_unweighted, 80)
+    print()
+    print(format_table("E-T2: unweighted APSP (Theorem 2 / 31)", rows))
+    for row in rows:
+        assert row["max_stretch"] <= row["stretch_bound"] + 1e-6

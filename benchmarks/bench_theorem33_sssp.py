@@ -1,0 +1,29 @@
+"""E-T33: exact SSSP via k-shortcuts (Theorem 33).
+
+Sweeps grid sizes (large shortest-path diameter) and compares the Theorem 33
+round count against the plain Bellman-Ford baseline; the algorithm must stay
+exact and its Bellman-Ford phase must need far fewer iterations than the
+baseline's.
+"""
+
+from __future__ import annotations
+
+from _harness import experiment_t33_sssp, format_table
+from conftest import run_experiment
+
+
+def test_theorem33_sssp(benchmark):
+    rows = run_experiment(benchmark, experiment_t33_sssp, (36, 64, 100, 144, 196))
+    print()
+    print(format_table("E-T33: exact SSSP on weighted grids", rows))
+    for row in rows:
+        assert row["exact"]
+        # the shortcut graph reduces the Bellman-Ford iterations well below
+        # the baseline's round count on every size
+        assert row["thm33_bf_iterations"] <= row["bellman_ford_rounds"]
+    # Shape: baseline rounds grow like the grid diameter ~ sqrt(n); the
+    # shortcut iterations grow far slower.
+    first, last = rows[0], rows[-1]
+    baseline_growth = last["bellman_ford_rounds"] / first["bellman_ford_rounds"]
+    ours_growth = last["thm33_bf_iterations"] / max(1, first["thm33_bf_iterations"])
+    assert ours_growth <= baseline_growth

@@ -1,0 +1,28 @@
+"""E-T3: multi-source shortest paths (Theorem 3).
+
+Sweeps the number of sources |S| from 1 to n.  The paper's bound
+O((|S|^{2/3}/n^{1/3} + log n) log n / ε) is flat until |S| ≈ √n·polylog and
+grows as |S|^{2/3} afterwards; the measured rounds must show the same
+crossover shape, and every estimate must respect the (1 + ε) stretch.
+"""
+
+from __future__ import annotations
+
+from _harness import experiment_t3_mssp, format_table
+from conftest import run_experiment
+
+
+def test_theorem3_mssp(benchmark):
+    rows = run_experiment(benchmark, experiment_t3_mssp, 96)
+    print()
+    print(format_table("E-T3: MSSP rounds vs |S| (n=96, eps=0.5)", rows))
+    for row in rows:
+        assert row["stretch"] <= row["stretch_bound"] + 1e-9
+    # Crossover shape: going from 1 source to sqrt(n) sources changes the
+    # round count by far less than the |S| factor itself (polylog regime)...
+    small = rows[0]["rounds_excl_hopset"]
+    at_sqrt = next(r for r in rows if r["|S|"] >= 9)["rounds_excl_hopset"]
+    assert at_sqrt <= 4 * small
+    # ...while the full |S| = n run costs more than the sqrt(n) run.
+    full = rows[-1]["rounds_excl_hopset"]
+    assert full >= at_sqrt

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Exact single-source shortest paths on a road-network-like graph.
+
+Grid-like weighted graphs (road networks) have large shortest-path diameter,
+which is exactly the regime where plain distributed Bellman-Ford is slow
+(one round per hop of the shortest-path tree).  The paper's Theorem 33
+replaces most of those hops with k-nearest shortcut edges and drops the
+round complexity to Õ(n^{1/6}).
+
+This example runs both algorithms on a weighted grid, verifies that both are
+exact, and compares their simulated round counts, also sweeping the shortcut
+parameter k to show the trade-off called out in DESIGN.md.
+
+Run with::
+
+    python examples/road_network_sssp.py [rows] [cols]
+"""
+
+from __future__ import annotations
+
+import math
+import sys
+
+import numpy as np
+
+from repro import exact_sssp
+from repro.baselines import sssp_bellman_ford
+from repro.graphs import dijkstra, grid_graph
+
+
+def main(rows: int = 12, cols: int = 12) -> None:
+    graph = grid_graph(rows, cols, max_weight=16, seed=5)
+    n = graph.n
+    source = 0
+    print(f"== Exact SSSP on a {rows}x{cols} weighted grid (n={n}) ==\n")
+
+    expected = np.array(dijkstra(graph, source))
+
+    # --- baseline: plain Bellman-Ford --------------------------------------
+    baseline = sssp_bellman_ford(graph, source)
+    assert np.allclose(baseline.distances, expected)
+    print("-- Baseline: distributed Bellman-Ford --")
+    print(f"rounds (= relaxation iterations): {baseline.rounds:.0f}\n")
+
+    # --- Theorem 33: k-shortcut SSSP ---------------------------------------
+    result = exact_sssp(graph, source)
+    assert np.allclose(result.distances, expected)
+    print("-- Theorem 33: k-nearest shortcuts + Bellman-Ford --")
+    print(f"k (ball size)              : {result.details['k']}")
+    print(f"shortcut edges added       : {result.details['shortcut_edges']}")
+    print(f"Bellman-Ford iterations    : {result.details['bellman_ford_iterations']}")
+    print(f"total simulated rounds     : {result.rounds:.0f}")
+    print(f"(theory: ~n^(1/6) = {n ** (1/6):.1f} iterations after shortcutting)\n")
+
+    # --- ablation: sweep k ---------------------------------------------------
+    print("-- Ablation: shortcut ball size k vs rounds --")
+    print(f"{'k':>8} {'BF iterations':>14} {'total rounds':>14}")
+    for k in (4, 8, 16, 32, min(n, 64)):
+        swept = exact_sssp(graph, source, k=k)
+        assert np.allclose(swept.distances, expected)
+        print(
+            f"{k:>8} {swept.details['bellman_ford_iterations']:>14} "
+            f"{swept.rounds:>14.0f}"
+        )
+    print(
+        "\nSmall k: cheap k-nearest phase but many Bellman-Ford rounds; "
+        "large k: the k-nearest phase dominates.  Theorem 33 balances the two "
+        "at k = n^(5/6)."
+    )
+
+
+if __name__ == "__main__":
+    r = int(sys.argv[1]) if len(sys.argv) > 1 else 12
+    c = int(sys.argv[2]) if len(sys.argv) > 2 else 12
+    main(r, c)

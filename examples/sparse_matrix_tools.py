@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Using the sparse matrix-multiplication tools directly.
+
+The distance algorithms are built on two reusable matrix primitives:
+
+* Theorem 8 — output-sensitive sparse multiplication, whose cost depends on
+  the densities of both inputs *and* of the output;
+* Theorem 14 — filtered multiplication, which keeps only the ρ smallest
+  entries per output row and pays for ρ rather than for the true output
+  density.
+
+This example multiplies matrices with three very different sparsity
+patterns and compares the simulated round costs of the paper's algorithms
+against the dense 3D algorithm and the CLT18 sparse algorithm, reproducing
+the comparisons discussed in Section 1.3 / Section 2 of the paper.
+
+Run with::
+
+    python examples/sparse_matrix_tools.py [n]
+"""
+
+from __future__ import annotations
+
+import random
+import sys
+
+from repro import dense_mm, filtered_mm, output_sensitive_mm, sparse_mm_clt18
+from repro.matmul import SemiringMatrix
+from repro.semiring import MIN_PLUS
+
+
+def banded_matrix(n: int, bandwidth: int, seed: int) -> SemiringMatrix:
+    """Sparse input whose product is also sparse (band x band = wider band)."""
+    rng = random.Random(seed)
+    matrix = SemiringMatrix(n, MIN_PLUS)
+    for i in range(n):
+        matrix.set(i, i, 0.0)
+        for offset in range(1, bandwidth + 1):
+            if i + offset < n:
+                matrix.set(i, i + offset, float(rng.randint(1, 9)))
+                matrix.set(i + offset, i, float(rng.randint(1, 9)))
+    return matrix
+
+
+def star_matrix(n: int) -> SemiringMatrix:
+    """The paper's Section 1.3 example: sparse input, dense product."""
+    matrix = SemiringMatrix(n, MIN_PLUS)
+    matrix.set(0, 0, 0.0)
+    for leaf in range(1, n):
+        matrix.set(0, leaf, 1.0)
+        matrix.set(leaf, 0, 1.0)
+        matrix.set(leaf, leaf, 0.0)
+    return matrix
+
+
+def random_sparse(n: int, per_row: int, seed: int) -> SemiringMatrix:
+    rng = random.Random(seed)
+    matrix = SemiringMatrix(n, MIN_PLUS)
+    for i in range(n):
+        for _ in range(per_row):
+            matrix.set(i, rng.randrange(n), float(rng.randint(1, 99)))
+    return matrix
+
+
+def report(name: str, S: SemiringMatrix, T: SemiringMatrix) -> None:
+    print(f"\n-- {name} --")
+    reference = output_sensitive_mm(S, T)  # doubling variant, also the answer
+    true_density = reference.product.density()
+    print(
+        f"input densities rho_S={S.density()}, rho_T={T.density()}, "
+        f"true output density rho_P={true_density}"
+    )
+    rows = []
+    ours = output_sensitive_mm(S, T, rho_hat=true_density)
+    rows.append(("Theorem 8 (output-sensitive)", ours.rounds))
+    clt = sparse_mm_clt18(S, T)
+    rows.append(("CLT18 sparse baseline", clt.rounds))
+    dense = dense_mm(S, T)
+    rows.append(("dense 3D baseline", dense.rounds))
+    filtered = filtered_mm(S, T, rho=4)
+    rows.append(("Theorem 14 (rho=4 filtered)", filtered.rounds))
+    for label, rounds in rows:
+        print(f"  {label:<32} {rounds:>8.0f} rounds")
+    assert ours.product.equals(clt.product)
+    assert ours.product.equals(dense.product)
+
+
+def main(n: int = 96) -> None:
+    print(f"== Sparse matrix multiplication tools (n={n}) ==")
+    report("banded inputs, sparse output", banded_matrix(n, 2, 1), banded_matrix(n, 2, 2))
+    report("star inputs, dense output", star_matrix(n), star_matrix(n))
+    report(
+        "random sparse inputs, medium output",
+        random_sparse(n, 4, 3),
+        random_sparse(n, 4, 4),
+    )
+    print(
+        "\nTheorem 8 matches CLT18 when the output is dense and beats it when "
+        "the output is sparse; Theorem 14 keeps the cost low even for dense "
+        "true products by paying only for the rho entries per row it keeps."
+    )
+
+
+if __name__ == "__main__":
+    size = int(sys.argv[1]) if len(sys.argv) > 1 else 96
+    main(size)

@@ -1,0 +1,9 @@
+"""Setup shim so editable installs work without the `wheel` package.
+
+The project metadata lives in pyproject.toml; this file exists because the
+environment has no network access and no `wheel` package, so pip's legacy
+(setup.py develop) editable path is the one that works offline.
+"""
+from setuptools import setup
+
+setup()

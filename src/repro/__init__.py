@@ -1,0 +1,78 @@
+"""repro — Fast Approximate Shortest Paths in the Congested Clique.
+
+A faithful, executable reproduction of Censor-Hillel, Dory, Korhonen and
+Leitersdorf, *Fast Approximate Shortest Paths in the Congested Clique*
+(PODC 2019).  The package provides:
+
+* a Congested Clique model substrate (message-level simulator + round
+  accounting) — :mod:`repro.cclique`;
+* semirings and sparse matrix multiplication in the model, including the
+  paper's output-sensitive (Theorem 8) and filtered (Theorem 14) algorithms
+  — :mod:`repro.semiring`, :mod:`repro.matmul`;
+* the distance tools of Section 3 (k-nearest, source detection, distance
+  through sets, hitting sets) — :mod:`repro.distance`;
+* the hopset construction of Section 4 — :mod:`repro.hopsets`;
+* the headline algorithms: (1+ε) multi-source shortest paths, (2+ε)/(3+ε)
+  APSP approximations, exact Õ(n^{1/6}) SSSP, and the near-3/2 diameter
+  approximation — :mod:`repro.core`;
+* the prior-work baselines those results are compared against —
+  :mod:`repro.baselines`.
+
+Quick start::
+
+    from repro import graphs, core
+
+    g = graphs.random_weighted_graph(64, average_degree=8, seed=0)
+    result = core.apsp_weighted(g, epsilon=0.5)
+    print(result.rounds, result.estimates[0][5])
+"""
+
+from repro import baselines, cclique, core, distance, graphs, hopsets, matmul, semiring
+from repro.cclique import Clique
+from repro.core import (
+    apsp_unweighted,
+    apsp_weighted,
+    approximate_diameter,
+    exact_sssp,
+    mssp,
+)
+from repro.distance import k_nearest, source_detection, distance_through_sets
+from repro.graphs import Graph
+from repro.hopsets import build_hopset
+from repro.matmul import (
+    SemiringMatrix,
+    dense_mm,
+    filtered_mm,
+    output_sensitive_mm,
+    sparse_mm_clt18,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Graph",
+    "Clique",
+    "SemiringMatrix",
+    "apsp_unweighted",
+    "apsp_weighted",
+    "approximate_diameter",
+    "exact_sssp",
+    "mssp",
+    "k_nearest",
+    "source_detection",
+    "distance_through_sets",
+    "build_hopset",
+    "dense_mm",
+    "filtered_mm",
+    "output_sensitive_mm",
+    "sparse_mm_clt18",
+    "baselines",
+    "cclique",
+    "core",
+    "distance",
+    "graphs",
+    "hopsets",
+    "matmul",
+    "semiring",
+    "__version__",
+]

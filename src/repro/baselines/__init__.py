@@ -1,0 +1,22 @@
+"""Prior-work baselines the paper compares against.
+
+* :mod:`repro.baselines.apsp_dense_mm` — exact APSP by iterated squaring of
+  the distance matrix with the dense 3D multiplication (Censor-Hillel et
+  al. 2015): Õ(n^{1/3}) rounds.
+* :mod:`repro.baselines.apsp_spanner` — (2k − 1)-approximate APSP by
+  building a multiplicative spanner and broadcasting it to every node
+  (Parter–Yogev-style): Õ(n^{1/k}) rounds.
+* :mod:`repro.baselines.sssp_bellman_ford` — plain distributed Bellman-Ford
+  SSSP: one round per relaxation, shortest-path-diameter many rounds.
+"""
+
+from repro.baselines.apsp_dense_mm import apsp_dense_mm
+from repro.baselines.apsp_spanner import apsp_spanner, build_greedy_spanner
+from repro.baselines.sssp_bellman_ford import sssp_bellman_ford
+
+__all__ = [
+    "apsp_dense_mm",
+    "apsp_spanner",
+    "build_greedy_spanner",
+    "sssp_bellman_ford",
+]

@@ -1,0 +1,39 @@
+"""Congested Clique model substrate.
+
+Two layers are provided:
+
+* :mod:`repro.cclique.simulator` — a message-level synchronous simulator
+  that *enforces* the model's bandwidth constraint (one O(log n)-bit word per
+  ordered node pair per round).  The routing and sorting primitives
+  (:mod:`repro.cclique.routing`, :mod:`repro.cclique.sorting`) are
+  implemented and validated on it at small ``n``.
+
+* :mod:`repro.cclique.accounting` — the :class:`Clique` round-accounting
+  context used by the algorithm layer.  Algorithms perform their local
+  computation globally (numpy / dictionaries) but charge every communication
+  step through this object, which converts per-node message loads into
+  rounds using the primitives' guarantees.  The constants live in
+  :mod:`repro.cclique.spec` so the accounting is auditable.
+
+The theorems of the paper bound the number of rounds, which is exactly the
+quantity the accounting layer computes, so benchmarks compare its output
+against the stated bounds.
+"""
+
+from repro.cclique.spec import ModelSpec, DEFAULT_SPEC
+from repro.cclique.accounting import Clique, RoundBreakdown
+from repro.cclique.simulator import SimNetwork, Message, BandwidthViolation
+from repro.cclique.routing import route_messages
+from repro.cclique.sorting import distributed_sort
+
+__all__ = [
+    "ModelSpec",
+    "DEFAULT_SPEC",
+    "Clique",
+    "RoundBreakdown",
+    "SimNetwork",
+    "Message",
+    "BandwidthViolation",
+    "route_messages",
+    "distributed_sort",
+]

@@ -1,0 +1,140 @@
+"""Message-level synchronous simulator of the Congested Clique.
+
+This is the "fidelity" layer: it enforces the defining constraint of the
+model — in each round, each ordered pair of nodes may exchange at most one
+``O(log n)``-bit message — and counts rounds by actually delivering
+messages.  The routing and sorting primitives are implemented on top of it
+(:mod:`repro.cclique.routing`, :mod:`repro.cclique.sorting`) and their
+constant-round behaviour is validated in tests; the algorithm layer then
+charges those primitives through :class:`repro.cclique.accounting.Clique`
+instead of simulating every message, which is what makes experiments at
+n = 256+ feasible.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+
+class BandwidthViolation(RuntimeError):
+    """Raised when a node tries to send two messages over one link in a round."""
+
+
+@dataclasses.dataclass(frozen=True)
+class Message:
+    """A single message in flight.
+
+    ``payload`` must be small (a few machine words); the simulator checks a
+    crude size proxy via ``payload_words``.
+    """
+
+    src: int
+    dst: int
+    payload: Any
+    payload_words: int = 1
+
+
+class SimNetwork:
+    """A synchronous fully connected network of ``n`` nodes.
+
+    Usage pattern (orchestrated simulation)::
+
+        net = SimNetwork(n)
+        net.post(src, dst, payload)   # any number of posts
+        delivered = net.step()        # one round; returns per-node inboxes
+
+    ``post`` raises :class:`BandwidthViolation` if a second message is posted
+    on the same ordered link in the same round, or if a payload exceeds the
+    word budget.
+    """
+
+    def __init__(self, n: int, max_words_per_message: int = 4):
+        if n <= 0:
+            raise ValueError(f"network must have at least one node, got {n}")
+        self.n = int(n)
+        self.max_words_per_message = max_words_per_message
+        self.round = 0
+        self.total_messages = 0
+        self._outbox: Dict[Tuple[int, int], Message] = {}
+        self._inboxes: List[List[Message]] = [[] for _ in range(self.n)]
+
+    # ------------------------------------------------------------------
+    # sending
+    # ------------------------------------------------------------------
+    def post(self, src: int, dst: int, payload: Any, payload_words: int = 1) -> None:
+        """Queue a message for delivery at the end of the current round."""
+        self._check_node(src)
+        self._check_node(dst)
+        if src == dst:
+            # Local "messages" are free; deliver immediately.
+            self._inboxes[dst].append(Message(src, dst, payload, payload_words))
+            return
+        if payload_words > self.max_words_per_message:
+            raise BandwidthViolation(
+                f"payload of {payload_words} words exceeds the per-message "
+                f"budget of {self.max_words_per_message} words"
+            )
+        key = (src, dst)
+        if key in self._outbox:
+            raise BandwidthViolation(
+                f"node {src} already sent a message to {dst} in round {self.round}"
+            )
+        self._outbox[key] = Message(src, dst, payload, payload_words)
+
+    def can_post(self, src: int, dst: int) -> bool:
+        """Return ``True`` if the link ``src -> dst`` is still free this round."""
+        return src == dst or (src, dst) not in self._outbox
+
+    def broadcast(self, src: int, payload: Any, payload_words: int = 1) -> None:
+        """Node ``src`` sends ``payload`` to every other node (one round's worth)."""
+        for dst in range(self.n):
+            if dst != src:
+                self.post(src, dst, payload, payload_words)
+
+    # ------------------------------------------------------------------
+    # stepping
+    # ------------------------------------------------------------------
+    def step(self) -> List[List[Message]]:
+        """Advance one round: deliver queued messages and return inboxes."""
+        inboxes: List[List[Message]] = [[] for _ in range(self.n)]
+        # Carry over any immediately-delivered local messages.
+        for node in range(self.n):
+            if self._inboxes[node]:
+                inboxes[node].extend(self._inboxes[node])
+                self._inboxes[node] = []
+        for message in self._outbox.values():
+            inboxes[message.dst].append(message)
+        self.total_messages += len(self._outbox)
+        self._outbox = {}
+        self.round += 1
+        return inboxes
+
+    def run_rounds(
+        self,
+        round_fn: Callable[[int, "SimNetwork"], bool],
+        max_rounds: int = 10_000,
+    ) -> int:
+        """Run ``round_fn(round_index, net)`` until it returns False.
+
+        ``round_fn`` posts messages and returns ``True`` to continue.  The
+        number of executed rounds is returned.
+        """
+        executed = 0
+        for index in range(max_rounds):
+            keep_going = round_fn(index, self)
+            self.step()
+            executed += 1
+            if not keep_going:
+                break
+        return executed
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def _check_node(self, u: int) -> None:
+        if not 0 <= u < self.n:
+            raise ValueError(f"node {u} out of range [0, {self.n})")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SimNetwork(n={self.n}, round={self.round})"

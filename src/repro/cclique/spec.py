@@ -1,0 +1,81 @@
+"""Model constants for the Congested Clique accounting layer.
+
+The paper's statements are asymptotic; to produce concrete round counts the
+accounting layer needs explicit constants for the O(1)-round primitives it
+builds on.  They are collected here, in one auditable place, so every number
+reported by the benchmark harness can be traced back to a documented choice.
+
+The defaults are deliberately conservative (small) constants taken from the
+structure of the primitives themselves:
+
+* **Routing** (Lenzen 2013, cited as [43]): delivering messages where every
+  node sends at most ``n`` and receives at most ``n`` takes a constant number
+  of rounds.  We charge ``ROUTING_CONSTANT`` rounds per unit of normalised
+  load (``ceil(max load / n)``), with 2 reflecting the two phases
+  (disperse + deliver) of the scheme.
+* **Sorting** (Lenzen 2013): constant rounds for ``n²`` keys; we charge
+  ``SORTING_CONSTANT`` per normalised load unit.
+* **Hitting set** (Parter–Yogev, Lemma 4): ``O((log log n)^3)`` rounds; we
+  charge exactly ``ceil((log2 log2 n)^3)`` rounds.
+
+Changing these constants rescales every measured round count uniformly and
+therefore never changes any of the *shape* conclusions (who wins, crossover
+locations, growth exponents) that the benchmarks draw.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+
+@dataclasses.dataclass(frozen=True)
+class ModelSpec:
+    """Constants describing the Congested Clique cost model."""
+
+    #: Bits per message word; messages are O(log n) bits (informational only,
+    #: the accounting works in words).
+    word_bits: int = 64
+
+    #: Rounds charged per unit of normalised routing load (Lenzen routing).
+    routing_constant: float = 2.0
+
+    #: Rounds charged per unit of normalised sorting load (Lenzen sorting).
+    sorting_constant: float = 4.0
+
+    #: Rounds charged for one full broadcast (every node sends one word to
+    #: every other node); this is a single round in the model.
+    broadcast_constant: float = 1.0
+
+    def routing_rounds(self, max_send: int, max_recv: int, n: int, words: int = 1) -> float:
+        """Rounds to deliver messages with the given per-node loads.
+
+        ``max_send`` / ``max_recv`` are the maximum number of messages any
+        single node must send / receive, and ``words`` is the number of
+        machine words per message.
+        """
+        if max_send <= 0 and max_recv <= 0:
+            return 0.0
+        load = max(max_send, max_recv) * max(1, words)
+        return self.routing_constant * max(1.0, math.ceil(load / n))
+
+    def sorting_rounds(self, max_items_per_node: int, n: int, words: int = 1) -> float:
+        """Rounds to sort items distributed ``max_items_per_node`` per node."""
+        if max_items_per_node <= 0:
+            return 0.0
+        load = max_items_per_node * max(1, words)
+        return self.sorting_constant * max(1.0, math.ceil(load / n))
+
+    def broadcast_rounds(self, words: int = 1) -> float:
+        """Rounds for every node to broadcast ``words`` words to all nodes."""
+        return self.broadcast_constant * max(1, words)
+
+    def hitting_set_rounds(self, n: int) -> float:
+        """Rounds for the deterministic hitting set of Lemma 4."""
+        if n <= 2:
+            return 1.0
+        return float(max(1, math.ceil(math.log2(max(2.0, math.log2(n))) ** 3)))
+
+
+#: The spec used everywhere unless a caller overrides it.
+DEFAULT_SPEC = ModelSpec()

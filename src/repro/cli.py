@@ -1,0 +1,248 @@
+"""Command-line interface.
+
+A thin front end over the library for quick experimentation without writing
+a script::
+
+    python -m repro apsp      --n 96 --epsilon 0.5 --weighted
+    python -m repro mssp      --n 96 --sources 8
+    python -m repro sssp      --n 144 --grid
+    python -m repro diameter  --n 64
+    python -m repro hopset    --n 80 --epsilon 0.5
+    python -m repro matmul    --n 128 --density 8
+
+Each subcommand generates a seeded workload, runs the corresponding
+algorithm, validates the guarantee against sequential ground truth, and
+prints a short report including the simulated round count and (with
+``--breakdown``) where the rounds were spent.
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from repro import (
+    apsp_unweighted,
+    apsp_weighted,
+    approximate_diameter,
+    build_hopset,
+    exact_sssp,
+    mssp,
+    output_sensitive_mm,
+    sparse_mm_clt18,
+    dense_mm,
+)
+from repro.baselines import apsp_dense_mm, sssp_bellman_ford
+from repro.graphs import (
+    all_pairs_dijkstra,
+    dijkstra,
+    erdos_renyi,
+    exact_diameter,
+    grid_graph,
+    random_weighted_graph,
+)
+from repro.graphs.reference import approximation_ratio
+from repro.hopsets import verify_hopset_property
+from repro.matmul import SemiringMatrix
+from repro.semiring import MIN_PLUS
+
+
+def _build_graph(args: argparse.Namespace):
+    if getattr(args, "grid", False):
+        side = int(math.isqrt(args.n))
+        return grid_graph(side, side, max_weight=args.max_weight, seed=args.seed)
+    if getattr(args, "weighted", True):
+        return random_weighted_graph(
+            args.n, average_degree=args.degree, max_weight=args.max_weight, seed=args.seed
+        )
+    return erdos_renyi(args.n, args.degree / args.n, seed=args.seed)
+
+
+def _print_common(result, breakdown: bool) -> None:
+    print(f"simulated rounds : {result.rounds:.0f}")
+    if breakdown:
+        print(result.clique.report())
+
+
+# ----------------------------------------------------------------------
+# subcommands
+# ----------------------------------------------------------------------
+def cmd_apsp(args: argparse.Namespace) -> int:
+    graph = _build_graph(args)
+    exact = all_pairs_dijkstra(graph)
+    if args.weighted:
+        result = apsp_weighted(graph, epsilon=args.epsilon)
+        guarantee = f"(2+{args.epsilon}, (1+{args.epsilon})W)"
+    else:
+        result = apsp_unweighted(graph, epsilon=args.epsilon)
+        guarantee = f"(2+{args.epsilon})"
+    worst, mean = approximation_ratio([list(r) for r in result.estimates], exact)
+    print(f"APSP approximation on n={graph.n}, m={graph.num_edges()}")
+    print(f"guarantee        : {guarantee}")
+    print(f"max stretch      : {worst:.3f}")
+    print(f"mean stretch     : {mean:.3f}")
+    _print_common(result, args.breakdown)
+    if args.compare_baseline:
+        baseline = apsp_dense_mm(graph)
+        print(f"baseline (exact dense-MM APSP) rounds: {baseline.rounds:.0f}")
+    return 0
+
+
+def cmd_mssp(args: argparse.Namespace) -> int:
+    graph = _build_graph(args)
+    step = max(1, graph.n // args.sources)
+    sources = list(range(0, graph.n, step))[: args.sources]
+    result = mssp(graph, sources, epsilon=args.epsilon)
+    worst = 1.0
+    for s in result.sources:
+        exact = dijkstra(graph, s)
+        for v in range(graph.n):
+            if exact[v] not in (0, math.inf):
+                worst = max(worst, result.distance(v, s) / exact[v])
+    print(f"MSSP from {len(result.sources)} sources on n={graph.n}")
+    print(f"guarantee        : 1+{args.epsilon}")
+    print(f"max stretch      : {worst:.3f}")
+    _print_common(result, args.breakdown)
+    return 0
+
+
+def cmd_sssp(args: argparse.Namespace) -> int:
+    graph = _build_graph(args)
+    result = exact_sssp(graph, args.source)
+    expected = dijkstra(graph, args.source)
+    exact = all(
+        (math.isinf(result.distances[v]) and expected[v] == math.inf)
+        or abs(result.distances[v] - expected[v]) < 1e-9
+        for v in range(graph.n)
+    )
+    print(f"exact SSSP from node {args.source} on n={graph.n}")
+    print(f"exact            : {exact}")
+    print(f"BF iterations    : {result.details['bellman_ford_iterations']}")
+    _print_common(result, args.breakdown)
+    if args.compare_baseline:
+        baseline = sssp_bellman_ford(graph, args.source)
+        print(f"baseline (plain Bellman-Ford) rounds: {baseline.rounds:.0f}")
+    return 0
+
+
+def cmd_diameter(args: argparse.Namespace) -> int:
+    graph = _build_graph(args)
+    result = approximate_diameter(graph, epsilon=args.epsilon)
+    true_diameter = exact_diameter(graph)
+    print(f"diameter approximation on n={graph.n}")
+    print(f"true diameter    : {true_diameter:.0f}")
+    print(f"estimate         : {result.estimate:.0f}")
+    print(f"window           : [{2 * true_diameter / 3 - graph.max_weight():.1f}, "
+          f"{(1 + args.epsilon) * true_diameter:.1f}]")
+    _print_common(result, args.breakdown)
+    return 0
+
+
+def cmd_hopset(args: argparse.Namespace) -> int:
+    graph = _build_graph(args)
+    result = build_hopset(graph, epsilon=args.epsilon)
+    report = verify_hopset_property(
+        graph, result.edges, result.beta, args.epsilon,
+        sources=range(0, graph.n, max(1, graph.n // 16)),
+    )
+    print(f"hopset on n={graph.n}: {result.size()} edges, beta={result.beta}")
+    print(f"measured beta-hop stretch : {report['max_hop_stretch']:.3f} "
+          f"(guarantee {1 + args.epsilon})")
+    print(f"violations                : {int(report['violations'])}")
+    print(f"simulated rounds          : {result.rounds:.0f}")
+    if args.breakdown:
+        print(result.clique.report())
+    return 0
+
+
+def cmd_matmul(args: argparse.Namespace) -> int:
+    import random as _random
+
+    rng = _random.Random(args.seed)
+    S = SemiringMatrix(args.n, MIN_PLUS)
+    T = SemiringMatrix(args.n, MIN_PLUS)
+    for matrix in (S, T):
+        for i in range(args.n):
+            for _ in range(args.density):
+                matrix.set(i, rng.randrange(args.n), float(rng.randint(1, 99)))
+    clt = sparse_mm_clt18(S, T)
+    # the paper's applications always know the output density in advance;
+    # reuse the density of the (already computed) reference product here.
+    ours = output_sensitive_mm(S, T, rho_hat=clt.product.density())
+    dense = dense_mm(S, T)
+    print(f"sparse matrix product, n={args.n}, per-row density {args.density}")
+    print(f"rho_S={S.density()} rho_T={T.density()} rho_P={ours.product.density()}")
+    print(f"Theorem 8 rounds : {ours.rounds:.0f}")
+    print(f"CLT18 rounds     : {clt.rounds:.0f}")
+    print(f"dense 3D rounds  : {dense.rounds:.0f}")
+    print(f"products agree   : {ours.product.equals(clt.product) and ours.product.equals(dense.product)}")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# argument parsing
+# ----------------------------------------------------------------------
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--n", type=int, default=96, help="number of nodes")
+    parser.add_argument("--degree", type=float, default=8.0, help="average degree")
+    parser.add_argument("--max-weight", type=int, default=16, dest="max_weight")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--epsilon", type=float, default=0.5)
+    parser.add_argument("--grid", action="store_true", help="use a grid workload")
+    parser.add_argument("--breakdown", action="store_true", help="print round breakdown")
+    parser.add_argument(
+        "--compare-baseline", action="store_true", help="also run the prior-work baseline"
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Fast approximate shortest paths in the Congested Clique (PODC 2019)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    apsp = sub.add_parser("apsp", help="approximate all-pairs shortest paths")
+    _add_common(apsp)
+    apsp.add_argument("--weighted", action="store_true", help="weighted (2+eps,(1+eps)W) variant")
+    apsp.set_defaults(func=cmd_apsp)
+
+    mssp_parser = sub.add_parser("mssp", help="multi-source shortest paths")
+    _add_common(mssp_parser)
+    mssp_parser.add_argument("--sources", type=int, default=8)
+    mssp_parser.set_defaults(func=cmd_mssp, weighted=True)
+
+    sssp = sub.add_parser("sssp", help="exact single-source shortest paths")
+    _add_common(sssp)
+    sssp.add_argument("--source", type=int, default=0)
+    sssp.set_defaults(func=cmd_sssp, weighted=True)
+
+    diameter = sub.add_parser("diameter", help="diameter approximation")
+    _add_common(diameter)
+    diameter.set_defaults(func=cmd_diameter, weighted=True)
+
+    hopset = sub.add_parser("hopset", help="hopset construction")
+    _add_common(hopset)
+    hopset.set_defaults(func=cmd_hopset, weighted=True)
+
+    matmul = sub.add_parser("matmul", help="sparse matrix multiplication comparison")
+    matmul.add_argument("--n", type=int, default=128)
+    matmul.add_argument("--density", type=int, default=8, help="non-zeros per row")
+    matmul.add_argument("--seed", type=int, default=0)
+    matmul.set_defaults(func=cmd_matmul)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

@@ -1,0 +1,32 @@
+"""The paper's headline algorithms.
+
+* :mod:`repro.core.mssp` — Theorem 3: (1 + ε)-approximate multi-source
+  shortest paths from up to Õ(√n) sources in polylogarithmic rounds.
+* :mod:`repro.core.apsp_weighted` — Section 6.1 / 6.2: (3 + ε)- and
+  (2 + ε, (1 + ε)W)-approximate weighted APSP (Theorem 28).
+* :mod:`repro.core.apsp_unweighted` — Section 6.3: (2 + ε)-approximate
+  unweighted APSP (Theorems 2 and 31).
+* :mod:`repro.core.sssp` — Section 7.1: exact weighted SSSP in Õ(n^{1/6})
+  rounds (Theorem 33).
+* :mod:`repro.core.diameter` — Section 7.2: near-3/2 diameter approximation
+  (Claim 35).
+"""
+
+from repro.core.results import APSPResult, MSSPResult, SSSPResult, DiameterResult
+from repro.core.mssp import mssp
+from repro.core.apsp_weighted import apsp_weighted
+from repro.core.apsp_unweighted import apsp_unweighted
+from repro.core.sssp import exact_sssp
+from repro.core.diameter import approximate_diameter
+
+__all__ = [
+    "APSPResult",
+    "MSSPResult",
+    "SSSPResult",
+    "DiameterResult",
+    "mssp",
+    "apsp_weighted",
+    "apsp_unweighted",
+    "exact_sssp",
+    "approximate_diameter",
+]

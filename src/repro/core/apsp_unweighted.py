@@ -1,0 +1,314 @@
+"""(2 + ε)-approximate unweighted APSP (Section 6.3, Theorems 2 and 31).
+
+The algorithm treats two kinds of shortest paths separately:
+
+* **Paths through a high-degree node** (degree ≥ k ≈ √n).  A hitting set
+  ``A`` of the high-degree neighbourhoods is computed; any such path passes
+  within one hop of ``A``, so (1 + ε)-approximate MSSP from ``A`` plus a
+  distance-through-``A`` combination step already gives a
+  (2 + ε)-approximation for these pairs.
+
+* **Paths containing only low-degree nodes.**  These live in the induced
+  subgraph ``G'`` whose maximum degree is < k, i.e. ``G'`` is sparse.  On
+  ``G'`` the algorithm repeats the weighted-APSP recipe with a *smaller*
+  ball size k' ≈ n^{1/4} (made affordable by the sparsity), and closes the
+  one remaining gap — a shortest path of the form
+  ``u ⇝ u' − v' ⇝ v`` with ``u' ∈ N_{k'}(u)``, ``v' ∈ N_{k'}(v)`` and
+  ``{u', v'}`` an edge of ``G'`` — with a product of three sparse matrices
+  (Line 11).
+
+The final estimate for every pair is the minimum over all phases, which
+Lemma 30 shows is at most ``(2 + ε) · d_G(u, v)``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.cclique.accounting import Clique
+from repro.core.mssp import mssp
+from repro.core.results import APSPResult
+from repro.distance.hitting_set import greedy_hitting_set
+from repro.distance.k_nearest import k_nearest
+from repro.distance.through_sets import distance_through_sets
+from repro.graphs.graph import Graph
+from repro.hopsets.construction import build_hopset
+from repro.matmul.matrix import SemiringMatrix
+from repro.matmul.output_sensitive import output_sensitive_mm
+from repro.semiring.minplus import MIN_PLUS
+
+
+def apsp_unweighted(
+    graph: Graph,
+    epsilon: float = 0.5,
+    k: Optional[int] = None,
+    k_prime: Optional[int] = None,
+    clique: Optional[Clique] = None,
+    execution: str = "fast",
+    early_stop: bool = True,
+    label: str = "apsp-unweighted",
+) -> APSPResult:
+    """(2 + ε)-approximate APSP for unweighted undirected graphs.
+
+    Parameters
+    ----------
+    graph:
+        Unweighted undirected graph (every edge weight must be 1).
+    epsilon:
+        Stretch parameter ε.
+    k:
+        High-degree threshold (default ``ceil(sqrt(n))``).
+    k_prime:
+        Ball size in the low-degree phase (default ``ceil(n^{1/4})``).
+    """
+    if graph.directed:
+        raise ValueError("APSP approximation requires an undirected graph")
+    if not graph.is_unweighted():
+        raise ValueError("apsp_unweighted requires an unweighted graph")
+    if epsilon <= 0:
+        raise ValueError("epsilon must be positive")
+
+    n = graph.n
+    clique = clique or Clique(n)
+    if k is None:
+        k = max(2, min(n, math.ceil(math.sqrt(n))))
+    if k_prime is None:
+        k_prime = max(2, min(n, math.ceil(n ** 0.25)))
+    start_rounds = clique.rounds
+
+    estimates = np.full((n, n), np.inf)
+    np.fill_diagonal(estimates, 0.0)
+
+    with clique.phase(label):
+        # Line (1): edges.
+        for u, v, _w in graph.edges():
+            estimates[u, v] = 1.0
+            estimates[v, u] = 1.0
+
+        # ------------------------------------------------------------------
+        # First phase: shortest paths containing a high-degree node.
+        # ------------------------------------------------------------------
+        high_degree = [v for v in range(n) if graph.degree(v) + 1 >= k]
+        hitting_a: List[int] = []
+        if high_degree:
+            neighbourhoods = [
+                sorted(set(graph.neighbors(v)) | {v}) if v in set(high_degree) else []
+                for v in range(n)
+            ]
+            hitting_a = greedy_hitting_set(
+                neighbourhoods, n, clique=clique, label="high-degree-hitting-set"
+            )
+            clique.charge_broadcast(label="hitting-set-announce")
+
+            hopset = build_hopset(
+                graph,
+                epsilon=epsilon,
+                clique=clique,
+                execution=execution,
+                early_stop=early_stop,
+                label="hopset-G",
+            )
+            landmarks = mssp(
+                graph,
+                hitting_a,
+                epsilon=epsilon,
+                clique=clique,
+                hopset=hopset,
+                execution=execution,
+                early_stop=early_stop,
+                label="mssp-from-A",
+            )
+            # Line (4): distances through A for every pair.
+            index_of = {s: i for i, s in enumerate(landmarks.sources)}
+            node_sets = []
+            for v in range(n):
+                members = {}
+                for s in landmarks.sources:
+                    value = landmarks.distances[v, index_of[s]]
+                    if np.isfinite(value):
+                        members[s] = (float(value), float(value))
+                node_sets.append(members)
+            through_a = distance_through_sets(
+                n, node_sets, clique=clique, execution=execution, label="through-A"
+            )
+            for v in range(n):
+                for u, value in through_a.estimates[v].items():
+                    if value < estimates[v, u]:
+                        estimates[v, u] = value
+                        estimates[u, v] = min(estimates[u, v], value)
+            for v in range(n):
+                for i, s in enumerate(landmarks.sources):
+                    value = landmarks.distances[v, i]
+                    if value < estimates[v, s]:
+                        estimates[v, s] = value
+                        estimates[s, v] = min(estimates[s, v], value)
+
+        # ------------------------------------------------------------------
+        # Second phase: shortest paths with only low-degree nodes.
+        # ------------------------------------------------------------------
+        low_graph, low_ids = graph.restrict_to_low_degree(k)
+        details_low: Dict[str, float] = {"low_degree_nodes": float(len(low_ids))}
+        if len(low_ids) >= 2 and low_graph.num_edges() > 0:
+            _low_degree_phase(
+                low_graph,
+                low_ids,
+                estimates,
+                epsilon,
+                k_prime,
+                clique,
+                execution,
+                early_stop,
+            )
+
+    estimates = np.minimum(estimates, estimates.T)
+    np.fill_diagonal(estimates, 0.0)
+
+    return APSPResult(
+        estimates=estimates,
+        rounds=clique.rounds - start_rounds,
+        clique=clique,
+        approximation_label="2+eps",
+        details={
+            "epsilon": epsilon,
+            "k": k,
+            "k_prime": k_prime,
+            "high_degree_nodes": len(high_degree),
+            "hitting_set_size": len(hitting_a),
+            **details_low,
+            "predicted_rounds": math.log2(max(2, n)) ** 2 / epsilon,
+        },
+    )
+
+
+def _low_degree_phase(
+    low_graph: Graph,
+    low_ids: List[int],
+    estimates: np.ndarray,
+    epsilon: float,
+    k_prime: int,
+    clique: Clique,
+    execution: str,
+    early_stop: bool,
+) -> None:
+    """Lines (5)-(12): the low-degree subgraph phase.
+
+    All distances computed here are distances in ``G'``, which upper-bound
+    distances in ``G``; Lemma 30 shows that for pairs whose shortest path
+    stays in ``G'`` they are within the (2 + ε) guarantee.  Estimates are
+    written back into the global matrix through the ``low_ids`` relabelling.
+    """
+    m = low_graph.n
+
+    def write(u_local: int, v_local: int, value: float) -> None:
+        u, v = low_ids[u_local], low_ids[v_local]
+        if value < estimates[u, v]:
+            estimates[u, v] = value
+            estimates[v, u] = min(estimates[v, u], value)
+
+    # Line (5): k'-nearest balls in G'.
+    knn = k_nearest(
+        low_graph, k_prime, clique=clique, execution=execution, label="low/k-nearest"
+    )
+    for v in range(m):
+        for u, (dist, _hops) in knn.neighbors[v].items():
+            write(v, u, dist)
+
+    # Line (6): distances through N_{k'}(u) ∩ N_{k'}(v).
+    node_sets = [
+        {u: (dist, dist) for u, (dist, _hops) in knn.neighbors[v].items()}
+        for v in range(m)
+    ]
+    through = distance_through_sets(
+        m, node_sets, clique=clique, execution=execution, label="low/through-balls"
+    )
+    for v in range(m):
+        for u, value in through.estimates[v].items():
+            write(v, u, value)
+
+    # Line (7): hitting set A' of the k'-nearest balls.
+    ball_sets = [knn.nearest_set(v) for v in range(m)]
+    hitting_prime = greedy_hitting_set(
+        ball_sets, m, clique=clique, label="low/hitting-set"
+    )
+    clique.charge_broadcast(label="low/hitting-set-announce")
+    hitting_set = set(hitting_prime)
+
+    # Line (8): (1 + ε)-approximate MSSP from A' inside G' (hopset on the
+    # sparse graph + source detection).
+    hopset = build_hopset(
+        low_graph,
+        epsilon=epsilon,
+        clique=clique,
+        execution=execution,
+        early_stop=early_stop,
+        label="low/hopset",
+    )
+    landmarks = mssp(
+        low_graph,
+        hitting_prime,
+        epsilon=epsilon,
+        clique=clique,
+        hopset=hopset,
+        execution=execution,
+        early_stop=early_stop,
+        label="low/mssp",
+    )
+    index_of = {s: i for i, s in enumerate(landmarks.sources)}
+    for v in range(m):
+        for s in landmarks.sources:
+            value = landmarks.distances[v, index_of[s]]
+            if np.isfinite(value):
+                write(v, s, float(value))
+
+    # Lines (9)-(10): pivots p'(v) and the two pivot routes.
+    pivots = [-1] * m
+    pivot_dist = [math.inf] * m
+    for v in range(m):
+        if v in hitting_set:
+            pivots[v] = v
+            pivot_dist[v] = 0.0
+            continue
+        best_key = None
+        for u, (dist, hops) in knn.neighbors[v].items():
+            if u not in hitting_set:
+                continue
+            key = (dist, hops, u)
+            if best_key is None or key < best_key:
+                best_key = key
+                pivots[v] = u
+                pivot_dist[v] = dist
+    clique.charge_broadcast(label="low/pivot-announce")
+    clique.charge_routing(m, m, 2, label="low/pivot-exchange")
+    for v in range(m):
+        p = pivots[v]
+        if p < 0 or p not in index_of:
+            continue
+        for u in range(m):
+            value = pivot_dist[v] + landmarks.distances[u, index_of[p]]
+            if np.isfinite(value):
+                write(v, u, float(value))
+
+    # Lines (11)-(12): the three-matrix product M1 · M2 · M3 catching paths
+    # u ⇝ u' − v' ⇝ v with u' ∈ N_{k'}(u), v' ∈ N_{k'}(v), {u', v'} ∈ E'.
+    M1 = SemiringMatrix(m, MIN_PLUS)
+    for v in range(m):
+        for u, (dist, _hops) in knn.neighbors[v].items():
+            M1.rows[v][u] = float(dist)
+    M2 = SemiringMatrix(m, MIN_PLUS)
+    for u in range(m):
+        for v, w in low_graph.neighbors(u).items():
+            M2.rows[u][v] = float(w)
+    M3 = M1.transpose()
+
+    first = output_sensitive_mm(
+        M1, M2, rho_hat=m, clique=clique, label="low/triple-product-1", execution=execution
+    )
+    second = output_sensitive_mm(
+        first.product, M3, rho_hat=m, clique=clique, label="low/triple-product-2", execution=execution
+    )
+    for v in range(m):
+        for u, value in second.product.rows[v].items():
+            write(v, u, float(value))

@@ -1,0 +1,199 @@
+"""Weighted APSP approximations (Sections 6.1 and 6.2, Theorem 28).
+
+Two variants are provided through one entry point:
+
+* ``variant="three_plus_eps"`` — the simple (3 + ε)-approximation of
+  Section 6.1: exact distances inside each node's √n-nearest ball, a
+  hitting set ``A`` of those balls, (1 + ε)-approximate MSSP from ``A``, and
+  the estimate ``d(u, p(u)) + d(p(u), v)`` for far pairs.
+* ``variant="two_plus_eps"`` (default) — the refined
+  (2 + ε, (1 + ε)W)-approximation of Section 6.2 (Theorem 28), which adds
+  the distance-through-sets step over ``N_k(u) ∩ N_k(v)`` and uses the
+  better of the two pivot routes, so the multiplicative stretch drops to
+  2 + ε at the cost of an additive (1 + ε)·W term, ``W`` being the heaviest
+  edge on the shortest path.
+
+Both run in ``O(log² n / ε)`` rounds.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.cclique.accounting import Clique
+from repro.core.mssp import mssp
+from repro.core.results import APSPResult
+from repro.distance.hitting_set import greedy_hitting_set
+from repro.distance.k_nearest import k_nearest
+from repro.distance.through_sets import distance_through_sets
+from repro.graphs.graph import Graph
+from repro.hopsets.construction import build_hopset
+
+
+def apsp_weighted(
+    graph: Graph,
+    epsilon: float = 0.5,
+    variant: str = "two_plus_eps",
+    k: Optional[int] = None,
+    clique: Optional[Clique] = None,
+    execution: str = "fast",
+    early_stop: bool = True,
+    label: str = "apsp-weighted",
+) -> APSPResult:
+    """Approximate weighted APSP (Theorem 28 / Section 6.1).
+
+    Parameters
+    ----------
+    graph:
+        Undirected graph with non-negative integer weights.
+    epsilon:
+        Stretch parameter ε.
+    variant:
+        ``"two_plus_eps"`` (Theorem 28) or ``"three_plus_eps"``
+        (Section 6.1).
+    k:
+        Ball size for the k-nearest step; defaults to ``ceil(sqrt(n))``.
+    """
+    if graph.directed:
+        raise ValueError("APSP approximation requires an undirected graph")
+    if variant not in ("two_plus_eps", "three_plus_eps"):
+        raise ValueError(f"unknown variant: {variant!r}")
+    if epsilon <= 0:
+        raise ValueError("epsilon must be positive")
+
+    n = graph.n
+    clique = clique or Clique(n)
+    if k is None:
+        k = max(2, min(n, math.ceil(math.sqrt(n))))
+    start_rounds = clique.rounds
+
+    estimates = np.full((n, n), np.inf)
+    np.fill_diagonal(estimates, 0.0)
+
+    with clique.phase(label):
+        # Line (1): edge weights are the initial estimates.
+        for u, v, w in graph.edges():
+            if w < estimates[u, v]:
+                estimates[u, v] = w
+                estimates[v, u] = w
+
+        # Line (2): exact distances to the k nearest nodes.
+        knn = k_nearest(graph, k, clique=clique, execution=execution, label="k-nearest")
+        for v in range(n):
+            for u, (dist, _hops) in knn.neighbors[v].items():
+                if dist < estimates[v, u]:
+                    estimates[v, u] = dist
+                    estimates[u, v] = dist
+
+        # Line (3): distances through N_k(u) ∩ N_k(v) (Theorem 20), only in
+        # the refined variant.
+        if variant == "two_plus_eps":
+            node_sets = [
+                {u: (dist, dist) for u, (dist, _hops) in knn.neighbors[v].items()}
+                for v in range(n)
+            ]
+            through = distance_through_sets(
+                n, node_sets, clique=clique, execution=execution, label="through-balls"
+            )
+            for v in range(n):
+                for u, value in through.estimates[v].items():
+                    if value < estimates[v, u]:
+                        estimates[v, u] = value
+                        estimates[u, v] = min(estimates[u, v], value)
+
+        # Line (4): hitting set A of the k-nearest balls.
+        ball_sets = [knn.nearest_set(v) for v in range(n)]
+        hitting_set = greedy_hitting_set(ball_sets, n, clique=clique, label="hitting-set")
+        clique.charge_broadcast(label="hitting-set-announce")
+
+        # Line (5): (1 + ε)-approximate MSSP from A.
+        hopset = build_hopset(
+            graph,
+            epsilon=epsilon,
+            clique=clique,
+            execution=execution,
+            early_stop=early_stop,
+            label="hopset",
+        )
+        landmarks = mssp(
+            graph,
+            hitting_set,
+            epsilon=epsilon,
+            clique=clique,
+            hopset=hopset,
+            execution=execution,
+            early_stop=early_stop,
+            label="mssp-from-A",
+        )
+        landmark_index = {s: i for i, s in enumerate(landmarks.sources)}
+        for v in range(n):
+            for s in landmarks.sources:
+                value = landmarks.distances[v, landmark_index[s]]
+                if value < estimates[v, s]:
+                    estimates[v, s] = value
+                    estimates[s, v] = min(estimates[s, v], value)
+
+        # Line (6): pivots p(v) = closest A-node inside N_k(v); exact
+        # distances to them are known from the k-nearest step.
+        hitting = set(hitting_set)
+        pivots, pivot_dist = _pivots_from_balls(knn, hitting, n)
+        clique.charge_broadcast(label="pivot-announce")
+
+        # Line (7): route far pairs through the better of the two pivots.
+        pivot_to_all = np.full((n, n), np.inf)
+        for v in range(n):
+            p = pivots[v]
+            if p < 0:
+                continue
+            index = landmark_index.get(p)
+            if index is None:
+                continue
+            # d(v, p(v)) exactly, plus the (1+ε)-approximate d(p(v), u).
+            pivot_to_all[v, :] = pivot_dist[v] + landmarks.distances[:, index]
+        # Exchanging the two candidate values is one routed message per pair,
+        # i.e. per-node load n: one routing step.
+        clique.charge_routing(n, n, 2, label="pivot-exchange")
+        combined = np.minimum(pivot_to_all, pivot_to_all.T)
+        estimates = np.minimum(estimates, combined)
+
+    estimates = np.minimum(estimates, estimates.T)
+    np.fill_diagonal(estimates, 0.0)
+
+    approx = "2+eps,(1+eps)W" if variant == "two_plus_eps" else "3+eps"
+    return APSPResult(
+        estimates=estimates,
+        rounds=clique.rounds - start_rounds,
+        clique=clique,
+        approximation_label=approx,
+        details={
+            "epsilon": epsilon,
+            "k": k,
+            "hitting_set_size": len(hitting_set),
+            "variant": variant,
+            "predicted_rounds": math.log2(max(2, n)) ** 2 / epsilon,
+        },
+    )
+
+
+def _pivots_from_balls(knn, hitting, n) -> Tuple[list, list]:
+    """Closest hitting-set node within each node's k-nearest ball."""
+    pivots = [-1] * n
+    pivot_dist = [math.inf] * n
+    for v in range(n):
+        if v in hitting:
+            pivots[v] = v
+            pivot_dist[v] = 0.0
+            continue
+        best_key = None
+        for u, (dist, hops) in knn.neighbors[v].items():
+            if u not in hitting:
+                continue
+            key = (dist, hops, u)
+            if best_key is None or key < best_key:
+                best_key = key
+                pivots[v] = u
+                pivot_dist[v] = dist
+    return pivots, pivot_dist

@@ -1,0 +1,82 @@
+"""Result containers for the headline algorithms."""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Any, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.cclique.accounting import Clique
+
+
+@dataclasses.dataclass
+class MSSPResult:
+    """Multi-source shortest paths output.
+
+    ``distances[v][i]`` is the estimated distance from node ``v`` to
+    ``sources[i]``; ``np.inf`` marks unreachable-within-budget pairs.
+    """
+
+    sources: List[int]
+    distances: np.ndarray
+    rounds: float
+    clique: Clique
+    details: Dict[str, Any] = dataclasses.field(default_factory=dict)
+
+    def distance(self, v: int, source: int) -> float:
+        """Estimated distance from ``v`` to ``source``."""
+        index = self.sources.index(source)
+        return float(self.distances[v, index])
+
+
+@dataclasses.dataclass
+class APSPResult:
+    """All-pairs shortest paths output (dense estimate matrix)."""
+
+    estimates: np.ndarray
+    rounds: float
+    clique: Clique
+    approximation_label: str = ""
+    details: Dict[str, Any] = dataclasses.field(default_factory=dict)
+
+    def distance(self, u: int, v: int) -> float:
+        """Estimated distance between ``u`` and ``v``."""
+        return float(self.estimates[u, v])
+
+    def max_stretch(self, exact: Sequence[Sequence[float]]) -> float:
+        """Maximum multiplicative stretch against an exact distance matrix."""
+        worst = 1.0
+        n = self.estimates.shape[0]
+        for u in range(n):
+            for v in range(n):
+                true = exact[u][v]
+                if u == v or true == 0 or true == math.inf:
+                    continue
+                worst = max(worst, float(self.estimates[u, v]) / true)
+        return worst
+
+
+@dataclasses.dataclass
+class SSSPResult:
+    """Single-source shortest paths output."""
+
+    source: int
+    distances: np.ndarray
+    rounds: float
+    clique: Clique
+    details: Dict[str, Any] = dataclasses.field(default_factory=dict)
+
+    def distance(self, v: int) -> float:
+        return float(self.distances[v])
+
+
+@dataclasses.dataclass
+class DiameterResult:
+    """Diameter approximation output."""
+
+    estimate: float
+    rounds: float
+    clique: Clique
+    details: Dict[str, Any] = dataclasses.field(default_factory=dict)

@@ -1,0 +1,57 @@
+"""Distance tools (Section 3 of the paper).
+
+Built on the sparse matrix-multiplication algorithms of Section 2, these are
+the reusable building blocks from which the headline shortest-path
+algorithms are assembled:
+
+* :mod:`repro.distance.products` — the augmented weight matrix and distance
+  products over the augmented min-plus semiring (Section 3.1).
+* :mod:`repro.distance.k_nearest` — Theorem 18: distances to the k nearest
+  nodes.
+* :mod:`repro.distance.source_detection` — Theorem 19: the (S, d, k)-source
+  detection problem.
+* :mod:`repro.distance.through_sets` — Theorem 20: distances through node
+  sets.
+* :mod:`repro.distance.hitting_set` — Lemma 4: deterministic hitting sets.
+"""
+
+from repro.distance.products import (
+    augmented_weight_matrix,
+    weight_matrix,
+    distances_from_augmented,
+)
+from repro.distance.k_nearest import k_nearest, KNearestResult
+from repro.distance.source_detection import (
+    source_detection,
+    SourceDetectionResult,
+)
+from repro.distance.through_sets import distance_through_sets, ThroughSetsResult
+from repro.distance.hitting_set import greedy_hitting_set, random_hitting_set
+from repro.distance.paths import (
+    k_nearest_paths,
+    sssp_tree,
+    extract_path,
+    routing_table_from_estimates,
+    forward_route,
+    path_weight,
+)
+
+__all__ = [
+    "k_nearest_paths",
+    "sssp_tree",
+    "extract_path",
+    "routing_table_from_estimates",
+    "forward_route",
+    "path_weight",
+    "augmented_weight_matrix",
+    "weight_matrix",
+    "distances_from_augmented",
+    "k_nearest",
+    "KNearestResult",
+    "source_detection",
+    "SourceDetectionResult",
+    "distance_through_sets",
+    "ThroughSetsResult",
+    "greedy_hitting_set",
+    "random_hitting_set",
+]

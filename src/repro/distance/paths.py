@@ -1,0 +1,224 @@
+"""Path recovery and routing tables.
+
+Distance *estimates* answer "how far", but a deployed system usually needs
+"which way": an actual node sequence, or at least the next hop.  The paper
+points out (Section 3.1) that its matrix-multiplication tools yield
+witnesses for free; this module turns those witnesses — and the outputs of
+the headline algorithms — into usable paths and routing tables:
+
+* :func:`k_nearest_paths` — exact shortest paths from every node to each of
+  its k nearest nodes, recovered from witnessed filtered squaring.
+* :func:`sssp_tree` / :func:`extract_path` — the exact shortest-path tree of
+  the Theorem 33 SSSP, with per-node predecessors.
+* :func:`routing_table_from_estimates` — next-hop routing tables consistent
+  with any APSP estimate matrix (each hop strictly decreases the estimated
+  remaining distance, so forwarding always terminates).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.distance.products import augmented_weight_matrix
+from repro.graphs.graph import Graph, INF
+from repro.matmul.witness import expand_path, witnessed_squaring
+
+
+# ----------------------------------------------------------------------
+# k-nearest paths via witnessed squaring
+# ----------------------------------------------------------------------
+def k_nearest_paths(graph: Graph, k: int) -> Dict[int, Dict[int, List[int]]]:
+    """Exact shortest paths from every node to its k nearest nodes.
+
+    Returns ``paths[v][u]`` = node list from ``v`` to ``u`` for every ``u``
+    in ``v``'s k-nearest set.  This is the local (per-node) computation a
+    node would run after the Theorem 18 k-nearest algorithm, using the
+    witnesses the multiplication already produced; its cost in rounds is the
+    same as k-nearest itself, so no additional accounting is introduced.
+    """
+    if k <= 0:
+        raise ValueError("k must be positive")
+    k = min(k, graph.n)
+    W, _semiring = augmented_weight_matrix(graph)
+    squarings = max(1, math.ceil(math.log2(k))) if k > 1 else 1
+    power, witness_levels = witnessed_squaring(W, keep=k, squarings=squarings)
+
+    paths: Dict[int, Dict[int, List[int]]] = {}
+    for v in range(graph.n):
+        paths[v] = {}
+        for u in power.rows[v]:
+            node_sequence = expand_path(v, u, witness_levels)
+            paths[v][u] = _splice_consecutive_duplicates(node_sequence)
+    return paths
+
+
+def _splice_consecutive_duplicates(path: Sequence[int]) -> List[int]:
+    out: List[int] = []
+    for node in path:
+        if not out or out[-1] != node:
+            out.append(node)
+    return out
+
+
+def path_weight(graph: Graph, path: Sequence[int]) -> float:
+    """Total weight of a node sequence (``INF`` if some edge is missing)."""
+    total = 0.0
+    for a, b in zip(path, path[1:]):
+        w = graph.weight(a, b)
+        if w == INF:
+            return INF
+        total += w
+    return total
+
+
+# ----------------------------------------------------------------------
+# SSSP trees
+# ----------------------------------------------------------------------
+def sssp_tree(graph: Graph, source: int, distances: Sequence[float]) -> List[int]:
+    """Predecessor array of a shortest-path tree consistent with ``distances``.
+
+    ``distances`` must be exact (e.g. the output of Theorem 33's SSSP); the
+    predecessor of ``v`` is a neighbour ``u`` with
+    ``distances[u] + w(u, v) == distances[v]``.  The source's predecessor is
+    itself; unreachable nodes get predecessor ``-1``.
+    """
+    predecessors = [-1] * graph.n
+    predecessors[source] = source
+    for v in range(graph.n):
+        if v == source or distances[v] == INF or math.isinf(distances[v]):
+            continue
+        best: Optional[int] = None
+        for u, w in graph.neighbors(v).items():
+            if abs(distances[u] + w - distances[v]) < 1e-9:
+                if best is None or u < best:
+                    best = u
+        if best is None:
+            raise ValueError(
+                f"distances are not consistent with the graph at node {v}"
+            )
+        predecessors[v] = best
+    return predecessors
+
+
+def extract_path(predecessors: Sequence[int], source: int, target: int) -> List[int]:
+    """Walk the predecessor array from ``target`` back to ``source``."""
+    if predecessors[target] == -1:
+        return []
+    path = [target]
+    current = target
+    visited = {target}
+    while current != source:
+        current = predecessors[current]
+        if current in visited or current == -1:
+            raise ValueError("predecessor array contains a cycle or a gap")
+        visited.add(current)
+        path.append(current)
+    path.reverse()
+    return path
+
+
+# ----------------------------------------------------------------------
+# routing tables from APSP estimates
+# ----------------------------------------------------------------------
+def routing_table_from_estimates(
+    graph: Graph, estimates: np.ndarray, verify_consistency: bool = True
+) -> List[Dict[int, int]]:
+    """Next-hop routing tables from a distance (estimate) matrix.
+
+    For every (source ``v``, destination ``u``) pair with a finite estimate,
+    the table stores a neighbour ``x`` of ``v`` minimising
+    ``w(v, x) + estimate[x, u]``.
+
+    Greedy forwarding over such tables is guaranteed to terminate when the
+    estimate matrix is *locally consistent*: for every ``v != u`` with a
+    finite estimate, ``estimate[v, u] >= min_x (w(v, x) + estimate[x, u])``.
+    Exact distance matrices (Theorem 33 SSSP, the dense-MM APSP baseline,
+    Dijkstra ground truth) always satisfy this with equality; approximate
+    APSP estimates may not, in which case forwarding could revisit a node —
+    :func:`forward_route` detects that and raises.  With
+    ``verify_consistency=True`` (the default) this function checks the
+    property up front and raises ``ValueError`` if it fails, so callers can
+    fall back to an exact matrix.
+
+    Returns ``tables[v][u] = next hop``.
+    """
+    n = graph.n
+    if estimates.shape != (n, n):
+        raise ValueError("estimate matrix shape does not match the graph")
+    if verify_consistency:
+        _check_local_consistency(graph, estimates)
+    tables: List[Dict[int, int]] = [dict() for _ in range(n)]
+    for v in range(n):
+        neighbors = graph.neighbors(v)
+        if not neighbors:
+            continue
+        for u in range(n):
+            if u == v or not np.isfinite(estimates[v, u]):
+                continue
+            best_hop = None
+            best_value = math.inf
+            for x, w in neighbors.items():
+                candidate = w + estimates[x, u]
+                if candidate < best_value - 1e-12 or (
+                    abs(candidate - best_value) <= 1e-12
+                    and (best_hop is None or x < best_hop)
+                ):
+                    best_value = candidate
+                    best_hop = x
+            if best_hop is not None:
+                tables[v][u] = best_hop
+    return tables
+
+
+def _check_local_consistency(graph: Graph, estimates: np.ndarray) -> None:
+    """Raise ``ValueError`` if the estimate matrix is not locally consistent."""
+    n = graph.n
+    for v in range(n):
+        neighbors = graph.neighbors(v)
+        if not neighbors:
+            continue
+        for u in range(n):
+            if u == v or not np.isfinite(estimates[v, u]):
+                continue
+            lookahead = min(
+                (w + estimates[x, u] for x, w in neighbors.items()), default=math.inf
+            )
+            if estimates[v, u] < lookahead - 1e-9:
+                raise ValueError(
+                    "estimate matrix is not locally consistent at "
+                    f"(v={v}, u={u}): estimate {estimates[v, u]} is below the "
+                    f"best one-step lookahead {lookahead}; build routing "
+                    "tables from an exact distance matrix instead"
+                )
+
+
+def forward_route(
+    graph: Graph,
+    tables: Sequence[Dict[int, int]],
+    source: int,
+    target: int,
+    max_hops: Optional[int] = None,
+) -> List[int]:
+    """Follow the next-hop tables from ``source`` to ``target``.
+
+    Returns the node sequence (ending at ``target``); raises if forwarding
+    loops or dead-ends (which cannot happen for tables built from a locally
+    consistent estimate matrix — see
+    :func:`routing_table_from_estimates`).
+    """
+    if max_hops is None:
+        max_hops = graph.n + 1
+    path = [source]
+    current = source
+    for _ in range(max_hops):
+        if current == target:
+            return path
+        next_hop = tables[current].get(target)
+        if next_hop is None:
+            raise ValueError(f"no route from {current} towards {target}")
+        path.append(next_hop)
+        current = next_hop
+    raise ValueError(f"forwarding from {source} to {target} exceeded {max_hops} hops")

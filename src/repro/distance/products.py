@@ -1,0 +1,95 @@
+"""Distance products and the augmented weight matrix (Section 3.1).
+
+The augmented weight matrix ``W`` of a graph has ``W[u, u] = (0, 0)``,
+``W[u, v] = (w(u, v), 1)`` for edges, and ``(∞, ∞)`` otherwise, over the
+augmented min-plus semiring.  Its ``d``-th distance-product power gives, for
+every pair, the weight of the shortest path using at most ``d`` hops
+*together with* that path's hop count — the consistency property (Lemma 17)
+that the k-nearest and source-detection tools rely on.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple
+
+from repro.graphs.graph import Graph, INF
+from repro.matmul.matrix import SemiringMatrix
+from repro.semiring.augmented import (
+    AugmentedEntry,
+    AugmentedMinPlusSemiring,
+    augmented_semiring_for,
+)
+from repro.semiring.minplus import MIN_PLUS
+
+
+def weight_matrix(graph: Graph) -> SemiringMatrix:
+    """The plain min-plus weight matrix of ``graph`` (0 diagonal)."""
+    matrix = SemiringMatrix(graph.n, MIN_PLUS)
+    for u in range(graph.n):
+        matrix.rows[u][u] = 0.0
+        for v, w in graph.neighbors(u).items():
+            matrix.rows[u][v] = float(w)
+    return matrix
+
+
+def augmented_weight_matrix(
+    graph: Graph,
+    semiring: Optional[AugmentedMinPlusSemiring] = None,
+) -> Tuple[SemiringMatrix, AugmentedMinPlusSemiring]:
+    """The augmented weight matrix ``W`` of ``graph`` and its semiring.
+
+    Returns ``(W, semiring)``; the semiring is sized so that every value the
+    distance computations can produce (path weights up to ``n · max_weight``
+    and hop counts up to ``2 n``) is representable in its integer encoding.
+    """
+    if semiring is None:
+        semiring = augmented_semiring_for(graph.n, max(1.0, graph.max_weight()))
+    matrix = SemiringMatrix(graph.n, semiring)
+    for u in range(graph.n):
+        matrix.rows[u][u] = semiring.one
+        for v, w in graph.neighbors(u).items():
+            matrix.rows[u][v] = AugmentedEntry(float(w), 1)
+    return matrix, semiring
+
+
+def matrix_from_edges(
+    n: int,
+    edges: Dict[Tuple[int, int], float],
+    semiring: AugmentedMinPlusSemiring,
+    include_diagonal: bool = True,
+) -> SemiringMatrix:
+    """Augmented matrix from an explicit edge-weight dictionary."""
+    matrix = SemiringMatrix(n, semiring)
+    if include_diagonal:
+        for u in range(n):
+            matrix.rows[u][u] = semiring.one
+    for (u, v), w in edges.items():
+        entry = AugmentedEntry(float(w), 1)
+        current = matrix.rows[u].get(v)
+        if current is None or entry < current:
+            matrix.rows[u][v] = entry
+    return matrix
+
+
+def distances_from_augmented(matrix: SemiringMatrix) -> List[Dict[int, float]]:
+    """Strip hop counts: per-row dictionaries of plain distances."""
+    out: List[Dict[int, float]] = []
+    for i in range(matrix.n):
+        row = {}
+        for j, entry in matrix.rows[i].items():
+            weight = entry[0]
+            if weight != math.inf:
+                row[j] = weight
+        out.append(row)
+    return out
+
+
+def dense_distances_from_augmented(matrix: SemiringMatrix) -> List[List[float]]:
+    """Dense ``n x n`` distance list-of-lists (``INF`` for absent entries)."""
+    n = matrix.n
+    dense = [[INF] * n for _ in range(n)]
+    for i in range(n):
+        for j, entry in matrix.rows[i].items():
+            dense[i][j] = entry[0]
+    return dense

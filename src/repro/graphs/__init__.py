@@ -1,0 +1,61 @@
+"""Graph substrate: graph data structure, generators, and sequential reference algorithms.
+
+The Congested Clique algorithms in :mod:`repro` operate on instances of
+:class:`~repro.graphs.graph.Graph`.  The :mod:`~repro.graphs.generators`
+module provides the synthetic workloads used by tests, examples, and the
+benchmark harness, and :mod:`~repro.graphs.reference` provides the exact
+sequential algorithms (Dijkstra, BFS, Bellman-Ford, hop-bounded distances)
+used as ground truth when validating approximation guarantees.
+"""
+
+from repro.graphs.graph import Graph, INF
+from repro.graphs.generators import (
+    erdos_renyi,
+    random_weighted_graph,
+    path_graph,
+    cycle_graph,
+    grid_graph,
+    star_graph,
+    complete_graph,
+    barbell_graph,
+    caterpillar_graph,
+    power_law_graph,
+    random_tree,
+    disjoint_cliques,
+)
+from repro.graphs.io import load_edge_list, save_edge_list
+from repro.graphs.reference import (
+    dijkstra,
+    bfs_distances,
+    bellman_ford,
+    all_pairs_dijkstra,
+    exact_diameter,
+    hop_bounded_distances,
+    shortest_path_diameter,
+)
+
+__all__ = [
+    "Graph",
+    "INF",
+    "load_edge_list",
+    "save_edge_list",
+    "erdos_renyi",
+    "random_weighted_graph",
+    "path_graph",
+    "cycle_graph",
+    "grid_graph",
+    "star_graph",
+    "complete_graph",
+    "barbell_graph",
+    "caterpillar_graph",
+    "power_law_graph",
+    "random_tree",
+    "disjoint_cliques",
+    "dijkstra",
+    "bfs_distances",
+    "bellman_ford",
+    "all_pairs_dijkstra",
+    "exact_diameter",
+    "hop_bounded_distances",
+    "shortest_path_diameter",
+]

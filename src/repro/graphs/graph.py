@@ -1,0 +1,229 @@
+"""The :class:`Graph` data structure used throughout the library.
+
+The paper (Section 1.5, Preliminaries) assumes undirected graphs with
+non-negative integer edge weights bounded by ``O(n^c)`` for a constant ``c``.
+The matrix-multiplication based distance tools also work for directed graphs,
+so :class:`Graph` supports both; the headline shortest-path algorithms
+require undirected inputs and validate this.
+
+Nodes are always the integers ``0 .. n-1``; in the Congested Clique model
+node ``v`` of the graph is identified with machine ``v`` of the clique.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+#: Infinite distance sentinel.  Using ``math.inf`` keeps arithmetic natural
+#: (``INF + w == INF``) and comparisons obvious.
+INF = math.inf
+
+Edge = Tuple[int, int, float]
+
+
+class Graph:
+    """A simple weighted graph on nodes ``0 .. n-1``.
+
+    Parameters
+    ----------
+    n:
+        Number of nodes.
+    directed:
+        If ``True`` edges are directed; otherwise each added edge is stored
+        in both directions.
+
+    Notes
+    -----
+    The adjacency structure is a list of dictionaries: ``adj[u][v]`` is the
+    weight of the edge ``(u, v)``.  Parallel edges are collapsed keeping the
+    minimum weight, matching the shortest-path semantics used everywhere in
+    the paper.
+    """
+
+    __slots__ = ("n", "directed", "adj")
+
+    def __init__(self, n: int, directed: bool = False):
+        if n <= 0:
+            raise ValueError(f"graph must have at least one node, got n={n}")
+        self.n = int(n)
+        self.directed = bool(directed)
+        self.adj: List[Dict[int, float]] = [dict() for _ in range(self.n)]
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_edge(self, u: int, v: int, weight: float = 1) -> None:
+        """Add edge ``(u, v)`` with the given non-negative weight.
+
+        If the edge already exists the minimum of the old and new weight is
+        kept.  Self-loops are ignored (they never affect shortest paths with
+        non-negative weights).
+        """
+        self._check_node(u)
+        self._check_node(v)
+        if u == v:
+            return
+        if weight < 0:
+            raise ValueError(f"edge weights must be non-negative, got {weight}")
+        current = self.adj[u].get(v, INF)
+        if weight < current:
+            self.adj[u][v] = weight
+            if not self.directed:
+                self.adj[v][u] = weight
+
+    def add_edges(self, edges: Iterable[Tuple[int, int] | Edge]) -> None:
+        """Add many edges; each item is ``(u, v)`` (weight 1) or ``(u, v, w)``."""
+        for edge in edges:
+            if len(edge) == 2:
+                u, v = edge  # type: ignore[misc]
+                self.add_edge(u, v, 1)
+            else:
+                u, v, w = edge  # type: ignore[misc]
+                self.add_edge(u, v, w)
+
+    def remove_edge(self, u: int, v: int) -> None:
+        """Remove edge ``(u, v)`` if present."""
+        self._check_node(u)
+        self._check_node(v)
+        self.adj[u].pop(v, None)
+        if not self.directed:
+            self.adj[v].pop(u, None)
+
+    @classmethod
+    def from_edges(
+        cls, n: int, edges: Iterable[Tuple[int, int] | Edge], directed: bool = False
+    ) -> "Graph":
+        """Build a graph from an edge iterable."""
+        graph = cls(n, directed=directed)
+        graph.add_edges(edges)
+        return graph
+
+    def copy(self) -> "Graph":
+        """Return a deep copy of this graph."""
+        other = Graph(self.n, directed=self.directed)
+        for u in range(self.n):
+            other.adj[u] = dict(self.adj[u])
+        return other
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def has_edge(self, u: int, v: int) -> bool:
+        """Return ``True`` if the edge ``(u, v)`` exists."""
+        self._check_node(u)
+        self._check_node(v)
+        return v in self.adj[u]
+
+    def weight(self, u: int, v: int) -> float:
+        """Return the weight of edge ``(u, v)``, or ``INF`` if absent."""
+        self._check_node(u)
+        self._check_node(v)
+        return self.adj[u].get(v, INF)
+
+    def neighbors(self, u: int) -> Dict[int, float]:
+        """Return the adjacency dictionary of ``u`` (neighbor -> weight)."""
+        self._check_node(u)
+        return self.adj[u]
+
+    def degree(self, u: int) -> int:
+        """Return the (out-)degree of ``u``."""
+        self._check_node(u)
+        return len(self.adj[u])
+
+    def edges(self) -> Iterator[Edge]:
+        """Iterate over edges as ``(u, v, w)``.
+
+        For undirected graphs each edge is reported once with ``u < v``.
+        """
+        for u in range(self.n):
+            for v, w in self.adj[u].items():
+                if self.directed or u < v:
+                    yield (u, v, w)
+
+    def num_edges(self) -> int:
+        """Return the number of edges (undirected edges counted once)."""
+        total = sum(len(self.adj[u]) for u in range(self.n))
+        return total if self.directed else total // 2
+
+    def max_weight(self) -> float:
+        """Return the maximum edge weight (0 for an empty graph)."""
+        best = 0.0
+        for _, _, w in self.edges():
+            if w > best:
+                best = w
+        return best
+
+    def is_unweighted(self) -> bool:
+        """Return ``True`` if every edge has weight exactly 1."""
+        return all(w == 1 for _, _, w in self.edges())
+
+    def nodes(self) -> range:
+        """Return the node range ``0 .. n-1``."""
+        return range(self.n)
+
+    # ------------------------------------------------------------------
+    # derived graphs
+    # ------------------------------------------------------------------
+    def subgraph(self, keep: Sequence[int]) -> Tuple["Graph", List[int]]:
+        """Return the induced subgraph on ``keep`` plus the node relabelling.
+
+        Returns
+        -------
+        (subgraph, original_ids):
+            ``subgraph`` has ``len(keep)`` nodes, and ``original_ids[i]`` is
+            the original id of subgraph node ``i``.
+        """
+        keep_list = sorted(set(keep))
+        index = {node: i for i, node in enumerate(keep_list)}
+        sub = Graph(max(len(keep_list), 1), directed=self.directed)
+        for u in keep_list:
+            for v, w in self.adj[u].items():
+                if v in index:
+                    sub.add_edge(index[u], index[v], w)
+        return sub, keep_list
+
+    def union_with_edges(self, extra_edges: Iterable[Edge]) -> "Graph":
+        """Return ``G ∪ H`` where ``H`` is given as an edge list.
+
+        This is how the hopset-augmented graphs ``G ∪ H^ℓ`` of Section 4 are
+        materialised; weights of coinciding edges keep the minimum.
+        """
+        merged = self.copy()
+        for u, v, w in extra_edges:
+            merged.add_edge(u, v, w)
+        return merged
+
+    def restrict_to_low_degree(self, threshold: int) -> Tuple["Graph", List[int]]:
+        """Return the subgraph induced on nodes of degree < ``threshold``.
+
+        Used by the unweighted APSP algorithm (Section 6.3), which handles
+        paths through high-degree nodes separately.
+        """
+        low = [u for u in range(self.n) if self.degree(u) < threshold]
+        if not low:
+            return Graph(1, directed=self.directed), []
+        return self.subgraph(low)
+
+    # ------------------------------------------------------------------
+    # misc
+    # ------------------------------------------------------------------
+    def _check_node(self, u: int) -> None:
+        if not 0 <= u < self.n:
+            raise ValueError(f"node {u} out of range [0, {self.n})")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "directed" if self.directed else "undirected"
+        return f"Graph(n={self.n}, m={self.num_edges()}, {kind})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        return (
+            self.n == other.n
+            and self.directed == other.directed
+            and self.adj == other.adj
+        )
+
+    def __hash__(self) -> int:  # Graphs are mutable; identity hash.
+        return id(self)

@@ -1,0 +1,74 @@
+"""Reading and writing graphs as edge-list files.
+
+A minimal, dependency-free interchange format so that real workloads (road
+networks, overlay topologies, SNAP-style edge lists) can be fed to the
+algorithms:
+
+* one edge per line: ``u v`` or ``u v weight``;
+* blank lines and lines starting with ``#`` are ignored;
+* node ids may be arbitrary non-negative integers — they are compacted to
+  ``0 .. n-1`` on load (the mapping is returned so results can be reported
+  in the original ids).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Tuple, Union
+
+from repro.graphs.graph import Graph
+
+PathLike = Union[str, Path]
+
+
+def load_edge_list(
+    path: PathLike, directed: bool = False
+) -> Tuple[Graph, Dict[int, int]]:
+    """Load a graph from an edge-list file.
+
+    Returns ``(graph, original_ids)`` where ``original_ids[i]`` is the node
+    id in the file corresponding to graph node ``i``.
+    """
+    edges: List[Tuple[int, int, float]] = []
+    seen: Dict[int, None] = {}
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, raw in enumerate(handle, start=1):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if len(parts) not in (2, 3):
+                raise ValueError(
+                    f"{path}:{line_number}: expected 'u v [weight]', got {line!r}"
+                )
+            u, v = int(parts[0]), int(parts[1])
+            weight = float(parts[2]) if len(parts) == 3 else 1.0
+            if weight < 0:
+                raise ValueError(f"{path}:{line_number}: negative weight {weight}")
+            edges.append((u, v, weight))
+            seen.setdefault(u)
+            seen.setdefault(v)
+
+    if not seen:
+        raise ValueError(f"{path}: no edges found")
+    ordered_ids = sorted(seen)
+    index = {original: i for i, original in enumerate(ordered_ids)}
+    graph = Graph(len(ordered_ids), directed=directed)
+    for u, v, weight in edges:
+        graph.add_edge(index[u], index[v], weight)
+    return graph, {i: original for original, i in index.items()}
+
+
+def save_edge_list(graph: Graph, path: PathLike, header: str = "") -> None:
+    """Write a graph as an edge-list file (one ``u v weight`` line per edge)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        if header:
+            for line in header.splitlines():
+                handle.write(f"# {line}\n")
+        handle.write(f"# nodes={graph.n} edges={graph.num_edges()} "
+                     f"directed={graph.directed}\n")
+        for u, v, w in graph.edges():
+            if w == int(w):
+                handle.write(f"{u} {v} {int(w)}\n")
+            else:
+                handle.write(f"{u} {v} {w}\n")

@@ -1,0 +1,192 @@
+"""Sequential reference algorithms (ground truth).
+
+Every approximation guarantee in the paper is validated against the exact
+distances computed here: Dijkstra / BFS for single sources, repeated Dijkstra
+for APSP, Bellman-Ford-style dynamic programming for hop-bounded distances
+(needed to check the hopset property ``d_G <= d^β_{G∪H} <= (1+ε)·d_G``), and
+the exact diameter / shortest-path-diameter used by the diameter and SSSP
+experiments.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.graphs.graph import Graph, INF
+
+
+def dijkstra(graph: Graph, source: int) -> List[float]:
+    """Exact single-source distances from ``source`` (non-negative weights)."""
+    dist = [INF] * graph.n
+    dist[source] = 0
+    heap: List[Tuple[float, int]] = [(0.0, source)]
+    while heap:
+        d, u = heapq.heappop(heap)
+        if d > dist[u]:
+            continue
+        for v, w in graph.neighbors(u).items():
+            nd = d + w
+            if nd < dist[v]:
+                dist[v] = nd
+                heapq.heappush(heap, (nd, v))
+    return dist
+
+
+def bfs_distances(graph: Graph, source: int) -> List[float]:
+    """Exact hop distances from ``source`` in an unweighted sense."""
+    dist = [INF] * graph.n
+    dist[source] = 0
+    frontier = [source]
+    level = 0
+    while frontier:
+        level += 1
+        next_frontier = []
+        for u in frontier:
+            for v in graph.neighbors(u):
+                if dist[v] is INF or dist[v] > level:
+                    if dist[v] == INF:
+                        dist[v] = level
+                        next_frontier.append(v)
+        frontier = next_frontier
+    return dist
+
+
+def bellman_ford(
+    graph: Graph, source: int, max_hops: Optional[int] = None
+) -> Tuple[List[float], int]:
+    """Bellman-Ford from ``source``.
+
+    Returns ``(distances, iterations_until_convergence)``.  When ``max_hops``
+    is given the relaxation stops after that many iterations, yielding
+    hop-bounded distances.  The iteration count is what the Congested Clique
+    Bellman-Ford baseline pays in rounds (one relaxation per round).
+    """
+    dist = [INF] * graph.n
+    dist[source] = 0
+    limit = graph.n - 1 if max_hops is None else max_hops
+    iterations = 0
+    for _ in range(limit):
+        changed = False
+        new_dist = list(dist)
+        for u in range(graph.n):
+            du = dist[u]
+            if du == INF:
+                continue
+            for v, w in graph.neighbors(u).items():
+                nd = du + w
+                if nd < new_dist[v]:
+                    new_dist[v] = nd
+                    changed = True
+        dist = new_dist
+        iterations += 1
+        if not changed:
+            break
+    return dist, iterations
+
+
+def all_pairs_dijkstra(graph: Graph) -> List[List[float]]:
+    """Exact all-pairs distances via repeated Dijkstra."""
+    return [dijkstra(graph, source) for source in range(graph.n)]
+
+
+def exact_diameter(graph: Graph) -> float:
+    """Exact (finite) diameter: the maximum finite pairwise distance."""
+    best = 0.0
+    for source in range(graph.n):
+        dist = dijkstra(graph, source)
+        for d in dist:
+            if d != INF and d > best:
+                best = d
+    return best
+
+
+def hop_bounded_distances(
+    graph: Graph, source: int, max_hops: int
+) -> List[float]:
+    """``d^β_G(source, ·)``: shortest distances using at most ``max_hops`` edges."""
+    dist, _ = bellman_ford(graph, source, max_hops=max_hops)
+    return dist
+
+
+def hop_bounded_pairwise(
+    graph: Graph, pairs: Sequence[Tuple[int, int]], max_hops: int
+) -> Dict[Tuple[int, int], float]:
+    """Hop-bounded distances for a set of pairs (grouped by source)."""
+    by_source: Dict[int, List[int]] = {}
+    for u, v in pairs:
+        by_source.setdefault(u, []).append(v)
+    out: Dict[Tuple[int, int], float] = {}
+    for u, targets in by_source.items():
+        dist = hop_bounded_distances(graph, u, max_hops)
+        for v in targets:
+            out[(u, v)] = dist[v]
+    return out
+
+
+def shortest_path_diameter(graph: Graph) -> int:
+    """Shortest-path diameter: the maximum, over connected pairs, of the
+    minimum hop count among shortest (by weight) paths.
+
+    This is the quantity that bounds the number of Bellman-Ford iterations
+    needed for exact convergence (used by the SSSP experiment, Lemma 32).
+    """
+    spd = 0
+    for source in range(graph.n):
+        exact = dijkstra(graph, source)
+        # Hop-count of a shortest path: dynamic program over increasing hops.
+        dist = [INF] * graph.n
+        dist[source] = 0
+        hops_needed = [0 if i == source else -1 for i in range(graph.n)]
+        for hop in range(1, graph.n):
+            improved = False
+            new_dist = list(dist)
+            for u in range(graph.n):
+                if dist[u] == INF:
+                    continue
+                for v, w in graph.neighbors(u).items():
+                    nd = dist[u] + w
+                    if nd < new_dist[v]:
+                        new_dist[v] = nd
+                        improved = True
+            dist = new_dist
+            for v in range(graph.n):
+                if hops_needed[v] == -1 and dist[v] == exact[v] and dist[v] != INF:
+                    hops_needed[v] = hop
+            if not improved:
+                break
+        spd = max(spd, max((h for h in hops_needed if h >= 0), default=0))
+    return spd
+
+
+def approximation_ratio(
+    estimate: Dict[Tuple[int, int], float] | List[List[float]],
+    exact: List[List[float]],
+    skip_infinite: bool = True,
+) -> Tuple[float, float]:
+    """Return ``(max_ratio, mean_ratio)`` of estimate/exact over finite pairs.
+
+    ``estimate`` may be a dense matrix (list of rows) or a dict keyed by
+    ``(u, v)``.  Pairs with zero or infinite exact distance are skipped.
+    """
+    ratios: List[float] = []
+    n = len(exact)
+    for u in range(n):
+        for v in range(n):
+            true = exact[u][v]
+            if u == v or true == 0:
+                continue
+            if true == INF:
+                if skip_infinite:
+                    continue
+                true = INF
+            if isinstance(estimate, dict):
+                est = estimate.get((u, v), INF)
+            else:
+                est = estimate[u][v]
+            if true == INF and est == INF:
+                continue
+            ratios.append(est / true)
+    if not ratios:
+        return 1.0, 1.0
+    return max(ratios), sum(ratios) / len(ratios)

@@ -1,0 +1,22 @@
+"""Hopset construction (Section 4, Theorem 25).
+
+A (β, ε)-hopset ``H`` of a weighted undirected graph ``G`` is a set of
+weighted edges such that β-hop-bounded distances in ``G ∪ H`` are
+(1 + ε)-approximations of the true distances in ``G``.  The paper builds a
+hopset of Õ(n^{3/2}) edges with β = O(log n / ε) in O(log² n / ε) rounds by
+implementing the Elkin–Neiman construction with the new distance tools so
+that the running time does not depend on the hopset size.
+"""
+
+from repro.hopsets.construction import build_hopset, HopsetResult
+from repro.hopsets.bounded import (
+    verify_hopset_property,
+    hop_bounded_distance_in_union,
+)
+
+__all__ = [
+    "build_hopset",
+    "HopsetResult",
+    "verify_hopset_property",
+    "hop_bounded_distance_in_union",
+]

@@ -1,0 +1,100 @@
+"""Hopset validation helpers.
+
+A (β, ε)-hopset must satisfy, for every pair ``u, v``::
+
+    d_G(u, v) <= d_{G∪H}(u, v)            (no shortcuts below true distance)
+    d^β_{G∪H}(u, v) <= (1 + ε) d_G(u, v)  (β hops suffice up to 1 + ε)
+
+These helpers build ``G ∪ H`` and check both properties exactly with the
+sequential reference algorithms (hop-bounded Bellman-Ford), either for all
+pairs or for a deterministic sample of pairs on larger graphs.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.graphs.graph import Graph, INF
+from repro.graphs.reference import dijkstra, hop_bounded_distances
+
+
+def union_graph(graph: Graph, hopset_edges: Iterable[Tuple[int, int, float]]) -> Graph:
+    """Return ``G ∪ H`` as a new graph (minimum weights on clashes)."""
+    return graph.union_with_edges(hopset_edges)
+
+
+def hop_bounded_distance_in_union(
+    graph: Graph,
+    hopset_edges: Iterable[Tuple[int, int, float]],
+    source: int,
+    beta: int,
+) -> List[float]:
+    """``d^β_{G∪H}(source, ·)`` computed exactly."""
+    merged = union_graph(graph, hopset_edges)
+    return hop_bounded_distances(merged, source, beta)
+
+
+def verify_hopset_property(
+    graph: Graph,
+    hopset_edges: Sequence[Tuple[int, int, float]],
+    beta: int,
+    epsilon: float,
+    sources: Optional[Sequence[int]] = None,
+) -> Dict[str, float]:
+    """Check the (β, ε)-hopset property and report the worst stretches.
+
+    Parameters
+    ----------
+    graph:
+        The original graph ``G``.
+    hopset_edges:
+        The hopset ``H``.
+    beta, epsilon:
+        The claimed parameters.
+    sources:
+        Sources to check from (all nodes by default).
+
+    Returns
+    -------
+    A dictionary with:
+        ``max_hop_stretch``  — max over checked pairs of
+        ``d^β_{G∪H}(u, v) / d_G(u, v)``;
+        ``max_underestimate`` — max of ``d_G(u, v) / d_{G∪H}(u, v)``
+        (should be exactly 1.0: the union never shortcuts);
+        ``violations`` — number of pairs exceeding ``1 + epsilon``;
+        ``pairs_checked`` — how many pairs were compared.
+    """
+    merged = union_graph(graph, hopset_edges)
+    check_sources = list(sources) if sources is not None else list(range(graph.n))
+
+    max_hop_stretch = 1.0
+    max_underestimate = 1.0
+    violations = 0
+    pairs_checked = 0
+
+    for source in check_sources:
+        exact = dijkstra(graph, source)
+        union_exact = dijkstra(merged, source)
+        bounded = hop_bounded_distances(merged, source, beta)
+        for v in range(graph.n):
+            if v == source or exact[v] == INF or exact[v] == 0:
+                continue
+            pairs_checked += 1
+            if union_exact[v] < exact[v] - 1e-9:
+                max_underestimate = max(max_underestimate, exact[v] / union_exact[v])
+            if bounded[v] == INF:
+                violations += 1
+                max_hop_stretch = math.inf
+                continue
+            stretch = bounded[v] / exact[v]
+            max_hop_stretch = max(max_hop_stretch, stretch)
+            if stretch > 1 + epsilon + 1e-9:
+                violations += 1
+
+    return {
+        "max_hop_stretch": max_hop_stretch,
+        "max_underestimate": max_underestimate,
+        "violations": float(violations),
+        "pairs_checked": float(pairs_checked),
+    }

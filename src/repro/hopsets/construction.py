@@ -1,0 +1,305 @@
+"""The Congested Clique hopset construction (Section 4.2, Theorem 25).
+
+The construction follows Elkin–Neiman (via Thorup–Zwick emulators), with the
+paper's two changes: the bunches of the non-A₁ nodes are computed directly
+with the k-nearest tool, and the Bellman-Ford explorations of the original
+construction are replaced by the (S, d, k)-source-detection tool, which is
+what removes the dependence of the running time on the hopset size.
+
+Outline (parameters as in Theorem 25, for a target 0 < ε < 1):
+
+* ``k = Θ(√n log n)``; compute ``N_k(v)`` for every node (Theorem 18).
+* ``A₁`` = deterministic hitting set of the ``N_k(v)`` (Lemma 4), of size
+  Õ(√n).
+* ``p(v)`` = the closest A₁-node in ``N_k(v)``;
+  ``B(v) = {u : d(v, u) < d(v, p(v))} ∪ {p(v)}``;
+  ``H₀ = {(v, u, d(v, u)) : v ∉ A₁, u ∈ B(v)}``.
+* For ``ℓ = 1 .. log n``: run (A₁, 4β, |A₁|)-source detection on
+  ``G ∪ H^{ℓ-1}`` and connect every pair of A₁ nodes discovered within 4β
+  hops with an edge weighted by the detected distance;
+  ``H^ℓ = H₀ ∪ (those A₁-A₁ edges)``.
+* ``H = H^{log n}`` is a (β, ε)-hopset with ``β = O(log n / ε)``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.cclique.accounting import Clique
+from repro.distance.hitting_set import greedy_hitting_set
+from repro.distance.k_nearest import KNearestResult, k_nearest
+from repro.distance.products import augmented_weight_matrix, matrix_from_edges
+from repro.distance.source_detection import source_detection
+from repro.graphs.graph import Graph
+from repro.semiring.augmented import AugmentedEntry, augmented_semiring_for
+
+
+@dataclasses.dataclass
+class HopsetResult:
+    """Output of the hopset construction.
+
+    Attributes
+    ----------
+    edges:
+        The hopset edges as ``(u, v, weight)`` (undirected; each pair once).
+    beta:
+        The hop bound β for which the (β, ε) guarantee holds.
+    epsilon:
+        The stretch parameter the construction targeted.
+    hitting_set:
+        The set A₁ of "landmark" nodes.
+    pivots:
+        ``pivots[v]`` = ``p(v)``, the closest A₁ node of ``v`` (A₁ nodes are
+        their own pivot).
+    pivot_distances:
+        ``pivot_distances[v]`` = exact ``d(v, p(v))``.
+    k:
+        The k used for the k-nearest bunches.
+    rounds:
+        Rounds charged for the construction.
+    clique:
+        Accounting context used.
+    levels:
+        Number of bounded-hopset levels executed.
+    """
+
+    edges: List[Tuple[int, int, float]]
+    beta: int
+    epsilon: float
+    hitting_set: List[int]
+    pivots: List[int]
+    pivot_distances: List[float]
+    k: int
+    rounds: float
+    clique: Clique
+    levels: int
+    k_nearest_result: Optional[KNearestResult] = None
+
+    def size(self) -> int:
+        """Number of hopset edges."""
+        return len(self.edges)
+
+
+def build_hopset(
+    graph: Graph,
+    epsilon: float = 0.5,
+    clique: Optional[Clique] = None,
+    k: Optional[int] = None,
+    beta: Optional[int] = None,
+    levels: Optional[int] = None,
+    execution: str = "fast",
+    early_stop: bool = True,
+    label: str = "hopset",
+) -> HopsetResult:
+    """Build a (β, ε)-hopset of ``graph`` (Theorem 25).
+
+    Parameters
+    ----------
+    graph:
+        Undirected weighted graph.
+    epsilon:
+        Target stretch (0 < ε < 1 in the theorem; larger values are allowed
+        and simply yield a smaller β).
+    k:
+        Bunch size; defaults to the paper's ``ceil(sqrt(n) · log2 n)``.
+    beta:
+        Hop bound; defaults to the paper's ``ceil(12 · log2 n / ε)``
+        (δ = ε_level / 4 with ε_level = ε / log n and β = 3 / δ).
+    levels:
+        Number of bounded-hopset iterations; defaults to ``ceil(log2 n)``.
+    execution:
+        Execution mode for the underlying matrix multiplications.
+    early_stop:
+        Stop a level's source-detection hop iterations once the distance
+        table stops changing (detecting stabilisation costs one broadcast
+        per hop and never changes the result, only the measured rounds,
+        which can only become smaller than the worst-case bound).
+    """
+    if graph.directed:
+        raise ValueError("hopset construction requires an undirected graph")
+    if epsilon <= 0:
+        raise ValueError("epsilon must be positive")
+
+    n = graph.n
+    clique = clique or Clique(n)
+    log_n = max(1, math.ceil(math.log2(max(2, n))))
+    if k is None:
+        k = min(n, max(2, math.ceil(math.sqrt(n) * log_n)))
+    if beta is None:
+        beta = max(3, math.ceil(12 * log_n / epsilon))
+    if levels is None:
+        levels = log_n
+
+    start_rounds = clique.rounds
+    with clique.phase(label):
+        # ------------------------------------------------------------------
+        # Step 1: k-nearest balls (exact distances) -- Theorem 18.
+        # ------------------------------------------------------------------
+        knn = k_nearest(graph, k, clique=clique, execution=execution, label="k-nearest")
+
+        # ------------------------------------------------------------------
+        # Step 2: hitting set A1 of the k-nearest balls -- Lemma 4.
+        # ------------------------------------------------------------------
+        ball_sets = [knn.nearest_set(v) for v in range(n)]
+        hitting_set = greedy_hitting_set(ball_sets, n, clique=clique, label="hitting-set")
+        hitting = set(hitting_set)
+        clique.charge_broadcast(label="hitting-set-announce")
+
+        # ------------------------------------------------------------------
+        # Step 3: pivots and bunches; H0 edges.
+        # ------------------------------------------------------------------
+        pivots, pivot_distances = _compute_pivots(knn, hitting, n)
+        hopset_edges: Dict[Tuple[int, int], float] = {}
+        for v in range(n):
+            if v in hitting:
+                continue
+            pivot_dist = pivot_distances[v]
+            for u, (dist, _hops) in knn.neighbors[v].items():
+                if u == v:
+                    continue
+                if dist < pivot_dist or u == pivots[v]:
+                    _add_edge(hopset_edges, v, u, dist)
+        # Announcing the bunch edges to both endpoints is one routing step
+        # with per-node load at most k.
+        clique.charge_routing(k, k, 2, label="bunch-edges")
+
+        # ------------------------------------------------------------------
+        # Step 4: levelled construction of the A1-A1 edges.
+        # ------------------------------------------------------------------
+        semiring = augmented_semiring_for(n, max(1.0, graph.max_weight()) * n)
+        executed_levels = 0
+        a1_edges: Dict[Tuple[int, int], float] = {}
+        for _ in range(levels):
+            executed_levels += 1
+            union_edges = _union_edge_dict(graph, hopset_edges, a1_edges)
+            W_union = matrix_from_edges(n, union_edges, semiring)
+            detection = _bounded_source_detection(
+                W_union,
+                semiring,
+                hitting_set,
+                4 * beta,
+                clique,
+                execution=execution,
+                early_stop=early_stop,
+            )
+            new_a1_edges: Dict[Tuple[int, int], float] = {}
+            for v in hitting_set:
+                for u, (dist, _hops) in detection[v].items():
+                    if u == v or u not in hitting:
+                        continue
+                    _add_edge(new_a1_edges, v, u, dist)
+            a1_edges = new_a1_edges
+            # Each A1 node tells the other endpoint about the edge (1 round).
+            clique.charge_broadcast(label="level-edge-announce")
+
+        for (u, v), w in a1_edges.items():
+            _add_edge(hopset_edges, u, v, w)
+
+    edges = [(u, v, w) for (u, v), w in sorted(hopset_edges.items())]
+    return HopsetResult(
+        edges=edges,
+        beta=beta,
+        epsilon=epsilon,
+        hitting_set=hitting_set,
+        pivots=pivots,
+        pivot_distances=pivot_distances,
+        k=k,
+        rounds=clique.rounds - start_rounds,
+        clique=clique,
+        levels=executed_levels,
+        k_nearest_result=knn,
+    )
+
+
+# ----------------------------------------------------------------------
+# helpers
+# ----------------------------------------------------------------------
+def _compute_pivots(
+    knn: KNearestResult, hitting: Set[int], n: int
+) -> Tuple[List[int], List[float]]:
+    """For every node, the closest hitting-set node in its k-nearest ball."""
+    pivots: List[int] = [-1] * n
+    pivot_distances: List[float] = [math.inf] * n
+    for v in range(n):
+        if v in hitting:
+            pivots[v] = v
+            pivot_distances[v] = 0.0
+            continue
+        best_node = -1
+        best_key: Optional[Tuple[float, int, int]] = None
+        for u, (dist, hops) in knn.neighbors[v].items():
+            if u not in hitting:
+                continue
+            key = (dist, hops, u)
+            if best_key is None or key < best_key:
+                best_key = key
+                best_node = u
+        if best_node >= 0:
+            pivots[v] = best_node
+            pivot_distances[v] = best_key[0]
+    return pivots, pivot_distances
+
+
+def _add_edge(edges: Dict[Tuple[int, int], float], u: int, v: int, w: float) -> None:
+    """Insert an undirected edge keeping the minimum weight."""
+    key = (u, v) if u < v else (v, u)
+    current = edges.get(key)
+    if current is None or w < current:
+        edges[key] = w
+
+
+def _union_edge_dict(
+    graph: Graph,
+    hopset_edges: Dict[Tuple[int, int], float],
+    extra_edges: Dict[Tuple[int, int], float],
+) -> Dict[Tuple[int, int], float]:
+    """Edge dictionary of ``G ∪ H`` (both directions, minimum weights)."""
+    union: Dict[Tuple[int, int], float] = {}
+    for u, v, w in graph.edges():
+        union[(u, v)] = min(union.get((u, v), math.inf), float(w))
+        union[(v, u)] = min(union.get((v, u), math.inf), float(w))
+    for source in (hopset_edges, extra_edges):
+        for (u, v), w in source.items():
+            union[(u, v)] = min(union.get((u, v), math.inf), float(w))
+            union[(v, u)] = min(union.get((v, u), math.inf), float(w))
+    return union
+
+
+def _bounded_source_detection(
+    W_union,
+    semiring,
+    sources: Sequence[int],
+    hop_bound: int,
+    clique: Clique,
+    execution: str,
+    early_stop: bool,
+) -> List[Dict[int, Tuple[float, int]]]:
+    """(S, d, |S|)-source detection with optional early stabilisation stop."""
+    from repro.matmul.output_sensitive import output_sensitive_mm
+
+    n = W_union.n
+    source_list = sorted(set(sources))
+    current = W_union.restrict_columns(source_list)
+    for _ in range(hop_bound):
+        result = output_sensitive_mm(
+            W_union,
+            current,
+            rho_hat=max(1, len(source_list)),
+            clique=clique,
+            label="hopset-source-detection",
+            execution=execution,
+        )
+        updated = result.product.restrict_columns(source_list)
+        if early_stop:
+            clique.charge_broadcast(label="hopset-source-detection/stability-check")
+            if updated.equals(current):
+                current = updated
+                break
+        current = updated
+
+    out: List[Dict[int, Tuple[float, int]]] = []
+    for v in range(n):
+        out.append({u: (entry[0], int(entry[1])) for u, entry in current.rows[v].items()})
+    return out

@@ -1,0 +1,40 @@
+"""Matrix substrate and Congested Clique matrix-multiplication algorithms.
+
+This package contains the paper's Section 2 in executable form:
+
+* :mod:`repro.matmul.matrix` — sparse matrices over a semiring, densities
+  ρ, row filtering.
+* :mod:`repro.matmul.kernels` — fast local product kernels (numpy for the
+  min-plus family, dictionaries for general semirings).
+* :mod:`repro.matmul.partition` — the constructive partition lemmas
+  (Lemmas 5-7) and the cube partitioning of Lemma 9.
+* :mod:`repro.matmul.balancing` — the balancing tools (Lemmas 10, 12, 13).
+* :mod:`repro.matmul.dense` — the dense 3D semiring algorithm of
+  Censor-Hillel et al. (2015), used as a baseline.
+* :mod:`repro.matmul.sparse_clt18` — the sparse algorithm of Censor-Hillel,
+  Leitersdorf and Turner (2018), used as a baseline.
+* :mod:`repro.matmul.output_sensitive` — **Theorem 8**, output-sensitive
+  sparse matrix multiplication.
+* :mod:`repro.matmul.filtered` — **Theorem 14**, sparse matrix
+  multiplication with on-the-fly output sparsification.
+"""
+
+from repro.matmul.matrix import SemiringMatrix
+from repro.matmul.results import MatMulResult
+from repro.matmul.dense import dense_mm
+from repro.matmul.sparse_clt18 import sparse_mm_clt18
+from repro.matmul.output_sensitive import output_sensitive_mm
+from repro.matmul.filtered import filtered_mm
+from repro.matmul.witness import WitnessedProduct, witnessed_product, witnessed_squaring
+
+__all__ = [
+    "SemiringMatrix",
+    "MatMulResult",
+    "dense_mm",
+    "sparse_mm_clt18",
+    "output_sensitive_mm",
+    "filtered_mm",
+    "WitnessedProduct",
+    "witnessed_product",
+    "witnessed_squaring",
+]

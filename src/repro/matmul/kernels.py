@@ -1,0 +1,232 @@
+"""Local product kernels.
+
+In the Congested Clique algorithms each node computes products of the
+submatrices it has learned *locally* — local computation is free in the
+model, only communication costs rounds.  These kernels provide that local
+computation:
+
+* a general dictionary-based sparse semiring product (works for any
+  semiring, cost proportional to the number of elementary products), and
+* numpy-accelerated dense kernels for the min-plus family (plain min-plus on
+  floats, augmented min-plus through its order-preserving int64 encoding),
+  used when matrices are dense enough that the dictionary loops would
+  dominate wall-clock time.
+
+The two are cross-checked against each other in the property tests.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.matmul.matrix import SemiringMatrix
+from repro.semiring.augmented import AugmentedMinPlusSemiring
+from repro.semiring.base import Semiring
+from repro.semiring.minplus import MinPlusSemiring
+
+#: Above this fraction of non-zero entries the dense numpy kernel is used.
+_DENSE_THRESHOLD = 0.08
+
+#: Row-block size for the numpy broadcast kernel (memory / speed trade-off).
+_BLOCK_ROWS = 32
+
+
+def local_product(
+    S: SemiringMatrix,
+    T: SemiringMatrix,
+    keep: Optional[int] = None,
+) -> SemiringMatrix:
+    """Compute ``P = S · T`` over the matrices' semiring.
+
+    ``keep``, if given, applies ρ-filtering with ρ = ``keep`` to the result
+    (requires an ordered semiring).  The kernel used (sparse dictionaries or
+    dense numpy) is chosen automatically and does not affect the result.
+    """
+    S._check_compatible(T)
+    semiring = S.semiring
+    use_numpy = _numpy_eligible(semiring) and _dense_enough(S, T)
+    if use_numpy:
+        product = _numpy_product(S, T)
+    else:
+        product = sparse_dict_product(S, T)
+    if keep is not None:
+        product = product.filter_rows(keep)
+    return product
+
+
+def sparse_dict_product(S: SemiringMatrix, T: SemiringMatrix) -> SemiringMatrix:
+    """Dictionary-based sparse product (reference implementation)."""
+    semiring = S.semiring
+    add = semiring.add
+    mul = semiring.mul
+    zero = semiring.zero
+    result = SemiringMatrix(S.n, semiring)
+    t_rows = T.rows
+    for i in range(S.n):
+        out_row: Dict[int, Any] = {}
+        for k, s_ik in S.rows[i].items():
+            t_row = t_rows[k]
+            if not t_row:
+                continue
+            for j, t_kj in t_row.items():
+                value = mul(s_ik, t_kj)
+                if value == zero:
+                    continue
+                current = out_row.get(j)
+                out_row[j] = value if current is None else add(current, value)
+        result.rows[i] = {j: v for j, v in out_row.items() if v != zero}
+    return result
+
+
+def submatrix_product(
+    S: SemiringMatrix,
+    T: SemiringMatrix,
+    row_set: Sequence[int],
+    mid_set: Sequence[int],
+    col_set: Sequence[int],
+) -> Dict[Tuple[int, int], Any]:
+    """Compute the subcube product ``S[row_set, mid_set] · T[mid_set, col_set]``.
+
+    Returns a dictionary keyed by global ``(row, col)`` positions.  This is
+    exactly the work a single node does for its assigned subcube in the
+    Theorem 8 / Theorem 14 algorithms.
+    """
+    semiring = S.semiring
+    add = semiring.add
+    mul = semiring.mul
+    zero = semiring.zero
+    cols = set(col_set)
+    mids = set(mid_set)
+    out: Dict[Tuple[int, int], Any] = {}
+    for i in row_set:
+        s_row = S.rows[i]
+        if not s_row:
+            continue
+        if len(s_row) <= len(mids):
+            mid_items = [(k, v) for k, v in s_row.items() if k in mids]
+        else:
+            mid_items = [(k, s_row[k]) for k in mids if k in s_row]
+        for k, s_ik in mid_items:
+            t_row = T.rows[k]
+            if not t_row:
+                continue
+            if len(t_row) <= len(cols):
+                col_items = [(j, v) for j, v in t_row.items() if j in cols]
+            else:
+                col_items = [(j, t_row[j]) for j in cols if j in t_row]
+            for j, t_kj in col_items:
+                value = mul(s_ik, t_kj)
+                if value == zero:
+                    continue
+                key = (i, j)
+                current = out.get(key)
+                out[key] = value if current is None else add(current, value)
+    return out
+
+
+# ----------------------------------------------------------------------
+# numpy kernels for the min-plus family
+# ----------------------------------------------------------------------
+def _numpy_eligible(semiring: Semiring) -> bool:
+    return isinstance(semiring, (MinPlusSemiring, AugmentedMinPlusSemiring))
+
+
+def _dense_enough(S: SemiringMatrix, T: SemiringMatrix) -> bool:
+    total_cells = S.n * S.n
+    return (
+        S.n >= 48
+        and (S.nnz() / total_cells) >= _DENSE_THRESHOLD
+        and (T.nnz() / total_cells) >= _DENSE_THRESHOLD
+    )
+
+
+def to_dense_array(M: SemiringMatrix) -> np.ndarray:
+    """Encode a min-plus-family matrix as a dense numpy array.
+
+    Plain min-plus matrices become ``float64`` arrays with ``inf`` for
+    missing entries; augmented matrices become ``int64`` arrays of the
+    order-preserving encoding with the infinity code for missing entries.
+    """
+    semiring = M.semiring
+    if isinstance(semiring, AugmentedMinPlusSemiring):
+        array = np.full((M.n, M.n), semiring.inf_code, dtype=np.int64)
+        for i, j, value in M.entries():
+            array[i, j] = semiring.encode(value)
+        return array
+    array = np.full((M.n, M.n), np.inf, dtype=np.float64)
+    for i, j, value in M.entries():
+        array[i, j] = value
+    return array
+
+
+def from_dense_array(
+    array: np.ndarray, semiring: Semiring
+) -> SemiringMatrix:
+    """Decode a dense numpy array back into a :class:`SemiringMatrix`."""
+    n = array.shape[0]
+    result = SemiringMatrix(n, semiring)
+    if isinstance(semiring, AugmentedMinPlusSemiring):
+        inf_code = semiring.inf_code
+        for i in range(n):
+            row = array[i]
+            nonzero = np.nonzero(row < inf_code)[0]
+            result.rows[i] = {
+                int(j): semiring.decode(int(row[j])) for j in nonzero
+            }
+        return result
+    for i in range(n):
+        row = array[i]
+        nonzero = np.nonzero(np.isfinite(row))[0]
+        result.rows[i] = {int(j): float(row[j]) for j in nonzero}
+    return result
+
+
+def minplus_matmul_arrays(A: np.ndarray, B: np.ndarray, block: int = _BLOCK_ROWS) -> np.ndarray:
+    """Dense min-plus product of two numpy arrays via blocked broadcasting."""
+    n = A.shape[0]
+    if A.dtype == np.int64:
+        # Augmented encoding: clip so inf + inf cannot be mistaken for finite.
+        out = np.empty((n, n), dtype=np.int64)
+    else:
+        out = np.empty((n, n), dtype=np.float64)
+    for start in range(0, n, block):
+        stop = min(n, start + block)
+        # shape: (rows, k, cols) -> min over k
+        chunk = A[start:stop, :, None] + B[None, :, :]
+        out[start:stop] = chunk.min(axis=1)
+    return out
+
+
+def _numpy_product(S: SemiringMatrix, T: SemiringMatrix) -> SemiringMatrix:
+    semiring = S.semiring
+    A = to_dense_array(S)
+    B = to_dense_array(T)
+    C = minplus_matmul_arrays(A, B)
+    if isinstance(semiring, AugmentedMinPlusSemiring):
+        # Any sum involving the infinity code exceeds it; clamp back.
+        np.minimum(C, semiring.inf_code, out=C)
+        C[C >= semiring.inf_code] = semiring.inf_code
+    return from_dense_array(C, semiring)
+
+
+def iterated_squaring(
+    W: SemiringMatrix,
+    power: int,
+    keep: Optional[int] = None,
+) -> SemiringMatrix:
+    """Compute ``W`` to the given power by repeated squaring (local only).
+
+    Used by reference computations in tests; the distributed algorithms
+    perform their own squaring through the round-charged multiplication
+    routines.
+    """
+    if power < 1:
+        raise ValueError("power must be at least 1")
+    result = W if keep is None else W.filter_rows(keep)
+    steps = max(0, math.ceil(math.log2(power)))
+    for _ in range(steps):
+        result = local_product(result, result, keep=keep)
+    return result

@@ -1,0 +1,253 @@
+"""Sparse matrices over a semiring.
+
+The Congested Clique matrix algorithms of Section 2 operate on ``n x n``
+matrices whose rows live on the corresponding nodes.  We represent them as a
+list of per-row dictionaries storing only the non-"zero" entries (the
+semiring's additive identity is the absent-entry marker; for min-plus that
+is ``∞``).
+
+The class also implements the paper's density measure ``ρ_M`` — the smallest
+positive integer with ``nz(M) <= ρ_M · n`` — and the ρ-filtering operation
+(keep the ρ smallest entries per row) used by the filtered multiplication
+and by all the distance tools.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.semiring.base import Semiring
+from repro.semiring.minplus import MIN_PLUS
+
+
+class SemiringMatrix:
+    """A sparse ``n x n`` matrix over a semiring.
+
+    Parameters
+    ----------
+    n:
+        Dimension.
+    semiring:
+        The semiring entries live in.  Defaults to min-plus.
+    rows:
+        Optional pre-built list of per-row dictionaries (not copied).
+    """
+
+    __slots__ = ("n", "semiring", "rows")
+
+    def __init__(
+        self,
+        n: int,
+        semiring: Semiring = MIN_PLUS,
+        rows: Optional[List[Dict[int, Any]]] = None,
+    ):
+        if n <= 0:
+            raise ValueError(f"matrix dimension must be positive, got {n}")
+        self.n = int(n)
+        self.semiring = semiring
+        if rows is None:
+            self.rows: List[Dict[int, Any]] = [dict() for _ in range(self.n)]
+        else:
+            if len(rows) != self.n:
+                raise ValueError("rows list length must equal n")
+            self.rows = rows
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def identity(cls, n: int, semiring: Semiring = MIN_PLUS) -> "SemiringMatrix":
+        """The semiring identity matrix (``one`` on the diagonal)."""
+        matrix = cls(n, semiring)
+        for i in range(n):
+            matrix.rows[i][i] = semiring.one
+        return matrix
+
+    @classmethod
+    def from_entries(
+        cls,
+        n: int,
+        entries: Iterable[Tuple[int, int, Any]],
+        semiring: Semiring = MIN_PLUS,
+    ) -> "SemiringMatrix":
+        """Build from ``(row, col, value)`` triples (semiring-summed on clash)."""
+        matrix = cls(n, semiring)
+        for i, j, value in entries:
+            matrix.add_entry(i, j, value)
+        return matrix
+
+    def copy(self) -> "SemiringMatrix":
+        """Deep copy."""
+        return SemiringMatrix(self.n, self.semiring, [dict(row) for row in self.rows])
+
+    # ------------------------------------------------------------------
+    # entry access
+    # ------------------------------------------------------------------
+    def get(self, i: int, j: int) -> Any:
+        """Entry ``(i, j)``, or the semiring zero if absent."""
+        return self.rows[i].get(j, self.semiring.zero)
+
+    def set(self, i: int, j: int, value: Any) -> None:
+        """Set entry ``(i, j)``; setting the semiring zero removes the entry."""
+        if self.semiring.is_zero(value):
+            self.rows[i].pop(j, None)
+        else:
+            self.rows[i][j] = value
+
+    def add_entry(self, i: int, j: int, value: Any) -> None:
+        """Semiring-add ``value`` into entry ``(i, j)``."""
+        if self.semiring.is_zero(value):
+            return
+        current = self.rows[i].get(j)
+        if current is None:
+            self.rows[i][j] = value
+        else:
+            self.set(i, j, self.semiring.add(current, value))
+
+    def row(self, i: int) -> Dict[int, Any]:
+        """The dictionary of non-zero entries of row ``i``."""
+        return self.rows[i]
+
+    def entries(self) -> Iterator[Tuple[int, int, Any]]:
+        """Iterate over non-zero entries as ``(row, col, value)``."""
+        for i in range(self.n):
+            for j, value in self.rows[i].items():
+                yield (i, j, value)
+
+    # ------------------------------------------------------------------
+    # densities (Section 2.1)
+    # ------------------------------------------------------------------
+    def nnz(self) -> int:
+        """Number of non-zero entries."""
+        return sum(len(row) for row in self.rows)
+
+    def row_nnz(self, i: int) -> int:
+        """Number of non-zero entries in row ``i``."""
+        return len(self.rows[i])
+
+    def col_nnz(self) -> List[int]:
+        """Number of non-zero entries per column."""
+        counts = [0] * self.n
+        for row in self.rows:
+            for j in row:
+                counts[j] += 1
+        return counts
+
+    def density(self) -> int:
+        """The density ``ρ``: smallest positive integer with ``nnz <= ρ·n``."""
+        return max(1, math.ceil(self.nnz() / self.n))
+
+    def max_row_nnz(self) -> int:
+        """Maximum number of non-zero entries in any row."""
+        return max((len(row) for row in self.rows), default=0)
+
+    # ------------------------------------------------------------------
+    # transforms
+    # ------------------------------------------------------------------
+    def transpose(self) -> "SemiringMatrix":
+        """The transposed matrix."""
+        result = SemiringMatrix(self.n, self.semiring)
+        for i, j, value in self.entries():
+            result.rows[j][i] = value
+        return result
+
+    def boolean_pattern(self) -> "SemiringMatrix":
+        """The 0/1 pattern matrix ``M̂`` over the Boolean semiring."""
+        from repro.semiring.boolean import BOOLEAN
+
+        pattern = SemiringMatrix(self.n, BOOLEAN)
+        for i, j, _ in self.entries():
+            pattern.rows[i][j] = True
+        return pattern
+
+    def filter_rows(self, keep: int) -> "SemiringMatrix":
+        """ρ-filtering: keep the ``keep`` smallest entries of each row.
+
+        Requires an ordered semiring.  Ties are broken by column index,
+        matching the cutoff-value definition in Section 2.2.2, so the result
+        is deterministic.
+        """
+        if keep < 0:
+            raise ValueError("keep must be non-negative")
+        if not self.semiring.is_ordered():
+            raise TypeError("row filtering requires an ordered semiring")
+        result = SemiringMatrix(self.n, self.semiring)
+        for i in range(self.n):
+            row = self.rows[i]
+            if len(row) <= keep:
+                result.rows[i] = dict(row)
+                continue
+            items = sorted(row.items(), key=lambda kv: (kv[1], kv[0]))
+            result.rows[i] = dict(items[:keep])
+        return result
+
+    def restrict_columns(self, columns: Sequence[int]) -> "SemiringMatrix":
+        """Zero out all columns not in ``columns`` (same dimension)."""
+        allowed = set(columns)
+        result = SemiringMatrix(self.n, self.semiring)
+        for i in range(self.n):
+            result.rows[i] = {j: v for j, v in self.rows[i].items() if j in allowed}
+        return result
+
+    def restrict_rows(self, row_ids: Sequence[int]) -> "SemiringMatrix":
+        """Zero out all rows not in ``row_ids`` (same dimension)."""
+        allowed = set(row_ids)
+        result = SemiringMatrix(self.n, self.semiring)
+        for i in range(self.n):
+            if i in allowed:
+                result.rows[i] = dict(self.rows[i])
+        return result
+
+    def map_values(self, fn: Callable[[Any], Any]) -> "SemiringMatrix":
+        """Apply ``fn`` to each non-zero value."""
+        result = SemiringMatrix(self.n, self.semiring)
+        for i in range(self.n):
+            result.rows[i] = {j: fn(v) for j, v in self.rows[i].items()}
+        return result
+
+    def submatrix_nnz(self, row_set: Sequence[int], col_set: Sequence[int]) -> int:
+        """Number of non-zero entries in the submatrix ``M[row_set, col_set]``."""
+        cols = set(col_set)
+        total = 0
+        for i in row_set:
+            row = self.rows[i]
+            if len(row) <= len(cols):
+                total += sum(1 for j in row if j in cols)
+            else:
+                total += sum(1 for j in cols if j in row)
+        return total
+
+    # ------------------------------------------------------------------
+    # element-wise combination
+    # ------------------------------------------------------------------
+    def elementwise_add(self, other: "SemiringMatrix") -> "SemiringMatrix":
+        """Semiring element-wise sum of two matrices."""
+        self._check_compatible(other)
+        result = self.copy()
+        for i, j, value in other.entries():
+            result.add_entry(i, j, value)
+        return result
+
+    # ------------------------------------------------------------------
+    # comparisons
+    # ------------------------------------------------------------------
+    def equals(self, other: "SemiringMatrix") -> bool:
+        """Exact equality of the stored entries."""
+        if self.n != other.n:
+            return False
+        return all(self.rows[i] == other.rows[i] for i in range(self.n))
+
+    def _check_compatible(self, other: "SemiringMatrix") -> None:
+        if self.n != other.n:
+            raise ValueError(
+                f"matrix dimensions differ: {self.n} vs {other.n}"
+            )
+        if type(self.semiring) is not type(other.semiring):
+            raise ValueError("matrices are over different semirings")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SemiringMatrix(n={self.n}, nnz={self.nnz()}, "
+            f"semiring={self.semiring.name})"
+        )

@@ -1,0 +1,40 @@
+"""Result containers for the matrix-multiplication algorithms."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, Optional
+
+from repro.cclique.accounting import Clique
+from repro.matmul.matrix import SemiringMatrix
+
+
+@dataclasses.dataclass
+class MatMulResult:
+    """Output of a Congested Clique matrix multiplication.
+
+    Attributes
+    ----------
+    product:
+        The computed product matrix (possibly ρ-filtered, for the filtered
+        algorithm).
+    rounds:
+        Rounds charged by this multiplication alone.
+    clique:
+        The accounting context the charges were recorded in (shared with the
+        caller when one was passed in).
+    params:
+        Algorithm parameters actually used (densities, a/b/c split, etc.),
+        for reporting in the benchmark tables.
+    """
+
+    product: SemiringMatrix
+    rounds: float
+    clique: Clique
+    params: Dict[str, Any] = dataclasses.field(default_factory=dict)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MatMulResult(nnz={self.product.nnz()}, rounds={self.rounds:.1f}, "
+            f"params={self.params})"
+        )

@@ -1,0 +1,29 @@
+"""Semirings used by the matrix-multiplication based distance tools.
+
+The paper computes distance products over the min-plus (tropical) semiring
+and, for the distance tools of Section 3, over an *augmented* min-plus
+semiring whose elements are ``(weight, hops)`` pairs ordered
+lexicographically.  This package provides those semirings behind a small
+common protocol, plus an order-preserving integer encoding of the augmented
+semiring that lets local product computations run on numpy int64 arrays.
+"""
+
+from repro.semiring.base import Semiring
+from repro.semiring.minplus import MinPlusSemiring, MIN_PLUS
+from repro.semiring.boolean import BooleanSemiring, BOOLEAN
+from repro.semiring.augmented import (
+    AugmentedMinPlusSemiring,
+    AugmentedEntry,
+    augmented_semiring_for,
+)
+
+__all__ = [
+    "Semiring",
+    "MinPlusSemiring",
+    "MIN_PLUS",
+    "BooleanSemiring",
+    "BOOLEAN",
+    "AugmentedMinPlusSemiring",
+    "AugmentedEntry",
+    "augmented_semiring_for",
+]

@@ -1,0 +1,94 @@
+"""The semiring protocol shared by all matrix algorithms.
+
+Section 1.5 of the paper assumes a semiring ``(R, +, ·, 0, 1)`` whose
+elements fit in ``O(log n)``-bit messages.  Section 2.2 additionally assumes,
+for the *filtered* multiplication, that the semiring carries a total order
+under which addition is ``min``.  The :class:`Semiring` base class captures
+both requirements; semirings that do not support ordering raise from the
+ordering hooks.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Iterable, List
+
+
+class Semiring(abc.ABC):
+    """Abstract semiring ``(R, +, ·, 0, 1)``.
+
+    Concrete subclasses define the carrier implicitly through their ``add``
+    and ``mul`` implementations; matrices store only non-``zero`` entries.
+    """
+
+    #: Human-readable name used in reports and reprs.
+    name: str = "semiring"
+
+    # -- constants -----------------------------------------------------
+    @property
+    @abc.abstractmethod
+    def zero(self) -> Any:
+        """Additive identity (the entry value treated as "absent")."""
+
+    @property
+    @abc.abstractmethod
+    def one(self) -> Any:
+        """Multiplicative identity."""
+
+    # -- operations ----------------------------------------------------
+    @abc.abstractmethod
+    def add(self, x: Any, y: Any) -> Any:
+        """Semiring addition."""
+
+    @abc.abstractmethod
+    def mul(self, x: Any, y: Any) -> Any:
+        """Semiring multiplication."""
+
+    # -- ordering (needed for filtered multiplication) -----------------
+    def is_ordered(self) -> bool:
+        """Return ``True`` if addition is ``min`` over a total order."""
+        return False
+
+    def less(self, x: Any, y: Any) -> bool:
+        """Total order used by filtering; only valid if :meth:`is_ordered`."""
+        raise TypeError(f"{self.name} semiring is not ordered")
+
+    # -- helpers --------------------------------------------------------
+    def is_zero(self, x: Any) -> bool:
+        """Return ``True`` if ``x`` equals the additive identity."""
+        return x == self.zero
+
+    def sum(self, values: Iterable[Any]) -> Any:
+        """Fold :meth:`add` over ``values`` (returns ``zero`` when empty)."""
+        total = self.zero
+        for value in values:
+            total = self.add(total, value)
+        return total
+
+    def smallest(self, values: Iterable[Any], count: int) -> List[Any]:
+        """Return the ``count`` smallest values under :meth:`less`.
+
+        Only valid for ordered semirings; used by row filtering.
+        """
+        if not self.is_ordered():
+            raise TypeError(f"{self.name} semiring is not ordered")
+        items = list(values)
+        items.sort(key=self._sort_key)
+        return items[:count]
+
+    def _sort_key(self, x: Any) -> Any:
+        """Key used for sorting; overridable for speed."""
+        return x
+
+    # -- message-size accounting ---------------------------------------
+    def words_per_element(self) -> int:
+        """How many O(log n)-bit machine words one element occupies.
+
+        The Congested Clique accounting layer multiplies message counts by
+        this factor; the plain min-plus semiring uses one word, the augmented
+        semiring (weight, hops) uses two.
+        """
+        return 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{self.name} semiring>"

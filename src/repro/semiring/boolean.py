@@ -1,0 +1,42 @@
+"""The Boolean semiring.
+
+Used to define the cancellation-free product density ``ρ̂_{ST}`` of
+Section 2.1 (the density of ``Ŝ·T̂`` over the Boolean semiring) and for
+reachability-style sanity tests.
+"""
+
+from __future__ import annotations
+
+from repro.semiring.base import Semiring
+
+
+class BooleanSemiring(Semiring):
+    """``({0, 1}, or, and, 0, 1)``."""
+
+    name = "boolean"
+
+    @property
+    def zero(self) -> bool:
+        return False
+
+    @property
+    def one(self) -> bool:
+        return True
+
+    def add(self, x: bool, y: bool) -> bool:
+        return bool(x or y)
+
+    def mul(self, x: bool, y: bool) -> bool:
+        return bool(x and y)
+
+    def is_ordered(self) -> bool:
+        # "or" is max, not min, so the filtered-multiplication machinery
+        # (which requires addition to be min) does not apply.
+        return False
+
+    def words_per_element(self) -> int:
+        return 1
+
+
+#: Shared instance; the semiring is stateless.
+BOOLEAN = BooleanSemiring()

@@ -1,0 +1,52 @@
+"""The tropical (min, +) semiring.
+
+Distance products over this semiring are the classic tool relating matrix
+multiplication and shortest paths: the n-th min-plus power of the weighted
+adjacency matrix is the distance matrix (Section 1.1).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+from repro.semiring.base import Semiring
+
+
+class MinPlusSemiring(Semiring):
+    """``(R ∪ {∞}, min, +, ∞, 0)``.
+
+    The additive identity (the "zero", i.e. the absent-entry marker) is
+    ``∞`` and the multiplicative identity is ``0``.
+    """
+
+    name = "min-plus"
+
+    @property
+    def zero(self) -> float:
+        return math.inf
+
+    @property
+    def one(self) -> float:
+        return 0.0
+
+    def add(self, x: float, y: float) -> float:
+        return x if x <= y else y
+
+    def mul(self, x: float, y: float) -> float:
+        if x == math.inf or y == math.inf:
+            return math.inf
+        return x + y
+
+    def is_ordered(self) -> bool:
+        return True
+
+    def less(self, x: float, y: float) -> bool:
+        return x < y
+
+    def words_per_element(self) -> int:
+        return 1
+
+
+#: Shared instance; the semiring is stateless.
+MIN_PLUS = MinPlusSemiring()

@@ -1,0 +1,188 @@
+"""Tests for the APSP approximation algorithms (Theorems 2, 28, 31)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.cclique import Clique
+from repro.core import apsp_unweighted, apsp_weighted
+from repro.graphs import (
+    Graph,
+    all_pairs_dijkstra,
+    caterpillar_graph,
+    erdos_renyi,
+    grid_graph,
+    path_graph,
+    random_weighted_graph,
+    star_graph,
+)
+
+
+def check_upper_bounds(result, exact):
+    """Estimates must never be below the true distances."""
+    n = result.estimates.shape[0]
+    for u in range(n):
+        for v in range(n):
+            if exact[u][v] == math.inf:
+                continue
+            assert result.estimates[u, v] >= exact[u][v] - 1e-9
+
+
+def max_weighted_guarantee_violation(result, exact, graph, epsilon):
+    """Check the (2 + ε)d + (1 + ε)W guarantee of Theorem 28.
+
+    Returns the number of violating pairs (W is upper-bounded by the global
+    maximum edge weight, which is itself an upper bound on the per-path
+    heaviest edge)."""
+    w_max = graph.max_weight()
+    violations = 0
+    n = result.estimates.shape[0]
+    for u in range(n):
+        for v in range(n):
+            true = exact[u][v]
+            if u == v or true in (0, math.inf):
+                continue
+            bound = (2 + epsilon) * true + (1 + epsilon) * w_max + 1e-6
+            if result.estimates[u, v] > bound:
+                violations += 1
+    return violations
+
+
+class TestWeightedAPSP:
+    @pytest.mark.parametrize("epsilon", [0.5, 1.0])
+    def test_two_plus_eps_guarantee(self, epsilon):
+        graph = random_weighted_graph(26, average_degree=5, max_weight=8, seed=71)
+        exact = all_pairs_dijkstra(graph)
+        result = apsp_weighted(graph, epsilon=epsilon, variant="two_plus_eps")
+        check_upper_bounds(result, exact)
+        assert max_weighted_guarantee_violation(result, exact, graph, epsilon) == 0
+
+    def test_three_plus_eps_guarantee(self):
+        graph = random_weighted_graph(26, average_degree=5, max_weight=8, seed=72)
+        exact = all_pairs_dijkstra(graph)
+        result = apsp_weighted(graph, epsilon=0.5, variant="three_plus_eps")
+        check_upper_bounds(result, exact)
+        assert result.max_stretch(exact) <= 3 + 2 * 0.5 + 1e-6
+
+    def test_two_plus_eps_not_worse_than_three_plus_eps(self):
+        graph = random_weighted_graph(24, average_degree=5, max_weight=6, seed=73)
+        exact = all_pairs_dijkstra(graph)
+        refined = apsp_weighted(graph, epsilon=0.5, variant="two_plus_eps")
+        simple = apsp_weighted(graph, epsilon=0.5, variant="three_plus_eps")
+        assert refined.max_stretch(exact) <= simple.max_stretch(exact) + 1e-9
+
+    def test_adjacent_pairs_are_exact(self):
+        graph = random_weighted_graph(20, average_degree=4, max_weight=9, seed=74)
+        result = apsp_weighted(graph, epsilon=0.5)
+        for u, v, w in graph.edges():
+            assert result.estimates[u, v] <= w + 1e-9
+
+    def test_near_pairs_are_exact(self):
+        """Pairs inside each other's sqrt(n)-ball get exact distances."""
+        graph = path_graph(20, max_weight=4, seed=75)
+        exact = all_pairs_dijkstra(graph)
+        result = apsp_weighted(graph, epsilon=0.5)
+        k = math.ceil(math.sqrt(20))
+        for u in range(graph.n):
+            for v in range(graph.n):
+                if 0 < abs(u - v) <= k // 2:
+                    assert result.estimates[u, v] == pytest.approx(exact[u][v])
+
+    def test_estimate_matrix_is_symmetric(self):
+        graph = random_weighted_graph(18, average_degree=4, seed=76)
+        result = apsp_weighted(graph, epsilon=0.5)
+        assert np.allclose(result.estimates, result.estimates.T)
+
+    def test_diagonal_is_zero(self):
+        graph = random_weighted_graph(16, average_degree=4, seed=77)
+        result = apsp_weighted(graph, epsilon=0.5)
+        assert np.all(np.diag(result.estimates) == 0)
+
+    def test_invalid_variant_rejected(self):
+        graph = path_graph(5)
+        with pytest.raises(ValueError):
+            apsp_weighted(graph, variant="four_plus_eps")
+
+    def test_directed_graph_rejected(self):
+        graph = Graph(4, directed=True)
+        graph.add_edge(0, 1, 1)
+        with pytest.raises(ValueError):
+            apsp_weighted(graph)
+
+    def test_rounds_charged(self):
+        graph = path_graph(16, max_weight=3, seed=78)
+        clique = Clique(16)
+        result = apsp_weighted(graph, epsilon=0.5, clique=clique)
+        assert clique.rounds == result.rounds > 0
+
+
+class TestUnweightedAPSP:
+    @pytest.mark.parametrize("epsilon", [0.5, 1.0])
+    def test_two_plus_eps_guarantee_er_graph(self, epsilon):
+        graph = erdos_renyi(28, 0.15, seed=81)
+        exact = all_pairs_dijkstra(graph)
+        result = apsp_unweighted(graph, epsilon=epsilon)
+        check_upper_bounds(result, exact)
+        assert result.max_stretch(exact) <= 2 + 2 * epsilon + 1e-6
+
+    def test_guarantee_on_grid(self):
+        graph = grid_graph(5, 5)
+        exact = all_pairs_dijkstra(graph)
+        result = apsp_unweighted(graph, epsilon=0.5)
+        check_upper_bounds(result, exact)
+        assert result.max_stretch(exact) <= 3 + 1e-6
+
+    def test_guarantee_on_caterpillar_mixed_degrees(self):
+        """Caterpillars mix high-degree spine nodes and degree-1 leaves,
+        exercising both phases of the Section 6.3 algorithm."""
+        graph = caterpillar_graph(6, 4)
+        exact = all_pairs_dijkstra(graph)
+        result = apsp_unweighted(graph, epsilon=0.5)
+        check_upper_bounds(result, exact)
+        assert result.max_stretch(exact) <= 3 + 1e-6
+
+    def test_star_graph_high_degree_only(self):
+        graph = star_graph(20)
+        exact = all_pairs_dijkstra(graph)
+        result = apsp_unweighted(graph, epsilon=0.5)
+        check_upper_bounds(result, exact)
+        assert result.max_stretch(exact) <= 3 + 1e-6
+
+    def test_adjacent_pairs_are_exact(self):
+        graph = erdos_renyi(24, 0.2, seed=82)
+        result = apsp_unweighted(graph, epsilon=0.5)
+        for u, v, _ in graph.edges():
+            assert result.estimates[u, v] == 1
+
+    def test_weighted_graph_rejected(self):
+        graph = path_graph(6, max_weight=5, seed=83)
+        with pytest.raises(ValueError):
+            apsp_unweighted(graph)
+
+    def test_directed_graph_rejected(self):
+        graph = Graph(4, directed=True)
+        graph.add_edge(0, 1, 1)
+        with pytest.raises(ValueError):
+            apsp_unweighted(graph)
+
+    def test_estimate_matrix_symmetric_with_zero_diagonal(self):
+        graph = erdos_renyi(20, 0.2, seed=84)
+        result = apsp_unweighted(graph, epsilon=0.5)
+        assert np.allclose(result.estimates, result.estimates.T)
+        assert np.all(np.diag(result.estimates) == 0)
+
+    def test_details_report_phases(self):
+        graph = erdos_renyi(20, 0.25, seed=85)
+        result = apsp_unweighted(graph, epsilon=0.5)
+        assert "high_degree_nodes" in result.details
+        assert "low_degree_nodes" in result.details
+
+    def test_path_graph_low_degree_only(self):
+        graph = path_graph(18)
+        exact = all_pairs_dijkstra(graph)
+        result = apsp_unweighted(graph, epsilon=0.5)
+        check_upper_bounds(result, exact)
+        assert result.max_stretch(exact) <= 3 + 1e-6

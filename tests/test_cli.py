@@ -1,0 +1,74 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_subcommand_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["teleport"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["apsp"])
+        assert args.n == 96
+        assert args.epsilon == 0.5
+        assert not args.breakdown
+
+    def test_option_parsing(self):
+        args = build_parser().parse_args(
+            ["mssp", "--n", "32", "--sources", "3", "--epsilon", "1.0", "--breakdown"]
+        )
+        assert args.n == 32
+        assert args.sources == 3
+        assert args.epsilon == 1.0
+        assert args.breakdown
+
+
+class TestSubcommands:
+    """Each subcommand runs end-to-end on a tiny workload and exits 0."""
+
+    def test_apsp_weighted(self, capsys):
+        assert main(["apsp", "--n", "24", "--weighted", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "max stretch" in out
+        assert "simulated rounds" in out
+
+    def test_apsp_unweighted_with_baseline(self, capsys):
+        assert main(["apsp", "--n", "24", "--seed", "2", "--compare-baseline"]) == 0
+        out = capsys.readouterr().out
+        assert "baseline" in out
+
+    def test_mssp(self, capsys):
+        assert main(["mssp", "--n", "24", "--sources", "3", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "MSSP from 3 sources" in out
+
+    def test_sssp_grid_with_baseline(self, capsys):
+        assert main(["sssp", "--n", "25", "--grid", "--compare-baseline"]) == 0
+        out = capsys.readouterr().out
+        assert "exact            : True" in out
+        assert "Bellman-Ford" in out
+
+    def test_diameter(self, capsys):
+        assert main(["diameter", "--n", "24", "--seed", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "estimate" in out
+
+    def test_hopset_with_breakdown(self, capsys):
+        assert main(["hopset", "--n", "24", "--seed", "5", "--breakdown"]) == 0
+        out = capsys.readouterr().out
+        assert "violations                : 0" in out
+        assert "TOTAL" in out
+
+    def test_matmul(self, capsys):
+        assert main(["matmul", "--n", "32", "--density", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "products agree   : True" in out

@@ -1,0 +1,183 @@
+"""Edge-case coverage across the library.
+
+Directed inputs for the distance tools (the paper notes Section 3 works for
+directed graphs), disconnected graphs, zero-weight edges, trivial sizes, and
+custom cost-model constants.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import Clique, apsp_weighted, build_hopset, exact_sssp, mssp
+from repro.cclique import ModelSpec
+from repro.core import approximate_diameter
+from repro.distance import k_nearest, source_detection
+from repro.graphs import (
+    Graph,
+    all_pairs_dijkstra,
+    dijkstra,
+    disjoint_cliques,
+    path_graph,
+    random_weighted_graph,
+    star_graph,
+)
+
+
+class TestDirectedDistanceTools:
+    """Section 3's tools 'work also for directed graphs'."""
+
+    def directed_cycle_with_chord(self) -> Graph:
+        graph = Graph(6, directed=True)
+        for v in range(6):
+            graph.add_edge(v, (v + 1) % 6, 1)
+        graph.add_edge(0, 3, 10)  # heavier chord
+        return graph
+
+    def test_k_nearest_respects_direction(self):
+        graph = self.directed_cycle_with_chord()
+        result = k_nearest(graph, 3)
+        # from node 0 the nearest nodes are 0, 1, 2 (following the cycle)
+        assert result.nearest_set(0) == [0, 1, 2]
+        # distance from 0 to 5 requires 5 hops, so 5 is not in the 3-nearest
+        assert 5 not in result.neighbors[0]
+
+    def test_k_nearest_asymmetric_distances(self):
+        graph = Graph(4, directed=True)
+        graph.add_edge(0, 1, 1)
+        graph.add_edge(1, 2, 1)
+        graph.add_edge(2, 3, 1)
+        graph.add_edge(3, 0, 1)
+        result = k_nearest(graph, 4)
+        assert result.distance(0, 3) == 3
+        assert result.distance(3, 0) == 1
+
+    def test_source_detection_directed(self):
+        """Rows report each node's distance *to* the sources along directed
+        paths, so on a one-way path only the forward direction is finite."""
+        graph = Graph(5, directed=True)
+        for v in range(4):
+            graph.add_edge(v, v + 1, 2)
+        towards_end = source_detection(graph, [4], d=5)
+        assert towards_end.distance(0, 4) == 8
+        towards_start = source_detection(graph, [0], d=5)
+        assert math.isinf(towards_start.distance(4, 0))
+        assert towards_start.distance(0, 0) == 0
+
+
+class TestDisconnectedGraphs:
+    def test_apsp_weighted_reports_infinite_cross_component(self):
+        graph = disjoint_cliques(2, 6)
+        result = apsp_weighted(graph, epsilon=0.5)
+        assert math.isinf(result.estimates[0, 7])
+        exact = all_pairs_dijkstra(graph)
+        for u in range(graph.n):
+            for v in range(graph.n):
+                if exact[u][v] != math.inf:
+                    assert result.estimates[u, v] >= exact[u][v] - 1e-9
+
+    def test_mssp_unreachable_sources_are_infinite(self):
+        graph = disjoint_cliques(2, 5)
+        result = mssp(graph, [0], epsilon=0.5)
+        assert math.isinf(result.distances[7, 0])
+        assert result.distances[3, 0] <= 1.5 * 1 + 1e-9
+
+    def test_exact_sssp_disconnected(self):
+        graph = disjoint_cliques(3, 4)
+        result = exact_sssp(graph, 0)
+        expected = dijkstra(graph, 0)
+        for v in range(graph.n):
+            if expected[v] == math.inf:
+                assert math.isinf(result.distances[v])
+            else:
+                assert result.distances[v] == pytest.approx(expected[v])
+
+    def test_hopset_on_disconnected_graph(self):
+        graph = disjoint_cliques(2, 8)
+        hopset = build_hopset(graph, epsilon=0.5)
+        # hopset edges never cross components
+        for u, v, _ in hopset.edges:
+            assert (u < 8) == (v < 8)
+
+    def test_diameter_ignores_infinite_pairs(self):
+        graph = disjoint_cliques(2, 6)
+        result = approximate_diameter(graph, epsilon=0.5)
+        assert result.estimate <= 1.5 * 1 + 1e-9  # each clique has diameter 1
+
+
+class TestZeroWeightsAndTrivialSizes:
+    def test_zero_weight_edges_allowed(self):
+        graph = Graph(4)
+        graph.add_edge(0, 1, 0)
+        graph.add_edge(1, 2, 3)
+        graph.add_edge(2, 3, 0)
+        result = exact_sssp(graph, 0)
+        assert result.distances[3] == 3
+        knn = k_nearest(graph, 4)
+        assert knn.distance(0, 1) == 0
+
+    def test_two_node_graph(self):
+        graph = Graph(2)
+        graph.add_edge(0, 1, 5)
+        apsp = apsp_weighted(graph, epsilon=0.5)
+        assert apsp.estimates[0, 1] == 5
+        sssp = exact_sssp(graph, 0)
+        assert sssp.distances[1] == 5
+
+    def test_single_node_graph(self):
+        graph = Graph(1)
+        result = exact_sssp(graph, 0)
+        assert result.distances[0] == 0
+
+    def test_star_center_pivot(self):
+        """On a star, every leaf's pivot is the centre or itself."""
+        graph = star_graph(12)
+        hopset = build_hopset(graph, epsilon=0.5)
+        for v in range(graph.n):
+            assert hopset.pivots[v] in set(hopset.hitting_set)
+
+
+class TestCustomModelSpec:
+    def test_larger_routing_constant_scales_rounds(self):
+        graph = random_weighted_graph(20, average_degree=4, seed=31)
+        cheap = Clique(graph.n)
+        expensive = Clique(graph.n, spec=ModelSpec(routing_constant=8.0))
+        a = mssp(graph, [0], epsilon=0.5, clique=cheap)
+        b = mssp(graph, [0], epsilon=0.5, clique=expensive)
+        assert b.rounds > a.rounds
+        # distances are identical: the cost model never affects results
+        assert np.allclose(a.distances, b.distances)
+
+    def test_spec_is_immutable(self):
+        spec = ModelSpec()
+        with pytest.raises(Exception):
+            spec.routing_constant = 5.0  # type: ignore[misc]
+
+
+class TestLongPathStress:
+    def test_weighted_apsp_on_long_path(self):
+        """Paths maximise hop counts; the guarantee must still hold."""
+        graph = path_graph(40, max_weight=6, seed=32)
+        exact = all_pairs_dijkstra(graph)
+        result = apsp_weighted(graph, epsilon=1.0)
+        w_max = graph.max_weight()
+        for u in range(graph.n):
+            for v in range(graph.n):
+                true = exact[u][v]
+                if u == v or true in (0, math.inf):
+                    continue
+                assert result.estimates[u, v] <= 3 * true + 2 * w_max + 1e-6
+
+    def test_mssp_on_long_path_both_ends(self):
+        graph = path_graph(50, max_weight=4, seed=33)
+        result = mssp(graph, [0, 49], epsilon=0.5)
+        exact_start = dijkstra(graph, 0)
+        exact_end = dijkstra(graph, 49)
+        for v in range(graph.n):
+            if exact_start[v] > 0:
+                assert result.distance(v, 0) <= 1.5 * exact_start[v] + 1e-9
+            if exact_end[v] > 0:
+                assert result.distance(v, 49) <= 1.5 * exact_end[v] + 1e-9

@@ -1,0 +1,75 @@
+"""Smoke tests for the example scripts.
+
+Each example exposes a ``main`` function; running it with a small problem
+size must complete without raising and print its key report lines.  This
+keeps the examples from rotting as the library evolves.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def load_example(name: str):
+    """Import an example script as a module."""
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    assert spec.loader is not None
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamples:
+    def test_examples_directory_contents(self):
+        scripts = sorted(p.stem for p in EXAMPLES_DIR.glob("*.py"))
+        assert "quickstart" in scripts
+        assert len(scripts) >= 5
+
+    def test_quickstart(self, capsys):
+        module = load_example("quickstart")
+        module.main(24, 0.5)
+        out = capsys.readouterr().out
+        assert "max stretch" in out
+        assert "Baseline" in out
+
+    def test_landmark_distances(self, capsys):
+        module = load_example("landmark_distances")
+        module.main(30, 0.5)
+        out = capsys.readouterr().out
+        assert "max landmark-distance stretch" in out
+        assert "Triangulated" in out
+
+    def test_road_network_sssp(self, capsys):
+        module = load_example("road_network_sssp")
+        module.main(5, 5)
+        out = capsys.readouterr().out
+        assert "Theorem 33" in out
+        assert "Ablation" in out
+
+    def test_network_diameter_monitoring(self, capsys):
+        module = load_example("network_diameter_monitoring")
+        module.main(0.5)
+        out = capsys.readouterr().out
+        assert "topology" in out
+        assert "guaranteed window" in out
+
+    def test_sparse_matrix_tools(self, capsys):
+        module = load_example("sparse_matrix_tools")
+        module.main(32)
+        out = capsys.readouterr().out
+        assert "Theorem 8" in out
+        assert "rounds" in out
+
+    def test_routing_tables(self, capsys):
+        module = load_example("routing_tables")
+        module.main(24)
+        out = capsys.readouterr().out
+        assert "k-nearest paths" in out
+        assert "optimal: True" in out

@@ -1,0 +1,140 @@
+"""Unit tests for the graph generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs import (
+    barbell_graph,
+    caterpillar_graph,
+    complete_graph,
+    cycle_graph,
+    disjoint_cliques,
+    erdos_renyi,
+    grid_graph,
+    path_graph,
+    power_law_graph,
+    random_tree,
+    random_weighted_graph,
+    star_graph,
+    bfs_distances,
+    dijkstra,
+    INF,
+)
+
+
+def is_connected(graph) -> bool:
+    dist = bfs_distances(graph, 0)
+    return all(d != INF for d in dist)
+
+
+class TestErdosRenyi:
+    def test_deterministic_given_seed(self):
+        a = erdos_renyi(30, 0.2, seed=1)
+        b = erdos_renyi(30, 0.2, seed=1)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = erdos_renyi(30, 0.2, seed=1)
+        b = erdos_renyi(30, 0.2, seed=2)
+        assert a != b
+
+    def test_connected_by_default(self):
+        graph = erdos_renyi(40, 0.05, seed=3)
+        assert is_connected(graph)
+
+    def test_unconnected_when_disabled(self):
+        graph = erdos_renyi(40, 0.0, seed=3, ensure_connected=False)
+        assert graph.num_edges() == 0
+
+    def test_weighted_variant_has_weights_in_range(self):
+        graph = erdos_renyi(30, 0.2, seed=4, max_weight=9)
+        weights = [w for _, _, w in graph.edges()]
+        assert weights and all(1 <= w <= 9 for w in weights)
+
+    def test_density_scales_with_p(self):
+        sparse = erdos_renyi(40, 0.05, seed=5, ensure_connected=False)
+        dense = erdos_renyi(40, 0.5, seed=5, ensure_connected=False)
+        assert dense.num_edges() > sparse.num_edges()
+
+
+class TestStructuredGraphs:
+    def test_path_graph_structure(self):
+        graph = path_graph(10)
+        assert graph.num_edges() == 9
+        dist = bfs_distances(graph, 0)
+        assert dist[9] == 9
+
+    def test_cycle_graph_structure(self):
+        graph = cycle_graph(10)
+        assert graph.num_edges() == 10
+        dist = bfs_distances(graph, 0)
+        assert dist[5] == 5
+
+    def test_grid_graph_structure(self):
+        graph = grid_graph(4, 5)
+        assert graph.n == 20
+        assert graph.num_edges() == 4 * 4 + 3 * 5
+        dist = bfs_distances(graph, 0)
+        assert dist[19] == 3 + 4
+
+    def test_star_graph_structure(self):
+        graph = star_graph(12)
+        assert graph.degree(0) == 11
+        assert all(graph.degree(v) == 1 for v in range(1, 12))
+
+    def test_complete_graph_structure(self):
+        graph = complete_graph(8)
+        assert graph.num_edges() == 8 * 7 // 2
+        assert is_connected(graph)
+
+    def test_barbell_graph_diameter(self):
+        graph = barbell_graph(4, 3)
+        dist = bfs_distances(graph, 0)
+        assert max(d for d in dist if d != INF) >= 4
+
+    def test_caterpillar_mixes_degrees(self):
+        graph = caterpillar_graph(5, 3)
+        assert graph.n == 20
+        degrees = sorted(graph.degree(v) for v in range(graph.n))
+        assert degrees[0] == 1
+        assert degrees[-1] >= 4
+
+    def test_disjoint_cliques_are_disconnected(self):
+        graph = disjoint_cliques(3, 4)
+        assert graph.n == 12
+        dist = bfs_distances(graph, 0)
+        assert dist[5] == INF
+
+    def test_random_tree_has_n_minus_one_edges(self):
+        graph = random_tree(25, seed=8)
+        assert graph.num_edges() == 24
+        assert is_connected(graph)
+
+    def test_power_law_graph_connected_and_skewed(self):
+        graph = power_law_graph(60, attachment=2, seed=9)
+        assert is_connected(graph)
+        degrees = sorted((graph.degree(v) for v in range(graph.n)), reverse=True)
+        assert degrees[0] >= 3 * degrees[len(degrees) // 2]
+
+    def test_random_weighted_graph_connected(self):
+        graph = random_weighted_graph(50, average_degree=5, seed=10)
+        assert is_connected(graph)
+        assert graph.max_weight() > 1
+
+
+class TestWeightedVariants:
+    @pytest.mark.parametrize("maker", [path_graph, cycle_graph])
+    def test_weighted_chains(self, maker):
+        graph = maker(12, max_weight=7, seed=2)
+        weights = {w for _, _, w in graph.edges()}
+        assert weights <= set(range(1, 8))
+
+    def test_weighted_grid(self):
+        graph = grid_graph(3, 3, max_weight=5, seed=2)
+        assert all(1 <= w <= 5 for _, _, w in graph.edges())
+
+    def test_weighted_star_distances(self):
+        graph = star_graph(10, max_weight=4, seed=6)
+        dist = dijkstra(graph, 1)
+        assert dist[2] == graph.weight(1, 0) + graph.weight(0, 2)

@@ -1,0 +1,179 @@
+"""Unit tests for the Graph data structure."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.graphs import Graph, INF
+
+
+class TestConstruction:
+    def test_empty_graph_has_no_edges(self):
+        graph = Graph(5)
+        assert graph.n == 5
+        assert graph.num_edges() == 0
+        assert not graph.directed
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError):
+            Graph(0)
+        with pytest.raises(ValueError):
+            Graph(-3)
+
+    def test_add_edge_undirected_is_symmetric(self):
+        graph = Graph(4)
+        graph.add_edge(0, 1, 5)
+        assert graph.weight(0, 1) == 5
+        assert graph.weight(1, 0) == 5
+        assert graph.num_edges() == 1
+
+    def test_add_edge_directed_is_one_way(self):
+        graph = Graph(4, directed=True)
+        graph.add_edge(0, 1, 5)
+        assert graph.weight(0, 1) == 5
+        assert graph.weight(1, 0) == INF
+        assert graph.num_edges() == 1
+
+    def test_parallel_edges_keep_minimum_weight(self):
+        graph = Graph(3)
+        graph.add_edge(0, 1, 10)
+        graph.add_edge(0, 1, 4)
+        graph.add_edge(1, 0, 7)
+        assert graph.weight(0, 1) == 4
+
+    def test_self_loops_ignored(self):
+        graph = Graph(3)
+        graph.add_edge(1, 1, 2)
+        assert graph.num_edges() == 0
+
+    def test_negative_weight_rejected(self):
+        graph = Graph(3)
+        with pytest.raises(ValueError):
+            graph.add_edge(0, 1, -1)
+
+    def test_out_of_range_node_rejected(self):
+        graph = Graph(3)
+        with pytest.raises(ValueError):
+            graph.add_edge(0, 3)
+        with pytest.raises(ValueError):
+            graph.weight(-1, 0)
+
+    def test_from_edges_accepts_pairs_and_triples(self):
+        graph = Graph.from_edges(4, [(0, 1), (1, 2, 7)])
+        assert graph.weight(0, 1) == 1
+        assert graph.weight(1, 2) == 7
+
+    def test_add_edges_bulk(self):
+        graph = Graph(5)
+        graph.add_edges([(0, 1, 2), (1, 2, 3), (2, 3)])
+        assert graph.num_edges() == 3
+
+    def test_remove_edge(self):
+        graph = Graph(3)
+        graph.add_edge(0, 1, 2)
+        graph.remove_edge(0, 1)
+        assert not graph.has_edge(0, 1)
+        assert not graph.has_edge(1, 0)
+
+    def test_copy_is_independent(self):
+        graph = Graph(3)
+        graph.add_edge(0, 1, 2)
+        clone = graph.copy()
+        clone.add_edge(1, 2, 9)
+        assert not graph.has_edge(1, 2)
+        assert clone.has_edge(1, 2)
+
+
+class TestQueries:
+    def test_neighbors_and_degree(self):
+        graph = Graph(5)
+        graph.add_edge(0, 1, 2)
+        graph.add_edge(0, 2, 3)
+        assert graph.degree(0) == 2
+        assert graph.degree(3) == 0
+        assert graph.neighbors(0) == {1: 2, 2: 3}
+
+    def test_edges_iteration_reports_each_edge_once(self):
+        graph = Graph(4)
+        graph.add_edge(0, 1, 2)
+        graph.add_edge(2, 3, 4)
+        edges = sorted(graph.edges())
+        assert edges == [(0, 1, 2), (2, 3, 4)]
+
+    def test_edges_iteration_directed(self):
+        graph = Graph(3, directed=True)
+        graph.add_edge(1, 0, 2)
+        assert list(graph.edges()) == [(1, 0, 2)]
+
+    def test_max_weight(self):
+        graph = Graph(4)
+        assert graph.max_weight() == 0
+        graph.add_edge(0, 1, 2)
+        graph.add_edge(1, 2, 9)
+        assert graph.max_weight() == 9
+
+    def test_is_unweighted(self):
+        graph = Graph(3)
+        graph.add_edge(0, 1, 1)
+        assert graph.is_unweighted()
+        graph.add_edge(1, 2, 3)
+        assert not graph.is_unweighted()
+
+    def test_nodes_range(self):
+        assert list(Graph(3).nodes()) == [0, 1, 2]
+
+    def test_equality(self):
+        a = Graph(3)
+        b = Graph(3)
+        a.add_edge(0, 1, 2)
+        b.add_edge(0, 1, 2)
+        assert a == b
+        b.add_edge(1, 2, 1)
+        assert a != b
+
+
+class TestDerivedGraphs:
+    def test_subgraph_relabels_nodes(self):
+        graph = Graph(6)
+        graph.add_edge(1, 3, 2)
+        graph.add_edge(3, 5, 4)
+        graph.add_edge(0, 2, 9)
+        sub, ids = graph.subgraph([1, 3, 5])
+        assert ids == [1, 3, 5]
+        assert sub.n == 3
+        assert sub.weight(0, 1) == 2  # 1-3
+        assert sub.weight(1, 2) == 4  # 3-5
+        assert sub.num_edges() == 2
+
+    def test_union_with_edges_keeps_minimum(self):
+        graph = Graph(4)
+        graph.add_edge(0, 1, 5)
+        merged = graph.union_with_edges([(0, 1, 2), (2, 3, 7)])
+        assert merged.weight(0, 1) == 2
+        assert merged.weight(2, 3) == 7
+        # original untouched
+        assert graph.weight(0, 1) == 5
+        assert not graph.has_edge(2, 3)
+
+    def test_restrict_to_low_degree(self):
+        graph = Graph(6)
+        # node 0 has degree 4 (high), others low
+        for v in range(1, 5):
+            graph.add_edge(0, v, 1)
+        graph.add_edge(4, 5, 1)
+        low, ids = graph.restrict_to_low_degree(3)
+        assert 0 not in ids
+        assert set(ids) == {1, 2, 3, 4, 5}
+        # only the 4-5 edge survives
+        assert low.num_edges() == 1
+
+    def test_restrict_to_low_degree_all_high(self):
+        graph = Graph(3)
+        graph.add_edge(0, 1, 1)
+        graph.add_edge(1, 2, 1)
+        graph.add_edge(0, 2, 1)
+        low, ids = graph.restrict_to_low_degree(1)
+        assert ids == []
+        assert low.n == 1

@@ -1,0 +1,90 @@
+"""Tests for edge-list graph I/O."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs import Graph, random_weighted_graph
+from repro.graphs.io import load_edge_list, save_edge_list
+
+
+class TestLoadEdgeList:
+    def test_basic_load(self, tmp_path):
+        path = tmp_path / "graph.txt"
+        path.write_text("# comment\n0 1 5\n1 2\n\n2 3 7\n")
+        graph, ids = load_edge_list(path)
+        assert graph.n == 4
+        assert graph.weight(0, 1) == 5
+        assert graph.weight(1, 2) == 1
+        assert graph.weight(2, 3) == 7
+        assert ids == {0: 0, 1: 1, 2: 2, 3: 3}
+
+    def test_non_contiguous_ids_are_compacted(self, tmp_path):
+        path = tmp_path / "graph.txt"
+        path.write_text("10 30 2\n30 700 4\n")
+        graph, ids = load_edge_list(path)
+        assert graph.n == 3
+        assert ids == {0: 10, 1: 30, 2: 700}
+        assert graph.weight(0, 1) == 2
+        assert graph.weight(1, 2) == 4
+
+    def test_directed_load(self, tmp_path):
+        path = tmp_path / "graph.txt"
+        path.write_text("0 1 3\n")
+        graph, _ = load_edge_list(path, directed=True)
+        assert graph.directed
+        assert graph.weight(0, 1) == 3
+        assert not graph.has_edge(1, 0)
+
+    def test_malformed_line_rejected(self, tmp_path):
+        path = tmp_path / "graph.txt"
+        path.write_text("0 1 2 3 4\n")
+        with pytest.raises(ValueError):
+            load_edge_list(path)
+
+    def test_negative_weight_rejected(self, tmp_path):
+        path = tmp_path / "graph.txt"
+        path.write_text("0 1 -2\n")
+        with pytest.raises(ValueError):
+            load_edge_list(path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "graph.txt"
+        path.write_text("# nothing here\n")
+        with pytest.raises(ValueError):
+            load_edge_list(path)
+
+
+class TestRoundTrip:
+    def test_save_then_load_preserves_graph(self, tmp_path):
+        graph = random_weighted_graph(30, average_degree=5, max_weight=9, seed=3)
+        path = tmp_path / "roundtrip.txt"
+        save_edge_list(graph, path, header="round trip test")
+        loaded, ids = load_edge_list(path)
+        assert loaded.n == graph.n
+        assert loaded.num_edges() == graph.num_edges()
+        for u, v, w in graph.edges():
+            assert loaded.weight(u, v) == w
+        assert ids == {i: i for i in range(graph.n)}
+
+    def test_header_written_as_comments(self, tmp_path):
+        graph = Graph(3)
+        graph.add_edge(0, 1, 2)
+        path = tmp_path / "with_header.txt"
+        save_edge_list(graph, path, header="line one\nline two")
+        text = path.read_text()
+        assert text.startswith("# line one\n# line two\n")
+
+    def test_loaded_graph_is_usable_by_algorithms(self, tmp_path):
+        from repro.core import exact_sssp
+        from repro.graphs import dijkstra
+
+        graph = random_weighted_graph(20, average_degree=4, max_weight=6, seed=4)
+        path = tmp_path / "workload.txt"
+        save_edge_list(graph, path)
+        loaded, _ = load_edge_list(path)
+        result = exact_sssp(loaded, 0)
+        expected = dijkstra(loaded, 0)
+        for v in range(loaded.n):
+            if expected[v] != float("inf"):
+                assert result.distances[v] == pytest.approx(expected[v])

@@ -1,0 +1,149 @@
+"""Tests for the hopset construction (Section 4, Theorem 25)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.cclique import Clique
+from repro.graphs import (
+    all_pairs_dijkstra,
+    grid_graph,
+    path_graph,
+    random_weighted_graph,
+    star_graph,
+)
+from repro.hopsets import build_hopset, verify_hopset_property
+from repro.hopsets.bounded import hop_bounded_distance_in_union, union_graph
+
+
+class TestHopsetGuarantee:
+    @pytest.mark.parametrize("epsilon", [0.25, 0.5, 1.0])
+    def test_stretch_bound_random_graph(self, epsilon):
+        graph = random_weighted_graph(32, average_degree=5, max_weight=8, seed=51)
+        hopset = build_hopset(graph, epsilon=epsilon)
+        report = verify_hopset_property(graph, hopset.edges, hopset.beta, epsilon)
+        assert report["violations"] == 0
+        assert report["max_underestimate"] == pytest.approx(1.0)
+
+    def test_stretch_bound_on_path(self):
+        """Paths are the hardest case for hop reduction: without a hopset the
+        β-hop distance across the path is infinite."""
+        graph = path_graph(28, max_weight=4, seed=52)
+        hopset = build_hopset(graph, epsilon=0.5)
+        report = verify_hopset_property(graph, hopset.edges, hopset.beta, 0.5)
+        assert report["violations"] == 0
+
+    def test_stretch_bound_on_grid(self):
+        graph = grid_graph(5, 5, max_weight=3, seed=53)
+        hopset = build_hopset(graph, epsilon=0.5)
+        report = verify_hopset_property(graph, hopset.edges, hopset.beta, 0.5)
+        assert report["violations"] == 0
+
+    def test_hopset_never_underestimates(self):
+        graph = random_weighted_graph(24, average_degree=4, max_weight=6, seed=54)
+        hopset = build_hopset(graph, epsilon=0.5)
+        exact = all_pairs_dijkstra(graph)
+        merged = union_graph(graph, hopset.edges)
+        union_exact = all_pairs_dijkstra(merged)
+        for u in range(graph.n):
+            for v in range(graph.n):
+                assert union_exact[u][v] >= exact[u][v] - 1e-9
+
+    def test_beta_hops_suffice_from_every_source(self):
+        graph = random_weighted_graph(24, average_degree=5, max_weight=5, seed=55)
+        epsilon = 0.5
+        hopset = build_hopset(graph, epsilon=epsilon)
+        exact = all_pairs_dijkstra(graph)
+        for source in range(0, graph.n, 6):
+            bounded = hop_bounded_distance_in_union(
+                graph, hopset.edges, source, hopset.beta
+            )
+            for v in range(graph.n):
+                if exact[source][v] not in (0, math.inf):
+                    assert bounded[v] <= (1 + epsilon) * exact[source][v] + 1e-9
+
+
+class TestHopsetSizeAndStructure:
+    def test_size_bound(self):
+        """|H| = O(n^{3/2} log n) (Claim 21); check with constant 4."""
+        graph = random_weighted_graph(36, average_degree=6, max_weight=5, seed=56)
+        hopset = build_hopset(graph, epsilon=0.5)
+        n = graph.n
+        assert hopset.size() <= 4 * n ** 1.5 * math.log2(n)
+
+    def test_hitting_set_size(self):
+        graph = random_weighted_graph(36, average_degree=6, seed=57)
+        hopset = build_hopset(graph, epsilon=0.5)
+        n = graph.n
+        # |A1| = O(n log n / k) with k ~ sqrt(n) log n -> O(sqrt(n))
+        assert len(hopset.hitting_set) <= 4 * math.sqrt(n) + math.log2(n)
+
+    def test_pivot_distances_are_exact(self):
+        graph = random_weighted_graph(24, average_degree=5, max_weight=7, seed=58)
+        hopset = build_hopset(graph, epsilon=0.5)
+        exact = all_pairs_dijkstra(graph)
+        hitting = set(hopset.hitting_set)
+        for v in range(graph.n):
+            if v in hitting:
+                assert hopset.pivots[v] == v
+                assert hopset.pivot_distances[v] == 0
+            else:
+                p = hopset.pivots[v]
+                assert p in hitting
+                assert hopset.pivot_distances[v] == pytest.approx(exact[v][p])
+
+    def test_beta_default_follows_theorem(self):
+        graph = random_weighted_graph(20, average_degree=4, seed=59)
+        tight = build_hopset(graph, epsilon=0.25)
+        loose = build_hopset(graph, epsilon=1.0)
+        assert tight.beta > loose.beta
+
+    def test_bunch_edges_have_exact_weights(self):
+        graph = random_weighted_graph(20, average_degree=4, max_weight=6, seed=60)
+        hopset = build_hopset(graph, epsilon=0.5)
+        exact = all_pairs_dijkstra(graph)
+        hitting = set(hopset.hitting_set)
+        for u, v, w in hopset.edges:
+            # every hopset edge weight is at least the true distance; bunch
+            # edges (non-A1 endpoints) are exactly the true distance
+            assert w >= exact[u][v] - 1e-9
+            if u not in hitting or v not in hitting:
+                assert w == pytest.approx(exact[u][v])
+
+
+class TestHopsetInterface:
+    def test_directed_graph_rejected(self):
+        from repro.graphs import Graph
+
+        graph = Graph(5, directed=True)
+        graph.add_edge(0, 1, 1)
+        with pytest.raises(ValueError):
+            build_hopset(graph)
+
+    def test_invalid_epsilon_rejected(self):
+        graph = path_graph(5)
+        with pytest.raises(ValueError):
+            build_hopset(graph, epsilon=0)
+
+    def test_rounds_charged_to_shared_clique(self):
+        graph = path_graph(16)
+        clique = Clique(16)
+        hopset = build_hopset(graph, epsilon=0.5, clique=clique)
+        assert clique.rounds == hopset.rounds > 0
+
+    def test_explicit_parameters_override_defaults(self):
+        graph = path_graph(16)
+        hopset = build_hopset(graph, epsilon=0.5, k=4, beta=6, levels=2)
+        assert hopset.k == 4
+        assert hopset.beta == 6
+        assert hopset.levels == 2
+
+    def test_star_graph_trivial_hopset(self):
+        """On a star every node is within 2 hops already, so the hopset adds
+        little and the property holds trivially."""
+        graph = star_graph(20)
+        hopset = build_hopset(graph, epsilon=0.5)
+        report = verify_hopset_property(graph, hopset.edges, hopset.beta, 0.5)
+        assert report["violations"] == 0

@@ -1,0 +1,135 @@
+"""Tests for (1 + ε)-approximate multi-source shortest paths (Theorem 3)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.cclique import Clique
+from repro.core import mssp
+from repro.graphs import (
+    all_pairs_dijkstra,
+    dijkstra,
+    grid_graph,
+    path_graph,
+    random_weighted_graph,
+)
+from repro.hopsets import build_hopset
+
+
+def max_mssp_stretch(result, exact):
+    worst = 1.0
+    n = result.distances.shape[0]
+    for v in range(n):
+        for index, s in enumerate(result.sources):
+            true = exact[s][v]
+            if true in (0, math.inf):
+                continue
+            worst = max(worst, float(result.distances[v, index]) / true)
+    return worst
+
+
+class TestMSSPGuarantee:
+    @pytest.mark.parametrize("epsilon", [0.25, 0.5, 1.0])
+    def test_stretch_bound_random_graph(self, epsilon):
+        graph = random_weighted_graph(30, average_degree=5, max_weight=8, seed=61)
+        sources = [0, 5, 11, 17, 23]
+        exact = all_pairs_dijkstra(graph)
+        result = mssp(graph, sources, epsilon=epsilon)
+        assert max_mssp_stretch(result, exact) <= 1 + epsilon + 1e-9
+
+    def test_estimates_never_underestimate(self):
+        graph = random_weighted_graph(30, average_degree=5, max_weight=8, seed=62)
+        sources = [1, 2, 3]
+        exact = all_pairs_dijkstra(graph)
+        result = mssp(graph, sources, epsilon=0.5)
+        for v in range(graph.n):
+            for index, s in enumerate(result.sources):
+                assert result.distances[v, index] >= exact[s][v] - 1e-9
+
+    def test_path_graph_large_hop_count(self):
+        graph = path_graph(26, max_weight=4, seed=63)
+        sources = [0, 25]
+        exact = all_pairs_dijkstra(graph)
+        result = mssp(graph, sources, epsilon=0.5)
+        assert max_mssp_stretch(result, exact) <= 1.5 + 1e-9
+
+    def test_grid_graph(self):
+        graph = grid_graph(5, 5, max_weight=3, seed=64)
+        sources = [0, 12, 24]
+        exact = all_pairs_dijkstra(graph)
+        result = mssp(graph, sources, epsilon=0.5)
+        assert max_mssp_stretch(result, exact) <= 1.5 + 1e-9
+
+    def test_sources_have_zero_self_distance(self):
+        graph = random_weighted_graph(20, average_degree=4, seed=65)
+        sources = [3, 9]
+        result = mssp(graph, sources, epsilon=0.5)
+        for index, s in enumerate(result.sources):
+            assert result.distances[s, index] == 0
+
+    def test_single_source_matches_dijkstra_within_eps(self):
+        graph = random_weighted_graph(24, average_degree=5, max_weight=6, seed=66)
+        result = mssp(graph, [7], epsilon=0.25)
+        exact = dijkstra(graph, 7)
+        for v in range(graph.n):
+            if exact[v] not in (0, math.inf):
+                assert exact[v] <= result.distances[v, 0] <= 1.25 * exact[v] + 1e-9
+
+
+class TestMSSPInterface:
+    def test_empty_sources_rejected(self):
+        graph = path_graph(5)
+        with pytest.raises(ValueError):
+            mssp(graph, [], epsilon=0.5)
+
+    def test_invalid_epsilon_rejected(self):
+        graph = path_graph(5)
+        with pytest.raises(ValueError):
+            mssp(graph, [0], epsilon=0)
+
+    def test_directed_graph_rejected(self):
+        from repro.graphs import Graph
+
+        graph = Graph(4, directed=True)
+        graph.add_edge(0, 1, 1)
+        with pytest.raises(ValueError):
+            mssp(graph, [0])
+
+    def test_reusing_a_hopset_skips_reconstruction(self):
+        graph = random_weighted_graph(24, average_degree=5, seed=67)
+        hopset = build_hopset(graph, epsilon=0.5)
+        with_hopset = mssp(graph, [0, 1], epsilon=0.5, hopset=hopset)
+        without_hopset = mssp(graph, [0, 1], epsilon=0.5)
+        assert with_hopset.rounds < without_hopset.rounds
+
+    def test_mismatched_hopset_epsilon_rejected(self):
+        graph = random_weighted_graph(20, average_degree=4, seed=68)
+        hopset = build_hopset(graph, epsilon=1.0)
+        with pytest.raises(ValueError):
+            mssp(graph, [0], epsilon=0.25, hopset=hopset)
+
+    def test_distance_accessor(self):
+        graph = path_graph(8)
+        result = mssp(graph, [0], epsilon=0.5)
+        assert result.distance(4, 0) >= 4
+
+    def test_rounds_charged_to_shared_clique(self):
+        graph = path_graph(12)
+        clique = Clique(12)
+        result = mssp(graph, [0, 11], epsilon=0.5, clique=clique)
+        assert clique.rounds == result.rounds > 0
+
+    def test_duplicate_sources_deduplicated(self):
+        graph = path_graph(8)
+        result = mssp(graph, [0, 0, 3], epsilon=0.5)
+        assert result.sources == [0, 3]
+        assert result.distances.shape == (8, 2)
+
+    def test_details_contain_predictions(self):
+        graph = path_graph(10)
+        result = mssp(graph, [0], epsilon=0.5)
+        assert "beta" in result.details
+        assert result.details["predicted_rounds"] > 0

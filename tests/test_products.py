@@ -1,0 +1,131 @@
+"""Tests for the augmented weight matrix and distance products (Section 3.1)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.distance.products import (
+    augmented_weight_matrix,
+    dense_distances_from_augmented,
+    distances_from_augmented,
+    matrix_from_edges,
+    weight_matrix,
+)
+from repro.graphs import Graph, all_pairs_dijkstra, path_graph, random_weighted_graph
+from repro.matmul.kernels import sparse_dict_product
+from repro.semiring import AugmentedEntry, augmented_semiring_for
+
+
+class TestWeightMatrix:
+    def test_diagonal_is_zero(self):
+        graph = path_graph(5)
+        W = weight_matrix(graph)
+        for v in range(5):
+            assert W.get(v, v) == 0.0
+
+    def test_edges_and_non_edges(self):
+        graph = Graph(4)
+        graph.add_edge(0, 1, 7)
+        W = weight_matrix(graph)
+        assert W.get(0, 1) == 7.0
+        assert W.get(1, 0) == 7.0
+        assert W.get(0, 2) == math.inf
+
+
+class TestAugmentedWeightMatrix:
+    def test_structure(self):
+        graph = Graph(4)
+        graph.add_edge(0, 1, 7)
+        W, semiring = augmented_weight_matrix(graph)
+        assert W.get(0, 0) == semiring.one
+        assert W.get(0, 1) == AugmentedEntry(7.0, 1)
+        assert W.get(0, 2) == semiring.zero
+
+    def test_semiring_sized_for_graph(self):
+        graph = random_weighted_graph(20, average_degree=4, max_weight=9, seed=1)
+        _, semiring = augmented_weight_matrix(graph)
+        assert semiring.hop_base > 2 * graph.n
+        assert semiring.weight_bound > graph.n * graph.max_weight() - 1
+
+    def test_powers_give_hop_bounded_distances(self):
+        """W^d over the augmented semiring = d-hop distances with hop counts
+        (the defining property used by every distance tool)."""
+        graph = path_graph(6, max_weight=3, seed=2)
+        exact = all_pairs_dijkstra(graph)
+        W, semiring = augmented_weight_matrix(graph)
+        # W^4 by repeated multiplication
+        power = W
+        for _ in range(3):
+            power = sparse_dict_product(power, W)
+        for u in range(6):
+            for v in range(6):
+                entry = power.get(u, v)
+                hop_distance = abs(u - v)
+                if hop_distance <= 4:
+                    assert entry[0] == exact[u][v]
+                    assert entry[1] == hop_distance
+                else:
+                    assert entry == semiring.zero
+
+    def test_consistency_lemma17(self):
+        """Entries along a recorded shortest path are ordered (Lemma 17):
+        every intermediate node's entry is strictly smaller."""
+        graph = random_weighted_graph(12, average_degree=3, max_weight=5, seed=3)
+        W, semiring = augmented_weight_matrix(graph)
+        power = W
+        for _ in range(4):
+            power = sparse_dict_product(power, W)
+        for v in range(graph.n):
+            row = power.rows[v]
+            for u, entry in row.items():
+                if u == v:
+                    continue
+                # there must exist a neighbour w of u on the path with a
+                # strictly smaller entry in the row of v
+                found_smaller_predecessor = any(
+                    w in row and row[w] < entry and graph.has_edge(w, u)
+                    for w in graph.neighbors(u)
+                ) or graph.has_edge(v, u)
+                assert found_smaller_predecessor
+
+
+class TestMatrixFromEdges:
+    def test_directional_edges_and_diagonal(self):
+        semiring = augmented_semiring_for(5, 10)
+        edges = {(0, 1): 4.0, (1, 0): 6.0}
+        M = matrix_from_edges(4, edges, semiring)
+        assert M.get(0, 1) == AugmentedEntry(4.0, 1)
+        assert M.get(1, 0) == AugmentedEntry(6.0, 1)
+        assert M.get(2, 2) == semiring.one
+
+    def test_no_diagonal_option(self):
+        semiring = augmented_semiring_for(5, 10)
+        M = matrix_from_edges(4, {}, semiring, include_diagonal=False)
+        assert M.nnz() == 0
+
+    def test_duplicate_edges_keep_minimum(self):
+        semiring = augmented_semiring_for(5, 10)
+        M = matrix_from_edges(3, {(0, 1): 4.0}, semiring)
+        # inserting a lighter parallel edge by hand keeps the lighter one
+        M2 = matrix_from_edges(3, {(0, 1): 2.0}, semiring)
+        assert M2.get(0, 1)[0] == 2.0
+        assert M.get(0, 1)[0] == 4.0
+
+
+class TestExtraction:
+    def test_distances_from_augmented_strips_hops(self):
+        graph = path_graph(5)
+        W, _ = augmented_weight_matrix(graph)
+        rows = distances_from_augmented(W)
+        assert rows[0][1] == 1.0
+        assert rows[0][0] == 0.0
+        assert 3 not in rows[0]
+
+    def test_dense_distances_from_augmented(self):
+        graph = path_graph(4)
+        W, _ = augmented_weight_matrix(graph)
+        dense = dense_distances_from_augmented(W)
+        assert dense[0][1] == 1.0
+        assert dense[0][3] == math.inf

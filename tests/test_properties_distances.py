@@ -1,0 +1,155 @@
+"""Hypothesis property tests for the distance tools and headline algorithms.
+
+Each property draws a random graph (from a seeded generator, so failures are
+reproducible) and asserts the corresponding theorem's guarantee.  Sizes are
+kept small because each example runs a full distributed-algorithm
+simulation.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core import apsp_weighted, exact_sssp, mssp
+from repro.distance import k_nearest, source_detection
+from repro.graphs import all_pairs_dijkstra, dijkstra, erdos_renyi, random_weighted_graph
+from repro.hopsets import build_hopset, verify_hopset_property
+
+GRAPH_SETTINGS = dict(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+graph_params = st.tuples(
+    st.integers(min_value=8, max_value=22),          # n
+    st.integers(min_value=3, max_value=7),           # average degree
+    st.integers(min_value=1, max_value=12),          # max weight
+    st.integers(min_value=0, max_value=10_000),      # seed
+)
+
+
+@given(params=graph_params, k=st.integers(min_value=1, max_value=8))
+@settings(**GRAPH_SETTINGS)
+def test_k_nearest_always_matches_dijkstra(params, k):
+    n, degree, max_weight, seed = params
+    graph = random_weighted_graph(n, average_degree=degree, max_weight=max_weight, seed=seed)
+    exact = all_pairs_dijkstra(graph)
+    result = k_nearest(graph, min(k, n))
+    for v in range(n):
+        expected = sorted(exact[v])[: min(k, n)]
+        got = sorted(dist for dist, _ in result.neighbors[v].values())
+        assert got == expected
+
+
+@given(params=graph_params)
+@settings(**GRAPH_SETTINGS)
+def test_source_detection_never_underestimates(params):
+    n, degree, max_weight, seed = params
+    graph = random_weighted_graph(n, average_degree=degree, max_weight=max_weight, seed=seed)
+    sources = [0, n // 2]
+    exact = {s: dijkstra(graph, s) for s in sources}
+    result = source_detection(graph, sources, d=4)
+    for v in range(n):
+        for s in sources:
+            assert result.distance(v, s) >= exact[s][v] - 1e-9
+
+
+@given(params=graph_params)
+@settings(**GRAPH_SETTINGS)
+def test_source_detection_exact_when_hops_unbounded(params):
+    n, degree, max_weight, seed = params
+    graph = random_weighted_graph(n, average_degree=degree, max_weight=max_weight, seed=seed)
+    sources = [1 % n, (n - 1)]
+    exact = {s: dijkstra(graph, s) for s in sources}
+    result = source_detection(graph, sources, d=n, early_stop=True)
+    for v in range(n):
+        for s in set(sources):
+            assert result.distance(v, s) == pytest.approx(exact[s][v])
+
+
+@given(params=graph_params, epsilon=st.sampled_from([0.5, 1.0]))
+@settings(**GRAPH_SETTINGS)
+def test_hopset_property_always_holds(params, epsilon):
+    n, degree, max_weight, seed = params
+    graph = random_weighted_graph(n, average_degree=degree, max_weight=max_weight, seed=seed)
+    hopset = build_hopset(graph, epsilon=epsilon)
+    report = verify_hopset_property(
+        graph, hopset.edges, hopset.beta, epsilon, sources=range(0, n, 3)
+    )
+    assert report["violations"] == 0
+    assert report["max_underestimate"] == pytest.approx(1.0)
+
+
+@given(params=graph_params, epsilon=st.sampled_from([0.5, 1.0]))
+@settings(**GRAPH_SETTINGS)
+def test_mssp_stretch_always_within_bound(params, epsilon):
+    n, degree, max_weight, seed = params
+    graph = random_weighted_graph(n, average_degree=degree, max_weight=max_weight, seed=seed)
+    sources = [0, n // 3, 2 * n // 3]
+    exact = {s: dijkstra(graph, s) for s in set(sources)}
+    result = mssp(graph, sources, epsilon=epsilon)
+    for v in range(n):
+        for index, s in enumerate(result.sources):
+            true = exact[s][v]
+            if true in (0, math.inf):
+                continue
+            ratio = result.distances[v, index] / true
+            assert 1 - 1e-9 <= ratio <= 1 + epsilon + 1e-9
+
+
+@given(params=graph_params)
+@settings(**GRAPH_SETTINGS)
+def test_weighted_apsp_guarantee_always_holds(params):
+    n, degree, max_weight, seed = params
+    graph = random_weighted_graph(n, average_degree=degree, max_weight=max_weight, seed=seed)
+    exact = all_pairs_dijkstra(graph)
+    epsilon = 0.5
+    result = apsp_weighted(graph, epsilon=epsilon)
+    w_max = graph.max_weight()
+    for u in range(n):
+        for v in range(n):
+            true = exact[u][v]
+            if u == v or true in (0, math.inf):
+                continue
+            assert result.estimates[u, v] >= true - 1e-9
+            assert result.estimates[u, v] <= (2 + epsilon) * true + (1 + epsilon) * w_max + 1e-6
+
+
+@given(params=graph_params, source=st.integers(min_value=0, max_value=21))
+@settings(**GRAPH_SETTINGS)
+def test_exact_sssp_is_always_exact(params, source):
+    n, degree, max_weight, seed = params
+    graph = random_weighted_graph(n, average_degree=degree, max_weight=max_weight, seed=seed)
+    source = source % n
+    result = exact_sssp(graph, source)
+    expected = dijkstra(graph, source)
+    for v in range(n):
+        if expected[v] == math.inf:
+            assert math.isinf(result.distances[v])
+        else:
+            assert result.distances[v] == pytest.approx(expected[v])
+
+
+@given(
+    n=st.integers(min_value=8, max_value=20),
+    p=st.floats(min_value=0.1, max_value=0.5),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+@settings(**GRAPH_SETTINGS)
+def test_unweighted_apsp_guarantee_always_holds(n, p, seed):
+    from repro.core import apsp_unweighted
+
+    graph = erdos_renyi(n, p, seed=seed)
+    exact = all_pairs_dijkstra(graph)
+    result = apsp_unweighted(graph, epsilon=0.5)
+    for u in range(n):
+        for v in range(n):
+            true = exact[u][v]
+            if u == v or true in (0, math.inf):
+                continue
+            assert true - 1e-9 <= result.estimates[u, v] <= (2 + 2 * 0.5) * true + 1e-6

@@ -1,0 +1,153 @@
+"""Unit tests for the sequential reference algorithms (the ground truth)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.graphs import (
+    Graph,
+    INF,
+    all_pairs_dijkstra,
+    bellman_ford,
+    bfs_distances,
+    dijkstra,
+    exact_diameter,
+    grid_graph,
+    hop_bounded_distances,
+    path_graph,
+    random_weighted_graph,
+    shortest_path_diameter,
+    star_graph,
+)
+from repro.graphs.reference import approximation_ratio, hop_bounded_pairwise
+
+
+class TestDijkstra:
+    def test_simple_path(self):
+        graph = path_graph(5, max_weight=1)
+        dist = dijkstra(graph, 0)
+        assert dist == [0, 1, 2, 3, 4]
+
+    def test_weighted_triangle_prefers_cheaper_route(self):
+        graph = Graph(3)
+        graph.add_edge(0, 1, 10)
+        graph.add_edge(0, 2, 1)
+        graph.add_edge(2, 1, 2)
+        assert dijkstra(graph, 0)[1] == 3
+
+    def test_unreachable_nodes_are_infinite(self):
+        graph = Graph(4)
+        graph.add_edge(0, 1, 1)
+        dist = dijkstra(graph, 0)
+        assert dist[2] == INF and dist[3] == INF
+
+    def test_agrees_with_bellman_ford(self):
+        graph = random_weighted_graph(30, average_degree=5, seed=1)
+        for source in (0, 7, 29):
+            d1 = dijkstra(graph, source)
+            d2, _ = bellman_ford(graph, source)
+            assert d1 == d2
+
+    def test_all_pairs_symmetry_on_undirected(self):
+        graph = random_weighted_graph(20, average_degree=4, seed=2)
+        apsp = all_pairs_dijkstra(graph)
+        for u in range(20):
+            for v in range(20):
+                assert apsp[u][v] == apsp[v][u]
+
+
+class TestBFS:
+    def test_bfs_matches_dijkstra_on_unweighted(self):
+        graph = grid_graph(4, 4)
+        for source in range(0, 16, 5):
+            assert bfs_distances(graph, source) == dijkstra(graph, source)
+
+    def test_bfs_star(self):
+        graph = star_graph(8)
+        dist = bfs_distances(graph, 3)
+        assert dist[0] == 1
+        assert dist[5] == 2
+
+
+class TestBellmanFord:
+    def test_hop_limit_truncates_paths(self):
+        graph = path_graph(6, max_weight=1)
+        dist, _ = bellman_ford(graph, 0, max_hops=2)
+        assert dist[2] == 2
+        assert dist[3] == INF
+
+    def test_iteration_count_is_small_on_low_diameter_graph(self):
+        graph = star_graph(20)
+        _, iterations = bellman_ford(graph, 1)
+        assert iterations <= 3
+
+    def test_hop_bounded_distances_monotone_in_hops(self):
+        graph = random_weighted_graph(25, average_degree=4, seed=3)
+        d2 = hop_bounded_distances(graph, 0, 2)
+        d5 = hop_bounded_distances(graph, 0, 5)
+        full = dijkstra(graph, 0)
+        for v in range(25):
+            assert d5[v] <= d2[v]
+            assert full[v] <= d5[v]
+
+    def test_hop_bounded_pairwise_groups_sources(self):
+        graph = grid_graph(3, 3)
+        pairs = [(0, 8), (0, 4), (8, 0)]
+        result = hop_bounded_pairwise(graph, pairs, max_hops=10)
+        assert result[(0, 8)] == 4
+        assert result[(8, 0)] == 4
+        assert result[(0, 4)] == 2
+
+
+class TestDiameterAndSPD:
+    def test_exact_diameter_path(self):
+        graph = path_graph(10)
+        assert exact_diameter(graph) == 9
+
+    def test_exact_diameter_grid(self):
+        graph = grid_graph(3, 4)
+        assert exact_diameter(graph) == 2 + 3
+
+    def test_exact_diameter_ignores_disconnected_pairs(self):
+        graph = Graph(5)
+        graph.add_edge(0, 1, 3)
+        graph.add_edge(2, 3, 1)
+        assert exact_diameter(graph) == 3
+
+    def test_shortest_path_diameter_path_graph(self):
+        graph = path_graph(8)
+        assert shortest_path_diameter(graph) == 7
+
+    def test_shortest_path_diameter_star(self):
+        graph = star_graph(10)
+        assert shortest_path_diameter(graph) == 2
+
+    def test_shortest_path_diameter_at_most_n_minus_one(self):
+        graph = random_weighted_graph(15, average_degree=4, seed=4)
+        assert shortest_path_diameter(graph) <= 14
+
+
+class TestApproximationRatio:
+    def test_exact_estimates_have_ratio_one(self):
+        graph = random_weighted_graph(12, average_degree=4, seed=5)
+        exact = all_pairs_dijkstra(graph)
+        worst, mean = approximation_ratio(exact, exact)
+        assert worst == pytest.approx(1.0)
+        assert mean == pytest.approx(1.0)
+
+    def test_doubled_estimates_have_ratio_two(self):
+        graph = random_weighted_graph(12, average_degree=4, seed=6)
+        exact = all_pairs_dijkstra(graph)
+        doubled = [[2 * d if d != INF else INF for d in row] for row in exact]
+        worst, mean = approximation_ratio(doubled, exact)
+        assert worst == pytest.approx(2.0)
+        assert mean == pytest.approx(2.0)
+
+    def test_dict_estimates_supported(self):
+        graph = path_graph(5)
+        exact = all_pairs_dijkstra(graph)
+        estimate = {(u, v): exact[u][v] for u in range(5) for v in range(5)}
+        worst, _ = approximation_ratio(estimate, exact)
+        assert worst == pytest.approx(1.0)

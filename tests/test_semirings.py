@@ -1,0 +1,181 @@
+"""Unit and property tests for the semirings."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.semiring import (
+    BOOLEAN,
+    MIN_PLUS,
+    AugmentedEntry,
+    AugmentedMinPlusSemiring,
+    augmented_semiring_for,
+)
+
+finite_weights = st.integers(min_value=0, max_value=10_000)
+weights_or_inf = st.one_of(finite_weights, st.just(math.inf))
+
+
+class TestMinPlus:
+    def test_identities(self):
+        assert MIN_PLUS.zero == math.inf
+        assert MIN_PLUS.one == 0.0
+        assert MIN_PLUS.is_zero(math.inf)
+        assert not MIN_PLUS.is_zero(0.0)
+
+    def test_add_is_min_and_mul_is_plus(self):
+        assert MIN_PLUS.add(3, 5) == 3
+        assert MIN_PLUS.mul(3, 5) == 8
+        assert MIN_PLUS.mul(3, math.inf) == math.inf
+
+    def test_ordering(self):
+        assert MIN_PLUS.is_ordered()
+        assert MIN_PLUS.less(2, 3)
+        assert not MIN_PLUS.less(3, 3)
+
+    def test_sum_folds_min(self):
+        assert MIN_PLUS.sum([5, 2, 9]) == 2
+        assert MIN_PLUS.sum([]) == math.inf
+
+    def test_smallest(self):
+        assert MIN_PLUS.smallest([5, 2, 9, 1], 2) == [1, 2]
+
+    @given(x=weights_or_inf, y=weights_or_inf, z=weights_or_inf)
+    @settings(max_examples=60, deadline=None)
+    def test_semiring_axioms(self, x, y, z):
+        add, mul = MIN_PLUS.add, MIN_PLUS.mul
+        # associativity + commutativity of addition
+        assert add(add(x, y), z) == add(x, add(y, z))
+        assert add(x, y) == add(y, x)
+        # associativity of multiplication
+        assert mul(mul(x, y), z) == mul(x, mul(y, z))
+        # identities
+        assert add(x, MIN_PLUS.zero) == x
+        assert mul(x, MIN_PLUS.one) == x
+        # annihilation
+        assert mul(x, MIN_PLUS.zero) == MIN_PLUS.zero
+        # distributivity
+        assert mul(x, add(y, z)) == add(mul(x, y), mul(x, z))
+
+
+class TestBoolean:
+    def test_operations(self):
+        assert BOOLEAN.add(False, True) is True
+        assert BOOLEAN.mul(False, True) is False
+        assert BOOLEAN.zero is False
+        assert BOOLEAN.one is True
+
+    def test_not_ordered(self):
+        assert not BOOLEAN.is_ordered()
+        with pytest.raises(TypeError):
+            BOOLEAN.less(False, True)
+        with pytest.raises(TypeError):
+            BOOLEAN.smallest([True, False], 1)
+
+    @given(x=st.booleans(), y=st.booleans(), z=st.booleans())
+    @settings(max_examples=30, deadline=None)
+    def test_semiring_axioms(self, x, y, z):
+        add, mul = BOOLEAN.add, BOOLEAN.mul
+        assert add(add(x, y), z) == add(x, add(y, z))
+        assert mul(mul(x, y), z) == mul(x, mul(y, z))
+        assert mul(x, add(y, z)) == add(mul(x, y), mul(x, z))
+
+
+class TestAugmented:
+    def semiring(self) -> AugmentedMinPlusSemiring:
+        return AugmentedMinPlusSemiring(hop_base=100, weight_bound=1000)
+
+    def test_identities(self):
+        sr = self.semiring()
+        assert sr.zero == (math.inf, math.inf)
+        assert sr.one == (0, 0)
+
+    def test_add_is_lexicographic_min(self):
+        sr = self.semiring()
+        assert sr.add(AugmentedEntry(3, 5), AugmentedEntry(3, 2)) == (3, 2)
+        assert sr.add(AugmentedEntry(2, 9), AugmentedEntry(3, 1)) == (2, 9)
+
+    def test_mul_adds_componentwise(self):
+        sr = self.semiring()
+        assert sr.mul(AugmentedEntry(3, 1), AugmentedEntry(4, 2)) == (7, 3)
+        assert sr.mul(AugmentedEntry(3, 1), sr.zero) == sr.zero
+
+    def test_words_per_element(self):
+        assert self.semiring().words_per_element() == 2
+        assert MIN_PLUS.words_per_element() == 1
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            AugmentedMinPlusSemiring(hop_base=1, weight_bound=10)
+        with pytest.raises(ValueError):
+            AugmentedMinPlusSemiring(hop_base=10, weight_bound=0)
+
+    def test_factory_sizes_bounds_for_graph(self):
+        sr = augmented_semiring_for(50, 20)
+        # hop counts up to 2n must be encodable
+        assert sr.hop_base > 2 * 50
+        # path weights up to n * max_weight must be below the weight bound
+        assert sr.weight_bound > 50 * 20
+
+    def test_encode_rejects_overflow_hops(self):
+        sr = self.semiring()
+        with pytest.raises(ValueError):
+            sr.encode(AugmentedEntry(5, 150))
+
+    def test_encode_rejects_negative_weight(self):
+        sr = self.semiring()
+        with pytest.raises(ValueError):
+            sr.encode(AugmentedEntry(-1, 0))
+
+
+class TestAugmentedEncoding:
+    """The int64 encoding must preserve order and addition exactly."""
+
+    @given(
+        w1=st.integers(min_value=0, max_value=400),
+        h1=st.integers(min_value=0, max_value=40),
+        w2=st.integers(min_value=0, max_value=400),
+        h2=st.integers(min_value=0, max_value=40),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_order_preserved(self, w1, h1, w2, h2):
+        sr = AugmentedMinPlusSemiring(hop_base=100, weight_bound=1000)
+        a, b = AugmentedEntry(w1, h1), AugmentedEntry(w2, h2)
+        assert (a < b) == (sr.encode(a) < sr.encode(b))
+
+    @given(
+        w1=st.integers(min_value=0, max_value=400),
+        h1=st.integers(min_value=0, max_value=40),
+        w2=st.integers(min_value=0, max_value=400),
+        h2=st.integers(min_value=0, max_value=40),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_addition_preserved(self, w1, h1, w2, h2):
+        sr = AugmentedMinPlusSemiring(hop_base=100, weight_bound=1000)
+        a, b = AugmentedEntry(w1, h1), AugmentedEntry(w2, h2)
+        product = sr.mul(a, b)
+        assert sr.encode(a) + sr.encode(b) == sr.encode(product)
+
+    @given(
+        w=st.integers(min_value=0, max_value=400),
+        h=st.integers(min_value=0, max_value=40),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_roundtrip(self, w, h):
+        sr = AugmentedMinPlusSemiring(hop_base=100, weight_bound=1000)
+        entry = AugmentedEntry(w, h)
+        assert sr.decode(sr.encode(entry)) == entry
+
+    def test_infinity_roundtrip(self):
+        sr = AugmentedMinPlusSemiring(hop_base=100, weight_bound=1000)
+        assert sr.decode(sr.encode(sr.zero)) == sr.zero
+        assert sr.encode(sr.zero) == sr.inf_code
+
+    def test_infinity_dominates_all_finite_sums(self):
+        sr = AugmentedMinPlusSemiring(hop_base=100, weight_bound=1000)
+        largest_finite = sr.encode(AugmentedEntry(999, 99))
+        assert 2 * largest_finite < 2 * sr.inf_code
+        assert largest_finite < sr.inf_code

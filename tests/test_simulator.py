@@ -1,0 +1,188 @@
+"""Tests for the message-level Congested Clique simulator and its primitives."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.cclique import BandwidthViolation, SimNetwork
+from repro.cclique.routing import broadcast_from_all, route_messages
+from repro.cclique.sorting import distributed_sort
+
+
+class TestSimNetwork:
+    def test_requires_positive_size(self):
+        with pytest.raises(ValueError):
+            SimNetwork(0)
+
+    def test_single_message_delivery(self):
+        net = SimNetwork(4)
+        net.post(0, 2, "hello")
+        inboxes = net.step()
+        assert len(inboxes[2]) == 1
+        assert inboxes[2][0].payload == "hello"
+        assert net.round == 1
+
+    def test_one_message_per_link_per_round(self):
+        net = SimNetwork(4)
+        net.post(0, 1, "a")
+        with pytest.raises(BandwidthViolation):
+            net.post(0, 1, "b")
+
+    def test_link_frees_up_next_round(self):
+        net = SimNetwork(4)
+        net.post(0, 1, "a")
+        net.step()
+        net.post(0, 1, "b")  # must not raise
+        inboxes = net.step()
+        assert inboxes[1][0].payload == "b"
+
+    def test_payload_size_enforced(self):
+        net = SimNetwork(4, max_words_per_message=2)
+        with pytest.raises(BandwidthViolation):
+            net.post(0, 1, "big", payload_words=3)
+
+    def test_self_messages_are_free_and_immediate(self):
+        net = SimNetwork(4)
+        net.post(1, 1, "note")
+        inboxes = net.step()
+        assert inboxes[1][0].payload == "note"
+
+    def test_out_of_range_nodes_rejected(self):
+        net = SimNetwork(4)
+        with pytest.raises(ValueError):
+            net.post(0, 7, "x")
+
+    def test_broadcast_uses_all_links(self):
+        net = SimNetwork(5)
+        net.broadcast(2, "announcement")
+        inboxes = net.step()
+        for node in range(5):
+            if node == 2:
+                assert inboxes[node] == []
+            else:
+                assert inboxes[node][0].payload == "announcement"
+
+    def test_can_post_reports_link_availability(self):
+        net = SimNetwork(3)
+        assert net.can_post(0, 1)
+        net.post(0, 1, "x")
+        assert not net.can_post(0, 1)
+        assert net.can_post(0, 0)
+
+    def test_message_counter(self):
+        net = SimNetwork(4)
+        net.post(0, 1, "x")
+        net.post(2, 3, "y")
+        net.step()
+        assert net.total_messages == 2
+
+    def test_run_rounds_stops_when_fn_returns_false(self):
+        net = SimNetwork(3)
+
+        def round_fn(index, network):
+            return index < 2
+
+        executed = net.run_rounds(round_fn)
+        assert executed == 3
+
+
+class TestRouting:
+    def test_all_messages_delivered(self):
+        n = 8
+        net = SimNetwork(n)
+        rng = random.Random(0)
+        messages = [
+            (rng.randrange(n), rng.randrange(n), f"m{i}") for i in range(40)
+        ]
+        inboxes, rounds = route_messages(net, messages)
+        delivered = sorted(p for payloads in inboxes.values() for p in payloads)
+        assert delivered == sorted(payload for _, _, payload in messages)
+        assert rounds >= 1
+
+    def test_messages_arrive_at_correct_destination(self):
+        n = 6
+        net = SimNetwork(n)
+        messages = [(src, (src + 1) % n, ("tag", src)) for src in range(n)]
+        inboxes, _ = route_messages(net, messages)
+        for src in range(n):
+            dst = (src + 1) % n
+            assert ("tag", src) in inboxes[dst]
+
+    def test_balanced_full_load_is_constant_rounds(self):
+        """With each node sending and receiving exactly n messages the relay
+        scheme should finish in a small constant number of rounds."""
+        n = 12
+        net = SimNetwork(n)
+        messages = [(src, dst, (src, dst)) for src in range(n) for dst in range(n)]
+        inboxes, rounds = route_messages(net, messages)
+        assert sum(len(v) for v in inboxes.values()) == n * n
+        assert rounds <= 8  # two phases, small constant
+
+    def test_empty_message_list(self):
+        net = SimNetwork(4)
+        inboxes, rounds = route_messages(net, [])
+        assert rounds == 0
+        assert not inboxes
+
+    def test_direct_mode_delivers_everything(self):
+        n = 5
+        net = SimNetwork(n)
+        messages = [(0, 1, "a"), (0, 1, "b"), (2, 3, "c")]
+        inboxes, rounds = route_messages(net, messages, use_relays=False)
+        assert sorted(inboxes[1]) == ["a", "b"]
+        assert inboxes[3] == ["c"]
+        assert rounds == 2  # two messages share the 0->1 link
+
+    def test_broadcast_from_all(self):
+        n = 6
+        net = SimNetwork(n)
+        values = [f"v{i}" for i in range(n)]
+        received, rounds = broadcast_from_all(net, values)
+        assert rounds == 1
+        for node in range(n):
+            assert received[node] == values
+
+
+class TestDistributedSort:
+    def test_sorted_batches_cover_input_in_order(self):
+        n = 6
+        net = SimNetwork(n)
+        rng = random.Random(1)
+        local = [[rng.randint(0, 1000) for _ in range(n)] for _ in range(n)]
+        batches, rounds = distributed_sort(net, local)
+        flat = [value for batch in batches for value in batch]
+        assert flat == sorted(value for row in local for value in row)
+        assert rounds >= 1
+
+    def test_batch_sizes_balanced(self):
+        n = 5
+        net = SimNetwork(n)
+        local = [[i * n + j for j in range(n)] for i in range(n)]
+        batches, _ = distributed_sort(net, local)
+        sizes = [len(batch) for batch in batches]
+        assert max(sizes) - min(sizes) <= 1
+        assert sum(sizes) == n * n
+
+    def test_constant_round_bound_for_balanced_input(self):
+        n = 8
+        net = SimNetwork(n)
+        rng = random.Random(2)
+        local = [[rng.randint(0, 10_000) for _ in range(n)] for _ in range(n)]
+        _, rounds = distributed_sort(net, local)
+        assert rounds <= 16
+
+    def test_empty_input(self):
+        net = SimNetwork(4)
+        batches, rounds = distributed_sort(net, [[] for _ in range(4)])
+        assert batches == [[], [], [], []]
+        assert rounds == 0
+
+    def test_skewed_input_still_sorted(self):
+        n = 4
+        net = SimNetwork(n)
+        local = [[5, 5, 5, 5], [], [1, 2], [9]]
+        batches, _ = distributed_sort(net, local)
+        flat = [value for batch in batches for value in batch]
+        assert flat == sorted([5, 5, 5, 5, 1, 2, 9])

@@ -1,0 +1,147 @@
+"""Tests for (S, d, k)-source detection (Theorem 19)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.cclique import Clique
+from repro.distance import source_detection
+from repro.distance.products import augmented_weight_matrix
+from repro.graphs import (
+    all_pairs_dijkstra,
+    grid_graph,
+    hop_bounded_distances,
+    path_graph,
+    random_weighted_graph,
+)
+
+
+class TestAllSourcesVariant:
+    def test_distances_match_dijkstra_when_d_large(self):
+        graph = random_weighted_graph(24, average_degree=5, max_weight=7, seed=31)
+        sources = [0, 3, 9, 17]
+        exact = all_pairs_dijkstra(graph)
+        result = source_detection(graph, sources, d=24)
+        for v in range(graph.n):
+            for s in sources:
+                assert result.distance(v, s) == exact[s][v]
+
+    def test_hop_bound_is_respected(self):
+        graph = path_graph(12)
+        result = source_detection(graph, [0], d=3)
+        # nodes further than 4 hops cannot have an estimate yet
+        for v in range(graph.n):
+            value = result.distance(v, 0)
+            if v <= 4:
+                assert value == v
+            else:
+                assert value == math.inf
+
+    def test_hop_bounded_distances_lower_bounded_by_truth(self):
+        graph = random_weighted_graph(20, average_degree=4, max_weight=5, seed=32)
+        exact = all_pairs_dijkstra(graph)
+        result = source_detection(graph, [0, 5], d=2)
+        for v in range(graph.n):
+            for s in (0, 5):
+                estimate = result.distance(v, s)
+                assert estimate >= exact[s][v] - 1e-9
+
+    def test_sources_know_themselves(self):
+        graph = grid_graph(4, 4)
+        sources = [0, 5, 10]
+        result = source_detection(graph, sources, d=2)
+        for s in sources:
+            assert result.distance(s, s) == 0
+
+    def test_matches_reference_hop_bounded_distances(self):
+        graph = random_weighted_graph(18, average_degree=4, max_weight=6, seed=33)
+        d = 3
+        result = source_detection(graph, [2], d=d)
+        reference = hop_bounded_distances(graph, 2, d + 1)
+        for v in range(graph.n):
+            estimate = result.distance(v, 2)
+            # the tool allows up to d+1 hops (it starts from the 1-hop matrix)
+            assert estimate <= reference[v] + 1e-9 or estimate == math.inf
+
+
+class TestKLimitedVariant:
+    def test_k_nearest_sources_are_found(self):
+        graph = random_weighted_graph(24, average_degree=5, max_weight=5, seed=34)
+        sources = [0, 4, 8, 12, 16, 20]
+        exact = all_pairs_dijkstra(graph)
+        result = source_detection(graph, sources, d=24, k=2)
+        for v in range(graph.n):
+            found = result.distances[v]
+            assert len(found) <= 2
+            # the best reported source must be a truly nearest source
+            true_best = min(exact[s][v] for s in sources)
+            got_best = min((dist for dist, _ in found.values()), default=math.inf)
+            assert got_best == true_best
+
+    def test_k_one_reports_single_closest_source(self):
+        graph = grid_graph(5, 5)
+        sources = [0, 24]
+        exact = all_pairs_dijkstra(graph)
+        result = source_detection(graph, sources, d=25, k=1)
+        for v in range(graph.n):
+            assert len(result.distances[v]) == 1
+            ((s, (dist, _hops)),) = result.distances[v].items()
+            assert dist == min(exact[0][v], exact[24][v])
+
+    def test_k_larger_than_sources_equivalent_to_unlimited(self):
+        graph = random_weighted_graph(16, average_degree=4, seed=35)
+        sources = [1, 7]
+        limited = source_detection(graph, sources, d=16, k=10)
+        unlimited = source_detection(graph, sources, d=16)
+        for v in range(graph.n):
+            for s in sources:
+                assert limited.distance(v, s) == unlimited.distance(v, s)
+
+
+class TestInterface:
+    def test_empty_sources_rejected(self):
+        graph = path_graph(5)
+        with pytest.raises(ValueError):
+            source_detection(graph, [], d=2)
+
+    def test_nonpositive_d_rejected(self):
+        graph = path_graph(5)
+        with pytest.raises(ValueError):
+            source_detection(graph, [0], d=0)
+
+    def test_matrix_input_requires_semiring(self):
+        graph = path_graph(6)
+        W, semiring = augmented_weight_matrix(graph)
+        with pytest.raises(ValueError):
+            source_detection(W, [0], d=2)
+        result = source_detection(W, [0], d=6, semiring=semiring)
+        assert result.distance(5, 0) == 5
+
+    def test_rounds_scale_with_d(self):
+        graph = random_weighted_graph(20, average_degree=4, seed=36)
+        short = source_detection(graph, [0], d=2)
+        long = source_detection(graph, [0], d=8)
+        assert long.rounds > short.rounds
+
+    def test_early_stop_preserves_result(self):
+        graph = random_weighted_graph(20, average_degree=5, seed=37)
+        sources = [0, 3]
+        plain = source_detection(graph, sources, d=20)
+        stopped = source_detection(graph, sources, d=20, early_stop=True)
+        for v in range(graph.n):
+            for s in sources:
+                assert plain.distance(v, s) == stopped.distance(v, s)
+        assert stopped.rounds <= plain.rounds
+
+    def test_rounds_charged_to_shared_clique(self):
+        graph = path_graph(10)
+        clique = Clique(10)
+        result = source_detection(graph, [0], d=3, clique=clique)
+        assert clique.rounds == result.rounds > 0
+
+    def test_duplicate_sources_deduplicated(self):
+        graph = path_graph(6)
+        result = source_detection(graph, [0, 0, 0], d=6)
+        assert result.distance(5, 0) == 5

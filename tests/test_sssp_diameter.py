@@ -1,0 +1,156 @@
+"""Tests for exact SSSP (Theorem 33) and the diameter approximation (Claim 35)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.cclique import Clique
+from repro.core import approximate_diameter, exact_sssp
+from repro.graphs import (
+    Graph,
+    all_pairs_dijkstra,
+    barbell_graph,
+    dijkstra,
+    exact_diameter,
+    grid_graph,
+    path_graph,
+    random_weighted_graph,
+    star_graph,
+)
+
+
+class TestExactSSSP:
+    @pytest.mark.parametrize("seed", [91, 92, 93])
+    def test_exactness_on_random_graphs(self, seed):
+        graph = random_weighted_graph(30, average_degree=5, max_weight=9, seed=seed)
+        result = exact_sssp(graph, source=0)
+        expected = dijkstra(graph, 0)
+        assert np.allclose(result.distances, np.array(expected))
+
+    def test_exactness_on_path(self):
+        graph = path_graph(24, max_weight=5, seed=94)
+        result = exact_sssp(graph, source=3)
+        assert np.allclose(result.distances, np.array(dijkstra(graph, 3)))
+
+    def test_exactness_on_grid(self):
+        graph = grid_graph(5, 5, max_weight=4, seed=95)
+        result = exact_sssp(graph, source=12)
+        assert np.allclose(result.distances, np.array(dijkstra(graph, 12)))
+
+    def test_unreachable_nodes_reported_infinite(self):
+        graph = Graph(6)
+        graph.add_edge(0, 1, 2)
+        graph.add_edge(2, 3, 1)
+        result = exact_sssp(graph, source=0)
+        assert result.distances[1] == 2
+        assert math.isinf(result.distances[4])
+
+    def test_shortcuts_reduce_bellman_ford_iterations(self):
+        """The whole point of the k-shortcut graph: the number of
+        Bellman-Ford iterations drops well below the path length."""
+        n = 30
+        graph = path_graph(n, max_weight=3, seed=96)
+        shortcut = exact_sssp(graph, source=0, k=math.ceil(n ** (5 / 6)))
+        assert shortcut.details["bellman_ford_iterations"] < n - 1
+        assert np.allclose(shortcut.distances, np.array(dijkstra(graph, 0)))
+
+    def test_iterations_bounded_by_spd_bound(self):
+        n = 32
+        graph = path_graph(n)
+        k = 16
+        result = exact_sssp(graph, source=0, k=k)
+        assert result.details["bellman_ford_iterations"] <= math.ceil(4 * n / k) + 1
+
+    def test_larger_k_means_fewer_iterations(self):
+        graph = path_graph(32)
+        small_k = exact_sssp(graph, source=0, k=4)
+        large_k = exact_sssp(graph, source=0, k=24)
+        assert (
+            large_k.details["bellman_ford_iterations"]
+            <= small_k.details["bellman_ford_iterations"]
+        )
+
+    def test_invalid_source_rejected(self):
+        graph = path_graph(5)
+        with pytest.raises(ValueError):
+            exact_sssp(graph, source=9)
+
+    def test_directed_graph_rejected(self):
+        graph = Graph(4, directed=True)
+        graph.add_edge(0, 1, 1)
+        with pytest.raises(ValueError):
+            exact_sssp(graph, 0)
+
+    def test_rounds_charged(self):
+        graph = path_graph(16)
+        clique = Clique(16)
+        result = exact_sssp(graph, 0, clique=clique)
+        assert clique.rounds == result.rounds > 0
+
+    def test_details_report_shortcut_count(self):
+        graph = random_weighted_graph(20, average_degree=4, seed=97)
+        result = exact_sssp(graph, 0)
+        assert result.details["shortcut_edges"] >= 0
+        assert result.details["k"] >= 2
+
+
+class TestDiameterApproximation:
+    def check_bounds(self, graph, epsilon=0.5):
+        """Claim 35: with D = 3h + z, the estimate is in [2h + z', (1+ε)D]
+        (weighted graphs lose an additive max-weight term in the lower
+        bound)."""
+        true_diameter = exact_diameter(graph)
+        result = approximate_diameter(graph, epsilon=epsilon)
+        h, z = divmod(int(true_diameter), 3) if float(true_diameter).is_integer() else (
+            int(true_diameter // 3),
+            true_diameter - 3 * int(true_diameter // 3),
+        )
+        w_max = graph.max_weight()
+        lower = 2 * h + min(z, 1) - (w_max if w_max > 1 else 0)
+        assert result.estimate <= (1 + epsilon) * true_diameter + 1e-9
+        assert result.estimate >= lower - 1e-9
+        return result
+
+    def test_path_graph(self):
+        self.check_bounds(path_graph(25))
+
+    def test_grid_graph(self):
+        self.check_bounds(grid_graph(5, 5))
+
+    def test_barbell_graph(self):
+        self.check_bounds(barbell_graph(6, 6))
+
+    def test_star_graph(self):
+        result = self.check_bounds(star_graph(18))
+        assert result.estimate >= 1
+
+    def test_random_weighted_graph(self):
+        graph = random_weighted_graph(28, average_degree=5, max_weight=6, seed=98)
+        self.check_bounds(graph)
+
+    def test_estimate_never_exceeds_one_plus_eps_times_diameter(self):
+        for seed in (99, 100):
+            graph = random_weighted_graph(24, average_degree=5, max_weight=4, seed=seed)
+            true_diameter = exact_diameter(graph)
+            result = approximate_diameter(graph, epsilon=0.25)
+            assert result.estimate <= 1.25 * true_diameter + 1e-9
+
+    def test_invalid_epsilon_rejected(self):
+        with pytest.raises(ValueError):
+            approximate_diameter(path_graph(5), epsilon=0)
+
+    def test_directed_graph_rejected(self):
+        graph = Graph(4, directed=True)
+        graph.add_edge(0, 1, 1)
+        with pytest.raises(ValueError):
+            approximate_diameter(graph)
+
+    def test_rounds_charged_and_details_present(self):
+        graph = grid_graph(4, 4)
+        clique = Clique(16)
+        result = approximate_diameter(graph, epsilon=0.5, clique=clique)
+        assert clique.rounds == result.rounds > 0
+        assert "witness_node" in result.details

@@ -1,0 +1,115 @@
+"""Tests for the distance-through-sets tool (Theorem 20)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.cclique import Clique
+from repro.distance import distance_through_sets, k_nearest
+from repro.graphs import all_pairs_dijkstra, path_graph, random_weighted_graph
+
+
+def naive_through_sets(n, node_sets):
+    """O(n^2 * max|W_v|) reference computation."""
+    out = [[math.inf] * n for _ in range(n)]
+    for v in range(n):
+        for u in range(n):
+            best = math.inf
+            common = set(node_sets[v]) & set(node_sets[u])
+            for w in common:
+                candidate = node_sets[v][w][0] + node_sets[u][w][1]
+                best = min(best, candidate)
+            out[v][u] = best
+    return out
+
+
+class TestThroughSets:
+    def test_matches_naive_reference(self):
+        graph = random_weighted_graph(20, average_degree=5, max_weight=8, seed=41)
+        knn = k_nearest(graph, 5)
+        node_sets = [
+            {u: (dist, dist) for u, (dist, _h) in knn.neighbors[v].items()}
+            for v in range(graph.n)
+        ]
+        result = distance_through_sets(graph.n, node_sets)
+        reference = naive_through_sets(graph.n, node_sets)
+        for v in range(graph.n):
+            for u in range(graph.n):
+                assert result.estimate(v, u) == reference[v][u]
+
+    def test_estimates_upper_bound_distances(self):
+        graph = random_weighted_graph(20, average_degree=5, max_weight=8, seed=42)
+        exact = all_pairs_dijkstra(graph)
+        knn = k_nearest(graph, 6)
+        node_sets = [
+            {u: (dist, dist) for u, (dist, _h) in knn.neighbors[v].items()}
+            for v in range(graph.n)
+        ]
+        result = distance_through_sets(graph.n, node_sets)
+        for v in range(graph.n):
+            for u, value in result.estimates[v].items():
+                assert value >= exact[v][u] - 1e-9
+
+    def test_pairs_with_overlapping_balls_get_exact_distance(self):
+        """If the balls of u and v overlap on the shortest path, the combined
+        estimate equals the true distance (the Case 1 argument of Lemma 27)."""
+        graph = path_graph(9)
+        exact = all_pairs_dijkstra(graph)
+        knn = k_nearest(graph, 5)  # balls of radius 2 around each node
+        node_sets = [
+            {u: (dist, dist) for u, (dist, _h) in knn.neighbors[v].items()}
+            for v in range(graph.n)
+        ]
+        result = distance_through_sets(graph.n, node_sets)
+        # nodes at distance <= 4 have overlapping balls on the path
+        for v in range(graph.n):
+            for u in range(graph.n):
+                if 0 < abs(u - v) <= 4:
+                    assert result.estimate(v, u) == exact[v][u]
+
+    def test_disjoint_sets_produce_no_estimate(self):
+        node_sets = [{0: (0.0, 0.0)}, {1: (0.0, 0.0)}]
+        result = distance_through_sets(2, node_sets)
+        assert result.estimate(0, 1) == math.inf
+
+    def test_self_estimate_through_own_set(self):
+        node_sets = [{0: (0.0, 0.0)}, {0: (3.0, 3.0)}]
+        result = distance_through_sets(2, node_sets)
+        assert result.estimate(0, 0) == 0.0
+        assert result.estimate(1, 0) == 3.0
+        assert result.estimate(1, 1) == 6.0  # through node 0 both ways
+
+    def test_asymmetric_estimates_respected(self):
+        # directed-style estimates: to_w != from_w
+        node_sets = [{0: (1.0, 5.0)}, {0: (2.0, 7.0)}]
+        result = distance_through_sets(2, node_sets)
+        assert result.estimate(0, 1) == 1.0 + 7.0
+        assert result.estimate(1, 0) == 2.0 + 5.0
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(ValueError):
+            distance_through_sets(3, [{}])
+
+    def test_rounds_charged(self):
+        clique = Clique(8)
+        node_sets = [{v: (0.0, 0.0)} for v in range(8)]
+        result = distance_through_sets(8, node_sets, clique=clique)
+        assert clique.rounds == result.rounds > 0
+
+    def test_rounds_grow_with_set_sizes(self):
+        graph = random_weighted_graph(32, average_degree=5, seed=43)
+        small_knn = k_nearest(graph, 2)
+        large_knn = k_nearest(graph, 16)
+        small_sets = [
+            {u: (d, d) for u, (d, _h) in small_knn.neighbors[v].items()}
+            for v in range(graph.n)
+        ]
+        large_sets = [
+            {u: (d, d) for u, (d, _h) in large_knn.neighbors[v].items()}
+            for v in range(graph.n)
+        ]
+        small = distance_through_sets(graph.n, small_sets)
+        large = distance_through_sets(graph.n, large_sets)
+        assert large.rounds >= small.rounds

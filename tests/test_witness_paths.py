@@ -1,0 +1,208 @@
+"""Tests for witness extraction and path recovery (Section 3.1, path remark)."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import numpy as np
+import pytest
+
+from repro.core import exact_sssp
+from repro.distance import (
+    extract_path,
+    forward_route,
+    k_nearest,
+    k_nearest_paths,
+    path_weight,
+    routing_table_from_estimates,
+    sssp_tree,
+)
+from repro.graphs import (
+    Graph,
+    all_pairs_dijkstra,
+    dijkstra,
+    grid_graph,
+    path_graph,
+    random_weighted_graph,
+    star_graph,
+)
+from repro.matmul import SemiringMatrix, witnessed_product, witnessed_squaring
+from repro.matmul.kernels import sparse_dict_product
+from repro.matmul.witness import expand_path
+from repro.semiring import BOOLEAN, MIN_PLUS
+
+
+def random_matrix(n, nnz, seed):
+    rng = random.Random(seed)
+    matrix = SemiringMatrix(n, MIN_PLUS)
+    for _ in range(nnz):
+        matrix.set(rng.randrange(n), rng.randrange(n), float(rng.randint(1, 40)))
+    return matrix
+
+
+class TestWitnessedProduct:
+    def test_product_matches_plain_kernel(self):
+        S = random_matrix(15, 60, 1)
+        T = random_matrix(15, 60, 2)
+        witnessed = witnessed_product(S, T)
+        assert witnessed.product.equals(sparse_dict_product(S, T))
+
+    def test_witnesses_certify_their_entries(self):
+        S = random_matrix(15, 60, 3)
+        T = random_matrix(15, 60, 4)
+        witnessed = witnessed_product(S, T)
+        for i, j, value in witnessed.product.entries():
+            w = witnessed.witness(i, j)
+            assert w is not None
+            assert S.get(i, w) + T.get(w, j) == pytest.approx(value)
+
+    def test_filtering_keeps_witnesses_for_surviving_entries(self):
+        S = random_matrix(15, 80, 5)
+        T = random_matrix(15, 80, 6)
+        witnessed = witnessed_product(S, T, keep=3)
+        for i in range(15):
+            assert set(witnessed.witnesses[i]) == set(witnessed.product.rows[i])
+
+    def test_missing_entry_has_no_witness(self):
+        S = SemiringMatrix(4, MIN_PLUS)
+        S.set(0, 1, 2.0)
+        witnessed = witnessed_product(S, S)
+        assert witnessed.witness(2, 3) is None
+
+    def test_unordered_semiring_rejected(self):
+        S = SemiringMatrix(4, BOOLEAN)
+        with pytest.raises(TypeError):
+            witnessed_product(S, S)
+
+    def test_witnessed_squaring_expands_to_true_paths(self):
+        graph = path_graph(10, max_weight=3, seed=7)
+        from repro.distance.products import augmented_weight_matrix
+
+        W, _ = augmented_weight_matrix(graph)
+        power, levels = witnessed_squaring(W, keep=10, squarings=4)
+        exact = all_pairs_dijkstra(graph)
+        for u in range(10):
+            for v in power.rows[u]:
+                nodes = expand_path(u, v, levels)
+                # consecutive duplicates may appear when one half is trivial
+                cleaned = [nodes[0]] + [b for a, b in zip(nodes, nodes[1:]) if a != b]
+                assert cleaned[0] == u and cleaned[-1] == v
+                assert path_weight(graph, cleaned) == pytest.approx(exact[u][v])
+
+    def test_negative_squarings_rejected(self):
+        W = SemiringMatrix(4, MIN_PLUS)
+        with pytest.raises(ValueError):
+            witnessed_squaring(W, keep=2, squarings=-1)
+
+
+class TestKNearestPaths:
+    @pytest.mark.parametrize("maker,kwargs", [
+        (path_graph, {"max_weight": 4, "seed": 1}),
+        (grid_graph, {}),
+        (random_weighted_graph, {"average_degree": 5, "max_weight": 9, "seed": 2}),
+    ])
+    def test_paths_are_shortest(self, maker, kwargs):
+        if maker is grid_graph:
+            graph = maker(4, 5, **kwargs)
+        elif maker is path_graph:
+            graph = maker(16, **kwargs)
+        else:
+            graph = maker(20, **kwargs)
+        k = 5
+        exact = all_pairs_dijkstra(graph)
+        knn = k_nearest(graph, k)
+        paths = k_nearest_paths(graph, k)
+        for v in range(graph.n):
+            assert set(paths[v]) == set(knn.neighbors[v])
+            for u, path in paths[v].items():
+                assert path[0] == v and path[-1] == u
+                assert path_weight(graph, path) == pytest.approx(exact[v][u])
+
+    def test_path_to_self_is_trivial(self):
+        graph = star_graph(8)
+        paths = k_nearest_paths(graph, 3)
+        for v in range(graph.n):
+            assert paths[v][v] == [v]
+
+    def test_invalid_k_rejected(self):
+        with pytest.raises(ValueError):
+            k_nearest_paths(path_graph(4), 0)
+
+
+class TestSSSPTree:
+    def test_tree_reconstructs_exact_paths(self):
+        graph = random_weighted_graph(24, average_degree=5, max_weight=8, seed=11)
+        result = exact_sssp(graph, 0)
+        predecessors = sssp_tree(graph, 0, list(result.distances))
+        exact = dijkstra(graph, 0)
+        for v in range(graph.n):
+            if exact[v] == math.inf:
+                assert predecessors[v] == -1
+                continue
+            path = extract_path(predecessors, 0, v)
+            assert path[0] == 0 and path[-1] == v
+            assert path_weight(graph, path) == pytest.approx(exact[v])
+
+    def test_unreachable_nodes_have_empty_path(self):
+        graph = Graph(5)
+        graph.add_edge(0, 1, 2)
+        distances = dijkstra(graph, 0)
+        predecessors = sssp_tree(graph, 0, distances)
+        assert extract_path(predecessors, 0, 4) == []
+
+    def test_inconsistent_distances_rejected(self):
+        graph = path_graph(5)
+        with pytest.raises(ValueError):
+            sssp_tree(graph, 0, [0, 0.5, 1, 2, 3])
+
+
+class TestRoutingTables:
+    def test_tables_from_exact_distances_route_optimally(self):
+        graph = random_weighted_graph(20, average_degree=5, max_weight=7, seed=12)
+        exact = np.array(all_pairs_dijkstra(graph))
+        tables = routing_table_from_estimates(graph, exact)
+        for source in range(0, 20, 4):
+            for target in range(20):
+                if source == target or not np.isfinite(exact[source, target]):
+                    continue
+                route = forward_route(graph, tables, source, target)
+                assert route[0] == source and route[-1] == target
+                assert path_weight(graph, route) == pytest.approx(exact[source][target])
+
+    def test_inconsistent_estimates_rejected(self):
+        graph = path_graph(4)
+        estimates = np.array(all_pairs_dijkstra(graph))
+        estimates[0, 3] = 1.0  # below the best one-step lookahead
+        with pytest.raises(ValueError):
+            routing_table_from_estimates(graph, estimates)
+
+    def test_consistency_check_can_be_skipped(self):
+        graph = path_graph(4)
+        estimates = np.array(all_pairs_dijkstra(graph))
+        estimates[0, 3] = 1.0
+        tables = routing_table_from_estimates(graph, estimates, verify_consistency=False)
+        assert tables[0][3] == 1  # still picks the only neighbour
+
+    def test_missing_route_raises(self):
+        graph = Graph(4)
+        graph.add_edge(0, 1, 1)
+        estimates = np.array(all_pairs_dijkstra(graph))
+        tables = routing_table_from_estimates(graph, estimates)
+        with pytest.raises(ValueError):
+            forward_route(graph, tables, 0, 3)
+
+    def test_shape_mismatch_rejected(self):
+        graph = path_graph(4)
+        with pytest.raises(ValueError):
+            routing_table_from_estimates(graph, np.zeros((3, 3)))
+
+    def test_dense_mm_apsp_estimates_are_routable(self):
+        from repro.baselines import apsp_dense_mm
+
+        graph = random_weighted_graph(18, average_degree=4, max_weight=6, seed=13)
+        result = apsp_dense_mm(graph)
+        tables = routing_table_from_estimates(graph, result.estimates)
+        exact = all_pairs_dijkstra(graph)
+        route = forward_route(graph, tables, 0, 17)
+        assert path_weight(graph, route) == pytest.approx(exact[0][17])
