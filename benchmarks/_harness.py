@@ -20,10 +20,10 @@ from __future__ import annotations
 
 import math
 import random
+import time
 from typing import Dict, List, Sequence
 
 from repro import (
-    Clique,
     apsp_unweighted,
     apsp_weighted,
     approximate_diameter,
@@ -50,6 +50,7 @@ from repro.graphs import (
     random_weighted_graph,
 )
 from repro.matmul import SemiringMatrix
+from repro.oracle import QueryEngine, build_oracle, measure_throughput
 from repro.semiring import MIN_PLUS
 
 Row = Dict[str, object]
@@ -469,6 +470,52 @@ def experiment_baseline_comparison(sizes: Sequence[int] = (32, 64, 96, 128)) -> 
                 "spanner_stretch": spanner.max_stretch(exact),
             }
         )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# E-ORACLE: distance-oracle query throughput
+# ----------------------------------------------------------------------
+def experiment_oracle_queries(
+    n: int = 256, queries: int = 20_000, strategies: Sequence[str] = (
+        "dense-apsp", "landmark-mssp", "exact-fallback"),
+) -> List[Row]:
+    """Build each oracle strategy on two graph families, then measure query
+    throughput: a cold pass over ``queries`` random pairs, and a cached pass
+    over the same pairs.  Latency percentiles come from the engine's own
+    ``stats()`` window, i.e. the same numbers ``repro oracle bench`` prints.
+    """
+    side = int(math.isqrt(n))
+    families = {
+        "random d=8": random_weighted_graph(n, average_degree=8, max_weight=16, seed=41),
+        f"grid {side}x{side}": grid_graph(side, side, max_weight=16, seed=42),
+    }
+    rng = random.Random(43)
+    rows: List[Row] = []
+    for family, graph in families.items():
+        pairs = [(rng.randrange(graph.n), rng.randrange(graph.n))
+                 for _ in range(queries)]
+        for strategy in strategies:
+            start = time.perf_counter()
+            artifact = build_oracle(graph, strategy=strategy, epsilon=0.5)
+            build_seconds = time.perf_counter() - start
+            engine = QueryEngine(artifact)
+            throughput = measure_throughput(engine, pairs)
+            latency = engine.stats()["latency"]
+            rows.append(
+                {
+                    "family": family,
+                    "strategy": strategy,
+                    "n": graph.n,
+                    "build_s": build_seconds,
+                    "build_rounds": artifact.build_rounds,
+                    "cold_qps": throughput["cold_qps"],
+                    "cached_qps": throughput["cached_qps"],
+                    "p50_us": latency["p50_us"],
+                    "p95_us": latency["p95_us"],
+                    "p99_us": latency["p99_us"],
+                }
+            )
     return rows
 
 

@@ -34,6 +34,7 @@ EXPERIMENTS = {
     "c35": ("E-C35: diameter approximation (Claim 35)", harness.experiment_c35_diameter),
     "base": ("E-BASE: APSP family head-to-head", lambda: harness.experiment_baseline_comparison((32, 64, 96, 128))),
     "prim": ("E-PRIM: simulator primitives", lambda: harness.experiment_primitives((8, 12, 16, 24))),
+    "oracle": ("E-ORACLE: distance-oracle query throughput, n=256", lambda: harness.experiment_oracle_queries(256, 20_000)),
 }
 
 

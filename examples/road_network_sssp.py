@@ -18,7 +18,6 @@ Run with::
 
 from __future__ import annotations
 
-import math
 import sys
 
 import numpy as np

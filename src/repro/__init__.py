@@ -16,7 +16,10 @@ Leitersdorf, *Fast Approximate Shortest Paths in the Congested Clique*
   APSP approximations, exact Õ(n^{1/6}) SSSP, and the near-3/2 diameter
   approximation — :mod:`repro.core`;
 * the prior-work baselines those results are compared against —
-  :mod:`repro.baselines`.
+  :mod:`repro.baselines`;
+* a build-once / query-many distance-oracle subsystem with on-disk
+  artifacts, an LRU-cached query engine, and CLI integration —
+  :mod:`repro.oracle`.
 
 Quick start::
 
@@ -27,7 +30,7 @@ Quick start::
     print(result.rounds, result.estimates[0][5])
 """
 
-from repro import baselines, cclique, core, distance, graphs, hopsets, matmul, semiring
+from repro import baselines, cclique, core, distance, graphs, hopsets, matmul, oracle, semiring
 from repro.cclique import Clique
 from repro.core import (
     apsp_unweighted,
@@ -47,7 +50,7 @@ from repro.matmul import (
     sparse_mm_clt18,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Graph",
@@ -73,6 +76,7 @@ __all__ = [
     "graphs",
     "hopsets",
     "matmul",
+    "oracle",
     "semiring",
     "__version__",
 ]

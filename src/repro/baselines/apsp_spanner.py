@@ -25,7 +25,7 @@ import numpy as np
 from repro.cclique.accounting import Clique
 from repro.core.results import APSPResult
 from repro.graphs.graph import Graph, INF
-from repro.graphs.reference import all_pairs_dijkstra, dijkstra
+from repro.graphs.reference import all_pairs_dijkstra
 
 
 def build_greedy_spanner(graph: Graph, k: int) -> Graph:

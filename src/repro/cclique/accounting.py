@@ -16,7 +16,6 @@ from __future__ import annotations
 
 import contextlib
 import dataclasses
-import math
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.cclique.spec import DEFAULT_SPEC, ModelSpec

@@ -27,7 +27,7 @@ from __future__ import annotations
 import collections
 from typing import Any, Dict, List, Sequence, Tuple
 
-from repro.cclique.simulator import Message, SimNetwork
+from repro.cclique.simulator import SimNetwork
 
 
 def route_messages(
@@ -78,10 +78,9 @@ def route_messages(
             for relay, content in items:
                 if (src, relay) not in used_links:
                     used_links.add((src, relay))
-                    if src == relay:
-                        relay_holdings[relay].append(content)
-                    else:
-                        net.post(src, relay, ("relay", content))
+                    # Local hops go through post() too (free, but counted),
+                    # keeping total_messages consistent across hop kinds.
+                    net.post(src, relay, ("relay", content))
                 else:
                     remaining.append((relay, content))
             pending[src] = remaining
@@ -106,10 +105,7 @@ def route_messages(
                 if (relay, dst) not in used_links:
                     used_links.add((relay, dst))
                     progress = True
-                    if relay == dst:
-                        inboxes[dst].append(payload)
-                    else:
-                        net.post(relay, dst, ("final", payload))
+                    net.post(relay, dst, ("final", payload))
                 else:
                     remaining.append((dst, payload))
             deliver_pending[relay] = remaining
@@ -138,10 +134,7 @@ def _route_direct(
             if not payloads:
                 continue
             payload = payloads.pop(0)
-            if src == dst:
-                inboxes[dst].append(payload)
-            else:
-                net.post(src, dst, ("direct", payload))
+            net.post(src, dst, ("direct", payload))
         delivered = net.step()
         for node, node_messages in enumerate(delivered):
             for message in node_messages:

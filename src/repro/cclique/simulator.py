@@ -14,7 +14,7 @@ n = 256+ feasible.
 from __future__ import annotations
 
 import dataclasses
-from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Tuple
 
 
 class BandwidthViolation(RuntimeError):
@@ -47,6 +47,13 @@ class SimNetwork:
     ``post`` raises :class:`BandwidthViolation` if a second message is posted
     on the same ordered link in the same round, or if a payload exceeds the
     word budget.
+
+    Message accounting: ``total_messages`` counts *every* delivered message,
+    including same-node "local" deliveries (``src == dst``).  Local messages
+    are exempt from the one-message-per-link bandwidth rule and from the
+    payload budget — they model free local computation and never cost a
+    round — but they still show up in the counter so traffic totals are
+    consistent however an algorithm mixes local and remote sends.
     """
 
     def __init__(self, n: int, max_words_per_message: int = 4):
@@ -67,8 +74,10 @@ class SimNetwork:
         self._check_node(src)
         self._check_node(dst)
         if src == dst:
-            # Local "messages" are free; deliver immediately.
+            # Local "messages" are free (no round, no bandwidth) but are
+            # still counted, so total_messages covers all deliveries.
             self._inboxes[dst].append(Message(src, dst, payload, payload_words))
+            self.total_messages += 1
             return
         if payload_words > self.max_words_per_message:
             raise BandwidthViolation(
@@ -87,7 +96,22 @@ class SimNetwork:
         return src == dst or (src, dst) not in self._outbox
 
     def broadcast(self, src: int, payload: Any, payload_words: int = 1) -> None:
-        """Node ``src`` sends ``payload`` to every other node (one round's worth)."""
+        """Node ``src`` sends ``payload`` to every other node (one round's worth).
+
+        A broadcast needs *all* of ``src``'s outgoing links free this round;
+        if any link was already used, the whole broadcast is refused (rather
+        than partially posted) with an error naming the busy links.
+        """
+        busy = [dst for dst in range(self.n)
+                if dst != src and not self.can_post(src, dst)]
+        if busy:
+            shown = ", ".join(str(dst) for dst in busy[:5])
+            suffix = ", ..." if len(busy) > 5 else ""
+            raise BandwidthViolation(
+                f"broadcast from node {src} requires all outgoing links free "
+                f"in round {self.round}, but links to [{shown}{suffix}] were "
+                "already used"
+            )
         for dst in range(self.n):
             if dst != src:
                 self.post(src, dst, payload, payload_words)

@@ -19,8 +19,7 @@ small constant in tests.
 
 from __future__ import annotations
 
-import collections
-from typing import Any, Dict, List, Sequence, Tuple
+from typing import Any, List, Sequence, Tuple
 
 from repro.cclique.routing import broadcast_from_all, route_messages
 from repro.cclique.simulator import SimNetwork

@@ -14,16 +14,21 @@ Each subcommand generates a seeded workload, runs the corresponding
 algorithm, validates the guarantee against sequential ground truth, and
 prints a short report including the simulated round count and (with
 ``--breakdown``) where the rounds were spent.
+
+The ``oracle`` subcommand group is the build-once / query-many split::
+
+    python -m repro oracle build out.npz --strategy landmark-mssp --n 96
+    python -m repro oracle query out.npz --pairs 0:5,3:7 --stats
+    python -m repro oracle bench out.npz --queries 20000
 """
 
 from __future__ import annotations
 
 import argparse
 import math
+import random
 import sys
-from typing import List, Optional
-
-import numpy as np
+from typing import List, Optional, Tuple
 
 from repro import (
     apsp_unweighted,
@@ -43,11 +48,20 @@ from repro.graphs import (
     erdos_renyi,
     exact_diameter,
     grid_graph,
+    load_edge_list,
     random_weighted_graph,
 )
 from repro.graphs.reference import approximation_ratio
 from repro.hopsets import verify_hopset_property
 from repro.matmul import SemiringMatrix
+from repro.oracle import (
+    STRATEGY_NAMES,
+    ArtifactError,
+    OracleArtifact,
+    OracleBuilder,
+    QueryEngine,
+    measure_throughput,
+)
 from repro.semiring import MIN_PLUS
 
 
@@ -184,6 +198,148 @@ def cmd_matmul(args: argparse.Namespace) -> int:
 
 
 # ----------------------------------------------------------------------
+# oracle subcommands
+# ----------------------------------------------------------------------
+def _parse_pairs(text: str) -> List[Tuple[int, int]]:
+    """Parse ``"0:5,3:7"`` into ``[(0, 5), (3, 7)]``."""
+    pairs: List[Tuple[int, int]] = []
+    for chunk in text.split(","):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        parts = chunk.split(":")
+        if len(parts) != 2:
+            raise ValueError(f"expected 'u:v', got {chunk!r}")
+        pairs.append((int(parts[0]), int(parts[1])))
+    if not pairs:
+        raise ValueError("no query pairs given")
+    return pairs
+
+
+def _load_engine(path: str) -> QueryEngine:
+    return QueryEngine(OracleArtifact.load(path))
+
+
+def _node_translation(engine: QueryEngine):
+    """Original-id <-> internal-id mapping for artifacts built from files.
+
+    Returns ``(to_original, to_internal)``; both are ``None`` for artifacts
+    built from generated workloads (internal ids are the public ids).
+    """
+    ids = engine.artifact.metadata.get("node_ids")
+    if ids is None:
+        return None, None
+    return list(ids), {original: i for i, original in enumerate(ids)}
+
+
+def cmd_oracle_build(args: argparse.Namespace) -> int:
+    original_ids = None
+    if args.graph:
+        try:
+            graph, original_ids = load_edge_list(args.graph)
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot load graph {args.graph}: {exc}", file=sys.stderr)
+            return 1
+    else:
+        graph = _build_graph(args)
+    try:
+        builder = OracleBuilder(strategy=args.strategy, epsilon=args.epsilon, k=args.k)
+        artifact = builder.build(graph)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if original_ids is not None:
+        # Node ids in the file may be arbitrary; persist the mapping so
+        # queries speak the file's ids, not the compacted internal ones.
+        artifact.metadata["node_ids"] = [original_ids[i] for i in range(graph.n)]
+    payload_path, sidecar_path = artifact.save(args.artifact)
+    print(f"oracle build: {args.strategy} on n={graph.n}, m={graph.num_edges()}")
+    print(builder.report(artifact).summary())
+    print(f"payload          : {payload_path}")
+    print(f"metadata         : {sidecar_path}")
+    return 0
+
+
+def cmd_oracle_query(args: argparse.Namespace) -> int:
+    try:
+        engine = _load_engine(args.artifact)
+    except ArtifactError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    to_original, to_internal = _node_translation(engine)
+
+    def internal(node: int) -> int:
+        if to_internal is None:
+            return node
+        try:
+            return to_internal[node]
+        except KeyError:
+            raise ValueError(f"node {node} is not in the graph the oracle "
+                             "was built from") from None
+
+    did_something = False
+    if args.pairs is not None:
+        try:
+            pairs = _parse_pairs(args.pairs)
+            distances = engine.batch([(internal(u), internal(v)) for u, v in pairs])
+        except ValueError as exc:
+            print(f"error: bad --pairs value: {exc}", file=sys.stderr)
+            return 2
+        for (u, v), value in zip(pairs, distances):
+            print(f"dist({u}, {v}) = {value:g}")
+        did_something = True
+    if args.k_nearest is not None:
+        try:
+            u, k = (int(part) for part in args.k_nearest.split(":"))
+            nearest = engine.k_nearest(internal(u), k)
+        except ValueError as exc:
+            print(f"error: bad --k-nearest value {args.k_nearest!r}: {exc}",
+                  file=sys.stderr)
+            return 2
+        for node, value in nearest:
+            shown = node if to_original is None else to_original[node]
+            print(f"nearest({u}): node {shown} at {value:g}")
+        did_something = True
+    if args.stats or not did_something:
+        stats = engine.stats()
+        latency = stats["latency"]
+        print(f"strategy         : {stats['strategy']} (n={stats['n']})")
+        print(f"queries          : {stats['queries']}")
+        print(f"cache hit rate   : {stats['cache_hit_rate']:.3f}")
+        if latency["count"]:
+            print(f"latency P50/P95/P99 (us): {latency['p50_us']:.1f} / "
+                  f"{latency['p95_us']:.1f} / {latency['p99_us']:.1f}")
+    return 0
+
+
+def cmd_oracle_bench(args: argparse.Namespace) -> int:
+    if args.queries <= 0:
+        print(f"error: --queries must be positive, got {args.queries}",
+              file=sys.stderr)
+        return 2
+    try:
+        engine = _load_engine(args.artifact)
+    except ArtifactError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    rng = random.Random(args.seed)
+    n = engine.n
+    pairs = [(rng.randrange(n), rng.randrange(n)) for _ in range(args.queries)]
+    throughput = measure_throughput(engine, pairs)
+
+    stats = engine.stats()
+    latency = stats["latency"]
+    print(f"oracle bench: {stats['strategy']} on n={n}, {args.queries} queries")
+    print(f"cold queries/sec : {throughput['cold_qps']:,.0f}")
+    print(f"cached queries/sec: {throughput['cached_qps']:,.0f}")
+    print(f"cache hit rate   : {stats['cache_hit_rate']:.3f}")
+    if latency["count"]:
+        print(f"latency P50/P95/P99 (us): {latency['p50_us']:.1f} / "
+              f"{latency['p95_us']:.1f} / {latency['p99_us']:.1f}")
+    return 0
+
+
+# ----------------------------------------------------------------------
 # argument parsing
 # ----------------------------------------------------------------------
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -234,6 +390,42 @@ def build_parser() -> argparse.ArgumentParser:
     matmul.add_argument("--density", type=int, default=8, help="non-zeros per row")
     matmul.add_argument("--seed", type=int, default=0)
     matmul.set_defaults(func=cmd_matmul)
+
+    oracle = sub.add_parser(
+        "oracle", help="build, query, and benchmark persistent distance oracles"
+    )
+    oracle_sub = oracle.add_subparsers(dest="oracle_command", required=True)
+
+    build = oracle_sub.add_parser("build", help="build and save an oracle artifact")
+    build.add_argument("artifact", help="output path (.npz; a .meta.json sidecar is added)")
+    build.add_argument(
+        "--strategy", choices=STRATEGY_NAMES, default="landmark-mssp",
+        help="oracle construction strategy",
+    )
+    build.add_argument("--graph", help="edge-list file to build from (instead of --n)")
+    build.add_argument("--k", type=int, default=None, help="ball size for landmark-mssp")
+    # Workload options mirror _add_common minus the flags build has no use
+    # for (--breakdown / --compare-baseline are report-time options).
+    build.add_argument("--n", type=int, default=96, help="number of nodes")
+    build.add_argument("--degree", type=float, default=8.0, help="average degree")
+    build.add_argument("--max-weight", type=int, default=16, dest="max_weight")
+    build.add_argument("--seed", type=int, default=0)
+    build.add_argument("--epsilon", type=float, default=0.5)
+    build.add_argument("--grid", action="store_true", help="use a grid workload")
+    build.set_defaults(func=cmd_oracle_build, weighted=True)
+
+    query = oracle_sub.add_parser("query", help="answer queries from a saved artifact")
+    query.add_argument("artifact", help="artifact path written by 'oracle build'")
+    query.add_argument("--pairs", help="comma-separated u:v pairs, e.g. 0:5,3:7")
+    query.add_argument("--k-nearest", dest="k_nearest", help="node:k, e.g. 0:5")
+    query.add_argument("--stats", action="store_true", help="print engine statistics")
+    query.set_defaults(func=cmd_oracle_query)
+
+    bench = oracle_sub.add_parser("bench", help="measure query throughput and latency")
+    bench.add_argument("artifact", help="artifact path written by 'oracle build'")
+    bench.add_argument("--queries", type=int, default=20000)
+    bench.add_argument("--seed", type=int, default=0)
+    bench.set_defaults(func=cmd_oracle_bench)
 
     return parser
 

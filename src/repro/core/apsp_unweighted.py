@@ -24,7 +24,7 @@ Lemma 30 shows is at most ``(2 + ε) · d_G(u, v)``.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 import numpy as np
 

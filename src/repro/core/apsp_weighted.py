@@ -19,7 +19,7 @@ Both run in ``O(log² n / ε)`` rounds.
 from __future__ import annotations
 
 import math
-from typing import Dict, Optional, Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 

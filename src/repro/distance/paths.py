@@ -18,7 +18,7 @@ the headline algorithms — into usable paths and routing tables:
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 

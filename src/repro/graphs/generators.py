@@ -9,7 +9,7 @@ by a polynomial in ``n`` (Section 1.5).
 from __future__ import annotations
 
 import random
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 from repro.graphs.graph import Graph
 

@@ -13,7 +13,7 @@ node ``v`` of the graph is identified with machine ``v`` of the clique.
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
 
 #: Infinite distance sentinel.  Using ``math.inf`` keeps arithmetic natural
 #: (``INF + w == INF``) and comparisons obvious.

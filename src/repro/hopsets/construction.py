@@ -30,10 +30,9 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 from repro.cclique.accounting import Clique
 from repro.distance.hitting_set import greedy_hitting_set
 from repro.distance.k_nearest import KNearestResult, k_nearest
-from repro.distance.products import augmented_weight_matrix, matrix_from_edges
-from repro.distance.source_detection import source_detection
+from repro.distance.products import matrix_from_edges
 from repro.graphs.graph import Graph
-from repro.semiring.augmented import AugmentedEntry, augmented_semiring_for
+from repro.semiring.augmented import augmented_semiring_for
 
 
 @dataclasses.dataclass

@@ -18,7 +18,7 @@ bounds, so measured rounds reflect what the schedule would really cost.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 from repro.cclique.accounting import Clique
 from repro.matmul.partition import CubePartition

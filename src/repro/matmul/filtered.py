@@ -18,7 +18,7 @@ above it, and only then balance and sum.  The binary search costs
 from __future__ import annotations
 
 import math
-from typing import Any, Dict, List, Optional, Tuple
+from typing import List, Optional
 
 from repro.cclique.accounting import Clique
 from repro.matmul.balancing import (

@@ -32,7 +32,7 @@ from repro.matmul.balancing import (
 )
 from repro.matmul.kernels import submatrix_product
 from repro.matmul.matrix import SemiringMatrix
-from repro.matmul.partition import CubePartition, compute_split_parameters, cube_partition
+from repro.matmul.partition import compute_split_parameters, cube_partition
 from repro.matmul.results import MatMulResult
 
 

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import dataclasses
-from typing import Any, Dict, Optional
+from typing import Any, Dict
 
 from repro.cclique.accounting import Clique
 from repro.matmul.matrix import SemiringMatrix

@@ -1,0 +1,62 @@
+"""Distance-oracle subsystem: build once, persist, query many times.
+
+The headline algorithms in :mod:`repro.core` are one-shot Congested Clique
+computations.  This package turns them into a *distance oracle* with the
+build/serve split used by production shortest-path systems:
+
+* :mod:`repro.oracle.build` — :class:`OracleBuilder` runs one of three
+  strategies (``dense-apsp``, ``landmark-mssp``, ``exact-fallback``) and
+  records the simulated build rounds and the stretch guarantee.
+* :mod:`repro.oracle.artifact` — :class:`OracleArtifact`, a versioned
+  on-disk format (compressed ``.npz`` payload + JSON metadata sidecar with
+  a payload checksum) that round-trips through ``save``/``load``.
+* :mod:`repro.oracle.engine` — :class:`QueryEngine` serving ``dist``,
+  ``batch`` and ``k_nearest`` queries with an LRU cache and latency
+  percentiles via ``stats()``.
+
+Quick start::
+
+    from repro import graphs
+    from repro.oracle import build_oracle, OracleArtifact, QueryEngine
+
+    g = graphs.random_weighted_graph(96, average_degree=8, seed=0)
+    artifact = build_oracle(g, strategy="landmark-mssp", epsilon=0.5)
+    artifact.save("oracle.npz")
+
+    engine = QueryEngine(OracleArtifact.load("oracle.npz"))
+    print(engine.dist(0, 42), engine.stats()["latency"]["p50_us"])
+"""
+
+from repro.oracle.artifact import (
+    FORMAT_VERSION,
+    ArtifactError,
+    OracleArtifact,
+    artifact_paths,
+)
+from repro.oracle.build import BuildReport, OracleBuilder, build_oracle
+from repro.oracle.cache import LatencyRecorder, LRUCache
+from repro.oracle.engine import QueryEngine, measure_throughput
+from repro.oracle.strategies import (
+    STRATEGY_NAMES,
+    StrategySpec,
+    StretchGuarantee,
+    get_strategy,
+)
+
+__all__ = [
+    "ArtifactError",
+    "BuildReport",
+    "FORMAT_VERSION",
+    "LRUCache",
+    "LatencyRecorder",
+    "OracleArtifact",
+    "OracleBuilder",
+    "QueryEngine",
+    "STRATEGY_NAMES",
+    "StrategySpec",
+    "StretchGuarantee",
+    "artifact_paths",
+    "build_oracle",
+    "get_strategy",
+    "measure_throughput",
+]

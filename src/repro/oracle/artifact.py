@@ -1,0 +1,170 @@
+"""Versioned on-disk format for distance-oracle artifacts.
+
+An artifact is a pair of files living next to each other:
+
+* ``<name>.npz`` — the numeric payload (compressed numpy archive); which
+  arrays it contains depends on the strategy (see
+  :mod:`repro.oracle.strategies`).
+* ``<name>.meta.json`` — a small JSON sidecar with everything needed to
+  interpret the payload: format version, strategy, graph shape, epsilon,
+  the advertised stretch guarantee, build provenance (simulated rounds,
+  wall-clock seconds), and a SHA-256 checksum of the payload so corruption
+  is detected at load time instead of surfacing as wrong distances.
+
+The split keeps the metadata greppable/human-readable while the bulk data
+stays binary and compressed.  ``save``/``load`` round-trip exactly; loading
+verifies the version, the checksum, and the per-strategy array schema.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import io
+import json
+from pathlib import Path
+from typing import Any, Dict, Tuple, Union
+
+import numpy as np
+
+from repro.oracle.strategies import StretchGuarantee, get_strategy
+
+PathLike = Union[str, Path]
+
+#: Bump on any incompatible payload/sidecar change.
+FORMAT_VERSION = 1
+
+#: Sidecar suffix replacing the payload's ``.npz``.
+META_SUFFIX = ".meta.json"
+
+
+class ArtifactError(RuntimeError):
+    """Raised for unreadable, corrupt, or incompatible artifacts."""
+
+
+def artifact_paths(path: PathLike) -> Tuple[Path, Path]:
+    """Normalise ``path`` to the ``(payload, sidecar)`` file pair.
+
+    ``path`` may be given with or without the ``.npz`` extension.
+    """
+    payload = Path(path)
+    if payload.suffix != ".npz":
+        payload = payload.with_name(payload.name + ".npz")
+    sidecar = payload.with_name(payload.name[: -len(".npz")] + META_SUFFIX)
+    return payload, sidecar
+
+
+def _sha256(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+@dataclasses.dataclass
+class OracleArtifact:
+    """A built oracle: JSON-able metadata plus named numpy arrays.
+
+    The metadata dictionary always contains ``format_version``,
+    ``strategy``, ``n``, ``num_edges``, ``epsilon``, ``max_weight``,
+    ``stretch`` (multiplicative/additive) and ``build`` (rounds, seconds,
+    plus strategy-specific detail such as the landmark count).
+    """
+
+    metadata: Dict[str, Any]
+    arrays: Dict[str, np.ndarray]
+
+    # ------------------------------------------------------------------
+    # convenience accessors
+    # ------------------------------------------------------------------
+    @property
+    def strategy(self) -> str:
+        return str(self.metadata["strategy"])
+
+    @property
+    def n(self) -> int:
+        return int(self.metadata["n"])
+
+    @property
+    def epsilon(self) -> float:
+        return float(self.metadata["epsilon"])
+
+    @property
+    def stretch(self) -> StretchGuarantee:
+        return StretchGuarantee.from_dict(self.metadata["stretch"])
+
+    @property
+    def build_rounds(self) -> float:
+        return float(self.metadata["build"]["rounds"])
+
+    def validate(self) -> None:
+        """Check the payload matches the strategy's array schema."""
+        spec = get_strategy(self.strategy)
+        missing = [name for name in spec.required_arrays if name not in self.arrays]
+        if missing:
+            raise ArtifactError(
+                f"artifact for strategy {self.strategy!r} is missing payload "
+                f"arrays {missing}; present: {sorted(self.arrays)}"
+            )
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+    def save(self, path: PathLike) -> Tuple[Path, Path]:
+        """Write the artifact; returns the ``(payload, sidecar)`` paths."""
+        self.validate()
+        payload_path, sidecar_path = artifact_paths(path)
+        payload_path.parent.mkdir(parents=True, exist_ok=True)
+
+        buffer = io.BytesIO()
+        np.savez_compressed(buffer, **self.arrays)
+        payload_bytes = buffer.getvalue()
+        payload_path.write_bytes(payload_bytes)
+
+        sidecar = dict(self.metadata)
+        sidecar["format_version"] = FORMAT_VERSION
+        sidecar["payload_sha256"] = _sha256(payload_bytes)
+        sidecar["payload_arrays"] = sorted(self.arrays)
+        sidecar_path.write_text(json.dumps(sidecar, indent=2, sort_keys=True) + "\n")
+        return payload_path, sidecar_path
+
+    @classmethod
+    def load(cls, path: PathLike) -> "OracleArtifact":
+        """Load and verify an artifact saved with :meth:`save`."""
+        payload_path, sidecar_path = artifact_paths(path)
+        if not payload_path.exists():
+            raise ArtifactError(f"oracle artifact not found: {payload_path}")
+        if not sidecar_path.exists():
+            raise ArtifactError(
+                f"metadata sidecar not found: {sidecar_path} "
+                f"(expected next to {payload_path.name})"
+            )
+
+        try:
+            metadata = json.loads(sidecar_path.read_text())
+        except json.JSONDecodeError as exc:
+            raise ArtifactError(f"unparseable metadata sidecar {sidecar_path}: {exc}") from exc
+
+        version = metadata.get("format_version")
+        if version != FORMAT_VERSION:
+            raise ArtifactError(
+                f"artifact {payload_path} has format_version={version!r}; "
+                f"this build reads version {FORMAT_VERSION}"
+            )
+
+        payload_bytes = payload_path.read_bytes()
+        expected = metadata.get("payload_sha256")
+        if not expected:
+            raise ArtifactError(
+                f"metadata sidecar {sidecar_path} has no payload_sha256; "
+                "refusing to load an unverifiable payload"
+            )
+        if _sha256(payload_bytes) != expected:
+            raise ArtifactError(
+                f"payload checksum mismatch for {payload_path}: the .npz file "
+                "does not match its sidecar (corrupt or partially written)"
+            )
+
+        with np.load(io.BytesIO(payload_bytes)) as archive:
+            arrays = {name: archive[name] for name in archive.files}
+
+        artifact = cls(metadata=metadata, arrays=arrays)
+        artifact.validate()
+        return artifact

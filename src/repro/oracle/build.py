@@ -1,0 +1,207 @@
+"""Building oracle artifacts from graphs (the expensive half of the split).
+
+:class:`OracleBuilder` runs one of the paper's Congested Clique
+computations once and packages the result as an
+:class:`~repro.oracle.artifact.OracleArtifact`: the simulated round count
+of the build is recorded in the artifact metadata, so the build/serve
+trade-off each strategy makes (rounds and artifact size at build time vs
+accuracy and work at query time) stays visible end to end.
+
+Strategy internals:
+
+* ``dense-apsp`` wraps :func:`repro.core.apsp_weighted` (Theorem 28).
+* ``landmark-mssp`` composes :func:`repro.distance.k_nearest`
+  (Theorem 18, exact √n-balls), :func:`repro.distance.hitting_set.
+  greedy_hitting_set` (Lemma 4 landmarks) and :func:`repro.core.mssp`
+  (Theorem 3, the (1 + ε) landmark table) under a single accounting
+  context, mirroring the pipeline of Section 6.1.
+* ``exact-fallback`` wraps :func:`repro.baselines.apsp_dense_mm`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import time
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from repro.baselines.apsp_dense_mm import apsp_dense_mm
+from repro.cclique.accounting import Clique
+from repro.core.apsp_weighted import apsp_weighted
+from repro.core.mssp import mssp
+from repro.distance.hitting_set import greedy_hitting_set
+from repro.distance.k_nearest import k_nearest
+from repro.graphs.graph import Graph
+from repro.oracle.artifact import OracleArtifact
+from repro.oracle.strategies import get_strategy
+
+
+@dataclasses.dataclass
+class BuildReport:
+    """What a build cost and what the resulting artifact guarantees."""
+
+    strategy: str
+    n: int
+    num_edges: int
+    epsilon: float
+    rounds: float
+    seconds: float
+    multiplicative_stretch: float
+    additive_stretch: float
+    detail: Dict[str, Any] = dataclasses.field(default_factory=dict)
+
+    def summary(self) -> str:
+        lines = [
+            f"strategy          : {self.strategy}",
+            f"graph             : n={self.n}, m={self.num_edges}",
+            f"epsilon           : {self.epsilon}",
+            f"simulated rounds  : {self.rounds:.0f}",
+            f"build wall-clock  : {self.seconds:.2f}s",
+            f"stretch guarantee : {self.multiplicative_stretch:g}x"
+            + (f" + {self.additive_stretch:g}" if self.additive_stretch else ""),
+        ]
+        for key, value in sorted(self.detail.items()):
+            lines.append(f"{key:<18}: {value}")
+        return "\n".join(lines)
+
+
+class OracleBuilder:
+    """Build a distance-oracle artifact from a graph.
+
+    Parameters
+    ----------
+    strategy:
+        One of :data:`repro.oracle.strategies.STRATEGY_NAMES`.
+    epsilon:
+        Stretch parameter for the approximate strategies (ignored by
+        ``exact-fallback``).
+    k:
+        Ball size for ``landmark-mssp``; defaults to ``ceil(sqrt(n))``
+        like the paper's APSP pipeline.
+    """
+
+    def __init__(self, strategy: str = "landmark-mssp", epsilon: float = 0.5,
+                 k: Optional[int] = None):
+        self.spec = get_strategy(strategy)
+        if epsilon <= 0:
+            raise ValueError("epsilon must be positive")
+        self.epsilon = float(epsilon)
+        self.k = k
+
+    def build(self, graph: Graph) -> OracleArtifact:
+        """Run the strategy's build computation and package the artifact."""
+        if graph.directed:
+            raise ValueError("distance oracles require an undirected graph")
+        start = time.perf_counter()
+        if self.spec.name == "dense-apsp":
+            arrays, rounds, detail = self._build_dense(graph)
+        elif self.spec.name == "landmark-mssp":
+            arrays, rounds, detail = self._build_landmark(graph)
+        else:  # exact-fallback (get_strategy already rejected unknown names)
+            arrays, rounds, detail = self._build_exact(graph)
+        seconds = time.perf_counter() - start
+
+        max_weight = graph.max_weight()
+        guarantee = self.spec.guarantee(self.epsilon, max_weight)
+        metadata: Dict[str, Any] = {
+            "strategy": self.spec.name,
+            "n": graph.n,
+            "num_edges": graph.num_edges(),
+            "epsilon": self.epsilon,
+            "max_weight": max_weight,
+            "stretch": guarantee.as_dict(),
+            "build": {"rounds": rounds, "seconds": seconds, **detail},
+        }
+        artifact = OracleArtifact(metadata=metadata, arrays=arrays)
+        artifact.validate()
+        return artifact
+
+    def report(self, artifact: OracleArtifact) -> BuildReport:
+        """Summarise a built artifact (round counts, stretch, detail)."""
+        build = artifact.metadata["build"]
+        detail = {k: v for k, v in build.items() if k not in ("rounds", "seconds")}
+        stretch = artifact.stretch
+        return BuildReport(
+            strategy=artifact.strategy,
+            n=artifact.n,
+            num_edges=int(artifact.metadata["num_edges"]),
+            epsilon=artifact.epsilon,
+            rounds=float(build["rounds"]),
+            seconds=float(build["seconds"]),
+            multiplicative_stretch=stretch.multiplicative,
+            additive_stretch=stretch.additive,
+            detail=detail,
+        )
+
+    # ------------------------------------------------------------------
+    # per-strategy builds
+    # ------------------------------------------------------------------
+    def _build_dense(self, graph: Graph):
+        result = apsp_weighted(graph, epsilon=self.epsilon)
+        arrays = {"dist": np.asarray(result.estimates, dtype=np.float64)}
+        detail = {
+            "variant": result.details.get("variant", "two_plus_eps"),
+            "hitting_set_size": result.details.get("hitting_set_size"),
+        }
+        return arrays, result.rounds, detail
+
+    def _build_exact(self, graph: Graph):
+        result = apsp_dense_mm(graph)
+        arrays = {"dist": np.asarray(result.estimates, dtype=np.float64)}
+        return arrays, result.rounds, {"squarings": result.details["squarings"]}
+
+    def _build_landmark(self, graph: Graph):
+        n = graph.n
+        k = self.k if self.k is not None else max(2, min(n, math.ceil(math.sqrt(n))))
+        if not 1 <= k <= n:
+            raise ValueError(f"ball size k={k} out of range [1, {n}]")
+        clique = Clique(n)
+
+        with clique.phase("oracle-build"):
+            # Exact balls: every node's k nearest nodes (Theorem 18).
+            knn = k_nearest(graph, k, clique=clique, label="k-nearest")
+
+            # Landmarks: a hitting set of the balls (Lemma 4), announced.
+            ball_sets = [knn.nearest_set(v) for v in range(n)]
+            landmarks = greedy_hitting_set(ball_sets, n, clique=clique, label="hitting-set")
+            clique.charge_broadcast(label="landmark-announce")
+
+            # The (1 + eps) landmark table (Theorem 3; hopset built inside).
+            table = mssp(graph, landmarks, epsilon=self.epsilon, clique=clique,
+                         label="mssp-landmarks")
+
+        ball_idx = np.full((n, k), -1, dtype=np.int64)
+        ball_dist = np.full((n, k), np.inf, dtype=np.float64)
+        for v in range(n):
+            entries = sorted(
+                knn.neighbors[v].items(), key=lambda kv: (kv[1][0], kv[1][1], kv[0])
+            )[:k]
+            for slot, (u, (dist, _hops)) in enumerate(entries):
+                ball_idx[v, slot] = u
+                ball_dist[v, slot] = dist
+
+        arrays = {
+            "landmarks": np.asarray(table.sources, dtype=np.int64),
+            "landmark_dist": np.asarray(table.distances, dtype=np.float64),
+            "ball_idx": ball_idx,
+            "ball_dist": ball_dist,
+        }
+        detail = {
+            "k": k,
+            "num_landmarks": len(table.sources),
+            "beta": table.details.get("beta"),
+            "hopset_edges": table.details.get("hopset_edges"),
+        }
+        return arrays, clique.rounds, detail
+
+
+def build_oracle(
+    graph: Graph,
+    strategy: str = "landmark-mssp",
+    epsilon: float = 0.5,
+    k: Optional[int] = None,
+) -> OracleArtifact:
+    """One-call convenience wrapper around :class:`OracleBuilder`."""
+    return OracleBuilder(strategy=strategy, epsilon=epsilon, k=k).build(graph)

@@ -1,0 +1,118 @@
+"""Query-side caching and latency bookkeeping for the oracle engine.
+
+Two small, dependency-free pieces:
+
+* :class:`LRUCache` — a bounded least-recently-used map over query keys.
+  Point queries on a warm oracle are dominated by Python dict overhead, so
+  the cache is an ``OrderedDict`` moved-to-end on hit: O(1) per operation
+  and fast enough for well over 10^5 queries/sec.
+* :class:`LatencyRecorder` — a bounded ring of per-query latencies (in
+  nanoseconds) from which ``stats()`` derives P50/P95/P99.  Bounding the
+  ring keeps a long-lived serving engine at O(1) memory no matter how many
+  queries it has answered.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Dict, Hashable, List, Optional
+
+
+class LRUCache:
+    """A least-recently-used cache with hit/miss counters."""
+
+    __slots__ = ("capacity", "hits", "misses", "_data")
+
+    #: Sentinel distinguishing "missing" from a cached ``None``/``inf``.
+    MISS = object()
+
+    def __init__(self, capacity: int = 65536):
+        if capacity < 0:
+            raise ValueError(f"cache capacity must be non-negative, got {capacity}")
+        self.capacity = int(capacity)
+        self.hits = 0
+        self.misses = 0
+        self._data: "OrderedDict[Hashable, Any]" = OrderedDict()
+
+    def get(self, key: Hashable) -> Any:
+        """Return the cached value or :data:`MISS`; counts the outcome."""
+        if self.capacity == 0:
+            self.misses += 1
+            return self.MISS
+        value = self._data.get(key, self.MISS)
+        if value is self.MISS:
+            self.misses += 1
+        else:
+            self.hits += 1
+            self._data.move_to_end(key)
+        return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert a value, evicting the least recently used entry if full."""
+        if self.capacity == 0:
+            return
+        if key in self._data:
+            self._data.move_to_end(key)
+        self._data[key] = value
+        if len(self._data) > self.capacity:
+            self._data.popitem(last=False)
+
+    def clear(self) -> None:
+        self._data.clear()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class LatencyRecorder:
+    """Bounded reservoir of recent query latencies (nanoseconds)."""
+
+    __slots__ = ("window", "count", "_ring", "_next")
+
+    def __init__(self, window: int = 65536):
+        if window <= 0:
+            raise ValueError(f"latency window must be positive, got {window}")
+        self.window = int(window)
+        self.count = 0
+        self._ring: List[int] = []
+        self._next = 0
+
+    def record(self, nanoseconds: int) -> None:
+        """Add one sample, overwriting the oldest once the window is full."""
+        self.count += 1
+        if len(self._ring) < self.window:
+            self._ring.append(nanoseconds)
+        else:
+            self._ring[self._next] = nanoseconds
+            self._next = (self._next + 1) % self.window
+
+    @staticmethod
+    def _pick(ordered: List[int], p: float) -> float:
+        """Nearest-rank percentile of pre-sorted samples, in microseconds."""
+        rank = min(len(ordered) - 1, max(0, round(p / 100.0 * (len(ordered) - 1))))
+        return ordered[rank] / 1000.0
+
+    def percentile(self, p: float) -> Optional[float]:
+        """The ``p``-th percentile latency in microseconds (None if empty)."""
+        if not self._ring:
+            return None
+        return self._pick(sorted(self._ring), p)
+
+    def snapshot(self) -> Dict[str, Optional[float]]:
+        """P50/P95/P99 and mean over the current window, in microseconds."""
+        if not self._ring:
+            return {"count": 0, "p50_us": None, "p95_us": None, "p99_us": None,
+                    "mean_us": None}
+        ordered = sorted(self._ring)
+        return {
+            "count": self.count,
+            "p50_us": self._pick(ordered, 50.0),
+            "p95_us": self._pick(ordered, 95.0),
+            "p99_us": self._pick(ordered, 99.0),
+            "mean_us": sum(ordered) / len(ordered) / 1000.0,
+        }

@@ -1,0 +1,208 @@
+"""The serve half of the oracle split: point, batch, and k-nearest queries.
+
+:class:`QueryEngine` wraps a loaded
+:class:`~repro.oracle.artifact.OracleArtifact` and answers distance
+queries in microseconds.  All strategies share the same front end — an LRU
+cache over normalised pairs, per-query latency recording, and a
+``stats()`` snapshot — and differ only in the per-strategy kernels:
+
+* ``dense-apsp`` / ``exact-fallback`` — a single matrix lookup.
+* ``landmark-mssp`` — exact ball lookup for near pairs, otherwise the best
+  landmark route ``min_a  d(u, a) + d(a, v)`` over the (1 + ε) MSSP table
+  (a vectorised min over the landmark axis).
+
+Estimates are always *overestimates* of the true distance (every stored
+table is an overestimate and routes only compose them), so the engine's
+answers inherit the artifact's advertised stretch guarantee unchanged.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.oracle.artifact import OracleArtifact
+from repro.oracle.cache import LatencyRecorder, LRUCache
+
+
+class QueryEngine:
+    """Serve distance queries from a built oracle artifact.
+
+    Parameters
+    ----------
+    artifact:
+        A validated artifact (from :class:`~repro.oracle.build.OracleBuilder`
+        or :meth:`~repro.oracle.artifact.OracleArtifact.load`).
+    cache_size:
+        Maximum number of cached point answers (0 disables caching).
+    latency_window:
+        How many recent per-query latencies feed the percentile stats.
+    """
+
+    def __init__(self, artifact: OracleArtifact, cache_size: int = 65536,
+                 latency_window: int = 65536):
+        artifact.validate()
+        self.artifact = artifact
+        self.n = artifact.n
+        self.strategy = artifact.strategy
+        self.cache = LRUCache(cache_size)
+        self.latency = LatencyRecorder(latency_window)
+        self._queries = 0
+
+        if self.strategy in ("dense-apsp", "exact-fallback"):
+            self._dist_matrix = np.asarray(artifact.arrays["dist"], dtype=np.float64)
+            self._point = self._point_dense
+            self._row = self._row_dense
+        else:  # landmark-mssp
+            self._landmark_dist = np.asarray(
+                artifact.arrays["landmark_dist"], dtype=np.float64
+            )
+            # Balls as per-node dicts for O(1) near-pair lookups, plus the
+            # reverse index (who has u in their ball) for row queries.
+            ball_idx = np.asarray(artifact.arrays["ball_idx"])
+            ball_dist = np.asarray(artifact.arrays["ball_dist"], dtype=np.float64)
+            self._ball: List[Dict[int, float]] = [dict() for _ in range(self.n)]
+            self._rev_ball: List[List[Tuple[int, float]]] = [[] for _ in range(self.n)]
+            for v in range(self.n):
+                for u, d in zip(ball_idx[v], ball_dist[v]):
+                    if u < 0:
+                        continue
+                    u = int(u)
+                    self._ball[v][u] = float(d)
+                    self._rev_ball[u].append((v, float(d)))
+            self._point = self._point_landmark
+            self._row = self._row_landmark
+
+    # ------------------------------------------------------------------
+    # public query API
+    # ------------------------------------------------------------------
+    def dist(self, u: int, v: int) -> float:
+        """Estimated distance between ``u`` and ``v`` (cached)."""
+        started = time.perf_counter_ns()
+        self._check_node(u)
+        self._check_node(v)
+        self._queries += 1
+        if u == v:
+            self.latency.record(time.perf_counter_ns() - started)
+            return 0.0
+        key = (u, v) if u < v else (v, u)
+        value = self.cache.get(key)
+        if value is LRUCache.MISS:
+            value = self._point(key[0], key[1])
+            self.cache.put(key, value)
+        self.latency.record(time.perf_counter_ns() - started)
+        return value
+
+    def batch(self, pairs: Sequence[Tuple[int, int]]) -> np.ndarray:
+        """Estimated distances for many ``(u, v)`` pairs.
+
+        Each pair goes through the same cache as :meth:`dist`, so repeated
+        batches over a working set are served at cache speed.
+        """
+        out = np.empty(len(pairs), dtype=np.float64)
+        for index, (u, v) in enumerate(pairs):
+            out[index] = self.dist(u, v)
+        return out
+
+    def k_nearest(self, u: int, k: int) -> List[Tuple[int, float]]:
+        """The ``k`` nodes with the smallest estimated distance from ``u``.
+
+        Returns ``(node, distance)`` pairs sorted by (distance, node id);
+        unreachable nodes are never reported, so fewer than ``k`` entries
+        may come back on disconnected graphs.
+        """
+        started = time.perf_counter_ns()
+        self._check_node(u)
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        self._queries += 1
+        row = self._row(u).copy()
+        row[u] = np.inf  # a node is not its own neighbour
+        order = np.lexsort((np.arange(self.n), row))
+        result: List[Tuple[int, float]] = []
+        for v in order[:k]:
+            if not np.isfinite(row[v]):
+                break
+            result.append((int(v), float(row[v])))
+        self.latency.record(time.perf_counter_ns() - started)
+        return result
+
+    def stats(self) -> Dict[str, object]:
+        """Serving statistics: query counts, cache hit rate, latency."""
+        return {
+            "strategy": self.strategy,
+            "n": self.n,
+            "queries": self._queries,
+            "cache_hits": self.cache.hits,
+            "cache_misses": self.cache.misses,
+            "cache_hit_rate": self.cache.hit_rate,
+            "cache_size": len(self.cache),
+            "latency": self.latency.snapshot(),
+        }
+
+    def clear_cache(self) -> None:
+        """Drop cached answers (hit/miss counters are kept)."""
+        self.cache.clear()
+
+    # ------------------------------------------------------------------
+    # strategy kernels
+    # ------------------------------------------------------------------
+    def _point_dense(self, u: int, v: int) -> float:
+        return float(self._dist_matrix[u, v])
+
+    def _row_dense(self, u: int) -> np.ndarray:
+        return self._dist_matrix[u]
+
+    def _point_landmark(self, u: int, v: int) -> float:
+        # Ball distances are exact and routes only compose overestimates,
+        # so a ball hit can never be beaten by a landmark route.
+        near = self._ball[u].get(v)
+        if near is None:
+            near = self._ball[v].get(u)
+        if near is not None:
+            return near
+        return float(np.min(self._landmark_dist[u] + self._landmark_dist[v]))
+
+    def _row_landmark(self, u: int) -> np.ndarray:
+        # Best landmark route to every node, then overlay the exact balls.
+        row = np.min(self._landmark_dist + self._landmark_dist[u], axis=1)
+        for v, d in self._ball[u].items():
+            if d < row[v]:
+                row[v] = d
+        for v, d in self._rev_ball[u]:
+            if d < row[v]:
+                row[v] = d
+        row[u] = 0.0
+        return row
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def _check_node(self, u: int) -> None:
+        if not 0 <= u < self.n:
+            raise ValueError(f"node {u} out of range [0, {self.n})")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"QueryEngine(strategy={self.strategy!r}, n={self.n}, "
+                f"queries={self._queries})")
+
+
+def measure_throughput(engine: QueryEngine,
+                       pairs: Sequence[Tuple[int, int]]) -> Dict[str, float]:
+    """Time a cold pass then a cached pass of ``pairs`` through ``engine``.
+
+    The shared measurement protocol behind ``repro oracle bench`` and the
+    benchmark harness: the first pass populates the cache (``cold_qps``),
+    the second replays the same working set (``cached_qps``).
+    """
+    if not pairs:
+        raise ValueError("need at least one query pair to measure throughput")
+    start = time.perf_counter()
+    engine.batch(pairs)
+    cold_qps = len(pairs) / max(1e-9, time.perf_counter() - start)
+    start = time.perf_counter()
+    engine.batch(pairs)
+    cached_qps = len(pairs) / max(1e-9, time.perf_counter() - start)
+    return {"cold_qps": cold_qps, "cached_qps": cached_qps}

@@ -1,0 +1,117 @@
+"""Strategy registry for the distance-oracle subsystem.
+
+A *strategy* names one way of turning the paper's one-shot Congested Clique
+computations into a persistent, queryable artifact:
+
+* ``dense-apsp`` — run the (2 + ε, (1 + ε)W)-approximate weighted APSP of
+  Theorem 28 once and store the full n×n estimate matrix.  Queries are a
+  single matrix lookup; the artifact is O(n²) floats.
+* ``landmark-mssp`` — the compact oracle: compute every node's √n-nearest
+  ball exactly (Theorem 18), pick a hitting set A of those balls (Lemma 4)
+  as landmarks, and run (1 + ε)-approximate MSSP from A (Theorem 3).  The
+  artifact stores the balls plus the n×|A| landmark table — Õ(n^{3/2})
+  numbers instead of n².  Near pairs (inside a ball) are answered exactly;
+  far pairs are routed through landmarks with stretch at most 3(1 + ε),
+  by the Section 6.1 pivot argument.
+* ``exact-fallback`` — exact APSP by iterated dense min-plus squaring
+  (the Censor-Hillel et al. 2015 baseline).  Expensive to build
+  (Õ(n^{1/3}) simulated rounds) but answers are exact; the comparator the
+  approximate strategies are validated against.
+
+:class:`StrategySpec` records, per strategy, the guarantee the built
+artifact advertises; the tests and the query engine both read the guarantee
+from the artifact metadata rather than hard-coding it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Tuple
+
+#: Canonical strategy names, in the order the CLI lists them.
+STRATEGY_NAMES: Tuple[str, ...] = ("dense-apsp", "landmark-mssp", "exact-fallback")
+
+
+@dataclasses.dataclass(frozen=True)
+class StretchGuarantee:
+    """The advertised accuracy of an oracle artifact.
+
+    An estimate ``est`` for a pair at true distance ``d`` satisfies
+
+        ``d <= est <= multiplicative * d + additive``
+
+    where ``additive`` is an absolute term fixed at build time (for
+    ``dense-apsp`` it is (1 + ε)·W with ``W`` the maximum edge weight, the
+    paper's additive (1 + ε)W term evaluated at its worst case).
+    """
+
+    multiplicative: float
+    additive: float = 0.0
+
+    def upper_bound(self, exact: float) -> float:
+        """The largest estimate the guarantee permits for ``exact``."""
+        return self.multiplicative * exact + self.additive
+
+    def as_dict(self) -> Dict[str, float]:
+        return {"multiplicative": self.multiplicative, "additive": self.additive}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, float]) -> "StretchGuarantee":
+        return cls(
+            multiplicative=float(data["multiplicative"]),
+            additive=float(data.get("additive", 0.0)),
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class StrategySpec:
+    """Static description of one oracle strategy."""
+
+    name: str
+    #: Arrays the artifact payload must contain for this strategy.
+    required_arrays: Tuple[str, ...]
+    #: Human-readable summary shown by ``repro oracle build``.
+    summary: str
+    #: Whether the guarantee depends on epsilon (exact strategies do not).
+    uses_epsilon: bool = True
+
+    def guarantee(self, epsilon: float, max_weight: float) -> StretchGuarantee:
+        """The stretch guarantee a fresh build with these parameters carries."""
+        if self.name == "dense-apsp":
+            return StretchGuarantee(2.0 + epsilon, (1.0 + epsilon) * max_weight)
+        if self.name == "landmark-mssp":
+            # Far pairs: est <= (1+eps)(d(u,p(u)) + d(p(u),v)) <= 3(1+eps)d;
+            # near pairs are exact, so 3(1+eps) dominates.
+            return StretchGuarantee(3.0 * (1.0 + epsilon), 0.0)
+        if self.name == "exact-fallback":
+            return StretchGuarantee(1.0, 0.0)
+        raise ValueError(f"unknown strategy: {self.name!r}")
+
+
+_SPECS: Dict[str, StrategySpec] = {
+    "dense-apsp": StrategySpec(
+        name="dense-apsp",
+        required_arrays=("dist",),
+        summary="Theorem 28 (2+eps,(1+eps)W)-APSP, dense n x n estimate matrix",
+    ),
+    "landmark-mssp": StrategySpec(
+        name="landmark-mssp",
+        required_arrays=("landmarks", "landmark_dist", "ball_idx", "ball_dist"),
+        summary="hitting-set landmarks + (1+eps)-MSSP table + exact sqrt(n)-balls",
+    ),
+    "exact-fallback": StrategySpec(
+        name="exact-fallback",
+        required_arrays=("dist",),
+        summary="exact APSP via iterated dense min-plus squaring (baseline)",
+        uses_epsilon=False,
+    ),
+}
+
+
+def get_strategy(name: str) -> StrategySpec:
+    """Look up a strategy spec; raises ``ValueError`` with the known names."""
+    spec = _SPECS.get(name)
+    if spec is None:
+        known = ", ".join(STRATEGY_NAMES)
+        raise ValueError(f"unknown oracle strategy {name!r}; known strategies: {known}")
+    return spec

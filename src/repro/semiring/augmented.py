@@ -20,7 +20,7 @@ arrays while remaining bit-exact with the tuple semantics.
 from __future__ import annotations
 
 import math
-from typing import Any, NamedTuple, Tuple
+from typing import NamedTuple, Tuple
 
 from repro.semiring.base import Semiring
 

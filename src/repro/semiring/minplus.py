@@ -8,7 +8,6 @@ adjacency matrix is the distance matrix (Section 1.1).
 from __future__ import annotations
 
 import math
-from typing import Any
 
 from repro.semiring.base import Semiring
 

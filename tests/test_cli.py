@@ -2,6 +2,11 @@
 
 from __future__ import annotations
 
+import os
+import subprocess
+import sys
+from pathlib import Path
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -72,3 +77,167 @@ class TestSubcommands:
         assert main(["matmul", "--n", "32", "--density", "3"]) == 0
         out = capsys.readouterr().out
         assert "products agree   : True" in out
+
+
+class TestOracleSubcommands:
+    """The oracle build/query/bench pipeline through the CLI, on disk."""
+
+    def _build(self, tmp_path, capsys, *extra):
+        artifact = tmp_path / "oracle.npz"
+        argv = ["oracle", "build", str(artifact), "--n", "32", "--seed", "7",
+                *extra]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "stretch guarantee" in out
+        assert artifact.exists()
+        assert (tmp_path / "oracle.meta.json").exists()
+        return artifact
+
+    def test_build_then_query_round_trip(self, tmp_path, capsys):
+        artifact = self._build(tmp_path, capsys, "--strategy", "landmark-mssp")
+        assert main(["oracle", "query", str(artifact), "--pairs", "0:5,3:7"]) == 0
+        out = capsys.readouterr().out
+        assert "dist(0, 5)" in out
+        assert "dist(3, 7)" in out
+
+    def test_query_k_nearest_and_stats(self, tmp_path, capsys):
+        artifact = self._build(tmp_path, capsys, "--strategy", "exact-fallback")
+        assert main(["oracle", "query", str(artifact),
+                     "--k-nearest", "0:3", "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "nearest(0)" in out
+        assert "cache hit rate" in out
+
+    def test_bench_reports_throughput(self, tmp_path, capsys):
+        artifact = self._build(tmp_path, capsys, "--strategy", "dense-apsp")
+        assert main(["oracle", "bench", str(artifact), "--queries", "2000"]) == 0
+        out = capsys.readouterr().out
+        assert "cached queries/sec" in out
+        assert "P50/P95/P99" in out
+
+    def test_build_from_edge_list_file(self, tmp_path, capsys):
+        edges = tmp_path / "graph.txt"
+        edges.write_text("0 1 2\n1 2 3\n2 3 1\n0 3 9\n")
+        artifact = tmp_path / "oracle.npz"
+        assert main(["oracle", "build", str(artifact), "--graph", str(edges),
+                     "--strategy", "exact-fallback"]) == 0
+        assert main(["oracle", "query", str(artifact), "--pairs", "0:3"]) == 0
+        out = capsys.readouterr().out
+        assert "dist(0, 3) = 6" in out
+
+    def test_edge_list_queries_speak_the_file_node_ids(self, tmp_path, capsys):
+        """Non-contiguous file ids must be translated, not used verbatim."""
+        edges = tmp_path / "graph.txt"
+        edges.write_text("10 20 5\n20 30 1\n10 30 100\n")
+        artifact = tmp_path / "oracle.npz"
+        assert main(["oracle", "build", str(artifact), "--graph", str(edges),
+                     "--strategy", "exact-fallback"]) == 0
+        assert main(["oracle", "query", str(artifact), "--pairs", "10:20",
+                     "--k-nearest", "10:1"]) == 0
+        out = capsys.readouterr().out
+        assert "dist(10, 20) = 5" in out
+        assert "nearest(10): node 20 at 5" in out
+
+    def test_edge_list_query_with_unknown_id_is_a_clean_error(self, tmp_path, capsys):
+        edges = tmp_path / "graph.txt"
+        edges.write_text("10 20 5\n20 30 1\n")
+        artifact = tmp_path / "oracle.npz"
+        assert main(["oracle", "build", str(artifact), "--graph", str(edges),
+                     "--strategy", "exact-fallback"]) == 0
+        capsys.readouterr()
+        assert main(["oracle", "query", str(artifact), "--pairs", "10:99"]) == 2
+        assert "not in the graph" in capsys.readouterr().err
+
+
+class TestOracleErrorPaths:
+    def test_unknown_strategy_rejected_by_parser(self, tmp_path):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["oracle", "build", str(tmp_path / "o.npz"),
+                  "--strategy", "teleport"])
+        assert excinfo.value.code == 2
+
+    def test_missing_artifact_file(self, tmp_path, capsys):
+        assert main(["oracle", "query", str(tmp_path / "absent.npz"),
+                     "--pairs", "0:1"]) == 1
+        err = capsys.readouterr().err
+        assert "not found" in err
+
+    def test_missing_artifact_for_bench(self, tmp_path, capsys):
+        assert main(["oracle", "bench", str(tmp_path / "absent.npz")]) == 1
+        assert "not found" in capsys.readouterr().err
+
+    def test_bench_rejects_non_positive_queries(self, tmp_path, capsys):
+        assert main(["oracle", "bench", str(tmp_path / "absent.npz"),
+                     "--queries", "0"]) == 2
+        assert "--queries must be positive" in capsys.readouterr().err
+
+    def test_build_with_missing_graph_file(self, tmp_path, capsys):
+        assert main(["oracle", "build", str(tmp_path / "o.npz"),
+                     "--graph", str(tmp_path / "absent.txt")]) == 1
+        assert "cannot load graph" in capsys.readouterr().err
+
+    def test_build_with_bad_epsilon(self, tmp_path, capsys):
+        assert main(["oracle", "build", str(tmp_path / "o.npz"),
+                     "--n", "16", "--epsilon", "0"]) == 2
+        assert "epsilon" in capsys.readouterr().err
+
+    def test_malformed_pairs(self, tmp_path, capsys):
+        artifact = tmp_path / "oracle.npz"
+        assert main(["oracle", "build", str(artifact), "--n", "16",
+                     "--strategy", "exact-fallback"]) == 0
+        capsys.readouterr()
+        assert main(["oracle", "query", str(artifact), "--pairs", "0-5"]) == 2
+        assert "bad --pairs" in capsys.readouterr().err
+
+    def test_out_of_range_pair_is_a_clean_error(self, tmp_path, capsys):
+        artifact = tmp_path / "oracle.npz"
+        assert main(["oracle", "build", str(artifact), "--n", "16",
+                     "--strategy", "exact-fallback"]) == 0
+        capsys.readouterr()
+        assert main(["oracle", "query", str(artifact), "--pairs", "0:9999"]) == 2
+        assert "out of range" in capsys.readouterr().err
+
+    def test_empty_pairs_value_is_an_error(self, tmp_path, capsys):
+        artifact = tmp_path / "oracle.npz"
+        assert main(["oracle", "build", str(artifact), "--n", "16",
+                     "--strategy", "exact-fallback"]) == 0
+        capsys.readouterr()
+        assert main(["oracle", "query", str(artifact), "--pairs", ""]) == 2
+        assert "no query pairs" in capsys.readouterr().err
+
+    def test_malformed_k_nearest(self, tmp_path, capsys):
+        artifact = tmp_path / "oracle.npz"
+        assert main(["oracle", "build", str(artifact), "--n", "16",
+                     "--strategy", "exact-fallback"]) == 0
+        capsys.readouterr()
+        assert main(["oracle", "query", str(artifact), "--k-nearest", "zero"]) == 2
+        assert "k-nearest" in capsys.readouterr().err
+
+
+class TestPythonDashM:
+    """``python -m repro`` must work as an entry point (src/repro/__main__.py)."""
+
+    @staticmethod
+    def _run(*argv):
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parent.parent / "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        return subprocess.run(
+            [sys.executable, "-m", "repro", *argv],
+            capture_output=True, text=True, env=env, timeout=120,
+        )
+
+    def test_help_exits_zero(self):
+        result = self._run("--help")
+        assert result.returncode == 0
+        assert "oracle" in result.stdout
+
+    def test_no_subcommand_is_usage_error(self):
+        result = self._run()
+        assert result.returncode == 2
+        assert "usage" in result.stderr.lower()
+
+    def test_subcommand_runs(self):
+        result = self._run("diameter", "--n", "16", "--seed", "3")
+        assert result.returncode == 0
+        assert "estimate" in result.stdout

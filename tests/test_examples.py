@@ -67,6 +67,14 @@ class TestExamples:
         assert "Theorem 8" in out
         assert "rounds" in out
 
+    def test_distance_oracle_service(self, capsys):
+        module = load_example("distance_oracle_service")
+        module.main(32, 0.5)
+        out = capsys.readouterr().out
+        assert "oracle build" in out
+        assert "cache hit rate" in out
+        assert "max stretch" in out
+
     def test_routing_tables(self, capsys):
         module = load_example("routing_tables")
         module.main(24)

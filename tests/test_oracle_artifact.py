@@ -1,0 +1,122 @@
+"""Tests for the on-disk artifact format: round-tripping, versioning, and
+corruption detection."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.graphs import random_weighted_graph
+from repro.oracle import (
+    FORMAT_VERSION,
+    ArtifactError,
+    OracleArtifact,
+    QueryEngine,
+    artifact_paths,
+    build_oracle,
+)
+
+
+@pytest.fixture(scope="module")
+def small_artifact():
+    graph = random_weighted_graph(24, average_degree=6, max_weight=8, seed=21)
+    return build_oracle(graph, strategy="landmark-mssp", epsilon=0.5)
+
+
+class TestRoundTrip:
+    def test_save_load_preserves_arrays_and_metadata(self, small_artifact, tmp_path):
+        payload, sidecar = small_artifact.save(tmp_path / "oracle.npz")
+        assert payload.name == "oracle.npz"
+        assert sidecar.name == "oracle.meta.json"
+
+        loaded = OracleArtifact.load(tmp_path / "oracle.npz")
+        assert loaded.strategy == small_artifact.strategy
+        assert loaded.n == small_artifact.n
+        assert loaded.epsilon == small_artifact.epsilon
+        assert loaded.stretch == small_artifact.stretch
+        assert set(loaded.arrays) == set(small_artifact.arrays)
+        for name, array in small_artifact.arrays.items():
+            np.testing.assert_array_equal(loaded.arrays[name], array)
+
+    def test_save_without_npz_extension_appends_it(self, small_artifact, tmp_path):
+        payload, sidecar = small_artifact.save(tmp_path / "oracle")
+        assert payload.name == "oracle.npz"
+        assert OracleArtifact.load(tmp_path / "oracle").n == small_artifact.n
+
+    def test_loaded_artifact_answers_identically(self, small_artifact, tmp_path):
+        small_artifact.save(tmp_path / "o.npz")
+        before = QueryEngine(small_artifact)
+        after = QueryEngine(OracleArtifact.load(tmp_path / "o.npz"))
+        for u in range(small_artifact.n):
+            for v in range(small_artifact.n):
+                assert before.dist(u, v) == after.dist(u, v)
+
+    def test_sidecar_is_valid_json_with_provenance(self, small_artifact, tmp_path):
+        _, sidecar = small_artifact.save(tmp_path / "o.npz")
+        meta = json.loads(sidecar.read_text())
+        assert meta["format_version"] == FORMAT_VERSION
+        assert meta["strategy"] == "landmark-mssp"
+        assert meta["build"]["rounds"] > 0
+        assert sorted(meta["payload_arrays"]) == sorted(small_artifact.arrays)
+        assert len(meta["payload_sha256"]) == 64
+
+
+class TestPathHandling:
+    def test_artifact_paths_pairs_sidecar_with_payload(self):
+        payload, sidecar = artifact_paths("dir/name.npz")
+        assert str(payload).endswith("name.npz")
+        assert str(sidecar).endswith("name.meta.json")
+
+    def test_missing_payload_raises(self, tmp_path):
+        with pytest.raises(ArtifactError, match="not found"):
+            OracleArtifact.load(tmp_path / "nope.npz")
+
+    def test_missing_sidecar_raises(self, small_artifact, tmp_path):
+        payload, sidecar = small_artifact.save(tmp_path / "o.npz")
+        sidecar.unlink()
+        with pytest.raises(ArtifactError, match="sidecar"):
+            OracleArtifact.load(payload)
+
+
+class TestCorruptionAndVersioning:
+    def test_corrupt_payload_detected_by_checksum(self, small_artifact, tmp_path):
+        payload, _ = small_artifact.save(tmp_path / "o.npz")
+        data = bytearray(payload.read_bytes())
+        data[len(data) // 2] ^= 0xFF
+        payload.write_bytes(bytes(data))
+        with pytest.raises(ArtifactError, match="checksum"):
+            OracleArtifact.load(payload)
+
+    def test_unknown_format_version_rejected(self, small_artifact, tmp_path):
+        payload, sidecar = small_artifact.save(tmp_path / "o.npz")
+        meta = json.loads(sidecar.read_text())
+        meta["format_version"] = FORMAT_VERSION + 99
+        sidecar.write_text(json.dumps(meta))
+        with pytest.raises(ArtifactError, match="format_version"):
+            OracleArtifact.load(payload)
+
+    def test_sidecar_without_checksum_rejected(self, small_artifact, tmp_path):
+        """A sidecar with no checksum cannot vouch for its payload."""
+        payload, sidecar = small_artifact.save(tmp_path / "o.npz")
+        meta = json.loads(sidecar.read_text())
+        del meta["payload_sha256"]
+        sidecar.write_text(json.dumps(meta))
+        with pytest.raises(ArtifactError, match="payload_sha256"):
+            OracleArtifact.load(payload)
+
+    def test_unparseable_sidecar_rejected(self, small_artifact, tmp_path):
+        payload, sidecar = small_artifact.save(tmp_path / "o.npz")
+        sidecar.write_text("{not json")
+        with pytest.raises(ArtifactError, match="unparseable"):
+            OracleArtifact.load(payload)
+
+    def test_payload_missing_required_array_rejected(self, small_artifact, tmp_path):
+        artifact = OracleArtifact(
+            metadata=dict(small_artifact.metadata),
+            arrays={k: v for k, v in small_artifact.arrays.items()
+                    if k != "landmark_dist"},
+        )
+        with pytest.raises(ArtifactError, match="landmark_dist"):
+            artifact.save(tmp_path / "o.npz")

@@ -1,0 +1,177 @@
+"""Tests for the query engine: point/batch/k-nearest answers, the LRU cache,
+and the latency statistics."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.graphs import all_pairs_dijkstra, random_weighted_graph
+from repro.oracle import LRUCache, LatencyRecorder, QueryEngine, build_oracle
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return random_weighted_graph(40, average_degree=7, max_weight=12, seed=31)
+
+
+@pytest.fixture(scope="module")
+def exact(graph):
+    return all_pairs_dijkstra(graph)
+
+
+@pytest.fixture(scope="module")
+def engine(graph):
+    return QueryEngine(build_oracle(graph, strategy="landmark-mssp", epsilon=0.5))
+
+
+class TestPointQueries:
+    def test_self_distance_is_zero(self, engine, graph):
+        for v in range(graph.n):
+            assert engine.dist(v, v) == 0.0
+
+    def test_symmetry(self, engine, graph):
+        for u in range(0, graph.n, 3):
+            for v in range(0, graph.n, 5):
+                assert engine.dist(u, v) == engine.dist(v, u)
+
+    def test_out_of_range_rejected(self, engine):
+        with pytest.raises(ValueError, match="out of range"):
+            engine.dist(0, 10_000)
+
+    def test_estimates_upper_bound_exact(self, engine, graph, exact):
+        for u in range(graph.n):
+            for v in range(graph.n):
+                if exact[u][v] == math.inf:
+                    continue
+                assert engine.dist(u, v) >= exact[u][v] - 1e-9
+
+
+class TestBatchQueries:
+    def test_batch_matches_point_queries(self, engine, graph):
+        pairs = [(u, v) for u in range(0, graph.n, 4) for v in range(0, graph.n, 3)]
+        batch = engine.batch(pairs)
+        assert batch.shape == (len(pairs),)
+        for (u, v), value in zip(pairs, batch):
+            assert value == engine.dist(u, v)
+
+    def test_empty_batch(self, engine):
+        assert engine.batch([]).shape == (0,)
+
+
+class TestKNearest:
+    def test_matches_reference_on_exact_strategy(self, graph, exact):
+        engine = QueryEngine(build_oracle(graph, strategy="exact-fallback"))
+        for u in (0, 7, 23):
+            result = engine.k_nearest(u, 5)
+            expected = sorted(
+                ((v, exact[u][v]) for v in range(graph.n)
+                 if v != u and exact[u][v] != math.inf),
+                key=lambda item: (item[1], item[0]),
+            )[:5]
+            assert result == [(v, pytest.approx(d)) for v, d in expected]
+
+    def test_sorted_and_excludes_self(self, engine, graph):
+        result = engine.k_nearest(0, 10)
+        assert all(node != 0 for node, _ in result)
+        distances = [d for _, d in result]
+        assert distances == sorted(distances)
+
+    def test_k_larger_than_graph_is_capped(self, engine, graph):
+        result = engine.k_nearest(0, graph.n * 10)
+        assert len(result) <= graph.n - 1
+
+    def test_non_positive_k_rejected(self, engine):
+        with pytest.raises(ValueError, match="k must be positive"):
+            engine.k_nearest(0, 0)
+
+
+class TestCacheAndStats:
+    def test_repeat_queries_hit_the_cache(self, graph):
+        engine = QueryEngine(build_oracle(graph, strategy="dense-apsp"))
+        for _ in range(3):
+            engine.dist(1, 2)
+        stats = engine.stats()
+        assert stats["cache_hits"] == 2
+        assert stats["cache_misses"] == 1
+
+    def test_cache_keys_are_symmetric(self, graph):
+        engine = QueryEngine(build_oracle(graph, strategy="dense-apsp"))
+        engine.dist(3, 4)
+        engine.dist(4, 3)
+        assert engine.stats()["cache_hits"] == 1
+
+    def test_cache_can_be_disabled(self, graph):
+        engine = QueryEngine(build_oracle(graph, strategy="dense-apsp"),
+                             cache_size=0)
+        engine.dist(1, 2)
+        engine.dist(1, 2)
+        stats = engine.stats()
+        assert stats["cache_hits"] == 0
+        assert stats["cache_size"] == 0
+
+    def test_stats_shape(self, graph):
+        engine = QueryEngine(build_oracle(graph, strategy="dense-apsp"))
+        engine.batch([(0, 1), (1, 2), (0, 1)])
+        stats = engine.stats()
+        assert stats["queries"] == 3
+        assert 0.0 <= stats["cache_hit_rate"] <= 1.0
+        latency = stats["latency"]
+        assert latency["count"] == 3
+        assert latency["p50_us"] <= latency["p95_us"] <= latency["p99_us"]
+
+    def test_clear_cache(self, graph):
+        engine = QueryEngine(build_oracle(graph, strategy="dense-apsp"))
+        engine.dist(0, 1)
+        engine.clear_cache()
+        assert engine.stats()["cache_size"] == 0
+        engine.dist(0, 1)
+        assert engine.stats()["cache_misses"] == 2
+
+
+class TestLRUCache:
+    def test_eviction_order_is_least_recently_used(self):
+        cache = LRUCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refresh "a"
+        cache.put("c", 3)  # evicts "b"
+        assert cache.get("b") is LRUCache.MISS
+        assert cache.get("a") == 1
+        assert cache.get("c") == 3
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            LRUCache(capacity=-1)
+
+    def test_hit_rate(self):
+        cache = LRUCache(capacity=4)
+        cache.put("x", 1)
+        cache.get("x")
+        cache.get("y")
+        assert cache.hit_rate == pytest.approx(0.5)
+
+
+class TestLatencyRecorder:
+    def test_percentiles_over_known_samples(self):
+        recorder = LatencyRecorder(window=1000)
+        for value in range(1, 101):  # 1..100 us in ns
+            recorder.record(value * 1000)
+        assert recorder.percentile(50) == pytest.approx(50.0, abs=1.0)
+        assert recorder.percentile(99) == pytest.approx(99.0, abs=1.0)
+
+    def test_window_bounds_memory(self):
+        recorder = LatencyRecorder(window=8)
+        for value in range(100):
+            recorder.record(value)
+        assert recorder.count == 100
+        assert recorder.snapshot()["count"] == 100
+        # Only the 8 most recent samples back the percentiles.
+        assert recorder.percentile(0) >= 92 / 1000.0
+
+    def test_empty_snapshot(self):
+        recorder = LatencyRecorder()
+        assert recorder.snapshot()["p50_us"] is None
+        assert recorder.percentile(50) is None

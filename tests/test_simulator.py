@@ -78,6 +78,28 @@ class TestSimNetwork:
         net.step()
         assert net.total_messages == 2
 
+    def test_message_counter_includes_local_deliveries(self):
+        net = SimNetwork(4)
+        net.post(1, 1, "note")        # local, free, but counted
+        net.post(0, 1, "x")
+        net.step()
+        assert net.total_messages == 2
+
+    def test_broadcast_refused_when_a_link_is_busy(self):
+        net = SimNetwork(5)
+        net.post(2, 4, "taken")
+        with pytest.raises(BandwidthViolation, match="broadcast from node 2"):
+            net.broadcast(2, "announcement")
+        # The refusal is atomic: no partial broadcast was posted.
+        inboxes = net.step()
+        assert [len(inbox) for inbox in inboxes] == [0, 0, 0, 0, 1]
+
+    def test_broadcast_error_names_busy_links(self):
+        net = SimNetwork(4)
+        net.post(0, 2, "taken")
+        with pytest.raises(BandwidthViolation, match=r"\[2\]"):
+            net.broadcast(0, "x")
+
     def test_run_rounds_stops_when_fn_returns_false(self):
         net = SimNetwork(3)
 
