@@ -37,6 +37,7 @@ def mssp(
     execution: str = "fast",
     early_stop: bool = True,
     label: str = "mssp",
+    kernel: Optional[str] = None,
 ) -> MSSPResult:
     """(1 + ε)-approximate distances from every node to every source.
 
@@ -55,6 +56,9 @@ def mssp(
     early_stop:
         Stop hop iterations once the distance tables stabilise (see
         :func:`repro.distance.source_detection.source_detection`).
+    kernel:
+        Pin the local-product kernel for the source-detection products;
+        ``None`` lets the cost model choose.
     """
     if graph.directed:
         raise ValueError("MSSP requires an undirected graph")
@@ -107,6 +111,7 @@ def mssp(
             execution=execution,
             early_stop=early_stop,
             label="source-detection",
+            kernel=kernel,
         )
 
     distances = np.full((n, len(source_list)), np.inf)

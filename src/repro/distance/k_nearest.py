@@ -68,6 +68,7 @@ def k_nearest(
     clique: Optional[Clique] = None,
     execution: str = "fast",
     label: str = "k-nearest",
+    kernel: Optional[str] = None,
 ) -> KNearestResult:
     """Solve the k-nearest problem on ``graph`` (Theorem 18).
 
@@ -82,6 +83,8 @@ def k_nearest(
     execution:
         Passed through to the filtered multiplication ("fast" or
         "faithful").
+    kernel:
+        Pin the local-product kernel; ``None`` lets the cost model choose.
     """
     if k <= 0:
         raise ValueError("k must be positive")
@@ -109,6 +112,7 @@ def k_nearest(
                 clique=clique,
                 label="filtered-squaring",
                 execution=execution,
+                kernel=kernel,
             )
             current = result.product
 

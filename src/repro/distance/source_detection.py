@@ -66,6 +66,7 @@ def source_detection(
     execution: str = "fast",
     early_stop: bool = False,
     label: str = "source-detection",
+    kernel: Optional[str] = None,
 ) -> SourceDetectionResult:
     """Solve (S, d, k)-source detection (Theorem 19).
 
@@ -88,6 +89,8 @@ def source_detection(
         Stop the hop iterations as soon as the table stabilises (one extra
         broadcast per iteration to detect it); never changes the result,
         only reduces the measured rounds below the worst-case bound.
+    kernel:
+        Pin the local-product kernel; ``None`` lets the cost model choose.
     """
     if d <= 0:
         raise ValueError("hop bound d must be positive")
@@ -126,6 +129,7 @@ def source_detection(
                     clique=clique,
                     label="hop-iteration",
                     execution=execution,
+                    kernel=kernel,
                 )
             else:
                 result = output_sensitive_mm(
@@ -135,6 +139,7 @@ def source_detection(
                     clique=clique,
                     label="hop-iteration",
                     execution=execution,
+                    kernel=kernel,
                 )
             # The product may momentarily contain non-source columns only if
             # W had entries outside S's columns in `current`; restricting is

@@ -47,6 +47,7 @@ def distance_through_sets(
     clique: Optional[Clique] = None,
     execution: str = "fast",
     label: str = "distance-through-sets",
+    kernel: Optional[str] = None,
 ) -> ThroughSetsResult:
     """Solve the distance-through-sets problem (Theorem 20).
 
@@ -88,6 +89,7 @@ def distance_through_sets(
             clique=clique,
             label="product",
             execution=execution,
+            kernel=kernel,
         )
 
     estimates: List[Dict[int, float]] = []

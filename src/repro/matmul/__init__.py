@@ -4,8 +4,12 @@ This package contains the paper's Section 2 in executable form:
 
 * :mod:`repro.matmul.matrix` — sparse matrices over a semiring, densities
   ρ, row filtering.
-* :mod:`repro.matmul.kernels` — fast local product kernels (numpy for the
-  min-plus family, dictionaries for general semirings).
+* :mod:`repro.matmul.kernels` — the local product kernels (sparse-dict,
+  CSR, dense) behind the :class:`~repro.matmul.kernels.KernelDispatch`
+  cost model.
+* :mod:`repro.matmul.csr` — the vectorised CSR kernel layer (numpy
+  gathers + segmented min-reductions for the min-plus family and the
+  Boolean semiring).
 * :mod:`repro.matmul.partition` — the constructive partition lemmas
   (Lemmas 5-7) and the cube partitioning of Lemma 9.
 * :mod:`repro.matmul.balancing` — the balancing tools (Lemmas 10, 12, 13).
@@ -21,6 +25,8 @@ This package contains the paper's Section 2 in executable form:
 
 from repro.matmul.matrix import SemiringMatrix
 from repro.matmul.results import MatMulResult
+from repro.matmul.csr import CSRMatrix, from_csr, to_csr
+from repro.matmul.kernels import KERNEL_NAMES, KernelDispatch, local_product
 from repro.matmul.dense import dense_mm
 from repro.matmul.sparse_clt18 import sparse_mm_clt18
 from repro.matmul.output_sensitive import output_sensitive_mm
@@ -30,6 +36,12 @@ from repro.matmul.witness import WitnessedProduct, witnessed_product, witnessed_
 __all__ = [
     "SemiringMatrix",
     "MatMulResult",
+    "CSRMatrix",
+    "to_csr",
+    "from_csr",
+    "KERNEL_NAMES",
+    "KernelDispatch",
+    "local_product",
     "dense_mm",
     "sparse_mm_clt18",
     "output_sensitive_mm",

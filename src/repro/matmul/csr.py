@@ -1,0 +1,488 @@
+"""CSR-encoded kernels for the min-plus family and the Boolean semiring.
+
+The dictionary kernels in :mod:`repro.matmul.kernels` pay Python interpreter
+overhead per elementary product, which caps every theorem-level routine
+(k-nearest, source detection, MSSP, hopsets, APSP) well below what the
+hardware allows.  This module stores a :class:`~repro.matmul.matrix.
+SemiringMatrix` in compressed-sparse-row form — ``indptr``/``indices``/
+``data`` numpy arrays — and evaluates semiring products entirely with
+vectorised numpy primitives:
+
+* min-plus matrices become ``float64`` data;
+* augmented min-plus matrices become ``int64`` data through the
+  order/addition-preserving encoding of
+  :class:`repro.semiring.augmented.AugmentedMinPlusSemiring`, so integer
+  addition of codes equals component-wise semiring multiplication and
+  integer comparison equals the lexicographic order;
+* Boolean matrices become all-zero ``int64`` data (only the pattern
+  matters; min-reduction over zeros is "or" of the pattern).
+
+The core product expands every elementary product ``S[i,k] · T[k,j]`` into
+flat candidate arrays (a gather over ``T``'s rows), then reduces candidates
+sharing an output position: a dense per-row-block accumulator via
+``np.minimum.at`` when the block's candidates are dense enough (this also
+covers the sparse × dense shape — scattering into full output rows *is* the
+dense formulation), or ``argsort`` + ``minimum.reduceat`` when the output
+block is sparse.  Row blocks bound both the candidate arrays and the
+accumulator memory.  Either way the result is bit-identical to
+:func:`repro.matmul.kernels.sparse_dict_product` (property-tested).
+
+CSR encodings are cached on the source matrix (``matrix._cache``) and
+invalidated on mutation, so build-once / multiply-many workloads — the
+filtered squarings of Theorem 18, the hop iterations of Theorem 19, the
+subcube products of Theorems 8/14 — convert each operand once.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.matmul.matrix import SemiringMatrix
+from repro.semiring.augmented import AugmentedEntry, AugmentedMinPlusSemiring
+from repro.semiring.base import Semiring
+from repro.semiring.boolean import BooleanSemiring
+from repro.semiring.minplus import MinPlusSemiring
+
+#: Target number of candidate elementary products held in memory at once.
+_CANDIDATE_BUDGET = 1 << 18
+
+#: Maximum dense-accumulator cells per row block (rows_in_block x n).
+_BUFFER_BUDGET = 1 << 20
+
+#: Below this candidates-per-cell ratio a block reduces by sorting instead
+#: of scattering into the dense accumulator.
+_SPARSE_BLOCK_RATIO = 0.05
+
+
+class CSRMatrix:
+    """A semiring matrix in compressed-sparse-row numpy form.
+
+    ``data`` holds the kind-specific encoding described in the module
+    docstring; ``kind`` is one of ``"minplus"``, ``"augmented"``,
+    ``"boolean"``.  Column indices are sorted within each row.
+    """
+
+    __slots__ = ("n", "indptr", "indices", "data", "semiring", "kind")
+
+    def __init__(self, n: int, indptr: np.ndarray, indices: np.ndarray,
+                 data: np.ndarray, semiring: Semiring, kind: str):
+        self.n = n
+        self.indptr = indptr
+        self.indices = indices
+        self.data = data
+        self.semiring = semiring
+        self.kind = kind
+
+    @property
+    def nnz(self) -> int:
+        return int(self.indptr[-1])
+
+    def infinity(self) -> Any:
+        """The "absent entry" marker of this kind's encoding."""
+        if self.kind == "minplus":
+            return np.inf
+        if self.kind == "augmented":
+            return self.semiring.inf_code
+        return 1  # boolean: data is 0 where present
+
+    def dense(self) -> np.ndarray:
+        """Densify to an ``n x n`` array of the kind's encoding."""
+        dtype = np.float64 if self.kind == "minplus" else np.int64
+        out = np.full(self.n * self.n, self.infinity(), dtype=dtype)
+        rows = np.repeat(np.arange(self.n, dtype=np.int64), np.diff(self.indptr))
+        out[rows * self.n + self.indices] = self.data
+        return out.reshape(self.n, self.n)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CSRMatrix(n={self.n}, nnz={self.nnz}, kind={self.kind!r})"
+
+
+def csr_supported(semiring: Semiring) -> bool:
+    """Whether the CSR kernels can encode this semiring's values."""
+    return isinstance(
+        semiring, (MinPlusSemiring, AugmentedMinPlusSemiring, BooleanSemiring)
+    )
+
+
+def _kind_of(semiring: Semiring) -> str:
+    if isinstance(semiring, AugmentedMinPlusSemiring):
+        return "augmented"
+    if isinstance(semiring, BooleanSemiring):
+        return "boolean"
+    if isinstance(semiring, MinPlusSemiring):
+        return "minplus"
+    raise TypeError(f"CSR kernels do not support the {semiring.name} semiring")
+
+
+def to_csr(M: SemiringMatrix) -> CSRMatrix:
+    """Encode a matrix as CSR (cached on the matrix, see matrix docs)."""
+    cached = M._cache.get("csr")
+    if cached is not None:
+        return cached
+    kind = _kind_of(M.semiring)
+    n = M.n
+    lengths = np.fromiter((len(row) for row in M.rows), dtype=np.int64, count=n)
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(lengths, out=indptr[1:])
+    total = int(indptr[-1])
+    indices = np.empty(total, dtype=np.int64)
+    if kind == "minplus":
+        data = np.empty(total, dtype=np.float64)
+    elif kind == "augmented":
+        data = np.empty(total, dtype=np.int64)
+    else:
+        data = np.zeros(total, dtype=np.int64)
+    encode = M.semiring.encode if kind == "augmented" else None
+    pos = 0
+    for row in M.rows:
+        count = len(row)
+        if not count:
+            continue
+        cols = np.fromiter(row.keys(), dtype=np.int64, count=count)
+        order = np.argsort(cols)
+        indices[pos:pos + count] = cols[order]
+        if kind == "minplus":
+            data[pos:pos + count] = np.fromiter(
+                row.values(), dtype=np.float64, count=count
+            )[order]
+        elif kind == "augmented":
+            data[pos:pos + count] = np.fromiter(
+                (encode(v) for v in row.values()), dtype=np.int64, count=count
+            )[order]
+        pos += count
+    result = CSRMatrix(n, indptr, indices, data, M.semiring, kind)
+    M._cache["csr"] = result
+    return result
+
+
+def from_csr(csr: CSRMatrix) -> SemiringMatrix:
+    """Decode a CSR matrix back into a :class:`SemiringMatrix`."""
+    result = SemiringMatrix(csr.n, csr.semiring)
+    for i in range(csr.n):
+        lo, hi = int(csr.indptr[i]), int(csr.indptr[i + 1])
+        if lo == hi:
+            continue
+        result.rows[i] = _decode_row(
+            csr.indices[lo:hi], csr.data[lo:hi], csr.semiring, csr.kind
+        )
+    return result
+
+
+def _decode_row(cols: np.ndarray, vals: np.ndarray, semiring: Semiring,
+                kind: str) -> Dict[int, Any]:
+    """Decode one row's (cols, encoded vals) into a sparse-dict row."""
+    if kind == "minplus":
+        return dict(zip(cols.tolist(), vals.tolist()))
+    if kind == "augmented":
+        weights, hops = np.divmod(vals, semiring.hop_base)
+        return dict(zip(
+            cols.tolist(),
+            map(AugmentedEntry, weights.tolist(), hops.tolist()),
+        ))
+    return dict.fromkeys(cols.tolist(), True)
+
+
+def _keep_smallest(cols: np.ndarray, vals: np.ndarray,
+                   keep: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Indices/values of the ``keep`` smallest entries by (value, column).
+
+    ``cols`` must be ascending, so a stable sort on values breaks ties
+    towards the smaller column — the Section 2.2.2 cutoff rule
+    :meth:`SemiringMatrix.filter_rows` implements.
+    """
+    if cols.size <= keep:
+        return cols, vals
+    chosen = np.argsort(vals, kind="stable")[:keep]
+    return cols[chosen], vals[chosen]
+
+
+# ----------------------------------------------------------------------
+# candidate expansion + segmented min-reduction
+# ----------------------------------------------------------------------
+def _expand(s_rows: np.ndarray, s_cols: np.ndarray, s_vals: np.ndarray,
+            B: CSRMatrix) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """All elementary products of the given S entries against B's rows.
+
+    Returns flat ``(rows, cols, vals, mids)`` candidate arrays; ``vals`` are
+    already the products (encoded addition).
+    """
+    b_starts = B.indptr[s_cols]
+    counts = B.indptr[s_cols + 1] - b_starts
+    total = int(counts.sum())
+    if total == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty, np.empty(0, dtype=B.data.dtype), empty
+    ends = np.cumsum(counts)
+    # Concatenated ranges [b_starts[t], b_starts[t] + counts[t]) per entry t.
+    gather = np.arange(total, dtype=np.int64) + np.repeat(b_starts - (ends - counts), counts)
+    cand_rows = np.repeat(s_rows, counts)
+    cand_cols = B.indices[gather]
+    cand_vals = np.repeat(s_vals, counts) + B.data[gather]
+    cand_mids = np.repeat(s_cols, counts)
+    return cand_rows, cand_cols, cand_vals, cand_mids
+
+
+def _reduce_min(cand_rows: np.ndarray, cand_cols: np.ndarray,
+                cand_vals: np.ndarray,
+                n: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Minimum candidate value per (row, col); rows/cols come back sorted."""
+    keys = cand_rows * n + cand_cols
+    order = np.argsort(keys, kind="stable")
+    sorted_keys = keys[order]
+    starts = np.flatnonzero(np.r_[True, sorted_keys[1:] != sorted_keys[:-1]])
+    mins = np.minimum.reduceat(cand_vals[order], starts)
+    out_keys = sorted_keys[starts]
+    return out_keys // n, out_keys % n, mins
+
+
+
+
+def _row_blocks(A: CSRMatrix, B: CSRMatrix) -> List[Tuple[int, int]]:
+    """Partition A's rows into (start, stop) blocks bounded by both the
+    candidate budget and the dense-accumulator cell budget."""
+    b_row_lengths = np.diff(B.indptr)
+    per_entry = b_row_lengths[A.indices] if A.nnz else np.empty(0, dtype=np.int64)
+    entry_prefix = np.zeros(A.nnz + 1, dtype=np.int64)
+    np.cumsum(per_entry, out=entry_prefix[1:])
+    row_prefix = entry_prefix[A.indptr]
+    n = A.n
+    max_rows = max(1, _BUFFER_BUDGET // n)
+    blocks: List[Tuple[int, int]] = []
+    start = 0
+    while start < n:
+        stop = int(np.searchsorted(
+            row_prefix, row_prefix[start] + _CANDIDATE_BUDGET, side="right"
+        )) - 1
+        stop = min(n, max(stop, start + 1), start + max_rows)
+        blocks.append((start, stop))
+        start = stop
+    return blocks
+
+
+# ----------------------------------------------------------------------
+# products
+# ----------------------------------------------------------------------
+def csr_product(S: SemiringMatrix, T: SemiringMatrix,
+                keep: Optional[int] = None) -> SemiringMatrix:
+    """Compute ``S · T`` with the CSR kernels (optionally ρ-filtered).
+
+    Bit-identical to ``sparse_dict_product`` followed by ``filter_rows``;
+    the filtering happens on the encoded arrays before any decoding.
+    """
+    if keep is not None and not S.semiring.is_ordered():
+        raise TypeError("row filtering requires an ordered semiring")
+    A = to_csr(S)
+    B = to_csr(T)
+    n = A.n
+    result = SemiringMatrix(n, S.semiring)
+    if A.nnz == 0 or B.nnz == 0:
+        return result
+    infinity = A.infinity()
+    for start, stop in _row_blocks(A, B):
+        lo, hi = int(A.indptr[start]), int(A.indptr[stop])
+        if lo == hi:
+            continue
+        s_rows = np.repeat(
+            np.arange(start, stop, dtype=np.int64),
+            np.diff(A.indptr[start:stop + 1]),
+        )
+        cand_rows, cand_cols, cand_vals, _ = _expand(
+            s_rows, A.indices[lo:hi], A.data[lo:hi], B
+        )
+        if not cand_rows.size:
+            continue
+        cells = (stop - start) * n
+        if cand_rows.size >= _SPARSE_BLOCK_RATIO * cells:
+            # Dense accumulator: one vectorised min-scatter per block.
+            buffer = np.full(cells, infinity, dtype=A.data.dtype)
+            np.minimum.at(buffer, (cand_rows - start) * n + cand_cols, cand_vals)
+            buffer = buffer.reshape(stop - start, n)
+            for local in range(stop - start):
+                row_vals = buffer[local]
+                cols = np.flatnonzero(row_vals < infinity)
+                if not cols.size:
+                    continue
+                vals = row_vals[cols]
+                if keep is not None:
+                    cols, vals = _keep_smallest(cols, vals, keep)
+                result.rows[start + local] = _decode_row(
+                    cols, vals, A.semiring, A.kind
+                )
+        else:
+            rows_out, cols_out, vals_out = _reduce_min(
+                cand_rows, cand_cols, cand_vals, n
+            )
+            _fill_rows(result, rows_out, cols_out, vals_out, start, stop, A, keep)
+    return result
+
+
+def _fill_rows(result: SemiringMatrix, rows_out: np.ndarray,
+               cols_out: np.ndarray, vals_out: np.ndarray,
+               start: int, stop: int, A: CSRMatrix,
+               keep: Optional[int]) -> None:
+    """Scatter reduced (row, col, val) triples into the result's dict rows."""
+    bounds = np.searchsorted(rows_out, np.arange(start, stop + 1))
+    for i in range(start, stop):
+        a, b = bounds[i - start], bounds[i - start + 1]
+        if a == b:
+            continue
+        cols, vals = cols_out[a:b], vals_out[a:b]
+        if keep is not None:
+            cols, vals = _keep_smallest(cols, vals, keep)
+        result.rows[i] = _decode_row(cols, vals, A.semiring, A.kind)
+
+
+def csr_witnessed_product(
+    S: SemiringMatrix, T: SemiringMatrix
+) -> Tuple[SemiringMatrix, List[Dict[int, int]]]:
+    """``S · T`` with per-entry witnesses (min-plus family only).
+
+    Returns the product and ``witnesses[i][j] = w`` with ``w`` the smallest
+    middle index achieving the minimum — the same tie-break as the
+    dictionary kernel in :mod:`repro.matmul.witness`.
+    """
+    A = to_csr(S)
+    B = to_csr(T)
+    if A.kind == "boolean":
+        raise TypeError("witnessed products require an ordered (min) semiring")
+    n = A.n
+    product = SemiringMatrix(n, S.semiring)
+    witnesses: List[Dict[int, int]] = [dict() for _ in range(n)]
+    if A.nnz == 0 or B.nnz == 0:
+        return product, witnesses
+    infinity = A.infinity()
+    for start, stop in _row_blocks(A, B):
+        lo, hi = int(A.indptr[start]), int(A.indptr[stop])
+        if lo == hi:
+            continue
+        s_rows = np.repeat(
+            np.arange(start, stop, dtype=np.int64),
+            np.diff(A.indptr[start:stop + 1]),
+        )
+        cand_rows, cand_cols, cand_vals, cand_mids = _expand(
+            s_rows, A.indices[lo:hi], A.data[lo:hi], B
+        )
+        if not cand_rows.size:
+            continue
+        # Two min-scatters: first the values, then — among the candidates
+        # that achieve the minimum (exact compare: the winning candidate is
+        # bitwise equal to the scattered minimum) — the smallest middle
+        # index, which is the dict kernel's tie-break.
+        cells = (stop - start) * n
+        keys = (cand_rows - start) * n + cand_cols
+        value_buffer = np.full(cells, infinity, dtype=A.data.dtype)
+        np.minimum.at(value_buffer, keys, cand_vals)
+        achieving = cand_vals == value_buffer[keys]
+        witness_buffer = np.full(cells, np.iinfo(np.int64).max, dtype=np.int64)
+        np.minimum.at(witness_buffer, keys[achieving], cand_mids[achieving])
+        value_buffer = value_buffer.reshape(stop - start, n)
+        witness_buffer = witness_buffer.reshape(stop - start, n)
+        for local in range(stop - start):
+            row_vals = value_buffer[local]
+            cols = np.flatnonzero(row_vals < infinity)
+            if not cols.size:
+                continue
+            product.rows[start + local] = _decode_row(
+                cols, row_vals[cols], A.semiring, A.kind
+            )
+            witnesses[start + local] = dict(
+                zip(cols.tolist(), witness_buffer[local][cols].tolist())
+            )
+    return product, witnesses
+
+
+def csr_submatrix_product(
+    S: SemiringMatrix,
+    T: SemiringMatrix,
+    row_set: Sequence[int],
+    mid_set: Sequence[int],
+    col_set: Sequence[int],
+) -> Dict[Tuple[int, int], Any]:
+    """CSR evaluation of the restricted subcube product (Lemma 11 work unit).
+
+    Same contract as :func:`repro.matmul.kernels.submatrix_product`: the
+    product of ``S[row_set, mid_set] · T[mid_set, col_set]`` keyed by global
+    ``(row, col)``.
+    """
+    A = to_csr(S)
+    B = to_csr(T)
+    n = A.n
+    out: Dict[Tuple[int, int], Any] = {}
+    if A.nnz == 0 or B.nnz == 0:
+        return out
+    unique_rows = set(row_set)
+    rows = np.fromiter(unique_rows, dtype=np.int64, count=len(unique_rows))
+    rows.sort()
+    mid_mask = np.zeros(n, dtype=bool)
+    mid_mask[np.fromiter(mid_set, dtype=np.int64, count=len(mid_set))] = True
+    col_mask = np.zeros(n, dtype=bool)
+    col_mask[np.fromiter(col_set, dtype=np.int64, count=len(col_set))] = True
+
+    # Gather the S entries of the selected rows, keeping only selected mids.
+    lengths = np.diff(A.indptr)[rows]
+    total = int(lengths.sum())
+    if total == 0:
+        return out
+    ends = np.cumsum(lengths)
+    gather = np.arange(total, dtype=np.int64) + np.repeat(
+        A.indptr[rows] - (ends - lengths), lengths
+    )
+    s_rows = np.repeat(rows, lengths)
+    s_cols = A.indices[gather]
+    s_vals = A.data[gather]
+    selected = mid_mask[s_cols]
+    s_rows, s_cols, s_vals = s_rows[selected], s_cols[selected], s_vals[selected]
+
+    # Block by candidate count so huge subcubes stay within the budget.
+    b_row_lengths = np.diff(B.indptr)
+    per_entry = b_row_lengths[s_cols]
+    boundaries = _entry_blocks(s_rows, per_entry)
+    for lo, hi in boundaries:
+        cand_rows, cand_cols, cand_vals, _ = _expand(
+            s_rows[lo:hi], s_cols[lo:hi], s_vals[lo:hi], B
+        )
+        if not cand_rows.size:
+            continue
+        allowed = col_mask[cand_cols]
+        cand_rows, cand_cols = cand_rows[allowed], cand_cols[allowed]
+        cand_vals = cand_vals[allowed]
+        if not cand_rows.size:
+            continue
+        rows_out, cols_out, vals_out = _reduce_min(cand_rows, cand_cols, cand_vals, n)
+        if A.kind == "minplus":
+            values: List[Any] = vals_out.tolist()
+        elif A.kind == "augmented":
+            weights, hops = np.divmod(vals_out, A.semiring.hop_base)
+            values = list(map(AugmentedEntry, weights.tolist(), hops.tolist()))
+        else:
+            values = [True] * len(vals_out)
+        out.update(zip(zip(rows_out.tolist(), cols_out.tolist()), values))
+    return out
+
+
+def _entry_blocks(s_rows: np.ndarray,
+                  per_entry: np.ndarray) -> List[Tuple[int, int]]:
+    """Split S-entry ranges into candidate-bounded blocks on row boundaries.
+
+    Blocks never split a row, so each (row, col) output key is produced by
+    exactly one block and the per-block reductions compose by union.
+    """
+    count = len(s_rows)
+    if count == 0:
+        return []
+    prefix = np.zeros(count + 1, dtype=np.int64)
+    np.cumsum(per_entry, out=prefix[1:])
+    # Entry index where each new row starts (s_rows is sorted).
+    row_starts = np.flatnonzero(np.r_[True, s_rows[1:] != s_rows[:-1]])
+    row_starts = np.append(row_starts, count)
+    blocks: List[Tuple[int, int]] = []
+    b = 0
+    while b < len(row_starts) - 1:
+        target = prefix[row_starts[b]] + _CANDIDATE_BUDGET
+        e = int(np.searchsorted(prefix[row_starts], target, side="right")) - 1
+        e = min(len(row_starts) - 1, max(e, b + 1))
+        blocks.append((int(row_starts[b]), int(row_starts[e])))
+        b = e
+    return blocks

@@ -43,6 +43,7 @@ def filtered_mm(
     clique: Optional[Clique] = None,
     label: str = "theorem14-mm",
     execution: str = "faithful",
+    kernel: Optional[str] = None,
 ) -> MatMulResult:
     """Compute a ρ-filtered product of ``S`` and ``T`` (Theorem 14).
 
@@ -63,6 +64,9 @@ def filtered_mm(
         ``"faithful"`` (full Lemma 9-16 schedule) or ``"fast"`` (same round
         charges from measured densities, product computed with the fast
         local kernels); see :func:`repro.matmul.output_sensitive_mm`.
+    kernel:
+        Pin the local-product kernel (``"dict"``/``"csr"``/``"dense"``);
+        ``None`` lets the cost model choose.  Never affects the result.
     """
     S._check_compatible(T)
     if not S.semiring.is_ordered():
@@ -82,7 +86,7 @@ def filtered_mm(
 
     if execution == "fast":
         return _filtered_mm_fast(
-            S, T, rho, weight_universe_size, clique, label, words
+            S, T, rho, weight_universe_size, clique, label, words, kernel
         )
 
     start_rounds = clique.rounds
@@ -108,7 +112,7 @@ def filtered_mm(
         for node, assigned in enumerate(node_assignment):
             for index in assigned:
                 _, _, k, rows, mids, cols = subcubes[index]
-                partial = submatrix_product(S, T, rows, mids, cols)
+                partial = submatrix_product(S, T, rows, mids, cols, kernel=kernel)
                 per_node_raw_sizes[node] += len(partial)
                 layer = layers[k]
                 for (i, j), value in partial.items():
@@ -164,6 +168,7 @@ def _filtered_mm_fast(
     clique: Clique,
     label: str,
     words: int,
+    kernel: Optional[str] = None,
 ) -> MatMulResult:
     """Fast-execution variant: same charges, fast local product + filter."""
     from repro.matmul.kernels import local_product
@@ -190,7 +195,7 @@ def _filtered_mm_fast(
             clique, [s_per_node] * n, [t_per_node] * n, node_assignment, words
         )
 
-        product = local_product(S, T, keep=rho)
+        product = local_product(S, T, keep=rho, kernel=kernel)
 
         search_rounds = max(1, math.ceil(math.log2(weight_universe_size)))
         clique.charge_rounds_formula(search_rounds, label="filter-binary-search")

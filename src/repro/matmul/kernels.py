@@ -1,54 +1,222 @@
-"""Local product kernels.
+"""Local product kernels: sparse-dict, CSR, and dense, behind a cost model.
 
 In the Congested Clique algorithms each node computes products of the
 submatrices it has learned *locally* — local computation is free in the
-model, only communication costs rounds.  These kernels provide that local
+model, only communication costs rounds.  Three kernels provide that local
 computation:
 
-* a general dictionary-based sparse semiring product (works for any
-  semiring, cost proportional to the number of elementary products), and
-* numpy-accelerated dense kernels for the min-plus family (plain min-plus on
-  floats, augmented min-plus through its order-preserving int64 encoding),
-  used when matrices are dense enough that the dictionary loops would
-  dominate wall-clock time.
+* ``dict`` — the reference dictionary-based sparse semiring product: a pure
+  Python triple loop, works for any semiring, cost proportional to the
+  number of elementary products.  Always available, slowest per product.
+* ``csr`` — the vectorised sparse kernels of :mod:`repro.matmul.csr`:
+  operands are converted (once, cached on the matrix) to CSR numpy arrays
+  and the product is evaluated with gathers and segmented min-reductions.
+  Available for the min-plus family (floats / augmented int64 encoding)
+  and the Boolean semiring; typically 5-50x faster than ``dict`` on sparse
+  inputs.
+* ``dense`` — the blocked dense broadcast kernel
+  (:func:`minplus_matmul_arrays`): densify both operands and take a full
+  ``n³`` min-plus.  Min-plus family only; wins when both operands are near
+  dense so the sparse bookkeeping is pure overhead.
 
-The two are cross-checked against each other in the property tests.
+:class:`KernelDispatch` picks between them per call from estimated costs:
+the number of elementary products ``Σ_k colnnz_S(k) · rownnz_T(k)`` (the
+work of the sparse kernels) against the dense ``n³`` FLOP count, each
+weighted by a per-kernel cost-per-operation plus fixed setup and conversion
+charges.  The choice never affects the result — all three kernels are
+bit-identical on their common domain (property-tested).
+
+Pinning a kernel: every product entry point accepts ``kernel="dict" |
+"csr" | "dense"``, and the ``REPRO_KERNEL`` environment variable pins the
+default process-wide (benchmarks and tests use this; an env-pinned kernel
+that cannot handle the semiring or operation at hand falls back to the
+cost model over the kernels that can, while an explicitly passed one
+raises).
+
+``benchmarks/bench_primitives.py --json`` measures all three kernels on
+fixed seeds/sizes and writes ``BENCH_PR2.json``; see the README's
+Performance section for how to read it.
 """
 
 from __future__ import annotations
 
 import math
+import os
 from typing import Any, Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.matmul import csr as _csr
 from repro.matmul.matrix import SemiringMatrix
 from repro.semiring.augmented import AugmentedMinPlusSemiring
 from repro.semiring.base import Semiring
 from repro.semiring.minplus import MinPlusSemiring
 
-#: Above this fraction of non-zero entries the dense numpy kernel is used.
-_DENSE_THRESHOLD = 0.08
+#: Environment variable pinning the kernel choice process-wide.
+KERNEL_ENV_VAR = "REPRO_KERNEL"
+
+#: Valid kernel names ("auto" defers to the cost model).
+KERNEL_NAMES = ("auto", "dict", "csr", "dense")
 
 #: Row-block size for the numpy broadcast kernel (memory / speed trade-off).
 _BLOCK_ROWS = 32
+
+
+class KernelDispatch:
+    """Cost-model kernel selection for the local products.
+
+    The unit is "one Python-level dictionary product" ≈ a few hundred
+    nanoseconds; the other constants are measured relative to it on the
+    ``bench_primitives`` workloads.  The absolute values only matter near
+    the crossover points, where all kernels are within a small factor of
+    each other anyway.
+    """
+
+    def __init__(
+        self,
+        dict_op: float = 1.0,
+        csr_op: float = 0.05,
+        csr_setup: float = 4000.0,
+        csr_convert_per_nnz: float = 0.25,
+        dense_op: float = 0.012,
+        dense_setup: float = 4000.0,
+        dense_per_cell: float = 0.08,
+    ):
+        self.dict_op = dict_op
+        self.csr_op = csr_op
+        self.csr_setup = csr_setup
+        self.csr_convert_per_nnz = csr_convert_per_nnz
+        self.dense_op = dense_op
+        self.dense_setup = dense_setup
+        self.dense_per_cell = dense_per_cell
+
+    # -- eligibility ----------------------------------------------------
+    @staticmethod
+    def csr_eligible(semiring: Semiring) -> bool:
+        return _csr.csr_supported(semiring)
+
+    @staticmethod
+    def dense_eligible(semiring: Semiring) -> bool:
+        return isinstance(semiring, (MinPlusSemiring, AugmentedMinPlusSemiring))
+
+    # -- cost model -----------------------------------------------------
+    @staticmethod
+    def estimated_products(S: SemiringMatrix, T: SemiringMatrix) -> int:
+        """Estimated elementary products ``Σ_k colnnz_S(k) · rownnz_T(k)``."""
+        col = np.asarray(S.col_nnz(), dtype=np.int64)
+        rows = np.fromiter(
+            (len(row) for row in T.rows), dtype=np.int64, count=T.n
+        )
+        return int(col @ rows)
+
+    def costs(self, S: SemiringMatrix, T: SemiringMatrix,
+              products_scale: float = 1.0) -> Dict[str, float]:
+        """Estimated cost of each eligible kernel (in dict-product units).
+
+        ``products_scale`` scales the elementary-product estimate for
+        restricted products that only touch a fraction of the cube (the
+        subcube calls of the faithful execution modes).
+        """
+        products = self.estimated_products(S, T) * products_scale
+        nnz = S.nnz() + T.nnz()
+        n = S.n
+        out = {"dict": products * self.dict_op}
+        if self.csr_eligible(S.semiring):
+            convert = 0.0
+            for operand in (S, T):
+                if "csr" not in operand._cache:
+                    convert += operand.nnz() * self.csr_convert_per_nnz
+            out["csr"] = (
+                self.csr_setup + convert + products * self.csr_op + nnz * 0.05
+            )
+        if self.dense_eligible(S.semiring):
+            out["dense"] = (
+                self.dense_setup
+                + 2 * n * n * self.dense_per_cell
+                + float(n) ** 3 * self.dense_op
+            )
+        return out
+
+    # -- selection ------------------------------------------------------
+    def select(
+        self,
+        S: SemiringMatrix,
+        T: SemiringMatrix,
+        kernel: Optional[str] = None,
+        allowed: Sequence[str] = ("dict", "csr", "dense"),
+        products_scale: float = 1.0,
+    ) -> str:
+        """Resolve the kernel for one product call.
+
+        Priority: explicit ``kernel`` argument (raises if the semiring
+        cannot use it), then the ``REPRO_KERNEL`` environment variable
+        (falls back to the cost model if ineligible), then the cost model.
+        ``allowed`` restricts the menu for callers that lack a kernel
+        variant (e.g. witnessed products have no dense form);
+        ``products_scale`` is forwarded to :meth:`costs`.
+        """
+        eligible = {"dict"}
+        if "csr" in allowed and self.csr_eligible(S.semiring):
+            eligible.add("csr")
+        if "dense" in allowed and self.dense_eligible(S.semiring):
+            eligible.add("dense")
+
+        if kernel is not None:
+            if kernel not in KERNEL_NAMES:
+                raise ValueError(
+                    f"unknown kernel {kernel!r}; valid kernels: {KERNEL_NAMES}"
+                )
+            if kernel != "auto":
+                if kernel not in eligible:
+                    raise ValueError(
+                        f"kernel {kernel!r} does not support the "
+                        f"{S.semiring.name} semiring (or this operation); "
+                        f"eligible: {sorted(eligible)}"
+                    )
+                return kernel
+
+        pinned = os.environ.get(KERNEL_ENV_VAR)
+        if pinned and pinned != "auto":
+            if pinned not in KERNEL_NAMES:
+                raise ValueError(
+                    f"{KERNEL_ENV_VAR}={pinned!r} is not a valid kernel; "
+                    f"valid kernels: {KERNEL_NAMES}"
+                )
+            if pinned in eligible:
+                return pinned
+            # Pinned kernel can't run this call (wrong semiring or no such
+            # variant): fall through to the cost model over the eligible set.
+
+        costs = self.costs(S, T, products_scale)
+        return min(
+            (name for name in costs if name in eligible),
+            key=lambda name: costs[name],
+        )
+
+
+#: Process-wide dispatcher instance (benchmarks may tweak its constants).
+DISPATCH = KernelDispatch()
 
 
 def local_product(
     S: SemiringMatrix,
     T: SemiringMatrix,
     keep: Optional[int] = None,
+    kernel: Optional[str] = None,
 ) -> SemiringMatrix:
     """Compute ``P = S · T`` over the matrices' semiring.
 
     ``keep``, if given, applies ρ-filtering with ρ = ``keep`` to the result
-    (requires an ordered semiring).  The kernel used (sparse dictionaries or
-    dense numpy) is chosen automatically and does not affect the result.
+    (requires an ordered semiring).  The kernel (sparse dictionaries, CSR,
+    or dense numpy) is chosen by the cost model unless pinned via
+    ``kernel`` or the ``REPRO_KERNEL`` environment variable, and never
+    affects the result.
     """
     S._check_compatible(T)
-    semiring = S.semiring
-    use_numpy = _numpy_eligible(semiring) and _dense_enough(S, T)
-    if use_numpy:
+    choice = DISPATCH.select(S, T, kernel)
+    if choice == "csr":
+        return _csr.csr_product(S, T, keep=keep)
+    if choice == "dense":
         product = _numpy_product(S, T)
     else:
         product = sparse_dict_product(S, T)
@@ -87,13 +255,35 @@ def submatrix_product(
     row_set: Sequence[int],
     mid_set: Sequence[int],
     col_set: Sequence[int],
+    kernel: Optional[str] = None,
 ) -> Dict[Tuple[int, int], Any]:
     """Compute the subcube product ``S[row_set, mid_set] · T[mid_set, col_set]``.
 
     Returns a dictionary keyed by global ``(row, col)`` positions.  This is
     exactly the work a single node does for its assigned subcube in the
-    Theorem 8 / Theorem 14 algorithms.
+    Theorem 8 / Theorem 14 algorithms.  The faithful execution modes call
+    this once per subcube over the same ``S`` and ``T``, so the CSR kernel's
+    cached operand encoding amortises over the whole schedule; the dispatch
+    cost model scales the full-product estimate by the subcube's row
+    fraction.
     """
+    row_fraction = min(1.0, len(row_set) / max(1, S.n))
+    choice = DISPATCH.select(
+        S, T, kernel, allowed=("dict", "csr"), products_scale=row_fraction
+    )
+    if choice == "csr":
+        return _csr.csr_submatrix_product(S, T, row_set, mid_set, col_set)
+    return _dict_submatrix_product(S, T, row_set, mid_set, col_set)
+
+
+def _dict_submatrix_product(
+    S: SemiringMatrix,
+    T: SemiringMatrix,
+    row_set: Sequence[int],
+    mid_set: Sequence[int],
+    col_set: Sequence[int],
+) -> Dict[Tuple[int, int], Any]:
+    """Reference dictionary evaluation of the subcube product."""
     semiring = S.semiring
     add = semiring.add
     mul = semiring.mul
@@ -128,21 +318,8 @@ def submatrix_product(
 
 
 # ----------------------------------------------------------------------
-# numpy kernels for the min-plus family
+# dense numpy kernel for the min-plus family
 # ----------------------------------------------------------------------
-def _numpy_eligible(semiring: Semiring) -> bool:
-    return isinstance(semiring, (MinPlusSemiring, AugmentedMinPlusSemiring))
-
-
-def _dense_enough(S: SemiringMatrix, T: SemiringMatrix) -> bool:
-    total_cells = S.n * S.n
-    return (
-        S.n >= 48
-        and (S.nnz() / total_cells) >= _DENSE_THRESHOLD
-        and (T.nnz() / total_cells) >= _DENSE_THRESHOLD
-    )
-
-
 def to_dense_array(M: SemiringMatrix) -> np.ndarray:
     """Encode a min-plus-family matrix as a dense numpy array.
 
@@ -202,8 +379,10 @@ def minplus_matmul_arrays(A: np.ndarray, B: np.ndarray, block: int = _BLOCK_ROWS
 
 def _numpy_product(S: SemiringMatrix, T: SemiringMatrix) -> SemiringMatrix:
     semiring = S.semiring
-    A = to_dense_array(S)
-    B = to_dense_array(T)
+    # Densify through the cached CSR encoding (vectorised scatter) rather
+    # than the per-entry Python loop of to_dense_array.
+    A = _csr.to_csr(S).dense()
+    B = _csr.to_csr(T).dense()
     C = minplus_matmul_arrays(A, B)
     if isinstance(semiring, AugmentedMinPlusSemiring):
         # Any sum involving the infinity code exceeds it; clamp back.
@@ -216,6 +395,7 @@ def iterated_squaring(
     W: SemiringMatrix,
     power: int,
     keep: Optional[int] = None,
+    kernel: Optional[str] = None,
 ) -> SemiringMatrix:
     """Compute ``W`` to the given power by repeated squaring (local only).
 
@@ -228,5 +408,5 @@ def iterated_squaring(
     result = W if keep is None else W.filter_rows(keep)
     steps = max(0, math.ceil(math.log2(power)))
     for _ in range(steps):
-        result = local_product(result, result, keep=keep)
+        result = local_product(result, result, keep=keep, kernel=kernel)
     return result

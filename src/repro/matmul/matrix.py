@@ -10,6 +10,14 @@ The class also implements the paper's density measure ``ρ_M`` — the smallest
 positive integer with ``nz(M) <= ρ_M · n`` — and the ρ-filtering operation
 (keep the ρ smallest entries per row) used by the filtered multiplication
 and by all the distance tools.
+
+Derived statistics (``nnz``, ``col_nnz``, ``density``, ``max_row_nnz``) and
+the CSR encoding built by :mod:`repro.matmul.csr` are cached on the matrix:
+the kernel dispatcher consults them on every product, and most matrices are
+built once and then multiplied many times.  Mutating through :meth:`set` or
+:meth:`add_entry` invalidates the cache automatically; code that writes to
+``rows`` directly must call :meth:`invalidate_cache` before reading any
+cached statistic.
 """
 
 from __future__ import annotations
@@ -34,7 +42,7 @@ class SemiringMatrix:
         Optional pre-built list of per-row dictionaries (not copied).
     """
 
-    __slots__ = ("n", "semiring", "rows")
+    __slots__ = ("n", "semiring", "rows", "_cache")
 
     def __init__(
         self,
@@ -46,6 +54,7 @@ class SemiringMatrix:
             raise ValueError(f"matrix dimension must be positive, got {n}")
         self.n = int(n)
         self.semiring = semiring
+        self._cache: Dict[str, Any] = {}
         if rows is None:
             self.rows: List[Dict[int, Any]] = [dict() for _ in range(self.n)]
         else:
@@ -90,6 +99,8 @@ class SemiringMatrix:
 
     def set(self, i: int, j: int, value: Any) -> None:
         """Set entry ``(i, j)``; setting the semiring zero removes the entry."""
+        if self._cache:
+            self._cache.clear()
         if self.semiring.is_zero(value):
             self.rows[i].pop(j, None)
         else:
@@ -99,6 +110,8 @@ class SemiringMatrix:
         """Semiring-add ``value`` into entry ``(i, j)``."""
         if self.semiring.is_zero(value):
             return
+        if self._cache:
+            self._cache.clear()
         current = self.rows[i].get(j)
         if current is None:
             self.rows[i][j] = value
@@ -116,31 +129,51 @@ class SemiringMatrix:
                 yield (i, j, value)
 
     # ------------------------------------------------------------------
-    # densities (Section 2.1)
+    # densities (Section 2.1) — cached, see invalidate_cache
     # ------------------------------------------------------------------
+    def invalidate_cache(self) -> None:
+        """Drop cached statistics and the cached CSR encoding.
+
+        :meth:`set` and :meth:`add_entry` call this automatically; code that
+        mutates ``rows`` directly must call it by hand before the next read
+        of ``nnz``/``col_nnz``/``density`` or the next product.
+        """
+        self._cache.clear()
+
     def nnz(self) -> int:
-        """Number of non-zero entries."""
-        return sum(len(row) for row in self.rows)
+        """Number of non-zero entries (cached)."""
+        value = self._cache.get("nnz")
+        if value is None:
+            value = sum(len(row) for row in self.rows)
+            self._cache["nnz"] = value
+        return value
 
     def row_nnz(self, i: int) -> int:
         """Number of non-zero entries in row ``i``."""
         return len(self.rows[i])
 
     def col_nnz(self) -> List[int]:
-        """Number of non-zero entries per column."""
-        counts = [0] * self.n
-        for row in self.rows:
-            for j in row:
-                counts[j] += 1
-        return counts
+        """Number of non-zero entries per column (cached; returns a copy)."""
+        counts = self._cache.get("col_nnz")
+        if counts is None:
+            counts = [0] * self.n
+            for row in self.rows:
+                for j in row:
+                    counts[j] += 1
+            self._cache["col_nnz"] = counts
+        return list(counts)
 
     def density(self) -> int:
         """The density ``ρ``: smallest positive integer with ``nnz <= ρ·n``."""
         return max(1, math.ceil(self.nnz() / self.n))
 
     def max_row_nnz(self) -> int:
-        """Maximum number of non-zero entries in any row."""
-        return max((len(row) for row in self.rows), default=0)
+        """Maximum number of non-zero entries in any row (cached)."""
+        value = self._cache.get("max_row_nnz")
+        if value is None:
+            value = max((len(row) for row in self.rows), default=0)
+            self._cache["max_row_nnz"] = value
+        return value
 
     # ------------------------------------------------------------------
     # transforms

@@ -43,6 +43,7 @@ def output_sensitive_mm(
     clique: Optional[Clique] = None,
     label: str = "theorem8-mm",
     execution: str = "faithful",
+    kernel: Optional[str] = None,
 ) -> MatMulResult:
     """Multiply ``S · T`` with output-sensitive round cost (Theorem 8).
 
@@ -66,6 +67,9 @@ def output_sensitive_mm(
         each other (asserted in tests); the distance tools use ``"fast"`` so
         that the polylogarithmic algorithms, which perform hundreds of
         products, stay tractable in wall-clock time.
+    kernel:
+        Pin the local-product kernel (``"dict"``/``"csr"``/``"dense"``);
+        ``None`` lets the cost model choose.  Never affects the result.
     """
     S._check_compatible(T)
     clique = clique or Clique(S.n)
@@ -76,7 +80,7 @@ def output_sensitive_mm(
     start_rounds = clique.rounds
     if rho_hat is not None:
         with clique.phase(label):
-            product, params = run(S, T, max(1, rho_hat), clique)
+            product, params = run(S, T, max(1, rho_hat), clique, kernel)
         return MatMulResult(product, clique.rounds - start_rounds, clique, params)
 
     # Doubling variant: restart with doubled estimate until the real output
@@ -86,7 +90,7 @@ def output_sensitive_mm(
     params: Dict[str, float] = {}
     with clique.phase(label):
         while True:
-            product, params = run(S, T, estimate, clique)
+            product, params = run(S, T, estimate, clique, kernel)
             actual = product.density()
             params["doubling_estimate"] = estimate
             if actual <= estimate or estimate >= S.n:
@@ -100,6 +104,7 @@ def _run_with_estimate(
     T: SemiringMatrix,
     rho_hat: int,
     clique: Clique,
+    kernel: Optional[str] = None,
 ) -> Tuple[SemiringMatrix, Dict[str, float]]:
     """One pass of the Theorem 8 algorithm with a fixed ρ̂ estimate."""
     n = S.n
@@ -129,7 +134,7 @@ def _run_with_estimate(
         merged: Dict[Tuple[int, int], object] = {}
         for index in assigned:
             _, _, _, rows, mids, cols = subcubes[index]
-            partial = submatrix_product(S, T, rows, mids, cols)
+            partial = submatrix_product(S, T, rows, mids, cols, kernel=kernel)
             for key, value in partial.items():
                 current = merged.get(key)
                 merged[key] = value if current is None else semiring.add(current, value)
@@ -169,6 +174,7 @@ def _run_fast_with_estimate(
     T: SemiringMatrix,
     rho_hat: int,
     clique: Clique,
+    kernel: Optional[str] = None,
 ) -> Tuple[SemiringMatrix, Dict[str, float]]:
     """Fast-execution pass: same charges (from measured densities and the
     Theorem 8 load formulas), product computed with the local kernels."""
@@ -196,7 +202,7 @@ def _run_fast_with_estimate(
     charge_input_delivery(clique, s_loads, t_loads, node_assignment, words)
 
     # Local product via the fast kernels.
-    product = local_product(S, T)
+    product = local_product(S, T, kernel=kernel)
 
     # Step 3: balancing of intermediate products.  Each output position is
     # split over the c middle blocks, so the total number of intermediate

@@ -25,9 +25,18 @@ def sparse_mm_clt18(
     T: SemiringMatrix,
     clique: Optional[Clique] = None,
     label: str = "clt18-mm",
+    execution: str = "faithful",
+    kernel: Optional[str] = None,
 ) -> MatMulResult:
-    """Multiply ``S · T`` with the CLT18 sparse algorithm's round cost."""
-    result = output_sensitive_mm(S, T, rho_hat=S.n, clique=clique, label=label)
+    """Multiply ``S · T`` with the CLT18 sparse algorithm's round cost.
+
+    ``execution`` and ``kernel`` are forwarded to the Theorem 8 machinery
+    (see :func:`repro.matmul.output_sensitive.output_sensitive_mm`).
+    """
+    result = output_sensitive_mm(
+        S, T, rho_hat=S.n, clique=clique, label=label,
+        execution=execution, kernel=kernel,
+    )
     result.params["algorithm"] = "clt18"
     result.params["predicted_rounds"] = (
         (result.params["rho_s"] * result.params["rho_t"]) ** (1 / 3)

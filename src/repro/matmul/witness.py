@@ -41,18 +41,35 @@ class WitnessedProduct:
 
 
 def witnessed_product(
-    S: SemiringMatrix, T: SemiringMatrix, keep: Optional[int] = None
+    S: SemiringMatrix,
+    T: SemiringMatrix,
+    keep: Optional[int] = None,
+    kernel: Optional[str] = None,
 ) -> WitnessedProduct:
-    """Compute ``S · T`` with witnesses (sparse dictionary kernel).
+    """Compute ``S · T`` with witnesses (dict or CSR kernel).
 
     ``keep`` applies ρ-filtering to the result, retaining the witnesses of
     the surviving entries.  Ties between equal candidate values are broken
-    towards the smaller witness index so the result is deterministic.
+    towards the smaller witness index so the result is deterministic —
+    both kernels implement the same tie-break, so the kernel choice (cost
+    model, ``kernel=``, or ``REPRO_KERNEL``) never affects the result.
     """
+    from repro.matmul import csr as _csr
+    from repro.matmul.kernels import DISPATCH
+
     semiring = S.semiring
     if not semiring.is_ordered():
         raise TypeError("witnessed products require an ordered (min) semiring")
     S._check_compatible(T)
+
+    choice = DISPATCH.select(S, T, kernel, allowed=("dict", "csr"))
+    if choice == "csr":
+        matrix, witnesses = _csr.csr_witnessed_product(S, T)
+        result = WitnessedProduct(product=matrix, witnesses=witnesses)
+        if keep is not None:
+            result = _filter_witnessed(result, keep)
+        return result
+
     mul = semiring.mul
     zero = semiring.zero
 
@@ -94,7 +111,10 @@ def _filter_witnessed(result: WitnessedProduct, keep: int) -> WitnessedProduct:
 
 
 def witnessed_squaring(
-    W: SemiringMatrix, keep: int, squarings: int
+    W: SemiringMatrix,
+    keep: int,
+    squarings: int,
+    kernel: Optional[str] = None,
 ) -> Tuple[SemiringMatrix, List[List[Dict[int, int]]]]:
     """Repeated witnessed ρ-filtered squaring.
 
@@ -109,7 +129,7 @@ def witnessed_squaring(
     current = W.filter_rows(keep)
     witness_levels: List[List[Dict[int, int]]] = []
     for _ in range(squarings):
-        step = witnessed_product(current, current, keep=keep)
+        step = witnessed_product(current, current, keep=keep, kernel=kernel)
         witness_levels.append(step.witnesses)
         current = step.product
     return current, witness_levels

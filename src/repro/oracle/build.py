@@ -80,15 +80,21 @@ class OracleBuilder:
     k:
         Ball size for ``landmark-mssp``; defaults to ``ceil(sqrt(n))``
         like the paper's APSP pipeline.
+    kernel:
+        Pin the local-product kernel used by the build's matrix products
+        (``"dict"``/``"csr"``/``"dense"``); ``None`` lets the cost model
+        choose per product.  Recorded in the artifact's build metadata so
+        benchmark artifacts are self-describing.
     """
 
     def __init__(self, strategy: str = "landmark-mssp", epsilon: float = 0.5,
-                 k: Optional[int] = None):
+                 k: Optional[int] = None, kernel: Optional[str] = None):
         self.spec = get_strategy(strategy)
         if epsilon <= 0:
             raise ValueError("epsilon must be positive")
         self.epsilon = float(epsilon)
         self.k = k
+        self.kernel = kernel
 
     def build(self, graph: Graph) -> OracleArtifact:
         """Run the strategy's build computation and package the artifact."""
@@ -112,7 +118,10 @@ class OracleBuilder:
             "epsilon": self.epsilon,
             "max_weight": max_weight,
             "stretch": guarantee.as_dict(),
-            "build": {"rounds": rounds, "seconds": seconds, **detail},
+            "build": {"rounds": rounds, "seconds": seconds,
+                      "kernel": self.kernel or "auto",
+                      "hot_primitives": list(self.spec.hot_primitives),
+                      **detail},
         }
         artifact = OracleArtifact(metadata=metadata, arrays=arrays)
         artifact.validate()
@@ -161,7 +170,8 @@ class OracleBuilder:
 
         with clique.phase("oracle-build"):
             # Exact balls: every node's k nearest nodes (Theorem 18).
-            knn = k_nearest(graph, k, clique=clique, label="k-nearest")
+            knn = k_nearest(graph, k, clique=clique, label="k-nearest",
+                            kernel=self.kernel)
 
             # Landmarks: a hitting set of the balls (Lemma 4), announced.
             ball_sets = [knn.nearest_set(v) for v in range(n)]
@@ -170,7 +180,7 @@ class OracleBuilder:
 
             # The (1 + eps) landmark table (Theorem 3; hopset built inside).
             table = mssp(graph, landmarks, epsilon=self.epsilon, clique=clique,
-                         label="mssp-landmarks")
+                         label="mssp-landmarks", kernel=self.kernel)
 
         ball_idx = np.full((n, k), -1, dtype=np.int64)
         ball_dist = np.full((n, k), np.inf, dtype=np.float64)
@@ -202,6 +212,8 @@ def build_oracle(
     strategy: str = "landmark-mssp",
     epsilon: float = 0.5,
     k: Optional[int] = None,
+    kernel: Optional[str] = None,
 ) -> OracleArtifact:
     """One-call convenience wrapper around :class:`OracleBuilder`."""
-    return OracleBuilder(strategy=strategy, epsilon=epsilon, k=k).build(graph)
+    return OracleBuilder(strategy=strategy, epsilon=epsilon, k=k,
+                         kernel=kernel).build(graph)

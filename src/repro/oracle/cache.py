@@ -91,6 +91,33 @@ class LatencyRecorder:
             self._ring[self._next] = nanoseconds
             self._next = (self._next + 1) % self.window
 
+    def record_many(self, nanoseconds: int, count: int) -> None:
+        """Add ``count`` identical samples with slice assignment, not a loop.
+
+        Used by batch queries, whose per-query latency is the amortised
+        share of the batch: the batch path genuinely smooths the tail, so
+        equal samples are the honest representation of it.
+        """
+        if count <= 0:
+            return
+        self.count += count
+        fill = min(count, self.window)
+        capacity = self.window - len(self._ring)
+        if capacity:
+            take = min(fill, capacity)
+            self._ring.extend([nanoseconds] * take)
+            fill -= take
+        if fill:
+            end = self._next + fill
+            if end <= self.window:
+                self._ring[self._next:end] = [nanoseconds] * fill
+                self._next = end % self.window
+            else:
+                wrap = end - self.window
+                self._ring[self._next:] = [nanoseconds] * (self.window - self._next)
+                self._ring[:wrap] = [nanoseconds] * wrap
+                self._next = wrap
+
     @staticmethod
     def _pick(ordered: List[int], p: float) -> float:
         """Nearest-rank percentile of pre-sorted samples, in microseconds."""

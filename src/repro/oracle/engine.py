@@ -54,6 +54,7 @@ class QueryEngine:
         if self.strategy in ("dense-apsp", "exact-fallback"):
             self._dist_matrix = np.asarray(artifact.arrays["dist"], dtype=np.float64)
             self._point = self._point_dense
+            self._point_batch = self._point_batch_dense
             self._row = self._row_dense
         else:  # landmark-mssp
             self._landmark_dist = np.asarray(
@@ -73,6 +74,7 @@ class QueryEngine:
                     self._ball[v][u] = float(d)
                     self._rev_ball[u].append((v, float(d)))
             self._point = self._point_landmark
+            self._point_batch = self._point_batch_landmark
             self._row = self._row_landmark
 
     # ------------------------------------------------------------------
@@ -98,12 +100,54 @@ class QueryEngine:
     def batch(self, pairs: Sequence[Tuple[int, int]]) -> np.ndarray:
         """Estimated distances for many ``(u, v)`` pairs.
 
-        Each pair goes through the same cache as :meth:`dist`, so repeated
-        batches over a working set are served at cache speed.
+        Each pair goes through the same cache as :meth:`dist`, but all
+        cache misses are resolved with one vectorised gather over the
+        strategy's tables instead of a per-pair Python loop, so cold
+        batches run at numpy speed and repeated batches over a working
+        set are served at cache speed.  Results are identical to calling
+        :meth:`dist` per pair.  Each pair contributes one latency sample
+        equal to its amortised share of the batch — the batch path
+        smooths the tail by construction, and the percentiles report
+        that honestly.
         """
-        out = np.empty(len(pairs), dtype=np.float64)
+        started = time.perf_counter_ns()
+        count = len(pairs)
+        out = np.zeros(count, dtype=np.float64)
+        if count == 0:
+            return out
+        lo = np.empty(count, dtype=np.int64)
+        hi = np.empty(count, dtype=np.int64)
         for index, (u, v) in enumerate(pairs):
-            out[index] = self.dist(u, v)
+            if u > v:
+                u, v = v, u
+            lo[index] = u
+            hi[index] = v
+        if int(lo.min()) < 0 or int(hi.max()) >= self.n:
+            for u, v in pairs:
+                self._check_node(u)
+                self._check_node(v)
+        self._queries += count
+
+        cache = self.cache
+        miss_positions = []
+        for index in range(count):
+            low, high = int(lo[index]), int(hi[index])
+            if low == high:
+                continue
+            value = cache.get((low, high))
+            if value is LRUCache.MISS:
+                miss_positions.append(index)
+            else:
+                out[index] = value
+        if miss_positions:
+            miss = np.asarray(miss_positions, dtype=np.int64)
+            values = self._point_batch(lo[miss], hi[miss])
+            out[miss] = values
+            for index, value in zip(miss_positions, values.tolist()):
+                cache.put((int(lo[index]), int(hi[index])), value)
+
+        per_query = (time.perf_counter_ns() - started) // count
+        self.latency.record_many(per_query, count)
         return out
 
     def k_nearest(self, u: int, k: int) -> List[Tuple[int, float]]:
@@ -152,6 +196,9 @@ class QueryEngine:
     def _point_dense(self, u: int, v: int) -> float:
         return float(self._dist_matrix[u, v])
 
+    def _point_batch_dense(self, us: np.ndarray, vs: np.ndarray) -> np.ndarray:
+        return self._dist_matrix[us, vs]
+
     def _row_dense(self, u: int) -> np.ndarray:
         return self._dist_matrix[u]
 
@@ -164,6 +211,28 @@ class QueryEngine:
         if near is not None:
             return near
         return float(np.min(self._landmark_dist[u] + self._landmark_dist[v]))
+
+    def _point_batch_landmark(self, us: np.ndarray, vs: np.ndarray) -> np.ndarray:
+        # One gather over the (1 + ε) MSSP table resolves every pair's best
+        # landmark route at once; the exact-ball overrides (a sparse O(1)
+        # dict hit per pair) are applied on top, mirroring _point_landmark.
+        count = len(us)
+        out = np.empty(count, dtype=np.float64)
+        chunk = max(1, (1 << 20) // max(1, self._landmark_dist.shape[1]))
+        for start in range(0, count, chunk):
+            stop = min(count, start + chunk)
+            out[start:stop] = np.min(
+                self._landmark_dist[us[start:stop]]
+                + self._landmark_dist[vs[start:stop]],
+                axis=1,
+            )
+        for index, (u, v) in enumerate(zip(us.tolist(), vs.tolist())):
+            near = self._ball[u].get(v)
+            if near is None:
+                near = self._ball[v].get(u)
+            if near is not None:
+                out[index] = near
+        return out
 
     def _row_landmark(self, u: int) -> np.ndarray:
         # Best landmark route to every node, then overlay the exact balls.

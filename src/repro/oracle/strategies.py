@@ -74,6 +74,12 @@ class StrategySpec:
     summary: str
     #: Whether the guarantee depends on epsilon (exact strategies do not).
     uses_epsilon: bool = True
+    #: The matrix primitives that dominate this strategy's build time —
+    #: the ones the kernel layer (``repro.matmul.kernels``) accelerates and
+    #: ``bench_primitives.py`` tracks in BENCH_PR2.json.  Recorded in the
+    #: artifact build metadata so a slow build can be matched to the
+    #: benchmark trajectory of the primitive that caused it.
+    hot_primitives: Tuple[str, ...] = ()
 
     def guarantee(self, epsilon: float, max_weight: float) -> StretchGuarantee:
         """The stretch guarantee a fresh build with these parameters carries."""
@@ -93,17 +99,20 @@ _SPECS: Dict[str, StrategySpec] = {
         name="dense-apsp",
         required_arrays=("dist",),
         summary="Theorem 28 (2+eps,(1+eps)W)-APSP, dense n x n estimate matrix",
+        hot_primitives=("filtered_product", "minplus_product"),
     ),
     "landmark-mssp": StrategySpec(
         name="landmark-mssp",
         required_arrays=("landmarks", "landmark_dist", "ball_idx", "ball_dist"),
         summary="hitting-set landmarks + (1+eps)-MSSP table + exact sqrt(n)-balls",
+        hot_primitives=("filtered_product", "augmented_product"),
     ),
     "exact-fallback": StrategySpec(
         name="exact-fallback",
         required_arrays=("dist",),
         summary="exact APSP via iterated dense min-plus squaring (baseline)",
         uses_epsilon=False,
+        hot_primitives=("minplus_product",),
     ),
 }
 

@@ -175,3 +175,21 @@ class TestLatencyRecorder:
         recorder = LatencyRecorder()
         assert recorder.snapshot()["p50_us"] is None
         assert recorder.percentile(50) is None
+
+    def test_record_many_matches_loop_of_records(self):
+        bulk = LatencyRecorder(window=8)
+        loop = LatencyRecorder(window=8)
+        # Mixed singles and bulks, crossing the window boundary twice.
+        for value, count in ((5, 3), (7, 1), (9, 10), (2, 4), (11, 6)):
+            bulk.record_many(value, count)
+            for _ in range(count):
+                loop.record(value)
+        assert bulk.count == loop.count == 24
+        assert sorted(bulk._ring) == sorted(loop._ring)
+        assert bulk.snapshot() == loop.snapshot()
+
+    def test_record_many_zero_is_noop(self):
+        recorder = LatencyRecorder(window=4)
+        recorder.record_many(5, 0)
+        assert recorder.count == 0
+        assert recorder.snapshot()["p50_us"] is None
