@@ -19,7 +19,11 @@ Leitersdorf, *Fast Approximate Shortest Paths in the Congested Clique*
   :mod:`repro.baselines`;
 * a build-once / query-many distance-oracle subsystem with on-disk
   artifacts, an LRU-cached query engine, and CLI integration —
-  :mod:`repro.oracle`.
+  :mod:`repro.oracle`;
+* an async serving subsystem — multi-artifact registry, stretch-budget
+  routing, and a coalescing :class:`~repro.serve.DistanceServer` with a
+  load generator — :mod:`repro.serve` (imported lazily: library users
+  who never serve pay no asyncio import cost).
 
 Quick start::
 
@@ -50,7 +54,20 @@ from repro.matmul import (
     sparse_mm_clt18,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
+
+
+def __getattr__(name: str):
+    # Lazy submodule export (PEP 562): ``repro.serve`` pulls in asyncio
+    # and the serving stack, which pure library users never need.
+    if name == "serve":
+        import importlib
+
+        module = importlib.import_module("repro.serve")
+        globals()["serve"] = module
+        return module
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 __all__ = [
     "Graph",
@@ -78,5 +95,6 @@ __all__ = [
     "matmul",
     "oracle",
     "semiring",
+    "serve",
     "__version__",
 ]

@@ -281,12 +281,29 @@ def cmd_oracle_query(args: argparse.Namespace) -> int:
     if args.pairs is not None:
         try:
             pairs = _parse_pairs(args.pairs)
-            distances = engine.batch([(internal(u), internal(v)) for u, v in pairs])
+            internal_pairs = [(internal(u), internal(v)) for u, v in pairs]
         except ValueError as exc:
             print(f"error: bad --pairs value: {exc}", file=sys.stderr)
             return 2
-        for (u, v), value in zip(pairs, distances):
-            print(f"dist({u}, {v}) = {value:g}")
+        # Deduplicate (symmetric) repeats before hitting the engine, then
+        # fan the answers back out in input order — repeated pairs on the
+        # command line cost one query, not one per occurrence.
+        unique: List[Tuple[int, int]] = []
+        position: dict = {}
+        order = []
+        for iu, iv in internal_pairs:
+            key = (iu, iv) if iu <= iv else (iv, iu)
+            if key not in position:
+                position[key] = len(unique)
+                unique.append(key)
+            order.append(position[key])
+        try:
+            values = engine.batch(unique)
+        except ValueError as exc:
+            print(f"error: bad --pairs value: {exc}", file=sys.stderr)
+            return 2
+        for (u, v), index in zip(pairs, order):
+            print(f"dist({u}, {v}) = {values[index]:g}")
         did_something = True
     if args.k_nearest is not None:
         try:
@@ -336,6 +353,166 @@ def cmd_oracle_bench(args: argparse.Namespace) -> int:
     if latency["count"]:
         print(f"latency P50/P95/P99 (us): {latency['p50_us']:.1f} / "
               f"{latency['p95_us']:.1f} / {latency['p99_us']:.1f}")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# serving subcommands
+# ----------------------------------------------------------------------
+def _serve_config(args: argparse.Namespace):
+    from repro.serve import ServerConfig
+
+    return ServerConfig(
+        coalesce_window=args.window_ms / 1000.0,
+        max_batch=args.max_batch,
+        queue_capacity=args.queue_capacity,
+        overload_policy=args.policy,
+    )
+
+
+def _serve_registry(args: argparse.Namespace):
+    from repro.serve import build_registry
+
+    return build_registry(args.artifacts, capacity=args.capacity)
+
+
+def _route_for_workload(router, args: argparse.Namespace):
+    """The decision every sampled request will route to (fixed budget).
+
+    The workload's node range must come from the *routed* artifact, not
+    the largest registered one — with several graphs behind one registry
+    the cheapest admissible artifact may be the smallest.
+    """
+    from repro.serve import RoutingError
+
+    try:
+        return router.route(multiplicative=args.stretch,
+                            additive=args.additive)
+    except RoutingError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return None
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Serve a registry of artifacts and drive a self-test workload."""
+    import asyncio
+
+    from repro.oracle import ArtifactError
+    from repro.serve import (
+        DistanceServer,
+        RegistryError,
+        StretchRouter,
+        run_closed_loop,
+        zipf_pairs,
+    )
+
+    try:
+        registry = _serve_registry(args)
+    except (ArtifactError, RegistryError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    router = StretchRouter(registry)
+    print(f"serving {len(registry)} artifact(s) "
+          f"(engine capacity {registry.capacity}):")
+    for entry in registry.entries():
+        print(f"  {entry.describe()}")
+
+    decision = _route_for_workload(router, args)
+    if decision is None:
+        return 1
+    pairs = zipf_pairs(decision.entry.n, args.queries, skew=args.zipf,
+                       seed=args.seed)
+
+    async def drive():
+        async with DistanceServer(router, _serve_config(args)) as server:
+            report = await run_closed_loop(
+                server, pairs, concurrency=args.concurrency,
+                multiplicative=args.stretch, additive=args.additive)
+            return report, server.stats()
+
+    try:
+        report, stats = asyncio.run(drive())
+    except Exception as exc:  # RoutingError with a strict budget, etc.
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print("\n-- self-test workload --")
+    print(report.summary())
+    print("\n-- server stats --")
+    print(f"engine batches   : {stats['engine_batches']} "
+          f"({stats['coalesced_keys']} coalesced keys)")
+    print(f"routes           : {stats['router']['routes']}")
+    for name, engine_stats in stats["engines"].items():
+        print(f"engine[{name}]: queries={engine_stats['queries_total']} "
+              f"hit_rate={engine_stats['cache_hit_rate']:.3f}")
+    return 0
+
+
+def cmd_loadgen(args: argparse.Namespace) -> int:
+    """Run the load generator against an in-process server; emit JSON."""
+    import asyncio
+    import json
+
+    from repro.oracle import ArtifactError, OracleArtifact, QueryEngine
+    from repro.serve import (
+        DistanceServer,
+        RegistryError,
+        StretchRouter,
+        count_mismatches,
+        run_closed_loop,
+        run_open_loop,
+        zipf_pairs,
+    )
+
+    if args.queries <= 0:
+        print(f"error: --queries must be positive, got {args.queries}",
+              file=sys.stderr)
+        return 2
+    try:
+        registry = _serve_registry(args)
+    except (ArtifactError, RegistryError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    router = StretchRouter(registry)
+    decision = _route_for_workload(router, args)
+    if decision is None:
+        return 1
+    pairs = zipf_pairs(decision.entry.n, args.queries, skew=args.zipf,
+                       seed=args.seed)
+
+    async def drive():
+        async with DistanceServer(router, _serve_config(args)) as server:
+            if args.mode == "open":
+                return await run_open_loop(
+                    server, pairs, qps=args.qps,
+                    multiplicative=args.stretch, additive=args.additive)
+            return await run_closed_loop(
+                server, pairs, concurrency=args.concurrency,
+                multiplicative=args.stretch, additive=args.additive)
+
+    try:
+        report = asyncio.run(drive())
+    except Exception as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    if args.verify:
+        # The budget is fixed for the whole run, so every request routed
+        # to the artifact resolved up front: replay it through a fresh
+        # direct engine.
+        reference = QueryEngine(OracleArtifact.load(decision.entry.path))
+        report.mismatches = count_mismatches(pairs, report.answers, reference)
+
+    print(report.summary())
+    payload = {"schema": "repro-loadgen/v1", "report": report.as_dict(),
+               "artifacts": [entry.name for entry in registry.entries()]}
+    if args.json_out:
+        from pathlib import Path
+
+        Path(args.json_out).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {args.json_out}")
+    if args.verify and report.mismatches:
+        return 1
     return 0
 
 
@@ -426,6 +603,66 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--queries", type=int, default=20000)
     bench.add_argument("--seed", type=int, default=0)
     bench.set_defaults(func=cmd_oracle_bench)
+
+    def _add_serving_options(sub_parser: argparse.ArgumentParser) -> None:
+        sub_parser.add_argument(
+            "artifacts", nargs="+",
+            help="artifact files, directories to scan, or manifest JSONs",
+        )
+        sub_parser.add_argument(
+            "--capacity", type=int, default=4,
+            help="max engines resident at once (LRU-evicted beyond)",
+        )
+        sub_parser.add_argument(
+            "--window-ms", type=float, default=1.0, dest="window_ms",
+            help="coalescing window in milliseconds (0 disables coalescing)",
+        )
+        sub_parser.add_argument("--max-batch", type=int, default=1024,
+                                dest="max_batch", help="max keys per engine gather")
+        sub_parser.add_argument("--queue-capacity", type=int, default=8192,
+                                dest="queue_capacity",
+                                help="max requests in flight before backpressure")
+        sub_parser.add_argument("--policy", choices=("shed", "wait"),
+                                default="shed", help="overload policy")
+        sub_parser.add_argument(
+            "--stretch", type=float, default=math.inf,
+            help="multiplicative stretch budget each request carries",
+        )
+        sub_parser.add_argument(
+            "--additive", type=float, default=math.inf,
+            help="additive stretch budget each request carries",
+        )
+        sub_parser.add_argument("--zipf", type=float, default=1.0,
+                                help="Zipf skew of the sampled query pairs")
+        sub_parser.add_argument("--seed", type=int, default=0)
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve one or more oracle artifacts with coalescing and routing",
+    )
+    _add_serving_options(serve)
+    serve.add_argument("--queries", type=int, default=2000,
+                       help="self-test queries driven through the server")
+    serve.add_argument("--concurrency", type=int, default=64)
+    serve.set_defaults(func=cmd_serve)
+
+    loadgen = sub.add_parser(
+        "loadgen",
+        help="closed/open-loop load generation against an in-process server",
+    )
+    _add_serving_options(loadgen)
+    loadgen.add_argument("--mode", choices=("closed", "open"), default="closed")
+    loadgen.add_argument("--queries", type=int, default=10000)
+    loadgen.add_argument("--concurrency", type=int, default=64,
+                         help="workers for --mode closed")
+    loadgen.add_argument("--qps", type=float, default=5000.0,
+                         help="target arrival rate for --mode open")
+    loadgen.add_argument("--verify", action="store_true",
+                         help="replay answered pairs through a direct engine "
+                              "and count mismatches (non-zero exit on any)")
+    loadgen.add_argument("--json-out", dest="json_out",
+                         help="write the JSON report to this path")
+    loadgen.set_defaults(func=cmd_loadgen)
 
     return parser
 

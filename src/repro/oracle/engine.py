@@ -50,6 +50,7 @@ class QueryEngine:
         self.cache = LRUCache(cache_size)
         self.latency = LatencyRecorder(latency_window)
         self._queries = 0
+        self._batch_sizes: Dict[int, int] = {}
 
         if self.strategy in ("dense-apsp", "exact-fallback"):
             self._dist_matrix = np.asarray(artifact.arrays["dist"], dtype=np.float64)
@@ -112,9 +113,8 @@ class QueryEngine:
         """
         started = time.perf_counter_ns()
         count = len(pairs)
-        out = np.zeros(count, dtype=np.float64)
         if count == 0:
-            return out
+            return np.zeros(0, dtype=np.float64)
         lo = np.empty(count, dtype=np.int64)
         hi = np.empty(count, dtype=np.int64)
         for index, (u, v) in enumerate(pairs):
@@ -127,7 +127,27 @@ class QueryEngine:
                 self._check_node(u)
                 self._check_node(v)
         self._queries += count
+        bucket = 1 << (count - 1).bit_length()
+        self._batch_sizes[bucket] = self._batch_sizes.get(bucket, 0) + 1
 
+        out = self.batch_core(lo, hi)
+
+        per_query = (time.perf_counter_ns() - started) // count
+        self.latency.record_many(per_query, count)
+        return out
+
+    def batch_core(self, lo: np.ndarray, hi: np.ndarray) -> np.ndarray:
+        """The synchronous batch kernel behind :meth:`batch`.
+
+        Takes already-normalised pair arrays (``lo[i] <= hi[i]``, both in
+        range) and resolves them through the cache plus one deduplicated
+        vectorised gather: repeated pairs inside the batch are computed
+        once and fanned out.  No validation, counters, or latency samples
+        — callers such as :meth:`batch` and the serving layer
+        (:mod:`repro.serve`) wrap this core with their own bookkeeping.
+        """
+        count = len(lo)
+        out = np.zeros(count, dtype=np.float64)
         cache = self.cache
         miss_positions = []
         for index in range(count):
@@ -139,15 +159,25 @@ class QueryEngine:
                 miss_positions.append(index)
             else:
                 out[index] = value
-        if miss_positions:
+        if len(miss_positions) == 1:
+            # Single-miss fast path: no dedup machinery for point lookups.
+            index = miss_positions[0]
+            low, high = int(lo[index]), int(hi[index])
+            value = self._point(low, high)
+            out[index] = value
+            cache.put((low, high), value)
+        elif miss_positions:
             miss = np.asarray(miss_positions, dtype=np.int64)
-            values = self._point_batch(lo[miss], hi[miss])
-            out[miss] = values
-            for index, value in zip(miss_positions, values.tolist()):
-                cache.put((int(lo[index]), int(hi[index])), value)
-
-        per_query = (time.perf_counter_ns() - started) // count
-        self.latency.record_many(per_query, count)
+            miss_lo, miss_hi = lo[miss], hi[miss]
+            # Deduplicate the gather: each distinct missing pair is
+            # resolved once, then scattered to every occurrence.
+            keys = miss_lo * np.int64(self.n) + miss_hi
+            _, first, inverse = np.unique(keys, return_index=True,
+                                          return_inverse=True)
+            values = self._point_batch(miss_lo[first], miss_hi[first])
+            out[miss] = values[inverse]
+            for index, value in zip(first.tolist(), values.tolist()):
+                cache.put((int(miss_lo[index]), int(miss_hi[index])), value)
         return out
 
     def k_nearest(self, u: int, k: int) -> List[Tuple[int, float]]:
@@ -174,11 +204,23 @@ class QueryEngine:
         return result
 
     def stats(self) -> Dict[str, object]:
-        """Serving statistics: query counts, cache hit rate, latency."""
+        """Serving statistics: query counts, cache hit rate, latency.
+
+        ``queries_total`` is a monotonic counter over every point, batch,
+        and k-nearest query the engine has ever answered;
+        ``batch_sizes`` is a histogram of :meth:`batch` call sizes keyed
+        by the power-of-two bucket the size falls into (a batch of 100
+        pairs lands in bucket ``"128"``).  Both exist so aggregators such
+        as :class:`repro.serve.DistanceServer` can fold engine stats into
+        their own without reaching for private attributes.
+        """
         return {
             "strategy": self.strategy,
             "n": self.n,
             "queries": self._queries,
+            "queries_total": self._queries,
+            "batch_sizes": {str(bucket): count for bucket, count
+                            in sorted(self._batch_sizes.items())},
             "cache_hits": self.cache.hits,
             "cache_misses": self.cache.misses,
             "cache_hit_rate": self.cache.hit_rate,

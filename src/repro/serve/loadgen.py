@@ -1,0 +1,254 @@
+"""Closed- and open-loop load generation for :class:`DistanceServer`.
+
+A serving claim is only as good as the load that tested it.  This module
+drives a server with the two canonical load models:
+
+* **closed loop** (:func:`run_closed_loop`) — ``concurrency`` workers
+  each keep exactly one request in flight, issuing the next as soon as
+  the previous completes.  Measures the server's sustainable throughput:
+  offered load adapts to service rate, so nothing sheds unless capacity
+  is tiny.
+* **open loop** (:func:`run_open_loop`) — requests fire at a fixed target
+  QPS regardless of completions, the arrival model of real user traffic.
+  When the server falls behind, latency and shed counts reveal it (the
+  coordinated-omission trap closed-loop tests fall into).
+
+Query pairs come from :func:`zipf_pairs`: node popularity follows a
+Zipf(``skew``) law over a seeded permutation, the standard skewed-access
+model for caches — at ``skew=0`` it degrades to uniform sampling.
+Latency percentiles reuse the oracle engine's
+:class:`~repro.oracle.cache.LatencyRecorder`; reports serialise to JSON
+via :meth:`LoadReport.as_dict` so benchmark harnesses and CI can diff
+them.  :func:`count_mismatches` closes the loop on correctness by
+replaying every answered pair through a direct :class:`QueryEngine`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import random
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.oracle.cache import LatencyRecorder
+from repro.oracle.engine import QueryEngine
+from repro.serve.router import RoutingError
+from repro.serve.server import DistanceServer, ServerOverloaded
+
+Pair = Tuple[int, int]
+
+
+def zipf_pairs(n: int, count: int, skew: float = 1.0,
+               seed: int = 0) -> List[Pair]:
+    """``count`` query pairs with Zipf(``skew``)-distributed node popularity.
+
+    Node ranks are assigned by a seeded permutation (so node 0 is not
+    always the hottest), and each endpoint is drawn independently with
+    probability proportional to ``1 / rank^skew``.  ``skew=0`` is uniform;
+    ``skew`` around 1 matches typical cache-friendly access patterns.
+    """
+    if n < 1:
+        raise ValueError(f"need at least one node, got n={n}")
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    if skew < 0:
+        raise ValueError(f"skew must be non-negative, got {skew}")
+    rng = random.Random(seed)
+    nodes = list(range(n))
+    rng.shuffle(nodes)
+    weights = [1.0 / (rank + 1) ** skew for rank in range(n)]
+    us = rng.choices(nodes, weights=weights, k=count)
+    vs = rng.choices(nodes, weights=weights, k=count)
+    return list(zip(us, vs))
+
+
+@dataclasses.dataclass
+class LoadReport:
+    """Outcome of one load-generation run, JSON-serialisable."""
+
+    mode: str
+    requested: int
+    completed: int
+    shed: int
+    errors: int
+    duration_s: float
+    achieved_qps: float
+    offered_qps: Optional[float]
+    latency: Dict[str, Optional[float]]
+    mismatches: Optional[int] = None
+    #: Per-pair answers aligned with the input pairs (None = shed/error).
+    answers: List[Optional[float]] = dataclasses.field(
+        default_factory=list, repr=False)
+
+    @property
+    def success_rate(self) -> float:
+        return self.completed / self.requested if self.requested else 1.0
+
+    def as_dict(self) -> Dict[str, object]:
+        """Everything except the raw answers, for JSON reports."""
+        return {
+            "mode": self.mode,
+            "requested": self.requested,
+            "completed": self.completed,
+            "shed": self.shed,
+            "errors": self.errors,
+            "success_rate": self.success_rate,
+            "duration_s": self.duration_s,
+            "achieved_qps": self.achieved_qps,
+            "offered_qps": self.offered_qps,
+            "latency": self.latency,
+            "mismatches": self.mismatches,
+        }
+
+    def summary(self) -> str:
+        lines = [
+            f"mode             : {self.mode}",
+            f"requests         : {self.requested} "
+            f"({self.completed} ok, {self.shed} shed, {self.errors} errors)",
+            f"success rate     : {self.success_rate:.4f}",
+            f"duration         : {self.duration_s:.3f}s",
+            f"achieved qps     : {self.achieved_qps:,.0f}"
+            + (f" (offered {self.offered_qps:,.0f})" if self.offered_qps else ""),
+        ]
+        if self.latency.get("count"):
+            lines.append(
+                f"latency P50/P95/P99 (us): {self.latency['p50_us']:.1f} / "
+                f"{self.latency['p95_us']:.1f} / {self.latency['p99_us']:.1f}"
+            )
+        if self.mismatches is not None:
+            lines.append(f"answer mismatches: {self.mismatches}")
+        return "\n".join(lines)
+
+
+async def run_closed_loop(server: DistanceServer, pairs: Sequence[Pair],
+                          concurrency: int = 32,
+                          multiplicative: float = float("inf"),
+                          additive: float = float("inf"),
+                          client: str = "loadgen",
+                          latency_window: int = 65536,
+                          record_latency: bool = True) -> LoadReport:
+    """Drive ``pairs`` through ``server`` with a fixed number of workers.
+
+    ``record_latency=False`` skips the per-request client-side timing
+    (the report's latency snapshot stays empty) — the throughput
+    harnesses use it because the server already keeps per-client
+    percentiles, and timing every call twice taxes all modes equally.
+    """
+    if concurrency < 1:
+        raise ValueError(f"concurrency must be >= 1, got {concurrency}")
+    recorder = LatencyRecorder(latency_window)
+    answers: List[Optional[float]] = [None] * len(pairs)
+    indices = iter(range(len(pairs)))
+    dist = server.dist
+
+    async def worker() -> Tuple[int, int, int]:
+        completed = shed = errors = 0
+        for index in indices:
+            u, v = pairs[index]
+            started = time.perf_counter_ns() if record_latency else 0
+            try:
+                answers[index] = await dist(
+                    u, v, multiplicative=multiplicative, additive=additive,
+                    client=client)
+            except ServerOverloaded:
+                shed += 1
+                continue
+            except (RoutingError, ValueError):
+                errors += 1
+                continue
+            if record_latency:
+                recorder.record(time.perf_counter_ns() - started)
+            completed += 1
+        return completed, shed, errors
+
+    started = time.perf_counter()
+    workers = max(1, min(concurrency, len(pairs)))
+    tallies = await asyncio.gather(*(worker() for _ in range(workers)))
+    duration = max(1e-9, time.perf_counter() - started)
+    return LoadReport(
+        mode="closed",
+        requested=len(pairs),
+        completed=sum(tally[0] for tally in tallies),
+        shed=sum(tally[1] for tally in tallies),
+        errors=sum(tally[2] for tally in tallies),
+        duration_s=duration,
+        achieved_qps=sum(tally[0] for tally in tallies) / duration,
+        offered_qps=None,
+        latency=recorder.snapshot(),
+        answers=answers,
+    )
+
+
+async def run_open_loop(server: DistanceServer, pairs: Sequence[Pair],
+                        qps: float,
+                        multiplicative: float = float("inf"),
+                        additive: float = float("inf"),
+                        client: str = "loadgen",
+                        latency_window: int = 65536) -> LoadReport:
+    """Fire ``pairs`` at a fixed target QPS, independent of completions."""
+    if qps <= 0:
+        raise ValueError(f"qps must be positive, got {qps}")
+    recorder = LatencyRecorder(latency_window)
+    answers: List[Optional[float]] = [None] * len(pairs)
+    counters = {"completed": 0, "shed": 0, "errors": 0}
+    interval = 1.0 / qps
+
+    async def one(index: int, u: int, v: int) -> None:
+        started = time.perf_counter_ns()
+        try:
+            answers[index] = await server.dist(
+                u, v, multiplicative=multiplicative, additive=additive,
+                client=client)
+        except ServerOverloaded:
+            counters["shed"] += 1
+            return
+        except (RoutingError, ValueError):
+            counters["errors"] += 1
+            return
+        recorder.record(time.perf_counter_ns() - started)
+        counters["completed"] += 1
+
+    started = time.perf_counter()
+    tasks = []
+    for index, (u, v) in enumerate(pairs):
+        delay = started + index * interval - time.perf_counter()
+        if delay > 0:
+            await asyncio.sleep(delay)
+        tasks.append(asyncio.ensure_future(one(index, u, v)))
+    if tasks:
+        await asyncio.gather(*tasks)
+    duration = max(1e-9, time.perf_counter() - started)
+    return LoadReport(
+        mode="open",
+        requested=len(pairs),
+        completed=counters["completed"],
+        shed=counters["shed"],
+        errors=counters["errors"],
+        duration_s=duration,
+        achieved_qps=counters["completed"] / duration,
+        offered_qps=qps,
+        latency=recorder.snapshot(),
+        answers=answers,
+    )
+
+
+def count_mismatches(pairs: Sequence[Pair], answers: Sequence[Optional[float]],
+                     engine: QueryEngine, tolerance: float = 1e-9) -> int:
+    """Answered pairs whose server answer differs from a direct engine call.
+
+    Shed/errored pairs (``None`` answers) are skipped — the success-rate
+    accounting covers those; this covers correctness of what *was* served.
+    """
+    answered = [(index, pair) for index, pair
+                in enumerate(pairs) if answers[index] is not None]
+    if not answered:
+        return 0
+    reference = engine.batch([pair for _, pair in answered])
+    mismatches = 0
+    for (index, _), expected in zip(answered, reference.tolist()):
+        value = answers[index]
+        if not (abs(value - expected) <= tolerance
+                or (value == float("inf") and expected == float("inf"))):
+            mismatches += 1
+    return mismatches

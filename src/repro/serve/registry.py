@@ -1,0 +1,382 @@
+"""Multi-artifact discovery and lazy engine loading for the serving layer.
+
+A serving process rarely holds one oracle: it serves several graphs, or
+several epsilon levels of one graph, each persisted as an
+:class:`~repro.oracle.artifact.OracleArtifact` on disk.
+:class:`ArtifactRegistry` is the catalogue of those artifacts:
+
+* **Registration is cheap.**  ``register``/``discover`` read only the JSON
+  metadata sidecar — never the (potentially large) ``.npz`` payload — and
+  derive an :class:`ArtifactEntry` with everything routing needs: the
+  stretch guarantee, the graph size, and a deterministic serving-cost
+  estimate.
+* **Engines load lazily.**  ``engine(name)`` materialises a
+  :class:`~repro.oracle.engine.QueryEngine` (payload read, checksum
+  verified, balls indexed) on first use and keeps at most ``capacity``
+  engines resident, evicting the least recently used — dense artifacts are
+  O(n²) floats, so a registry over many graphs must not hold them all.
+* **Manifests make a fleet reproducible.**  ``write_manifest`` pins the
+  current catalogue to a JSON file (relative paths, greppable stretch
+  summaries); ``load_manifest`` rebuilds the registry from it on another
+  host or after a restart.
+
+The serving-cost model used by :class:`~repro.serve.router.StretchRouter`
+is intentionally simple and fully determined by the sidecar metadata:
+``resident_floats`` estimates the resident working-set size (``n²`` for
+the dense strategies, ``2nk + n·|A|`` for ``landmark-mssp``) and
+``query_cost`` the per-query work (1 lookup for dense strategies, a
+min over the ``|A|`` landmarks otherwise).  Cheapness is compared
+lexicographically — footprint first, then per-query work, then payload
+bytes, then name — so the order is total and reproducible.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import math
+from collections import OrderedDict
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.oracle.artifact import (
+    FORMAT_VERSION,
+    ArtifactError,
+    META_SUFFIX,
+    OracleArtifact,
+    artifact_paths,
+)
+from repro.oracle.engine import QueryEngine
+from repro.oracle.strategies import StretchGuarantee
+
+PathLike = str | Path
+
+#: Manifest schema version; bump on incompatible changes.
+MANIFEST_VERSION = 1
+
+
+class RegistryError(RuntimeError):
+    """Raised for unknown names, duplicate registrations, or bad manifests."""
+
+
+@dataclasses.dataclass(frozen=True)
+class ArtifactEntry:
+    """One registered artifact: identity, guarantee, and serving cost."""
+
+    name: str
+    path: Path  # payload (.npz) path
+    strategy: str
+    n: int
+    epsilon: float
+    stretch: StretchGuarantee
+    payload_bytes: int
+    #: Estimated resident floats once loaded (n^2 dense, ~n^{3/2} landmark).
+    resident_floats: float
+    #: Estimated per-query work units (1 = one table lookup).
+    query_cost: float
+
+    @property
+    def cost(self) -> Tuple[float, float, int, str]:
+        """Total serving-cost order: footprint, per-query work, bytes, name."""
+        return (self.resident_floats, self.query_cost, self.payload_bytes, self.name)
+
+    def describe(self) -> str:
+        stretch = f"{self.stretch.multiplicative:g}x"
+        if self.stretch.additive:
+            stretch += f"+{self.stretch.additive:g}"
+        return (f"{self.name}: {self.strategy} n={self.n} stretch={stretch} "
+                f"cost=({self.resident_floats:.0f} floats, "
+                f"{self.query_cost:g}/query)")
+
+
+def _entry_from_sidecar(name: str, payload: Path, metadata: dict) -> ArtifactEntry:
+    version = metadata.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ArtifactError(
+            f"artifact {payload} has format_version={version!r}; "
+            f"this build reads version {FORMAT_VERSION}"
+        )
+    try:
+        strategy = str(metadata["strategy"])
+        n = int(metadata["n"])
+        epsilon = float(metadata["epsilon"])
+        stretch = StretchGuarantee.from_dict(metadata["stretch"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ArtifactError(f"metadata sidecar for {payload} is missing or "
+                            f"malformed required fields: {exc}") from exc
+    build = metadata.get("build", {})
+    if strategy == "landmark-mssp":
+        k = int(build.get("k") or max(2, math.ceil(math.sqrt(n))))
+        landmarks = int(build.get("num_landmarks") or math.ceil(math.sqrt(n)))
+        resident = 2.0 * n * k + 1.0 * n * landmarks
+        query_cost = float(landmarks)
+    else:  # dense-apsp / exact-fallback store the full n x n matrix
+        resident = float(n) * n
+        query_cost = 1.0
+    return ArtifactEntry(
+        name=name,
+        path=payload,
+        strategy=strategy,
+        n=n,
+        epsilon=epsilon,
+        stretch=stretch,
+        payload_bytes=payload.stat().st_size,
+        resident_floats=resident,
+        query_cost=query_cost,
+    )
+
+
+class ArtifactRegistry:
+    """Catalogue of oracle artifacts with lazily loaded, LRU-evicted engines.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of :class:`QueryEngine` instances resident at once.
+        Must be at least 1; eviction drops the least recently *used*
+        engine (every ``engine()`` call refreshes recency).
+    """
+
+    def __init__(self, capacity: int = 4):
+        if capacity < 1:
+            raise ValueError(f"registry capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self._entries: Dict[str, ArtifactEntry] = {}
+        self._engines: "OrderedDict[str, QueryEngine]" = OrderedDict()
+        self.loads = 0
+        self.evictions = 0
+        #: Bumped on any catalogue or resident-set change; lets routers
+        #: memoize per-budget decisions and invalidate them cheaply.
+        self.epoch = 0
+
+    # ------------------------------------------------------------------
+    # registration and discovery
+    # ------------------------------------------------------------------
+    def register(self, path: PathLike, name: Optional[str] = None) -> ArtifactEntry:
+        """Register one artifact from its files (sidecar read, payload not).
+
+        ``name`` defaults to the payload stem; auto-generated names are
+        suffixed (``oracle-2``, ``oracle-3``, …) on collision, while an
+        explicit duplicate ``name`` raises :class:`RegistryError`.
+        """
+        payload, sidecar = artifact_paths(path)
+        if not payload.exists():
+            raise ArtifactError(f"oracle artifact not found: {payload}")
+        if not sidecar.exists():
+            raise ArtifactError(f"metadata sidecar not found: {sidecar}")
+        try:
+            metadata = json.loads(sidecar.read_text())
+        except json.JSONDecodeError as exc:
+            raise ArtifactError(
+                f"unparseable metadata sidecar {sidecar}: {exc}") from exc
+
+        explicit = name is not None
+        chosen = name if name is not None else payload.name[: -len(".npz")]
+        if chosen in self._entries:
+            if explicit:
+                raise RegistryError(
+                    f"artifact name {chosen!r} is already registered "
+                    f"(for {self._entries[chosen].path})"
+                )
+            suffix = 2
+            while f"{chosen}-{suffix}" in self._entries:
+                suffix += 1
+            chosen = f"{chosen}-{suffix}"
+        entry = _entry_from_sidecar(chosen, payload, metadata)
+        self._entries[chosen] = entry
+        self.epoch += 1
+        return entry
+
+    def discover(self, root: PathLike) -> List[ArtifactEntry]:
+        """Register every artifact below ``root`` (by its ``.meta.json``).
+
+        Returns the newly registered entries, sorted by name.  Sidecars
+        whose payload is missing raise; an empty directory returns ``[]``.
+        """
+        root = Path(root)
+        if not root.is_dir():
+            raise ArtifactError(f"not a directory: {root}")
+        found = []
+        for sidecar in sorted(root.rglob(f"*{META_SUFFIX}")):
+            payload = sidecar.with_name(
+                sidecar.name[: -len(META_SUFFIX)] + ".npz")
+            found.append(self.register(payload))
+        return sorted(found, key=lambda entry: entry.name)
+
+    # ------------------------------------------------------------------
+    # lookup and lazy engines
+    # ------------------------------------------------------------------
+    def entries(self) -> List[ArtifactEntry]:
+        """All registered entries, sorted by name."""
+        return sorted(self._entries.values(), key=lambda entry: entry.name)
+
+    def names(self) -> List[str]:
+        return sorted(self._entries)
+
+    def get(self, name: str) -> ArtifactEntry:
+        entry = self._entries.get(name)
+        if entry is None:
+            known = ", ".join(self.names()) or "<none>"
+            raise RegistryError(f"unknown artifact {name!r}; registered: {known}")
+        return entry
+
+    def is_loaded(self, name: str) -> bool:
+        """Whether ``name`` currently has a resident engine (no side effects)."""
+        return name in self._engines
+
+    def loaded(self) -> List[str]:
+        """Names with resident engines, least recently used first."""
+        return list(self._engines)
+
+    def engine(self, name: str) -> QueryEngine:
+        """The engine for ``name``, loading the payload on first use.
+
+        Loading verifies the payload checksum and may evict the least
+        recently used engine once more than ``capacity`` are resident.
+        """
+        entry = self.get(name)
+        engine = self._engines.get(name)
+        if engine is None:
+            engine = QueryEngine(OracleArtifact.load(entry.path))
+            self.loads += 1
+            self._engines[name] = engine
+            while len(self._engines) > self.capacity:
+                self._engines.popitem(last=False)
+                self.evictions += 1
+            self.epoch += 1
+        else:
+            self._engines.move_to_end(name)
+        return engine
+
+    def loaded_engines(self) -> Dict[str, QueryEngine]:
+        """Resident engines by name (no loading; recency untouched)."""
+        return dict(self._engines)
+
+    def evict(self, name: Optional[str] = None) -> None:
+        """Drop one resident engine (or all of them when ``name`` is None)."""
+        if name is None:
+            self.evictions += len(self._engines)
+            self._engines.clear()
+            self.epoch += 1
+        elif name in self._engines:
+            del self._engines[name]
+            self.evictions += 1
+            self.epoch += 1
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._entries
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "artifacts": len(self._entries),
+            "capacity": self.capacity,
+            "loaded": self.loaded(),
+            "loads": self.loads,
+            "evictions": self.evictions,
+        }
+
+    # ------------------------------------------------------------------
+    # manifests
+    # ------------------------------------------------------------------
+    def write_manifest(self, path: PathLike) -> Path:
+        """Pin the catalogue to a JSON manifest next to the artifacts.
+
+        Paths are stored relative to the manifest's directory when
+        possible, so a directory of artifacts plus its manifest can be
+        moved or shipped as a unit.
+        """
+        path = Path(path)
+        base = path.resolve().parent
+        artifacts = []
+        for entry in self.entries():
+            resolved = entry.path.resolve()
+            try:
+                stored = str(resolved.relative_to(base))
+            except ValueError:
+                stored = str(resolved)
+            artifacts.append({
+                "name": entry.name,
+                "path": stored,
+                "strategy": entry.strategy,
+                "n": entry.n,
+                "epsilon": entry.epsilon,
+                "stretch": entry.stretch.as_dict(),
+            })
+        payload = {"manifest_version": MANIFEST_VERSION, "artifacts": artifacts}
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        return path
+
+    @classmethod
+    def load_manifest(cls, path: PathLike, capacity: int = 4) -> "ArtifactRegistry":
+        """Rebuild a registry from :meth:`write_manifest` output.
+
+        Entries are re-derived from the artifact sidecars on disk (the
+        manifest pins *which* artifacts, the sidecars stay the source of
+        truth for *what* they guarantee).
+        """
+        path = Path(path)
+        try:
+            payload = json.loads(path.read_text())
+        except OSError as exc:
+            raise RegistryError(f"cannot read manifest {path}: {exc}") from exc
+        except json.JSONDecodeError as exc:
+            raise RegistryError(f"unparseable manifest {path}: {exc}") from exc
+        version = payload.get("manifest_version")
+        if version != MANIFEST_VERSION:
+            raise RegistryError(
+                f"manifest {path} has manifest_version={version!r}; "
+                f"this build reads version {MANIFEST_VERSION}"
+            )
+        registry = cls(capacity=capacity)
+        base = path.resolve().parent
+        for item in payload.get("artifacts", []):
+            artifact_path = Path(item["path"])
+            if not artifact_path.is_absolute():
+                artifact_path = base / artifact_path
+            registry.register(artifact_path, name=item.get("name"))
+        return registry
+
+
+def build_registry(paths: Iterable[PathLike], capacity: int = 4) -> ArtifactRegistry:
+    """Registry from a mixed list of artifact files, directories, manifests.
+
+    The shared front end behind ``repro serve`` and ``repro loadgen``:
+    each path may be a ``.npz`` artifact (with or without the extension),
+    a directory to :meth:`~ArtifactRegistry.discover`, or a manifest JSON
+    (recognised by a ``manifest_version`` key).
+    """
+    registry = ArtifactRegistry(capacity=capacity)
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            registry.discover(path)
+            continue
+        if path.name.endswith(META_SUFFIX):
+            # An artifact's own sidecar: register its payload.
+            registry.register(
+                path.with_name(path.name[: -len(META_SUFFIX)] + ".npz"))
+            continue
+        if path.suffix == ".json" and path.is_file():
+            try:
+                payload = json.loads(path.read_text())
+            except json.JSONDecodeError as exc:
+                raise RegistryError(
+                    f"unparseable manifest {path}: {exc}") from exc
+            if not isinstance(payload, dict) or "manifest_version" not in payload:
+                raise ArtifactError(
+                    f"{path} is JSON but not a registry manifest (no "
+                    f"manifest_version key); pass the artifact's .npz or "
+                    f"{META_SUFFIX} path to register a single artifact"
+                )
+            loaded = ArtifactRegistry.load_manifest(path, capacity=capacity)
+            for entry in loaded.entries():
+                registry.register(entry.path, name=entry.name)
+            continue
+        registry.register(path)
+    if not len(registry):
+        raise ArtifactError("no oracle artifacts found in the given paths")
+    return registry

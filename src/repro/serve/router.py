@@ -1,0 +1,206 @@
+"""Stretch-budget routing across a registry of oracle artifacts.
+
+Spanner theory (Parter–Yogev and the Section 6 oracles of the source
+paper) makes the stretch/size trade-off explicit: looser stretch buys a
+smaller structure.  :class:`StretchRouter` operationalises that trade-off
+at serving time.  A fleet keeps several artifacts — e.g. an exact
+``exact-fallback`` matrix, a ``dense-apsp`` (2+ε, (1+ε)W) matrix, and a
+compact ``landmark-mssp`` 3(1+ε) oracle — and every request carries a
+*stretch budget*: the loosest guarantee the caller will accept.  The
+router then serves the request from the **cheapest admissible artifact**:
+
+1. admissible = every registered artifact whose advertised guarantee is
+   at least as tight as the budget (multiplicative AND additive);
+2. among admissible artifacts with a resident engine, pick the cheapest
+   by the registry's total cost order (``prefer_loaded=True``, the
+   default — routing never forces a load while a loaded artifact
+   qualifies);
+3. if none is loaded, pick the cheapest admissible artifact overall and
+   let the registry load it lazily;
+4. if *nothing* is admissible, call the ``on_miss`` hook — a chance to
+   build and register a tighter artifact on the fly — and re-route to
+   whatever it returns, else raise :class:`RoutingError`.
+
+With ``prefer_loaded=False`` step 2 is skipped, giving the pure
+"cheapest admissible artifact" policy the unit tests pin down.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Callable, Dict, List, Optional
+
+from repro.oracle.engine import QueryEngine
+from repro.oracle.strategies import StretchGuarantee
+from repro.serve.registry import ArtifactEntry, ArtifactRegistry
+
+#: Tolerance for float comparisons of stretch factors.
+_EPS = 1e-12
+
+
+class RoutingError(LookupError):
+    """No registered artifact satisfies the request's stretch budget."""
+
+
+def budget_admits(guarantee: StretchGuarantee, multiplicative: float,
+                  additive: float) -> bool:
+    """Whether ``guarantee`` is at least as tight as the budget.
+
+    The single definition of admissibility — :class:`StretchBudget` and
+    the server's single-engine adapter both defer here, so tolerance and
+    comparison semantics cannot drift between them.
+    """
+    return (guarantee.multiplicative <= multiplicative + _EPS
+            and guarantee.additive <= additive + _EPS)
+
+
+@dataclasses.dataclass(frozen=True)
+class StretchBudget:
+    """The loosest guarantee a request accepts.
+
+    An artifact with guarantee ``g`` is admissible iff
+    ``g.multiplicative <= multiplicative`` and ``g.additive <= additive``.
+    The default budget admits everything.
+    """
+
+    multiplicative: float = math.inf
+    additive: float = math.inf
+
+    def admits(self, guarantee: StretchGuarantee) -> bool:
+        return budget_admits(guarantee, self.multiplicative, self.additive)
+
+
+@dataclasses.dataclass(frozen=True)
+class RouteDecision:
+    """Where one request was routed and why."""
+
+    name: str
+    entry: ArtifactEntry
+    #: Whether the chosen artifact already had a resident engine.
+    loaded: bool
+    #: True when the artifact came from the ``on_miss`` hook.
+    from_miss_hook: bool = False
+
+    @property
+    def n(self) -> int:
+        return self.entry.n
+
+    @property
+    def stretch(self) -> StretchGuarantee:
+        return self.entry.stretch
+
+
+class StretchRouter:
+    """Pick the cheapest admissible artifact for each request.
+
+    Parameters
+    ----------
+    registry:
+        The artifact catalogue routed over.
+    on_miss:
+        Optional hook ``(budget) -> Optional[str]`` invoked when no
+        registered artifact is admissible.  The hook may build and
+        :meth:`~repro.serve.registry.ArtifactRegistry.register` a new
+        artifact and return its name; returning ``None`` (or a name whose
+        guarantee still misses the budget) raises :class:`RoutingError`.
+    prefer_loaded:
+        When True (default), restrict the choice to artifacts with
+        resident engines whenever at least one admissible artifact is
+        loaded; cheapest-overall otherwise.
+    """
+
+    def __init__(self, registry: ArtifactRegistry,
+                 on_miss: Optional[Callable[[StretchBudget], Optional[str]]] = None,
+                 prefer_loaded: bool = True):
+        self.registry = registry
+        self.on_miss = on_miss
+        self.prefer_loaded = prefer_loaded
+        self._route_counts: Dict[str, int] = {}
+        self._miss_hook_routes = 0
+        self._rejected = 0
+        # Per-budget decision memo, invalidated whenever the registry's
+        # catalogue or resident-engine set changes (its epoch moves) —
+        # routing on the server's hot path must not re-sort per request.
+        self._memo: Dict[tuple, RouteDecision] = {}
+        self._memo_epoch = registry.epoch
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    def admissible(self, budget: StretchBudget) -> List[ArtifactEntry]:
+        """Admissible entries for ``budget``, cheapest first."""
+        entries = [entry for entry in self.registry.entries()
+                   if budget.admits(entry.stretch)]
+        return sorted(entries, key=lambda entry: entry.cost)
+
+    def route(self, multiplicative: float = math.inf,
+              additive: float = math.inf) -> RouteDecision:
+        """Route one request; raises :class:`RoutingError` on no match."""
+        if self._memo_epoch != self.registry.epoch:
+            self._memo.clear()
+            self._memo_epoch = self.registry.epoch
+        memo_key = (multiplicative, additive)
+        memoized = self._memo.get(memo_key)
+        if memoized is not None:
+            self._route_counts[memoized.name] += 1
+            return memoized
+        budget = StretchBudget(multiplicative, additive)
+        candidates = self.admissible(budget)
+        if not candidates:
+            decision = self._route_via_miss_hook(budget)
+            if decision is not None:
+                return decision
+            self._rejected += 1
+            guarantees = ", ".join(
+                f"{entry.name}={entry.stretch.multiplicative:g}x"
+                + (f"+{entry.stretch.additive:g}" if entry.stretch.additive else "")
+                for entry in self.registry.entries()
+            ) or "<empty registry>"
+            raise RoutingError(
+                f"no artifact satisfies stretch budget "
+                f"{multiplicative:g}x+{additive:g}; available: {guarantees}"
+            )
+        chosen = candidates[0]
+        if self.prefer_loaded:
+            loaded = [entry for entry in candidates
+                      if self.registry.is_loaded(entry.name)]
+            if loaded:
+                chosen = loaded[0]
+        self._route_counts[chosen.name] = self._route_counts.get(chosen.name, 0) + 1
+        decision = RouteDecision(name=chosen.name, entry=chosen,
+                                 loaded=self.registry.is_loaded(chosen.name))
+        self._memo[memo_key] = decision
+        return decision
+
+    def _route_via_miss_hook(self, budget: StretchBudget) -> Optional[RouteDecision]:
+        if self.on_miss is None:
+            return None
+        name = self.on_miss(budget)
+        if name is None:
+            return None
+        entry = self.registry.get(name)
+        if not budget.admits(entry.stretch):
+            return None
+        self._miss_hook_routes += 1
+        self._route_counts[name] = self._route_counts.get(name, 0) + 1
+        return RouteDecision(name=name, entry=entry,
+                             loaded=self.registry.is_loaded(name),
+                             from_miss_hook=True)
+
+    # ------------------------------------------------------------------
+    # engine access and stats (the server's view of the registry)
+    # ------------------------------------------------------------------
+    def engine(self, name: str) -> QueryEngine:
+        return self.registry.engine(name)
+
+    def loaded_engines(self) -> Dict[str, QueryEngine]:
+        return self.registry.loaded_engines()
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "routes": dict(sorted(self._route_counts.items())),
+            "miss_hook_routes": self._miss_hook_routes,
+            "rejected": self._rejected,
+            "registry": self.registry.stats(),
+        }

@@ -1,0 +1,479 @@
+"""Asyncio distance server with request coalescing and backpressure.
+
+:class:`DistanceServer` is the front end that turns the synchronous
+:class:`~repro.oracle.engine.QueryEngine` into a service.  Its core trick
+is **request coalescing**: concurrent ``await server.dist(u, v)`` calls do
+not each pay an engine round-trip.  Instead every request parks a future
+in a per-artifact pending map and a single flusher task drains the map
+once per micro-batching window (``coalesce_window`` seconds), resolving
+all parked keys with one vectorised ``QueryEngine.batch`` gather (in
+chunks of at most ``max_batch``).  Duplicate concurrent keys share one
+future, so a thundering herd on a hot pair costs one table lookup.
+Answers are bit-for-bit identical to serial ``engine.dist`` calls —
+coalescing reorders work, never results.
+
+Around that core:
+
+* **Routing** — each request carries a stretch budget and is routed by a
+  :class:`~repro.serve.router.StretchRouter` to the cheapest admissible
+  artifact; a bare ``QueryEngine`` (or ``ArtifactRegistry``) is adapted
+  automatically.
+* **Backpressure** — at most ``queue_capacity`` requests may be in
+  flight.  Beyond that the server either sheds (``overload_policy="shed"``,
+  raising :class:`ServerOverloaded` immediately — the caller can retry
+  elsewhere) or parks the caller until space frees
+  (``overload_policy="wait"``).
+* **Per-client stats** — every request names a ``client``; the server
+  keeps per-client request/answer/shed counters and latency percentiles,
+  and folds in the engines' own ``stats()`` snapshots.
+* **Graceful shutdown** — ``await server.stop()`` rejects new requests,
+  flushes everything pending, and joins the flusher; ``async with``
+  scopes a server to a block.
+
+The engine gathers run inline on the event loop: they are numpy-bound
+microsecond work, and keeping them on-loop makes answers deterministic
+and the server dependency-free (pure stdlib asyncio + numpy).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import math
+import time
+from collections import deque
+from pathlib import Path
+from typing import Deque, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.oracle.cache import LatencyRecorder
+from repro.oracle.engine import QueryEngine
+from repro.serve.registry import ArtifactEntry, ArtifactRegistry
+from repro.serve.router import (
+    RouteDecision,
+    RoutingError,
+    StretchRouter,
+    budget_admits,
+)
+
+Pair = Tuple[int, int]
+
+
+class ServerClosed(RuntimeError):
+    """The server is shut down (or shutting down) and takes no new requests."""
+
+
+class ServerOverloaded(RuntimeError):
+    """Request shed: the in-flight queue is at capacity (load-shed policy)."""
+
+
+@dataclasses.dataclass(frozen=True)
+class ServerConfig:
+    """Tuning knobs for :class:`DistanceServer`.
+
+    coalesce_window:
+        Seconds a flush waits after the first enqueue so concurrent
+        requests accumulate into one batch.  ``0`` disables coalescing:
+        every request becomes its own single-pair engine batch (the
+        naive baseline the benchmark compares against).
+    max_batch:
+        Maximum keys per engine gather; a flush drains *all* pending
+        keys in ``ceil(pending / max_batch)`` engine batches.
+    queue_capacity:
+        Maximum requests in flight before backpressure engages.
+    overload_policy:
+        ``"shed"`` raises :class:`ServerOverloaded` at capacity;
+        ``"wait"`` parks callers until space frees.
+    client_latency_window:
+        Samples per client backing the latency percentiles.
+    """
+
+    coalesce_window: float = 0.001
+    max_batch: int = 1024
+    queue_capacity: int = 8192
+    overload_policy: str = "shed"
+    client_latency_window: int = 8192
+
+    def __post_init__(self) -> None:
+        if self.coalesce_window < 0:
+            raise ValueError("coalesce_window must be >= 0")
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if self.queue_capacity < 1:
+            raise ValueError("queue_capacity must be >= 1")
+        if self.overload_policy not in ("shed", "wait"):
+            raise ValueError(
+                f"overload_policy must be 'shed' or 'wait', "
+                f"got {self.overload_policy!r}"
+            )
+
+
+class _ClientStats:
+    """Per-client counters and latency percentiles."""
+
+    __slots__ = ("requests", "answered", "shed", "errors", "latency")
+
+    def __init__(self, window: int):
+        self.requests = 0
+        self.answered = 0
+        self.shed = 0
+        self.errors = 0
+        self.latency = LatencyRecorder(window)
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "requests": self.requests,
+            "answered": self.answered,
+            "shed": self.shed,
+            "errors": self.errors,
+            "latency": self.latency.snapshot(),
+        }
+
+
+class _SingleEngineRouter:
+    """Adapter presenting one already-loaded engine as a router."""
+
+    def __init__(self, engine: QueryEngine, name: str = "default"):
+        artifact = engine.artifact
+        self._engine = engine
+        self._entry = ArtifactEntry(
+            name=name,
+            path=Path("<memory>"),
+            strategy=engine.strategy,
+            n=engine.n,
+            epsilon=artifact.epsilon,
+            stretch=artifact.stretch,
+            payload_bytes=0,
+            resident_floats=float(engine.n) * engine.n,
+            query_cost=1.0,
+        )
+        self._route_counts = 0
+        self._rejected = 0
+        # One artifact means one possible decision; build it once so the
+        # server's hot path does not construct a dataclass per request.
+        self._decision = RouteDecision(name=name, entry=self._entry, loaded=True)
+
+    def route(self, multiplicative: float = math.inf,
+              additive: float = math.inf) -> RouteDecision:
+        stretch = self._entry.stretch
+        if not budget_admits(stretch, multiplicative, additive):
+            self._rejected += 1
+            raise RoutingError(
+                f"engine guarantee {stretch.multiplicative:g}x+"
+                f"{stretch.additive:g} exceeds stretch budget "
+                f"{multiplicative:g}x+{additive:g}"
+            )
+        self._route_counts += 1
+        return self._decision
+
+    def engine(self, name: str) -> QueryEngine:
+        return self._engine
+
+    def loaded_engines(self) -> Dict[str, QueryEngine]:
+        return {self._entry.name: self._engine}
+
+    def stats(self) -> Dict[str, object]:
+        return {"routes": {self._entry.name: self._route_counts},
+                "miss_hook_routes": 0, "rejected": self._rejected,
+                "registry": None}
+
+
+RouterLike = Union[StretchRouter, ArtifactRegistry, QueryEngine]
+
+
+class DistanceServer:
+    """Serve distance queries over one or many oracle artifacts.
+
+    ``target`` may be a :class:`StretchRouter`, an
+    :class:`ArtifactRegistry` (wrapped in a default router), or a bare
+    :class:`QueryEngine` (single-artifact serving).
+    """
+
+    def __init__(self, target: RouterLike, config: Optional[ServerConfig] = None):
+        if isinstance(target, QueryEngine):
+            self._router = _SingleEngineRouter(target)
+        elif isinstance(target, ArtifactRegistry):
+            self._router = StretchRouter(target)
+        else:
+            self._router = target
+        self.config = config or ServerConfig()
+
+        self._pending: Dict[str, Dict[Pair, asyncio.Future]] = {}
+        self._wake = asyncio.Event()
+        self._flusher: Optional[asyncio.Task] = None
+        self._closed = False
+        self._draining = False
+
+        self._in_flight = 0
+        self._space_waiters: Deque[asyncio.Future] = deque()
+
+        self._clients: Dict[str, _ClientStats] = {}
+        self._requests_total = 0
+        self._served_total = 0
+        self._shed_total = 0
+        self._errors_total = 0
+        self._engine_batches = 0
+        self._coalesced_keys = 0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> "DistanceServer":
+        """Start the flusher task (idempotent; ``dist`` also auto-starts)."""
+        self._ensure_flusher()
+        return self
+
+    async def stop(self) -> None:
+        """Graceful shutdown: reject new requests, drain, join the flusher."""
+        if self._closed:
+            return
+        self._closed = True
+        self._draining = True
+        # Resolve everything already parked, then let the parked callers
+        # run before the flusher goes away.  ``_outstanding`` counts every
+        # dist() call that has entered but not yet settled, including ones
+        # parked behind the backpressure gate.
+        while self._outstanding():
+            self._flush_pending()
+            await asyncio.sleep(0)
+        if self._flusher is not None:
+            self._wake.set()
+            self._flusher.cancel()
+            try:
+                await self._flusher
+            except asyncio.CancelledError:
+                pass
+            self._flusher = None
+
+    async def __aenter__(self) -> "DistanceServer":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    # ------------------------------------------------------------------
+    # query API
+    # ------------------------------------------------------------------
+    async def dist(self, u: int, v: int, *, multiplicative: float = math.inf,
+                   additive: float = math.inf, client: str = "default") -> float:
+        """Estimated distance, served from the cheapest admissible artifact.
+
+        Raises :class:`RoutingError` when no artifact meets the budget,
+        :class:`ServerOverloaded` when shed, :class:`ServerClosed` after
+        shutdown, and ``ValueError`` for out-of-range nodes.
+        """
+        if self._closed:
+            raise ServerClosed("server is shut down")
+        started = time.perf_counter_ns()
+        stats = self._clients.get(client)
+        if stats is None:
+            stats = self._client(client)
+        stats.requests += 1
+        self._requests_total += 1
+        # One flat coroutine: this is the hot path, and every extra frame
+        # or coroutine hop costs about a microsecond per request.
+        try:
+            decision = self._router.route(multiplicative=multiplicative,
+                                          additive=additive)
+            n = decision.entry.n
+            if not 0 <= u < n or not 0 <= v < n:
+                raise ValueError(f"node pair ({u}, {v}) out of range [0, {n})")
+            if u == v:
+                value = 0.0
+            else:
+                key = (u, v) if u < v else (v, u)
+                config = self.config
+                if self._in_flight >= config.queue_capacity:
+                    await self._admit_slow(stats)
+                self._in_flight += 1
+                try:
+                    if config.coalesce_window <= 0:
+                        # Coalescing disabled: one single-pair engine batch
+                        # per request — the naive loop the benchmark
+                        # measures against.
+                        value = float(
+                            self._router.engine(decision.name).batch([key])[0])
+                        self._engine_batches += 1
+                        self._coalesced_keys += 1
+                    else:
+                        if self._flusher is None:
+                            self._ensure_flusher()
+                        bucket = self._pending.setdefault(decision.name, {})
+                        future = bucket.get(key)
+                        if future is None:
+                            future = asyncio.get_running_loop().create_future()
+                            bucket[key] = future
+                            self._wake.set()
+                        value = await future
+                finally:
+                    self._release()
+        except ServerOverloaded:
+            raise  # shed accounting happened at the admission gate
+        except BaseException:
+            stats.errors += 1
+            self._errors_total += 1
+            raise
+        stats.answered += 1
+        self._served_total += 1
+        stats.latency.record(time.perf_counter_ns() - started)
+        return value
+
+    async def batch(self, pairs: Sequence[Pair], *,
+                    multiplicative: float = math.inf,
+                    additive: float = math.inf,
+                    client: str = "default") -> List[float]:
+        """Concurrent :meth:`dist` over ``pairs`` (shares their coalescing)."""
+        return list(await asyncio.gather(*(
+            self.dist(u, v, multiplicative=multiplicative, additive=additive,
+                      client=client)
+            for u, v in pairs
+        )))
+
+    # ------------------------------------------------------------------
+    # stats
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, object]:
+        """Server, router, per-client, and per-engine statistics."""
+        return {
+            "requests_total": self._requests_total,
+            "served_total": self._served_total,
+            "shed_total": self._shed_total,
+            "errors_total": self._errors_total,
+            "engine_batches": self._engine_batches,
+            "coalesced_keys": self._coalesced_keys,
+            "queue": {
+                "capacity": self.config.queue_capacity,
+                "in_flight": self._in_flight,
+                "pending_keys": sum(len(b) for b in self._pending.values()),
+                "overload_policy": self.config.overload_policy,
+            },
+            "router": self._router.stats(),
+            "clients": {name: client.snapshot()
+                        for name, client in sorted(self._clients.items())},
+            "engines": {name: engine.stats() for name, engine
+                        in sorted(self._router.loaded_engines().items())},
+        }
+
+    def client_stats(self, client: str = "default") -> Dict[str, object]:
+        return self._client(client).snapshot()
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _outstanding(self) -> int:
+        """Requests that entered :meth:`dist` and have not yet settled."""
+        return (self._requests_total - self._served_total
+                - self._shed_total - self._errors_total)
+
+    def _client(self, name: str) -> _ClientStats:
+        stats = self._clients.get(name)
+        if stats is None:
+            stats = self._clients[name] = _ClientStats(
+                self.config.client_latency_window)
+        return stats
+
+    async def _admit_slow(self, stats: _ClientStats) -> None:
+        """The backpressure gate, entered only when the queue is full.
+
+        Returns with a slot reserved for the caller (who increments
+        ``_in_flight`` immediately, with no await in between).
+        """
+        while self._in_flight >= self.config.queue_capacity:
+            if self.config.overload_policy == "shed":
+                stats.shed += 1
+                self._shed_total += 1
+                raise ServerOverloaded(
+                    f"in-flight queue at capacity "
+                    f"({self.config.queue_capacity}); request shed"
+                )
+            waiter = asyncio.get_running_loop().create_future()
+            self._space_waiters.append(waiter)
+            try:
+                await waiter
+            except asyncio.CancelledError:
+                if not waiter.done():
+                    waiter.cancel()
+                raise
+
+    def _release(self) -> None:
+        self._in_flight -= 1
+        while self._space_waiters:
+            waiter = self._space_waiters.popleft()
+            if not waiter.done():
+                waiter.set_result(None)
+                break
+
+    def _ensure_flusher(self) -> None:
+        if self._flusher is None or self._flusher.done():
+            self._flusher = asyncio.get_running_loop().create_task(
+                self._flush_loop(), name="repro-serve-flusher")
+
+    async def _flush_loop(self) -> None:
+        try:
+            while True:
+                await self._wake.wait()
+                self._wake.clear()
+                if self._pending and not self._draining:
+                    # The micro-batching window: let concurrent requests
+                    # pile into the pending map before one gather.
+                    await asyncio.sleep(self.config.coalesce_window)
+                self._flush_pending()
+        except asyncio.CancelledError:
+            self._flush_pending()
+            raise
+
+    def _flush_pending(self) -> None:
+        """Drain every pending key with one engine gather per chunk."""
+        while self._pending:
+            pending, self._pending = self._pending, {}
+            for name, bucket in pending.items():
+                # Insertion order aligns keys with futures.
+                keys = list(bucket)
+                futures = list(bucket.values())
+                try:
+                    engine = self._router.engine(name)
+                except Exception as exc:  # load failure fails the batch
+                    self._fail_futures(futures, exc)
+                    continue
+                for start in range(0, len(keys), self.config.max_batch):
+                    chunk = keys[start:start + self.config.max_batch]
+                    chunk_futures = futures[start:start + self.config.max_batch]
+                    try:
+                        values = engine.batch(chunk)
+                    except Exception as exc:
+                        self._fail_futures(chunk_futures, exc)
+                        continue
+                    self._engine_batches += 1
+                    self._coalesced_keys += len(chunk)
+                    for future, value in zip(chunk_futures, values.tolist()):
+                        if not future.done():
+                            future.set_result(value)
+
+    @staticmethod
+    def _fail_futures(futures: Sequence[asyncio.Future],
+                      exc: Exception) -> None:
+        for future in futures:
+            if not future.done():
+                future.set_exception(exc)
+
+
+async def serve_artifacts(paths: Sequence[Union[str, Path]],
+                          config: Optional[ServerConfig] = None,
+                          capacity: int = 4) -> DistanceServer:
+    """Convenience: registry over ``paths`` behind a started server."""
+    from repro.serve.registry import build_registry
+
+    registry = build_registry(paths, capacity=capacity)
+    return await DistanceServer(registry, config=config).start()
+
+
+__all__ = [
+    "DistanceServer",
+    "ServerClosed",
+    "ServerConfig",
+    "ServerOverloaded",
+    "serve_artifacts",
+]

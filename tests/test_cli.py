@@ -214,6 +214,144 @@ class TestOracleErrorPaths:
         assert "k-nearest" in capsys.readouterr().err
 
 
+class TestQueryDeduplication:
+    def test_repeated_pairs_cost_one_engine_query(self, tmp_path, capsys):
+        artifact = tmp_path / "oracle.npz"
+        assert main(["oracle", "build", str(artifact), "--n", "16",
+                     "--strategy", "exact-fallback"]) == 0
+        capsys.readouterr()
+        # Three occurrences of the same symmetric pair: three output lines
+        # in input order, but only ONE query reaches the engine.
+        assert main(["oracle", "query", str(artifact),
+                     "--pairs", "0:5,5:0,0:5", "--stats"]) == 0
+        out = capsys.readouterr().out
+        lines = [line for line in out.splitlines() if line.startswith("dist(")]
+        assert len(lines) == 3
+        assert lines[0].startswith("dist(0, 5)")
+        assert lines[1].startswith("dist(5, 0)")
+        assert lines[2].startswith("dist(0, 5)")
+        assert len({line.split("=")[1] for line in lines}) == 1
+        assert "queries          : 1" in out
+
+    def test_mixed_pairs_keep_input_order(self, tmp_path, capsys):
+        artifact = tmp_path / "oracle.npz"
+        assert main(["oracle", "build", str(artifact), "--n", "16",
+                     "--strategy", "exact-fallback"]) == 0
+        capsys.readouterr()
+        assert main(["oracle", "query", str(artifact),
+                     "--pairs", "1:2,3:4,2:1", "--stats"]) == 0
+        out = capsys.readouterr().out
+        order = [line.split("=")[0].strip() for line in out.splitlines()
+                 if line.startswith("dist(")]
+        assert order == ["dist(1, 2)", "dist(3, 4)", "dist(2, 1)"]
+        assert "queries          : 2" in out
+
+
+class TestServeSubcommands:
+    """repro serve / repro loadgen over on-disk artifacts."""
+
+    @pytest.fixture(scope="class")
+    def artifact_dir(self, tmp_path_factory):
+        root = tmp_path_factory.mktemp("cli-serve")
+        assert main(["oracle", "build", str(root / "cheap.npz"), "--n", "24",
+                     "--seed", "7", "--strategy", "landmark-mssp"]) == 0
+        assert main(["oracle", "build", str(root / "exact.npz"), "--n", "24",
+                     "--seed", "7", "--strategy", "exact-fallback"]) == 0
+        return root
+
+    def test_serve_self_test(self, artifact_dir, capsys):
+        assert main(["serve", str(artifact_dir), "--queries", "200",
+                     "--window-ms", "1", "--concurrency", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "serving 2 artifact(s)" in out
+        assert "success rate     : 1.0000" in out
+        assert "engine batches" in out
+        assert "cheap" in out
+
+    def test_serve_single_artifact_file(self, artifact_dir, capsys):
+        assert main(["serve", str(artifact_dir / "exact.npz"),
+                     "--queries", "100"]) == 0
+        out = capsys.readouterr().out
+        assert "serving 1 artifact(s)" in out
+
+    def test_serve_missing_artifact_is_clean_error(self, tmp_path, capsys):
+        assert main(["serve", str(tmp_path / "absent.npz")]) == 1
+        assert "not found" in capsys.readouterr().err
+
+    def test_loadgen_closed_with_verify_and_json(self, artifact_dir, tmp_path,
+                                                 capsys):
+        report_path = tmp_path / "report.json"
+        assert main(["loadgen", str(artifact_dir), "--queries", "300",
+                     "--window-ms", "1", "--verify",
+                     "--json-out", str(report_path)]) == 0
+        out = capsys.readouterr().out
+        assert "answer mismatches: 0" in out
+        import json
+
+        payload = json.loads(report_path.read_text())
+        assert payload["schema"] == "repro-loadgen/v1"
+        report = payload["report"]
+        assert report["mode"] == "closed"
+        assert report["requested"] == 300
+        assert report["success_rate"] == 1.0
+        assert report["mismatches"] == 0
+        assert sorted(payload["artifacts"]) == ["cheap", "exact"]
+
+    def test_loadgen_open_mode(self, artifact_dir, capsys):
+        assert main(["loadgen", str(artifact_dir / "exact.npz"),
+                     "--mode", "open", "--qps", "20000",
+                     "--queries", "200"]) == 0
+        out = capsys.readouterr().out
+        assert "mode             : open" in out
+        assert "offered 20,000" in out
+
+    def test_loadgen_stretch_budget_routes_to_exact(self, artifact_dir, capsys):
+        assert main(["loadgen", str(artifact_dir), "--queries", "100",
+                     "--stretch", "1.0", "--additive", "0", "--verify"]) == 0
+        assert "answer mismatches: 0" in capsys.readouterr().out
+
+    def test_loadgen_rejects_non_positive_queries(self, artifact_dir, capsys):
+        assert main(["loadgen", str(artifact_dir), "--queries", "0"]) == 2
+        assert "--queries must be positive" in capsys.readouterr().err
+
+    def test_loadgen_unsatisfiable_budget_is_clean_error(self, artifact_dir,
+                                                         capsys):
+        assert main(["loadgen", str(artifact_dir), "--queries", "10",
+                     "--stretch", "0.5", "--verify"]) == 1
+        assert "no artifact satisfies" in capsys.readouterr().err
+
+    def test_serve_mixed_graph_sizes_queries_the_routed_artifact(
+            self, artifact_dir, tmp_path, capsys):
+        """Pairs must be sampled from the routed artifact's node range,
+        not the largest registered graph's."""
+        big = tmp_path / "big.npz"
+        assert main(["oracle", "build", str(big), "--n", "48", "--seed", "3",
+                     "--strategy", "landmark-mssp"]) == 0
+        capsys.readouterr()
+        assert main(["serve", str(artifact_dir / "cheap.npz"), str(big),
+                     "--queries", "150"]) == 0
+        out = capsys.readouterr().out
+        assert "serving 2 artifact(s)" in out
+        assert "success rate     : 1.0000" in out
+
+    def test_serve_accepts_sidecar_path(self, artifact_dir, capsys):
+        assert main(["serve", str(artifact_dir / "exact.meta.json"),
+                     "--queries", "50"]) == 0
+        assert "serving 1 artifact(s)" in capsys.readouterr().out
+
+    def test_serve_non_manifest_json_is_clean_error(self, tmp_path, capsys):
+        stray = tmp_path / "notes.json"
+        stray.write_text('{"hello": "world"}')
+        assert main(["serve", str(stray)]) == 1
+        assert "not a registry manifest" in capsys.readouterr().err
+
+    def test_serve_bad_manifest_version_is_clean_error(self, tmp_path, capsys):
+        bad = tmp_path / "fleet.json"
+        bad.write_text('{"manifest_version": 99, "artifacts": []}')
+        assert main(["serve", str(bad)]) == 1
+        assert "manifest_version" in capsys.readouterr().err
+
+
 class TestPythonDashM:
     """``python -m repro`` must work as an entry point (src/repro/__main__.py)."""
 

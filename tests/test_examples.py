@@ -75,6 +75,14 @@ class TestExamples:
         assert "cache hit rate" in out
         assert "max stretch" in out
 
+    def test_distance_server(self, capsys):
+        module = load_example("distance_server")
+        module.main(36, 300)
+        out = capsys.readouterr().out
+        assert "two stretch budgets" in out
+        assert "success rate     : 1.0000" in out
+        assert "engine batches" in out
+
     def test_routing_tables(self, capsys):
         module = load_example("routing_tables")
         module.main(24)

@@ -130,6 +130,60 @@ class TestCacheAndStats:
         engine.dist(0, 1)
         assert engine.stats()["cache_misses"] == 2
 
+    def test_queries_total_is_monotonic(self, graph):
+        engine = QueryEngine(build_oracle(graph, strategy="dense-apsp"))
+        assert engine.stats()["queries_total"] == 0
+        engine.dist(0, 1)
+        engine.batch([(0, 1), (1, 2), (2, 3)])
+        engine.k_nearest(0, 2)
+        stats = engine.stats()
+        assert stats["queries_total"] == 5
+        assert stats["queries_total"] == stats["queries"]
+        engine.clear_cache()
+        assert engine.stats()["queries_total"] == 5  # survives cache clears
+
+    def test_batch_size_histogram_buckets(self, graph):
+        engine = QueryEngine(build_oracle(graph, strategy="dense-apsp"))
+        engine.batch([(0, 1)])
+        engine.batch([(0, 1)])
+        engine.batch([(0, 1), (1, 2), (2, 3)])  # size 3 -> bucket "4"
+        engine.batch([(i, i + 1) for i in range(5)])  # size 5 -> bucket "8"
+        engine.dist(0, 1)  # point queries are not batches
+        stats = engine.stats()
+        assert stats["batch_sizes"] == {"1": 2, "4": 1, "8": 1}
+
+
+class TestBatchDeduplication:
+    def test_duplicate_pairs_resolved_once(self, graph):
+        engine = QueryEngine(build_oracle(graph, strategy="landmark-mssp",
+                                          epsilon=0.5))
+        gathered = []
+        inner = engine._point_batch
+
+        def counting(us, vs):
+            gathered.append(len(us))
+            return inner(us, vs)
+
+        engine._point_batch = counting
+        pairs = [(0, 5), (5, 0), (0, 5), (3, 7), (0, 5)]
+        values = engine.batch(pairs)
+        # One gather, two distinct keys, despite five requested pairs.
+        assert gathered == [2]
+        assert values[0] == values[1] == values[2] == values[4]
+        engine._point_batch = inner
+        assert list(values) == [engine.dist(u, v) for u, v in pairs]
+
+    def test_batch_core_matches_batch(self, graph):
+        import numpy as np
+
+        engine = QueryEngine(build_oracle(graph, strategy="landmark-mssp",
+                                          epsilon=0.5))
+        pairs = [(2, 9), (9, 2), (0, 0), (4, 11)]
+        lo = np.array([min(u, v) for u, v in pairs], dtype=np.int64)
+        hi = np.array([max(u, v) for u, v in pairs], dtype=np.int64)
+        core = engine.batch_core(lo, hi)
+        assert list(core) == [engine.dist(u, v) for u, v in pairs]
+
 
 class TestLRUCache:
     def test_eviction_order_is_least_recently_used(self):

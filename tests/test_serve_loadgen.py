@@ -1,0 +1,160 @@
+"""Tests for the load generator: Zipf sampling, closed- and open-loop
+reports, shed accounting, and answer verification."""
+
+from __future__ import annotations
+
+import asyncio
+from collections import Counter
+
+import pytest
+
+from repro.graphs import random_weighted_graph
+from repro.oracle import OracleArtifact, QueryEngine, build_oracle
+from repro.serve import (
+    DistanceServer,
+    ServerConfig,
+    count_mismatches,
+    run_closed_loop,
+    run_open_loop,
+    zipf_pairs,
+)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return random_weighted_graph(30, average_degree=6, max_weight=10, seed=9)
+
+
+@pytest.fixture(scope="module")
+def artifact_path(graph, tmp_path_factory):
+    path = tmp_path_factory.mktemp("loadgen") / "oracle.npz"
+    build_oracle(graph, strategy="landmark-mssp", epsilon=0.5).save(path)
+    return path
+
+
+@pytest.fixture
+def engine(artifact_path):
+    return QueryEngine(OracleArtifact.load(artifact_path))
+
+
+@pytest.fixture
+def reference(artifact_path):
+    return QueryEngine(OracleArtifact.load(artifact_path))
+
+
+class TestZipfPairs:
+    def test_deterministic_and_in_range(self):
+        first = zipf_pairs(50, 200, skew=1.0, seed=3)
+        second = zipf_pairs(50, 200, skew=1.0, seed=3)
+        assert first == second
+        assert len(first) == 200
+        assert all(0 <= u < 50 and 0 <= v < 50 for u, v in first)
+        assert zipf_pairs(50, 200, seed=4) != first
+
+    def test_skew_concentrates_traffic(self):
+        pairs = zipf_pairs(50, 4000, skew=1.5, seed=0)
+        endpoints = Counter(u for u, _ in pairs) + Counter(v for _, v in pairs)
+        hottest = endpoints.most_common(1)[0][1]
+        # Uniform sampling would give ~160 per node; Zipf(1.5) gives the
+        # hottest node a large multiple of that.
+        assert hottest > 3 * (2 * 4000) / 50
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="node"):
+            zipf_pairs(0, 10)
+        with pytest.raises(ValueError, match="count"):
+            zipf_pairs(10, -1)
+        with pytest.raises(ValueError, match="skew"):
+            zipf_pairs(10, 5, skew=-0.5)
+
+
+class TestClosedLoop:
+    def test_report_and_answers(self, graph, engine, reference):
+        pairs = zipf_pairs(graph.n, 300, skew=1.0, seed=7)
+
+        async def drive():
+            async with DistanceServer(
+                    engine, ServerConfig(coalesce_window=0.002)) as server:
+                return await run_closed_loop(server, pairs, concurrency=32)
+
+        report = asyncio.run(drive())
+        assert report.mode == "closed"
+        assert report.requested == 300
+        assert report.completed == 300
+        assert report.shed == 0 and report.errors == 0
+        assert report.success_rate == 1.0
+        assert report.achieved_qps > 0
+        assert report.latency["count"] == 300
+        assert all(answer is not None for answer in report.answers)
+        assert count_mismatches(pairs, report.answers, reference) == 0
+        as_dict = report.as_dict()
+        assert as_dict["success_rate"] == 1.0
+        assert "answers" not in as_dict
+        assert "achieved qps" in report.summary()
+
+    def test_shed_requests_are_counted_not_answered(self, graph, engine):
+        pairs = zipf_pairs(graph.n, 60, skew=0.0, seed=2)
+        config = ServerConfig(coalesce_window=0.02, queue_capacity=2,
+                              overload_policy="shed")
+
+        async def drive():
+            async with DistanceServer(engine, config) as server:
+                return await run_closed_loop(server, pairs, concurrency=16)
+
+        report = asyncio.run(drive())
+        assert report.shed > 0
+        assert report.completed + report.shed + report.errors == 60
+        assert report.answers.count(None) == report.shed + report.errors
+        assert report.success_rate < 1.0
+
+    def test_concurrency_validation(self, engine):
+        async def drive():
+            async with DistanceServer(engine) as server:
+                with pytest.raises(ValueError, match="concurrency"):
+                    await run_closed_loop(server, [(0, 1)], concurrency=0)
+
+        asyncio.run(drive())
+
+
+class TestOpenLoop:
+    def test_target_qps_paces_arrivals(self, graph, engine, reference):
+        pairs = zipf_pairs(graph.n, 120, skew=1.0, seed=5)
+
+        async def drive():
+            async with DistanceServer(
+                    engine, ServerConfig(coalesce_window=0.002)) as server:
+                return await run_open_loop(server, pairs, qps=4000.0)
+
+        report = asyncio.run(drive())
+        assert report.mode == "open"
+        assert report.offered_qps == 4000.0
+        assert report.completed == 120
+        # 120 arrivals at 4k qps take at least ~30ms by construction.
+        assert report.duration_s >= 119 / 4000.0
+        assert count_mismatches(pairs, report.answers, reference) == 0
+
+    def test_qps_validation(self, engine):
+        async def drive():
+            async with DistanceServer(engine) as server:
+                with pytest.raises(ValueError, match="qps"):
+                    await run_open_loop(server, [(0, 1)], qps=0)
+
+        asyncio.run(drive())
+
+
+class TestVerification:
+    def test_count_mismatches_flags_corruption(self, graph, engine, reference):
+        pairs = zipf_pairs(graph.n, 50, seed=11)
+
+        async def drive():
+            async with DistanceServer(engine) as server:
+                return await run_closed_loop(server, pairs, concurrency=8)
+
+        report = asyncio.run(drive())
+        assert count_mismatches(pairs, report.answers, reference) == 0
+        corrupted = list(report.answers)
+        corrupted[7] += 1.0
+        assert count_mismatches(pairs, corrupted, reference) == 1
+
+    def test_none_answers_are_skipped(self, reference):
+        assert count_mismatches([(0, 1), (2, 3)], [None, None], reference) == 0

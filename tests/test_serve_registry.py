@@ -1,0 +1,184 @@
+"""Tests for the artifact registry: cheap registration, lazy engine
+loading, LRU eviction, and manifest round-trips."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.graphs import random_weighted_graph
+from repro.oracle import ArtifactError, QueryEngine, build_oracle
+from repro.serve import ArtifactRegistry, RegistryError, build_registry
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return random_weighted_graph(28, average_degree=6, max_weight=12, seed=5)
+
+
+@pytest.fixture(scope="module")
+def artifact_dir(graph, tmp_path_factory):
+    """Three artifacts of the same graph at different stretch levels."""
+    root = tmp_path_factory.mktemp("artifacts")
+    build_oracle(graph, strategy="landmark-mssp", epsilon=0.5).save(root / "cheap.npz")
+    build_oracle(graph, strategy="dense-apsp", epsilon=0.25).save(root / "mid.npz")
+    build_oracle(graph, strategy="exact-fallback").save(root / "exact.npz")
+    return root
+
+
+@pytest.fixture
+def registry(artifact_dir):
+    registry = ArtifactRegistry(capacity=4)
+    registry.discover(artifact_dir)
+    return registry
+
+
+class TestRegistration:
+    def test_register_reads_sidecar_without_loading(self, artifact_dir):
+        registry = ArtifactRegistry()
+        entry = registry.register(artifact_dir / "cheap.npz")
+        assert entry.name == "cheap"
+        assert entry.strategy == "landmark-mssp"
+        assert entry.n == 28
+        assert entry.stretch.multiplicative == pytest.approx(4.5)
+        assert entry.payload_bytes > 0
+        assert not registry.is_loaded("cheap")  # payload untouched
+
+    def test_discover_finds_everything(self, registry):
+        assert registry.names() == ["cheap", "exact", "mid"]
+        assert len(registry) == 3
+        assert "cheap" in registry
+
+    def test_explicit_duplicate_name_rejected(self, artifact_dir, registry):
+        with pytest.raises(RegistryError, match="already registered"):
+            registry.register(artifact_dir / "cheap.npz", name="cheap")
+
+    def test_auto_names_get_suffixed(self, artifact_dir, registry):
+        entry = registry.register(artifact_dir / "cheap.npz")
+        assert entry.name == "cheap-2"
+
+    def test_missing_artifact_rejected(self, artifact_dir):
+        registry = ArtifactRegistry()
+        with pytest.raises(ArtifactError, match="not found"):
+            registry.register(artifact_dir / "absent.npz")
+
+    def test_unknown_name_rejected(self, registry):
+        with pytest.raises(RegistryError, match="unknown artifact"):
+            registry.get("nope")
+        with pytest.raises(RegistryError, match="unknown artifact"):
+            registry.engine("nope")
+
+    def test_cost_model_orders_compact_before_dense(self, registry):
+        cheap = registry.get("cheap")
+        mid = registry.get("mid")
+        # landmark-mssp stores ~n^{3/2} floats, the dense strategies n^2.
+        assert cheap.resident_floats < mid.resident_floats
+        assert cheap.cost < mid.cost
+
+
+class TestLazyEnginesAndEviction:
+    def test_engine_loads_lazily_and_is_reused(self, registry):
+        assert not registry.is_loaded("cheap")
+        engine = registry.engine("cheap")
+        assert isinstance(engine, QueryEngine)
+        assert registry.is_loaded("cheap")
+        assert registry.loads == 1
+        assert registry.engine("cheap") is engine
+        assert registry.loads == 1
+
+    def test_capacity_one_evicts_previous(self, artifact_dir):
+        registry = ArtifactRegistry(capacity=1)
+        registry.discover(artifact_dir)
+        registry.engine("cheap")
+        registry.engine("mid")
+        assert not registry.is_loaded("cheap")
+        assert registry.is_loaded("mid")
+        assert registry.evictions == 1
+        registry.engine("cheap")  # reload counts as a fresh load
+        assert registry.loads == 3
+
+    def test_eviction_is_least_recently_used(self, artifact_dir):
+        registry = ArtifactRegistry(capacity=2)
+        registry.discover(artifact_dir)
+        registry.engine("cheap")
+        registry.engine("mid")
+        registry.engine("cheap")  # refresh cheap; mid is now LRU
+        registry.engine("exact")
+        assert registry.is_loaded("cheap")
+        assert not registry.is_loaded("mid")
+        assert registry.is_loaded("exact")
+
+    def test_explicit_evict(self, registry):
+        registry.engine("cheap")
+        registry.evict("cheap")
+        assert not registry.is_loaded("cheap")
+        registry.engine("cheap")
+        registry.engine("mid")
+        registry.evict()
+        assert registry.loaded() == []
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError, match="capacity"):
+            ArtifactRegistry(capacity=0)
+
+    def test_stats_shape(self, registry):
+        registry.engine("cheap")
+        stats = registry.stats()
+        assert stats["artifacts"] == 3
+        assert stats["loaded"] == ["cheap"]
+        assert stats["loads"] == 1
+
+
+class TestManifests:
+    def test_roundtrip(self, registry, artifact_dir):
+        manifest = registry.write_manifest(artifact_dir / "manifest.json")
+        reloaded = ArtifactRegistry.load_manifest(manifest)
+        assert reloaded.names() == registry.names()
+        for name in registry.names():
+            assert reloaded.get(name).stretch == registry.get(name).stretch
+
+    def test_manifest_paths_are_relative(self, registry, artifact_dir):
+        manifest = registry.write_manifest(artifact_dir / "manifest.json")
+        payload = json.loads(manifest.read_text())
+        assert payload["manifest_version"] == 1
+        assert all(item["path"] == f"{item['name']}.npz"
+                   for item in payload["artifacts"])
+
+    def test_bad_manifest_rejected(self, tmp_path):
+        bad = tmp_path / "manifest.json"
+        bad.write_text("{not json")
+        with pytest.raises(RegistryError, match="unparseable"):
+            ArtifactRegistry.load_manifest(bad)
+        bad.write_text(json.dumps({"manifest_version": 99, "artifacts": []}))
+        with pytest.raises(RegistryError, match="manifest_version"):
+            ArtifactRegistry.load_manifest(bad)
+
+
+class TestBuildRegistry:
+    def test_mixed_paths(self, artifact_dir):
+        registry = build_registry([artifact_dir])
+        assert registry.names() == ["cheap", "exact", "mid"]
+        single = build_registry([artifact_dir / "cheap.npz"])
+        assert single.names() == ["cheap"]
+
+    def test_manifest_path(self, registry, artifact_dir):
+        manifest = registry.write_manifest(artifact_dir / "fleet.json")
+        rebuilt = build_registry([manifest])
+        assert rebuilt.names() == registry.names()
+
+    def test_empty_rejected(self, tmp_path):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        with pytest.raises(ArtifactError, match="no oracle artifacts"):
+            build_registry([empty])
+
+    def test_sidecar_path_registers_its_artifact(self, artifact_dir):
+        registry = build_registry([artifact_dir / "cheap.meta.json"])
+        assert registry.names() == ["cheap"]
+
+    def test_non_manifest_json_rejected_with_guidance(self, tmp_path):
+        stray = tmp_path / "config.json"
+        stray.write_text('{"unrelated": true}')
+        with pytest.raises(ArtifactError, match="not a registry manifest"):
+            build_registry([stray])

@@ -1,0 +1,155 @@
+"""Tests for stretch-budget routing over a 3-artifact registry.
+
+The acceptance property: every request is served from the **cheapest**
+artifact whose advertised stretch guarantee satisfies the request's
+budget, with the ``on_miss`` hook as the only fallback.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.graphs import random_weighted_graph
+from repro.oracle import build_oracle
+from repro.serve import (
+    ArtifactRegistry,
+    RoutingError,
+    StretchBudget,
+    StretchRouter,
+)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return random_weighted_graph(28, average_degree=6, max_weight=12, seed=5)
+
+
+@pytest.fixture(scope="module")
+def artifact_dir(graph, tmp_path_factory):
+    """cheap = 3(1+eps) landmark oracle, mid = (2+eps, (1+eps)W) dense,
+    exact = 1x matrix — three stretch levels of one graph."""
+    root = tmp_path_factory.mktemp("routed")
+    build_oracle(graph, strategy="landmark-mssp", epsilon=0.5).save(root / "cheap.npz")
+    build_oracle(graph, strategy="dense-apsp", epsilon=0.25).save(root / "mid.npz")
+    build_oracle(graph, strategy="exact-fallback").save(root / "exact.npz")
+    return root
+
+
+@pytest.fixture
+def registry(artifact_dir):
+    registry = ArtifactRegistry(capacity=4)
+    registry.discover(artifact_dir)
+    return registry
+
+
+@pytest.fixture
+def router(registry):
+    return StretchRouter(registry)
+
+
+class TestBudgetSelection:
+    def test_unbounded_budget_picks_cheapest(self, router):
+        # The landmark oracle holds ~n^{3/2} floats vs n^2 for the dense
+        # strategies: with no budget it is the cheapest admissible artifact.
+        assert router.route().name == "cheap"
+
+    def test_exact_budget_picks_exact(self, router):
+        assert router.route(multiplicative=1.0).name == "exact"
+
+    def test_additive_budget_excludes_dense(self, router, registry):
+        # dense-apsp carries a (1+eps)W additive term; a zero additive
+        # budget with a loose multiplicative one must skip it.
+        mid = registry.get("mid")
+        assert mid.stretch.additive > 0
+        decision = router.route(multiplicative=mid.stretch.multiplicative,
+                                additive=0.0)
+        assert decision.name == "exact"
+
+    def test_mid_budget_excludes_landmark(self, router, registry):
+        decision = router.route(multiplicative=2.5)
+        admissible = {"mid", "exact"}
+        assert decision.name in admissible
+        expected = min((registry.get(name) for name in admissible),
+                       key=lambda entry: entry.cost)
+        assert decision.name == expected.name
+
+    def test_every_budget_gets_the_cheapest_admissible(self, router, registry):
+        """The acceptance property, over a grid of budgets."""
+        for multiplicative in (1.0, 1.5, 2.25, 2.5, 3.0, 4.5, 10.0, math.inf):
+            for additive in (0.0, 5.0, 50.0, math.inf):
+                budget = StretchBudget(multiplicative, additive)
+                admissible = [entry for entry in registry.entries()
+                              if budget.admits(entry.stretch)]
+                if not admissible:
+                    with pytest.raises(RoutingError):
+                        router.route(multiplicative=multiplicative,
+                                     additive=additive)
+                    continue
+                decision = router.route(multiplicative=multiplicative,
+                                        additive=additive)
+                cheapest = min(admissible, key=lambda entry: entry.cost)
+                assert decision.name == cheapest.name, (multiplicative, additive)
+                assert budget.admits(decision.stretch)
+
+    def test_impossible_budget_raises_with_guarantees(self, router):
+        with pytest.raises(RoutingError, match="cheap=4.5x"):
+            router.route(multiplicative=0.5)
+
+    def test_route_counts_accumulate(self, router):
+        router.route()
+        router.route()
+        router.route(multiplicative=1.0)
+        stats = router.stats()
+        assert stats["routes"] == {"cheap": 2, "exact": 1}
+        assert stats["rejected"] == 0
+
+
+class TestPreferLoaded:
+    def test_loaded_artifact_wins_while_admissible(self, registry):
+        router = StretchRouter(registry, prefer_loaded=True)
+        registry.engine("exact")  # resident, though not cheapest
+        decision = router.route()
+        assert decision.name == "exact"
+        assert decision.loaded
+
+    def test_loaded_preference_never_violates_budget(self, registry):
+        router = StretchRouter(registry, prefer_loaded=True)
+        registry.engine("cheap")  # loaded but 4.5x
+        assert router.route(multiplicative=1.0).name == "exact"
+
+    def test_pure_cheapest_policy(self, registry):
+        router = StretchRouter(registry, prefer_loaded=False)
+        registry.engine("exact")
+        assert router.route().name == "cheap"
+
+
+class TestMissHook:
+    def test_hook_builds_and_routes(self, graph, artifact_dir, tmp_path):
+        # A registry holding only the 4.5x artifact, so tight budgets miss.
+        registry = ArtifactRegistry()
+        registry.register(artifact_dir / "cheap.npz")
+        calls = []
+
+        def on_miss(budget):
+            calls.append(budget)
+            artifact = build_oracle(graph, strategy="exact-fallback")
+            artifact.save(tmp_path / "ondemand.npz")
+            registry.register(tmp_path / "ondemand.npz", name="ondemand")
+            return "ondemand"
+
+        router = StretchRouter(registry, on_miss=on_miss)
+        decision = router.route(multiplicative=1.0)
+        assert decision.name == "ondemand"
+        assert decision.from_miss_hook
+        assert len(calls) == 1
+        # Registered now: the next tight request routes without the hook.
+        assert router.route(multiplicative=1.0).from_miss_hook is False
+        assert len(calls) == 1
+
+    def test_hook_returning_none_raises(self, registry):
+        router = StretchRouter(registry, on_miss=lambda budget: None)
+        with pytest.raises(RoutingError):
+            router.route(multiplicative=0.5)
+        assert router.stats()["rejected"] == 1

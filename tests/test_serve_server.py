@@ -1,0 +1,268 @@
+"""Tests for the async distance server: coalescing correctness under
+concurrency, load shedding at queue capacity, budget routing through the
+server, per-client stats, and graceful shutdown."""
+
+from __future__ import annotations
+
+import asyncio
+import math
+
+import pytest
+
+from repro.graphs import random_weighted_graph
+from repro.oracle import OracleArtifact, QueryEngine, build_oracle
+from repro.serve import (
+    ArtifactRegistry,
+    DistanceServer,
+    RoutingError,
+    ServerClosed,
+    ServerConfig,
+    ServerOverloaded,
+)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return random_weighted_graph(30, average_degree=6, max_weight=10, seed=9)
+
+
+@pytest.fixture(scope="module")
+def artifact_dir(graph, tmp_path_factory):
+    root = tmp_path_factory.mktemp("served")
+    build_oracle(graph, strategy="landmark-mssp", epsilon=0.5).save(root / "cheap.npz")
+    build_oracle(graph, strategy="exact-fallback").save(root / "exact.npz")
+    return root
+
+
+@pytest.fixture
+def engine(artifact_dir):
+    return QueryEngine(OracleArtifact.load(artifact_dir / "cheap.npz"))
+
+
+@pytest.fixture
+def reference(artifact_dir):
+    """A second, independent engine for expected answers."""
+    return QueryEngine(OracleArtifact.load(artifact_dir / "cheap.npz"))
+
+
+def distinct_pairs(n: int, count: int):
+    pairs = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    assert len(pairs) >= count
+    return pairs[:count]
+
+
+class TestCoalescing:
+    def test_concurrent_queries_coalesce_and_match_serial(self, graph, engine,
+                                                          reference):
+        """N concurrent dist() calls produce at most ceil(N/max_batch)
+        engine batches and exactly the serial answers."""
+        pairs = distinct_pairs(graph.n, 40)
+        config = ServerConfig(coalesce_window=0.05, max_batch=8)
+
+        async def drive():
+            async with DistanceServer(engine, config) as server:
+                values = await asyncio.gather(
+                    *(server.dist(u, v) for u, v in pairs))
+                return values, server.stats()
+
+        values, stats = asyncio.run(drive())
+        expected = [reference.dist(u, v) for u, v in pairs]
+        assert values == expected
+        assert 1 <= stats["engine_batches"] <= math.ceil(len(pairs) / 8)
+        assert stats["served_total"] == len(pairs)
+        assert stats["shed_total"] == 0
+
+    def test_duplicate_concurrent_queries_share_one_lookup(self, graph, engine):
+        async def drive():
+            async with DistanceServer(
+                    engine, ServerConfig(coalesce_window=0.05)) as server:
+                values = await asyncio.gather(
+                    *(server.dist(3, 17) for _ in range(50)))
+                return values, server.stats()
+
+        values, stats = asyncio.run(drive())
+        assert len(set(values)) == 1
+        assert stats["engine_batches"] == 1
+        assert stats["coalesced_keys"] == 1  # 50 requests, one key
+        assert stats["engines"]["default"]["queries_total"] == 1
+
+    def test_window_zero_disables_coalescing(self, graph, engine, reference):
+        pairs = distinct_pairs(graph.n, 10)
+
+        async def drive():
+            async with DistanceServer(
+                    engine, ServerConfig(coalesce_window=0.0)) as server:
+                values = await asyncio.gather(
+                    *(server.dist(u, v) for u, v in pairs))
+                return values, server.stats()
+
+        values, stats = asyncio.run(drive())
+        assert values == [reference.dist(u, v) for u, v in pairs]
+        assert stats["engine_batches"] == len(pairs)
+
+    def test_batch_convenience_matches_engine(self, graph, engine, reference):
+        pairs = distinct_pairs(graph.n, 25) + [(4, 4), (2, 9), (2, 9)]
+
+        async def drive():
+            async with DistanceServer(engine) as server:
+                return await server.batch(pairs)
+
+        values = asyncio.run(drive())
+        assert values == [reference.dist(u, v) for u, v in pairs]
+
+    def test_self_pairs_answer_without_engine_work(self, engine):
+        async def drive():
+            async with DistanceServer(engine) as server:
+                value = await server.dist(7, 7)
+                return value, server.stats()
+
+        value, stats = asyncio.run(drive())
+        assert value == 0.0
+        assert stats["engine_batches"] == 0
+
+    def test_out_of_range_rejected_before_enqueue(self, engine):
+        async def drive():
+            async with DistanceServer(engine) as server:
+                with pytest.raises(ValueError, match="out of range"):
+                    await server.dist(0, 10_000)
+                return server.stats()
+
+        stats = asyncio.run(drive())
+        assert stats["errors_total"] == 1
+        assert stats["queue"]["pending_keys"] == 0
+
+
+class TestBackpressure:
+    def test_load_shed_at_queue_capacity(self, graph, engine):
+        pairs = distinct_pairs(graph.n, 10)
+        config = ServerConfig(coalesce_window=0.05, queue_capacity=4,
+                              overload_policy="shed")
+
+        async def drive():
+            async with DistanceServer(engine, config) as server:
+                results = await asyncio.gather(
+                    *(server.dist(u, v) for u, v in pairs),
+                    return_exceptions=True)
+                return results, server.stats()
+
+        results, stats = asyncio.run(drive())
+        shed = [r for r in results if isinstance(r, ServerOverloaded)]
+        served = [r for r in results if isinstance(r, float)]
+        # All 10 requests arrive within one coalescing window: exactly
+        # queue_capacity are admitted, the rest shed immediately.
+        assert len(served) == 4
+        assert len(shed) == 6
+        assert stats["shed_total"] == 6
+        assert stats["served_total"] == 4
+        assert stats["clients"]["default"]["shed"] == 6
+
+    def test_wait_policy_parks_instead_of_shedding(self, graph, engine,
+                                                   reference):
+        pairs = distinct_pairs(graph.n, 10)
+        config = ServerConfig(coalesce_window=0.005, queue_capacity=3,
+                              overload_policy="wait")
+
+        async def drive():
+            async with DistanceServer(engine, config) as server:
+                values = await asyncio.gather(
+                    *(server.dist(u, v) for u, v in pairs))
+                return values, server.stats()
+
+        values, stats = asyncio.run(drive())
+        assert values == [reference.dist(u, v) for u, v in pairs]
+        assert stats["shed_total"] == 0
+        assert stats["served_total"] == len(pairs)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError, match="max_batch"):
+            ServerConfig(max_batch=0)
+        with pytest.raises(ValueError, match="overload_policy"):
+            ServerConfig(overload_policy="panic")
+        with pytest.raises(ValueError, match="coalesce_window"):
+            ServerConfig(coalesce_window=-1)
+        with pytest.raises(ValueError, match="queue_capacity"):
+            ServerConfig(queue_capacity=0)
+
+
+class TestRoutingThroughServer:
+    def test_budgeted_queries_hit_the_right_artifact(self, artifact_dir,
+                                                     graph):
+        registry = ArtifactRegistry()
+        registry.discover(artifact_dir)
+        exact = QueryEngine(OracleArtifact.load(artifact_dir / "exact.npz"))
+        pairs = distinct_pairs(graph.n, 12)
+
+        async def drive():
+            async with DistanceServer(registry) as server:
+                loose = await asyncio.gather(*(server.dist(u, v) for u, v in pairs))
+                tight = await asyncio.gather(
+                    *(server.dist(u, v, multiplicative=1.0) for u, v in pairs))
+                return loose, tight, server.stats()
+
+        loose, tight, stats = asyncio.run(drive())
+        assert tight == [exact.dist(u, v) for u, v in pairs]
+        assert all(t <= approx + 1e-9 for approx, t in zip(loose, tight))
+        assert set(stats["router"]["routes"]) == {"cheap", "exact"}
+
+    def test_unsatisfiable_budget_raises(self, engine):
+        async def drive():
+            async with DistanceServer(engine) as server:
+                with pytest.raises(RoutingError):
+                    await server.dist(0, 1, multiplicative=1.0)
+                return server.stats()
+
+        stats = asyncio.run(drive())
+        assert stats["errors_total"] == 1
+
+
+class TestClientsAndShutdown:
+    def test_per_client_stats_are_separate(self, graph, engine):
+        async def drive():
+            async with DistanceServer(engine) as server:
+                await asyncio.gather(
+                    *(server.dist(u, v, client="alice")
+                      for u, v in distinct_pairs(graph.n, 6)),
+                    *(server.dist(u, v, client="bob")
+                      for u, v in distinct_pairs(graph.n, 3)),
+                )
+                return server.stats()
+
+        stats = asyncio.run(drive())
+        assert stats["clients"]["alice"]["requests"] == 6
+        assert stats["clients"]["alice"]["answered"] == 6
+        assert stats["clients"]["bob"]["requests"] == 3
+        assert stats["clients"]["alice"]["latency"]["count"] == 6
+
+    def test_graceful_shutdown_drains_pending(self, graph, engine, reference):
+        pairs = distinct_pairs(graph.n, 8)
+
+        async def drive():
+            server = DistanceServer(
+                engine, ServerConfig(coalesce_window=5.0))  # would park 5s
+            await server.start()
+            tasks = [asyncio.ensure_future(server.dist(u, v))
+                     for u, v in pairs]
+            await asyncio.sleep(0)  # let every request enqueue
+            await server.stop()  # must flush, not wait out the window
+            return [await task for task in tasks], server
+
+        values, server = asyncio.run(drive())
+        assert values == [reference.dist(u, v) for u, v in pairs]
+        assert server.closed
+
+    def test_requests_after_stop_are_rejected(self, engine):
+        async def drive():
+            server = await DistanceServer(engine).start()
+            await server.stop()
+            with pytest.raises(ServerClosed):
+                await server.dist(0, 1)
+
+        asyncio.run(drive())
+
+    def test_stop_is_idempotent(self, engine):
+        async def drive():
+            async with DistanceServer(engine) as server:
+                await server.dist(0, 1)
+            await server.stop()
+
+        asyncio.run(drive())
