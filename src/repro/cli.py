@@ -18,8 +18,14 @@ prints a short report including the simulated round count and (with
 The ``oracle`` subcommand group is the build-once / query-many split::
 
     python -m repro oracle build out.npz --strategy landmark-mssp --n 96
+    python -m repro oracle build big.npz --strategy dense-apsp --n 4096 --shards 16
+    python -m repro oracle shard out.npz out-sharded --shards 8
     python -m repro oracle query out.npz --pairs 0:5,3:7 --stats
     python -m repro oracle bench out.npz --queries 20000
+
+``--shards`` writes the memory-mapped sharded format (``.shard-K.npz``
+files plus a ``.shards.json`` manifest); ``query``/``bench``/``serve``/
+``loadgen`` accept either format transparently.
 """
 
 from __future__ import annotations
@@ -57,10 +63,11 @@ from repro.matmul import SemiringMatrix
 from repro.oracle import (
     STRATEGY_NAMES,
     ArtifactError,
-    OracleArtifact,
     OracleBuilder,
     QueryEngine,
+    load_artifact,
     measure_throughput,
+    shard_artifact,
 )
 from repro.semiring import MIN_PLUS
 
@@ -217,7 +224,9 @@ def _parse_pairs(text: str) -> List[Tuple[int, int]]:
 
 
 def _load_engine(path: str) -> QueryEngine:
-    return QueryEngine(OracleArtifact.load(path))
+    # load_artifact dispatches on what lives at the path: a monolithic
+    # payload is read whole, a sharded artifact opens memory-mapped.
+    return QueryEngine(load_artifact(path))
 
 
 def _node_translation(engine: QueryEngine):
@@ -252,11 +261,41 @@ def cmd_oracle_build(args: argparse.Namespace) -> int:
         # Node ids in the file may be arbitrary; persist the mapping so
         # queries speak the file's ids, not the compacted internal ones.
         artifact.metadata["node_ids"] = [original_ids[i] for i in range(graph.n)]
-    payload_path, sidecar_path = artifact.save(args.artifact)
     print(f"oracle build: {args.strategy} on n={graph.n}, m={graph.num_edges()}")
     print(builder.report(artifact).summary())
-    print(f"payload          : {payload_path}")
-    print(f"metadata         : {sidecar_path}")
+    if args.shards:
+        try:
+            manifest_path, shard_paths = artifact.save_sharded(
+                args.artifact, args.shards)
+        except (ArtifactError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(f"manifest         : {manifest_path}")
+        print(f"shards           : {len(shard_paths)} memory-mappable files "
+              f"({shard_paths[0].name} .. {shard_paths[-1].name})")
+    else:
+        payload_path, sidecar_path = artifact.save(args.artifact)
+        print(f"payload          : {payload_path}")
+        print(f"metadata         : {sidecar_path}")
+    return 0
+
+
+def cmd_oracle_shard(args: argparse.Namespace) -> int:
+    """Re-shard an existing artifact (monolithic or sharded) on disk."""
+    if args.shards < 1:
+        print(f"error: --shards must be positive, got {args.shards}",
+              file=sys.stderr)
+        return 2
+    try:
+        manifest_path, shard_paths = shard_artifact(
+            args.source, args.artifact, args.shards)
+    except (ArtifactError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(f"oracle shard: {args.source} -> {len(shard_paths)} shards")
+    print(f"manifest         : {manifest_path}")
+    for shard in shard_paths:
+        print(f"shard            : {shard.name} ({shard.stat().st_size} bytes)")
     return 0
 
 
@@ -302,6 +341,11 @@ def cmd_oracle_query(args: argparse.Namespace) -> int:
         except ValueError as exc:
             print(f"error: bad --pairs value: {exc}", file=sys.stderr)
             return 2
+        except ArtifactError as exc:
+            # Sharded artifacts verify checksums on first fault, so
+            # corruption can surface at query time, not just load time.
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
         for (u, v), index in zip(pairs, order):
             print(f"dist({u}, {v}) = {values[index]:g}")
         did_something = True
@@ -313,6 +357,9 @@ def cmd_oracle_query(args: argparse.Namespace) -> int:
             print(f"error: bad --k-nearest value {args.k_nearest!r}: {exc}",
                   file=sys.stderr)
             return 2
+        except ArtifactError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
         for node, value in nearest:
             shown = node if to_original is None else to_original[node]
             print(f"nearest({u}): node {shown} at {value:g}")
@@ -342,7 +389,12 @@ def cmd_oracle_bench(args: argparse.Namespace) -> int:
     rng = random.Random(args.seed)
     n = engine.n
     pairs = [(rng.randrange(n), rng.randrange(n)) for _ in range(args.queries)]
-    throughput = measure_throughput(engine, pairs)
+    try:
+        throughput = measure_throughput(engine, pairs)
+    except ArtifactError as exc:
+        # Lazy shard verification can flag corruption on first fault.
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
 
     stats = engine.stats()
     latency = stats["latency"]
@@ -362,8 +414,12 @@ def cmd_oracle_bench(args: argparse.Namespace) -> int:
 def _serve_config(args: argparse.Namespace):
     from repro.serve import ServerConfig
 
+    if args.window_ms == "auto":
+        window = "auto"
+    else:
+        window = float(args.window_ms) / 1000.0
     return ServerConfig(
-        coalesce_window=args.window_ms / 1000.0,
+        coalesce_window=window,
         max_batch=args.max_batch,
         queue_capacity=args.queue_capacity,
         overload_policy=args.policy,
@@ -452,12 +508,12 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
     import asyncio
     import json
 
-    from repro.oracle import ArtifactError, OracleArtifact, QueryEngine
     from repro.serve import (
         DistanceServer,
         RegistryError,
         StretchRouter,
         count_mismatches,
+        residency_from_stats,
         run_closed_loop,
         run_open_loop,
         zipf_pairs,
@@ -482,24 +538,28 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
     async def drive():
         async with DistanceServer(router, _serve_config(args)) as server:
             if args.mode == "open":
-                return await run_open_loop(
+                report = await run_open_loop(
                     server, pairs, qps=args.qps,
                     multiplicative=args.stretch, additive=args.additive)
-            return await run_closed_loop(
-                server, pairs, concurrency=args.concurrency,
-                multiplicative=args.stretch, additive=args.additive)
+            else:
+                report = await run_closed_loop(
+                    server, pairs, concurrency=args.concurrency,
+                    multiplicative=args.stretch, additive=args.additive)
+            return report, server.stats()
 
     try:
-        report = asyncio.run(drive())
+        report, server_stats = asyncio.run(drive())
     except Exception as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
 
+    if args.report_residency:
+        report.residency = residency_from_stats(server_stats)
     if args.verify:
         # The budget is fixed for the whole run, so every request routed
         # to the artifact resolved up front: replay it through a fresh
-        # direct engine.
-        reference = QueryEngine(OracleArtifact.load(decision.entry.path))
+        # direct engine (monolithic or sharded, per the routed entry).
+        reference = _load_engine(str(decision.entry.path))
         report.mismatches = count_mismatches(pairs, report.answers, reference)
 
     print(report.summary())
@@ -589,7 +649,24 @@ def build_parser() -> argparse.ArgumentParser:
     build.add_argument("--seed", type=int, default=0)
     build.add_argument("--epsilon", type=float, default=0.5)
     build.add_argument("--grid", action="store_true", help="use a grid workload")
+    build.add_argument(
+        "--shards", type=int, default=0,
+        help="write this many memory-mappable row shards plus a manifest "
+             "instead of one monolithic .npz (0 = monolithic)",
+    )
     build.set_defaults(func=cmd_oracle_build, weighted=True)
+
+    shard = oracle_sub.add_parser(
+        "shard", help="re-shard an existing artifact into memory-mappable "
+                      "row shards",
+    )
+    shard.add_argument("source",
+                       help="existing artifact (.npz payload, base path, or "
+                            ".shards.json manifest)")
+    shard.add_argument("artifact", help="output base path for the sharded copy")
+    shard.add_argument("--shards", type=int, default=8,
+                       help="number of row shards to write")
+    shard.set_defaults(func=cmd_oracle_shard)
 
     query = oracle_sub.add_parser("query", help="answer queries from a saved artifact")
     query.add_argument("artifact", help="artifact path written by 'oracle build'")
@@ -614,8 +691,9 @@ def build_parser() -> argparse.ArgumentParser:
             help="max engines resident at once (LRU-evicted beyond)",
         )
         sub_parser.add_argument(
-            "--window-ms", type=float, default=1.0, dest="window_ms",
-            help="coalescing window in milliseconds (0 disables coalescing)",
+            "--window-ms", type=str, default="1.0", dest="window_ms",
+            help="coalescing window in milliseconds (0 disables coalescing; "
+                 "'auto' sizes it from the observed arrival rate)",
         )
         sub_parser.add_argument("--max-batch", type=int, default=1024,
                                 dest="max_batch", help="max keys per engine gather")
@@ -660,6 +738,10 @@ def build_parser() -> argparse.ArgumentParser:
     loadgen.add_argument("--verify", action="store_true",
                          help="replay answered pairs through a direct engine "
                               "and count mismatches (non-zero exit on any)")
+    loadgen.add_argument("--report-residency", action="store_true",
+                         dest="report_residency",
+                         help="include shard-fault counts and mapped-vs-"
+                              "resident bytes in the report")
     loadgen.add_argument("--json-out", dest="json_out",
                          help="write the JSON report to this path")
     loadgen.set_defaults(func=cmd_loadgen)

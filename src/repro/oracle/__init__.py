@@ -34,8 +34,17 @@ from repro.oracle.artifact import (
     artifact_paths,
 )
 from repro.oracle.build import BuildReport, OracleBuilder, build_oracle
-from repro.oracle.cache import LatencyRecorder, LRUCache
+from repro.oracle.cache import LatencyRecorder, LRUCache, RowBlockCache
 from repro.oracle.engine import QueryEngine, measure_throughput
+from repro.oracle.sharding import (
+    SHARD_MANIFEST_SUFFIX,
+    SHARD_MANIFEST_VERSION,
+    ShardedOracleArtifact,
+    load_artifact,
+    shard_artifact,
+    shard_manifest_path,
+    write_sharded_artifact,
+)
 from repro.oracle.strategies import (
     STRATEGY_NAMES,
     StrategySpec,
@@ -52,11 +61,19 @@ __all__ = [
     "OracleArtifact",
     "OracleBuilder",
     "QueryEngine",
+    "RowBlockCache",
+    "SHARD_MANIFEST_SUFFIX",
+    "SHARD_MANIFEST_VERSION",
     "STRATEGY_NAMES",
+    "ShardedOracleArtifact",
     "StrategySpec",
     "StretchGuarantee",
     "artifact_paths",
     "build_oracle",
     "get_strategy",
+    "load_artifact",
     "measure_throughput",
+    "shard_artifact",
+    "shard_manifest_path",
+    "write_sharded_artifact",
 ]

@@ -125,6 +125,20 @@ class OracleArtifact:
         sidecar_path.write_text(json.dumps(sidecar, indent=2, sort_keys=True) + "\n")
         return payload_path, sidecar_path
 
+    def save_sharded(self, path: PathLike, num_shards: int):
+        """Write the artifact as row shards plus a manifest.
+
+        Returns ``(manifest_path, shard_paths)``.  See
+        :mod:`repro.oracle.sharding` for the format; the written shards are
+        memory-mappable, so a :class:`~repro.oracle.sharding.
+        ShardedOracleArtifact` loaded from them serves queries without ever
+        reading the full payload.
+        """
+        from repro.oracle.sharding import write_sharded_artifact
+
+        self.validate()
+        return write_sharded_artifact(self.metadata, self.arrays, path, num_shards)
+
     @classmethod
     def load(cls, path: PathLike) -> "OracleArtifact":
         """Load and verify an artifact saved with :meth:`save`."""

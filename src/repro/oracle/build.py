@@ -127,6 +127,19 @@ class OracleBuilder:
         artifact.validate()
         return artifact
 
+    def build_sharded(self, graph: Graph, path, num_shards: int):
+        """Build and persist directly as a sharded artifact.
+
+        Returns ``(artifact, manifest_path, shard_paths)``.  The shard
+        writer streams row slices (views) of the freshly built arrays to
+        disk one shard at a time, so no second full copy of the payload is
+        ever materialised — peak write-side memory stays one buffer,
+        not one artifact.
+        """
+        artifact = self.build(graph)
+        manifest_path, shard_paths = artifact.save_sharded(path, num_shards)
+        return artifact, manifest_path, shard_paths
+
     def report(self, artifact: OracleArtifact) -> BuildReport:
         """Summarise a built artifact (round counts, stretch, detail)."""
         build = artifact.metadata["build"]

@@ -1,11 +1,15 @@
 """Query-side caching and latency bookkeeping for the oracle engine.
 
-Two small, dependency-free pieces:
+Three small, dependency-free pieces:
 
 * :class:`LRUCache` — a bounded least-recently-used map over query keys.
   Point queries on a warm oracle are dominated by Python dict overhead, so
   the cache is an ``OrderedDict`` moved-to-end on hit: O(1) per operation
   and fast enough for well over 10^5 queries/sec.
+* :class:`RowBlockCache` — a bounded LRU of contiguous row *blocks* copied
+  out of a larger (typically memory-mapped) table.  Point queries against
+  a sharded artifact go through it so a Zipf-hot row costs one page fault
+  ever, while total residency stays capped at ``capacity`` blocks.
 * :class:`LatencyRecorder` — a bounded ring of per-query latencies (in
   nanoseconds) from which ``stats()`` derives P50/P95/P99.  Bounding the
   ring keeps a long-lived serving engine at O(1) memory no matter how many
@@ -15,7 +19,7 @@ Two small, dependency-free pieces:
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Any, Dict, Hashable, List, Optional
+from typing import Any, Callable, Dict, Hashable, List, Optional
 
 
 class LRUCache:
@@ -67,6 +71,61 @@ class LRUCache:
     def hit_rate(self) -> float:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
+
+
+class RowBlockCache:
+    """LRU of contiguous row blocks fetched on demand from a backing table.
+
+    ``fetch(start, stop)`` must return rows ``[start, stop)`` as an
+    in-memory array (for sharded artifacts that is one cross-shard gather).
+    Rows are served as views into the cached block, so repeated hot-row
+    accesses cost a dict hit, not a disk fault; at most ``capacity``
+    blocks stay resident.
+    """
+
+    __slots__ = ("block_rows", "capacity", "total_rows", "hits", "misses",
+                 "_fetch", "_blocks")
+
+    def __init__(self, fetch: Callable[[int, int], Any], total_rows: int,
+                 block_rows: int = 64, capacity: int = 32):
+        if block_rows < 1:
+            raise ValueError(f"block_rows must be >= 1, got {block_rows}")
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self._fetch = fetch
+        self.total_rows = int(total_rows)
+        self.block_rows = int(block_rows)
+        self.capacity = int(capacity)
+        self.hits = 0
+        self.misses = 0
+        self._blocks: "OrderedDict[int, Any]" = OrderedDict()
+
+    def row(self, index: int) -> Any:
+        """Row ``index``, a view into the (possibly freshly fetched) block."""
+        block_id = index // self.block_rows
+        block = self._blocks.get(block_id)
+        if block is None:
+            self.misses += 1
+            start = block_id * self.block_rows
+            stop = min(start + self.block_rows, self.total_rows)
+            block = self._fetch(start, stop)
+            self._blocks[block_id] = block
+            if len(self._blocks) > self.capacity:
+                self._blocks.popitem(last=False)
+        else:
+            self.hits += 1
+            self._blocks.move_to_end(block_id)
+        return block[index - block_id * self.block_rows]
+
+    @property
+    def nbytes(self) -> int:
+        return sum(block.nbytes for block in self._blocks.values())
+
+    def clear(self) -> None:
+        self._blocks.clear()
+
+    def __len__(self) -> int:
+        return len(self._blocks)
 
 
 class LatencyRecorder:

@@ -11,6 +11,16 @@ cache over normalised pairs, per-query latency recording, and a
   landmark route ``min_a  d(u, a) + d(a, v)`` over the (1 + ε) MSSP table
   (a vectorised min over the landmark axis).
 
+Both artifact representations are served behind the same front end: a
+monolithic :class:`~repro.oracle.artifact.OracleArtifact` keeps its tables
+fully resident, while a :class:`~repro.oracle.sharding.
+ShardedOracleArtifact` stays memory-mapped — point queries read hot rows
+through a bounded :class:`~repro.oracle.cache.RowBlockCache` and batch
+misses gather directly from the mapped shards (one fancy-index per touched
+shard, touching only the pages the requested rows live on).  The sharded
+kernels compute the same float operations in the same order as the
+monolithic ones, so answers are bit-identical between the two paths.
+
 Estimates are always *overestimates* of the true distance (every stored
 table is an overestimate and routes only compose them), so the engine's
 answers inherit the artifact's advertised stretch guarantee unchanged.
@@ -19,12 +29,19 @@ answers inherit the artifact's advertised stretch guarantee unchanged.
 from __future__ import annotations
 
 import time
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.oracle.artifact import OracleArtifact
-from repro.oracle.cache import LatencyRecorder, LRUCache
+from repro.oracle.cache import LatencyRecorder, LRUCache, RowBlockCache
+from repro.oracle.sharding import ShardedOracleArtifact
+
+#: Rows per cached block and blocks kept per sharded array — the hot-row
+#: working set a sharded engine keeps resident (the serving registry's
+#: cost model mirrors these numbers).
+ROW_BLOCK_ROWS = 64
+ROW_BLOCK_CAPACITY = 32
 
 
 class QueryEngine:
@@ -33,16 +50,23 @@ class QueryEngine:
     Parameters
     ----------
     artifact:
-        A validated artifact (from :class:`~repro.oracle.build.OracleBuilder`
-        or :meth:`~repro.oracle.artifact.OracleArtifact.load`).
+        A validated artifact: an in-memory
+        :class:`~repro.oracle.build.OracleBuilder` /
+        :meth:`~repro.oracle.artifact.OracleArtifact.load` result, or a
+        memory-mapped :class:`~repro.oracle.sharding.ShardedOracleArtifact`.
     cache_size:
         Maximum number of cached point answers (0 disables caching).
     latency_window:
         How many recent per-query latencies feed the percentile stats.
+    block_rows / block_capacity:
+        Shape of the hot-row block cache used by the sharded kernels
+        (ignored for monolithic artifacts).
     """
 
-    def __init__(self, artifact: OracleArtifact, cache_size: int = 65536,
-                 latency_window: int = 65536):
+    def __init__(self, artifact: Union[OracleArtifact, ShardedOracleArtifact],
+                 cache_size: int = 65536, latency_window: int = 65536,
+                 block_rows: int = ROW_BLOCK_ROWS,
+                 block_capacity: int = ROW_BLOCK_CAPACITY):
         artifact.validate()
         self.artifact = artifact
         self.n = artifact.n
@@ -51,8 +75,12 @@ class QueryEngine:
         self.latency = LatencyRecorder(latency_window)
         self._queries = 0
         self._batch_sizes: Dict[int, int] = {}
+        self._block_caches: Dict[str, RowBlockCache] = {}
+        self._sharded = isinstance(artifact, ShardedOracleArtifact)
 
-        if self.strategy in ("dense-apsp", "exact-fallback"):
+        if self._sharded:
+            self._init_sharded(artifact, block_rows, block_capacity)
+        elif self.strategy in ("dense-apsp", "exact-fallback"):
             self._dist_matrix = np.asarray(artifact.arrays["dist"], dtype=np.float64)
             self._point = self._point_dense
             self._point_batch = self._point_batch_dense
@@ -77,6 +105,32 @@ class QueryEngine:
             self._point = self._point_landmark
             self._point_batch = self._point_batch_landmark
             self._row = self._row_landmark
+
+    def _init_sharded(self, artifact: ShardedOracleArtifact, block_rows: int,
+                      block_capacity: int) -> None:
+        """Wire the zero-copy kernels: mapped shards + hot-row block caches."""
+        def block_cache(name: str) -> RowBlockCache:
+            cache = RowBlockCache(
+                lambda start, stop, _name=name: artifact.rows(
+                    _name, np.arange(start, stop, dtype=np.int64)),
+                artifact.n, block_rows=block_rows, capacity=block_capacity,
+            )
+            self._block_caches[name] = cache
+            return cache
+
+        if self.strategy in ("dense-apsp", "exact-fallback"):
+            self._dist_rows = block_cache("dist")
+            self._point = self._point_dense_sharded
+            self._point_batch = self._point_batch_dense_sharded
+            self._row = self._row_dense_sharded
+        else:  # landmark-mssp
+            self._num_landmarks = artifact.array_shape("landmark_dist")[1]
+            self._ld_rows = block_cache("landmark_dist")
+            self._ball_idx_rows = block_cache("ball_idx")
+            self._ball_dist_rows = block_cache("ball_dist")
+            self._point = self._point_landmark_sharded
+            self._point_batch = self._point_batch_landmark_sharded
+            self._row = self._row_landmark_sharded
 
     # ------------------------------------------------------------------
     # public query API
@@ -226,7 +280,42 @@ class QueryEngine:
             "cache_hit_rate": self.cache.hit_rate,
             "cache_size": len(self.cache),
             "latency": self.latency.snapshot(),
+            "memory": self.memory_stats(),
         }
+
+    def memory_stats(self) -> Dict[str, object]:
+        """Resident vs mapped payload bytes (plus shard-fault counters).
+
+        For a monolithic artifact everything is resident and nothing is
+        mapped; for a sharded artifact residency is the common arrays plus
+        the hot-row block caches, while the full payload stays mapped on
+        disk.  ``repro loadgen --report-residency`` and the serving
+        registry's cost model both read this snapshot.
+        """
+        if self._sharded:
+            artifact = self.artifact
+            block_bytes = sum(cache.nbytes
+                              for cache in self._block_caches.values())
+            return {
+                "sharded": True,
+                "num_shards": artifact.num_shards,
+                "shard_faults": artifact.faults,
+                "mapped_bytes": artifact.mapped_bytes,
+                "resident_bytes": artifact.resident_bytes() + block_bytes,
+                "row_block_cache": {
+                    "blocks": sum(len(cache)
+                                  for cache in self._block_caches.values()),
+                    "bytes": block_bytes,
+                    "hits": sum(cache.hits
+                                for cache in self._block_caches.values()),
+                    "misses": sum(cache.misses
+                                  for cache in self._block_caches.values()),
+                },
+            }
+        resident = sum(np.asarray(array).nbytes
+                       for array in self.artifact.arrays.values())
+        return {"sharded": False, "num_shards": 1, "shard_faults": 0,
+                "mapped_bytes": 0, "resident_bytes": resident}
 
     def clear_cache(self) -> None:
         """Drop cached answers (hit/miss counters are kept)."""
@@ -285,6 +374,100 @@ class QueryEngine:
         for v, d in self._rev_ball[u]:
             if d < row[v]:
                 row[v] = d
+        row[u] = 0.0
+        return row
+
+    # ------------------------------------------------------------------
+    # sharded (memory-mapped) strategy kernels — bit-identical siblings of
+    # the in-memory kernels above
+    # ------------------------------------------------------------------
+    def _point_dense_sharded(self, u: int, v: int) -> float:
+        return float(self._dist_rows.row(u)[v])
+
+    def _point_batch_dense_sharded(self, us: np.ndarray,
+                                   vs: np.ndarray) -> np.ndarray:
+        # Elementwise gather straight off the shard maps: only the pages
+        # holding the requested entries are ever faulted in.
+        return self.artifact.gather("dist", us, vs)
+
+    def _row_dense_sharded(self, u: int) -> np.ndarray:
+        return self.artifact.row("dist", u)
+
+    def _point_landmark_sharded(self, u: int, v: int) -> float:
+        # Same probe order as _point_landmark: u's exact ball, then v's,
+        # then the best landmark route.
+        ball_u = self._ball_idx_rows.row(u)
+        hit = np.nonzero(ball_u == v)[0]
+        if hit.size:
+            return float(self._ball_dist_rows.row(u)[hit[0]])
+        ball_v = self._ball_idx_rows.row(v)
+        hit = np.nonzero(ball_v == u)[0]
+        if hit.size:
+            return float(self._ball_dist_rows.row(v)[hit[0]])
+        return float(np.min(self._ld_rows.row(u) + self._ld_rows.row(v)))
+
+    def _point_batch_landmark_sharded(self, us: np.ndarray,
+                                      vs: np.ndarray) -> np.ndarray:
+        # Everything runs inside one ~1M-element chunk loop so transient
+        # gathers stay bounded no matter the batch size — the sharded
+        # path must not spike residency to answer a big batch.
+        artifact = self.artifact
+        count = len(us)
+        out = np.empty(count, dtype=np.float64)
+        chunk = max(1, (1 << 20) // max(1, self._num_landmarks))
+        for start in range(0, count, chunk):
+            stop = min(count, start + chunk)
+            us_chunk, vs_chunk = us[start:stop], vs[start:stop]
+            part = np.min(
+                artifact.rows("landmark_dist", us_chunk)
+                + artifact.rows("landmark_dist", vs_chunk),
+                axis=1,
+            )
+            # Exact-ball overrides, u's ball first then v's, mirroring
+            # _point_landmark / _point_batch_landmark.  Node ids are >= 0,
+            # so the -1 ball padding can never match.
+            match_u = artifact.rows("ball_idx", us_chunk) == vs_chunk[:, None]
+            has_u = match_u.any(axis=1)
+            if has_u.any():
+                rows = np.nonzero(has_u)[0]
+                ball_du = artifact.rows("ball_dist", us_chunk[rows])
+                part[rows] = ball_du[np.arange(rows.size),
+                                     np.argmax(match_u[rows], axis=1)]
+            rest = np.nonzero(~has_u)[0]
+            if rest.size:
+                match_v = (artifact.rows("ball_idx", vs_chunk[rest])
+                           == us_chunk[rest][:, None])
+                has_v = np.nonzero(match_v.any(axis=1))[0]
+                if has_v.size:
+                    ball_dv = artifact.rows("ball_dist",
+                                            vs_chunk[rest[has_v]])
+                    part[rest[has_v]] = ball_dv[np.arange(has_v.size),
+                                                np.argmax(match_v[has_v],
+                                                          axis=1)]
+            out[start:stop] = part
+        return out
+
+    def _row_landmark_sharded(self, u: int) -> np.ndarray:
+        # A row query genuinely needs every node's best estimate, so it
+        # scans all shards — but one shard at a time, never materialising
+        # the full landmark table.
+        artifact = self.artifact
+        ld_u = np.asarray(self._ld_rows.row(u))
+        row = np.empty(self.n, dtype=np.float64)
+        for start, block in artifact.iter_shards("landmark_dist"):
+            row[start:start + block.shape[0]] = np.min(block + ld_u, axis=1)
+        ball_u = self._ball_idx_rows.row(u)
+        dist_u = self._ball_dist_rows.row(u)
+        for slot in range(len(ball_u)):
+            v = int(ball_u[slot])
+            if v >= 0 and dist_u[slot] < row[v]:
+                row[v] = float(dist_u[slot])
+        for index, (start, _stop) in enumerate(artifact.row_ranges):
+            shard = artifact.open_shard(index)
+            hit_rows, hit_slots = np.nonzero(shard["ball_idx"] == u)
+            if hit_rows.size:
+                exact = shard["ball_dist"][hit_rows, hit_slots]
+                row[start + hit_rows] = np.minimum(row[start + hit_rows], exact)
         row[u] = 0.0
         return row
 

@@ -1,0 +1,606 @@
+"""Sharded, memory-mappable on-disk format for large oracle artifacts.
+
+The monolithic format (:mod:`repro.oracle.artifact`) reads its whole
+compressed payload into RAM, so cold-start time and resident memory grow
+as O(n²) for the dense strategies even when a workload touches a handful
+of pairs.  This module is the alternative for large n: one artifact
+becomes a set of *row shards* plus a JSON manifest, mirroring how the
+paper's Congested Clique algorithms hand each node a bandwidth slice of
+the all-pairs object instead of the whole thing:
+
+* ``<name>.shard-K.npz`` — shard ``K`` holds rows ``[row_start, row_stop)``
+  of every row-sharded payload array (see
+  :attr:`repro.oracle.strategies.StrategySpec.row_sharded_arrays`), written
+  **uncompressed** so the arrays can be memory-mapped in place.  Small
+  non-row arrays (e.g. the landmark id vector) travel whole inside shard 0.
+* ``<name>.shards.json`` — the manifest: the same metadata the monolithic
+  sidecar carries (strategy, n, epsilon, stretch, build provenance), plus
+  per-shard row ranges, byte sizes, and SHA-256 checksums.  Everything the
+  serving registry needs to route to the artifact lives here — no shard
+  file is touched at registration time.
+
+``numpy`` cannot memory-map members of an ``.npz`` through ``np.load``
+(the zip wrapper always reads them into RAM), so :func:`_mmap_npz` maps
+the uncompressed members directly: it locates each member's data offset
+inside the zip and hands it to ``np.memmap``.  Opening a shard therefore
+costs two file headers, not the payload — rows fault in lazily as queries
+touch them, which is what makes n in the tens of thousands servable on
+laptop-class RAM.
+
+Checksums are verified *per shard*: eagerly at load with ``verify="eager"``
+(reads every shard once — what the tests use), or on a shard's first open
+with the default ``verify="lazy"`` (a skewed workload never pays for the
+shards it never touches), or not at all with ``verify="none"``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import zipfile
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Tuple, Union
+
+import numpy as np
+
+from repro.oracle.artifact import (
+    FORMAT_VERSION,
+    ArtifactError,
+    OracleArtifact,
+    artifact_paths,
+)
+from repro.oracle.strategies import StretchGuarantee, get_strategy
+
+PathLike = Union[str, Path]
+
+#: Bump on any incompatible shard/manifest layout change.
+SHARD_MANIFEST_VERSION = 1
+
+#: Manifest suffix replacing the payload's ``.npz``.
+SHARD_MANIFEST_SUFFIX = ".shards.json"
+
+#: Accepted ``verify=`` modes for :meth:`ShardedOracleArtifact.load`.
+VERIFY_MODES = ("eager", "lazy", "none")
+
+
+def shard_manifest_path(path: PathLike) -> Path:
+    """Normalise ``path`` (base, ``.npz``, or manifest) to the manifest path."""
+    path = Path(path)
+    if path.name.endswith(SHARD_MANIFEST_SUFFIX):
+        return path
+    payload, _ = artifact_paths(path)
+    return payload.with_name(payload.name[: -len(".npz")] + SHARD_MANIFEST_SUFFIX)
+
+
+def shard_payload_name(base: str, index: int) -> str:
+    """File name of shard ``index`` for an artifact with stem ``base``."""
+    return f"{base}.shard-{index}.npz"
+
+
+def _sha256_file(path: Path, chunk: int = 1 << 20) -> str:
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        while True:
+            block = handle.read(chunk)
+            if not block:
+                break
+            digest.update(block)
+    return digest.hexdigest()
+
+
+def _row_ranges(n: int, num_shards: int) -> List[Tuple[int, int]]:
+    """Split ``range(n)`` into ``num_shards`` contiguous near-equal ranges."""
+    if not 1 <= num_shards <= n:
+        raise ValueError(f"num_shards must be in [1, {n}], got {num_shards}")
+    per = -(-n // num_shards)  # ceil division
+    ranges = []
+    start = 0
+    while start < n:
+        stop = min(n, start + per)
+        ranges.append((start, stop))
+        start = stop
+    return ranges
+
+
+def _mmap_npz(path: Path) -> Dict[str, np.ndarray]:
+    """Memory-map every array of an *uncompressed* ``.npz`` without reading it.
+
+    ``np.load(..., mmap_mode="r")`` silently ignores the mmap request for
+    zip archives, so this walks the zip structure itself: for each stored
+    (uncompressed) member it parses the ``.npy`` header through the zip
+    reader, computes the member's absolute data offset from the local file
+    header, and maps the raw buffer with ``np.memmap``.  The return values
+    are read-only views over the page cache — no payload bytes are copied.
+    """
+    arrays: Dict[str, np.ndarray] = {}
+    with zipfile.ZipFile(path) as archive, open(path, "rb") as raw:
+        for info in archive.infolist():
+            if not info.filename.endswith(".npy"):
+                continue
+            if info.compress_type != zipfile.ZIP_STORED:
+                raise ArtifactError(
+                    f"shard member {info.filename!r} in {path} is compressed; "
+                    "sharded payloads must be written uncompressed (np.savez) "
+                    "to be memory-mappable"
+                )
+            with archive.open(info.filename) as member:
+                version = np.lib.format.read_magic(member)
+                if version == (1, 0):
+                    shape, fortran, dtype = np.lib.format.read_array_header_1_0(member)
+                elif version == (2, 0):
+                    shape, fortran, dtype = np.lib.format.read_array_header_2_0(member)
+                else:
+                    raise ArtifactError(
+                        f"unsupported .npy format version {version} for "
+                        f"{info.filename!r} in {path}"
+                    )
+                header_len = member.tell()
+            # The local file header may carry a different extra field than
+            # the central directory's copy, so read its lengths from disk.
+            raw.seek(info.header_offset)
+            local = raw.read(30)
+            if local[:4] != b"PK\x03\x04":
+                raise ArtifactError(f"corrupt zip local header in {path}")
+            name_len = int.from_bytes(local[26:28], "little")
+            extra_len = int.from_bytes(local[28:30], "little")
+            offset = info.header_offset + 30 + name_len + extra_len + header_len
+            name = info.filename[: -len(".npy")]
+            arrays[name] = np.memmap(
+                path, dtype=dtype, mode="r", offset=offset, shape=shape,
+                order="F" if fortran else "C",
+            )
+    return arrays
+
+
+# ----------------------------------------------------------------------
+# writing
+# ----------------------------------------------------------------------
+def write_sharded_artifact(
+    metadata: Dict[str, Any],
+    arrays: Dict[str, np.ndarray],
+    path: PathLike,
+    num_shards: int,
+) -> Tuple[Path, List[Path]]:
+    """Write ``arrays`` as row shards plus a manifest; returns the paths.
+
+    Row-sharded arrays (per the strategy spec) are sliced by node range and
+    each slice is streamed straight into its shard file — slicing yields
+    views, and ``np.savez`` writes them to disk chunk-wise, so peak extra
+    memory stays O(one write buffer) regardless of artifact size.  The
+    remaining (small) arrays are stored whole in shard 0.
+    """
+    spec = get_strategy(str(metadata["strategy"]))
+    missing = [name for name in spec.required_arrays if name not in arrays]
+    if missing:
+        raise ArtifactError(
+            f"artifact for strategy {spec.name!r} is missing payload arrays "
+            f"{missing}; present: {sorted(arrays)}"
+        )
+    n = int(metadata["n"])
+    for name in spec.row_sharded_arrays:
+        if arrays[name].shape[0] != n:
+            raise ArtifactError(
+                f"row-sharded array {name!r} has leading axis "
+                f"{arrays[name].shape[0]}, expected n={n}"
+            )
+    manifest_path = shard_manifest_path(path)
+    manifest_path.parent.mkdir(parents=True, exist_ok=True)
+    base = manifest_path.name[: -len(SHARD_MANIFEST_SUFFIX)]
+
+    common_names = [name for name in sorted(arrays)
+                    if name not in spec.row_sharded_arrays]
+    ranges = _row_ranges(n, num_shards)
+    shard_entries = []
+    shard_files = []
+    for index, (start, stop) in enumerate(ranges):
+        payload = {name: arrays[name][start:stop]
+                   for name in spec.row_sharded_arrays}
+        if index == 0:
+            payload.update({name: arrays[name] for name in common_names})
+        shard_file = manifest_path.with_name(shard_payload_name(base, index))
+        with open(shard_file, "wb") as handle:
+            np.savez(handle, **payload)
+        shard_entries.append({
+            "index": index,
+            "path": shard_file.name,
+            "row_start": start,
+            "row_stop": stop,
+            "bytes": shard_file.stat().st_size,
+            "sha256": _sha256_file(shard_file),
+        })
+        shard_files.append(shard_file)
+
+    manifest = {
+        "shard_manifest_version": SHARD_MANIFEST_VERSION,
+        "metadata": {**metadata, "format_version": FORMAT_VERSION},
+        "num_shards": len(ranges),
+        "shards": shard_entries,
+        "sharded_arrays": {
+            name: {"dtype": str(arrays[name].dtype),
+                   "shape": list(arrays[name].shape)}
+            for name in spec.row_sharded_arrays
+        },
+        "common_arrays": {
+            name: {"dtype": str(arrays[name].dtype),
+                   "shape": list(arrays[name].shape)}
+            for name in common_names
+        },
+    }
+    manifest_path.write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
+    return manifest_path, shard_files
+
+
+class _MappedRows:
+    """Row-slice adapter presenting a sharded array to the shard writer.
+
+    Quacks like the ndarray the writer needs — ``shape``, ``dtype``, and
+    row-range slicing — but each ``[start:stop]`` gathers only that range
+    from the source's memory-mapped shards, so re-sharding never holds
+    more than one destination shard of rows in RAM.
+    """
+
+    def __init__(self, artifact: "ShardedOracleArtifact", name: str):
+        self._artifact = artifact
+        self._name = name
+        self.dtype = np.dtype(artifact._sharded_arrays[name][0])
+        self.shape = artifact.array_shape(name)
+
+    def __getitem__(self, rows: slice) -> np.ndarray:
+        return self._artifact.rows(
+            self._name, np.arange(rows.start, rows.stop, dtype=np.int64))
+
+
+def shard_artifact(source: PathLike, destination: PathLike,
+                   num_shards: int) -> Tuple[Path, List[Path]]:
+    """Re-shard an existing artifact (monolithic or sharded) on disk.
+
+    The source is read through :func:`load_artifact`: a monolithic
+    ``.npz`` pays one full decompression, while a sharded source stays
+    memory-mapped and is gathered one destination shard at a time (via
+    :class:`_MappedRows`), so peak memory for sharded-to-sharded copies
+    is one shard of rows, never the payload.
+    """
+    artifact = load_artifact(source, verify="eager")
+    metadata = dict(artifact.metadata)
+    if isinstance(artifact, ShardedOracleArtifact):
+        arrays: Dict[str, Any] = {
+            name: _MappedRows(artifact, name)
+            for name in artifact.sharded_array_names
+        }
+        for name in artifact._common_arrays:
+            arrays[name] = artifact.common(name)
+    else:
+        arrays = artifact.arrays
+    metadata.pop("payload_sha256", None)
+    metadata.pop("payload_arrays", None)
+    return write_sharded_artifact(metadata, arrays, destination, num_shards)
+
+
+# ----------------------------------------------------------------------
+# reading
+# ----------------------------------------------------------------------
+class ShardedOracleArtifact:
+    """A sharded artifact opened for querying: metadata now, rows on demand.
+
+    Loading parses the manifest and stats the shard files — nothing else.
+    Shards open lazily (``faults`` counts the opens) and their arrays are
+    memory-mapped, so the only payload bytes that ever become resident are
+    the rows a query actually gathers.  The row accessors (:meth:`row`,
+    :meth:`rows`, :meth:`gather`, :meth:`iter_shards`) return values
+    bit-identical to the same accesses on the monolithic arrays — shards
+    store exact row slices, never re-encoded data.
+    """
+
+    def __init__(self, manifest_path: Path, manifest: Dict[str, Any],
+                 verify: str = "lazy"):
+        if verify not in VERIFY_MODES:
+            raise ValueError(f"verify must be one of {VERIFY_MODES}, got {verify!r}")
+        self.manifest_path = manifest_path
+        self.metadata: Dict[str, Any] = manifest["metadata"]
+        self.verify = verify
+        self._spec = get_strategy(str(self.metadata["strategy"]))
+        self._shards: List[Dict[str, Any]] = sorted(
+            manifest["shards"], key=lambda item: int(item["index"]))
+        self._sharded_arrays: Dict[str, Tuple[np.dtype, Tuple[int, ...]]] = {
+            name: (np.dtype(info["dtype"]), tuple(info["shape"]))
+            for name, info in manifest["sharded_arrays"].items()
+        }
+        self._common_arrays: Dict[str, Tuple[np.dtype, Tuple[int, ...]]] = {
+            name: (np.dtype(info["dtype"]), tuple(info["shape"]))
+            for name, info in manifest.get("common_arrays", {}).items()
+        }
+        self._row_starts = np.asarray(
+            [int(item["row_start"]) for item in self._shards], dtype=np.int64)
+        self._open: Dict[int, Dict[str, np.ndarray]] = {}
+        self._verified: Dict[int, bool] = {}
+        self._common_cache: Dict[str, np.ndarray] = {}
+        #: Number of shard files opened (and page-mapped) so far.
+        self.faults = 0
+        self._check_layout()
+        if verify == "eager":
+            for index in range(self.num_shards):
+                self.verify_shard(index)
+
+    # ------------------------------------------------------------------
+    # loading
+    # ------------------------------------------------------------------
+    @classmethod
+    def load(cls, path: PathLike, verify: str = "lazy") -> "ShardedOracleArtifact":
+        """Open a sharded artifact from its manifest (or base) path."""
+        manifest_path = shard_manifest_path(path)
+        if not manifest_path.exists():
+            raise ArtifactError(f"shard manifest not found: {manifest_path}")
+        try:
+            manifest = json.loads(manifest_path.read_text())
+        except json.JSONDecodeError as exc:
+            raise ArtifactError(
+                f"unparseable shard manifest {manifest_path}: {exc}") from exc
+        version = manifest.get("shard_manifest_version")
+        if version != SHARD_MANIFEST_VERSION:
+            raise ArtifactError(
+                f"shard manifest {manifest_path} has shard_manifest_version="
+                f"{version!r}; this build reads version {SHARD_MANIFEST_VERSION}"
+            )
+        metadata = manifest.get("metadata", {})
+        fmt = metadata.get("format_version")
+        if fmt != FORMAT_VERSION:
+            raise ArtifactError(
+                f"shard manifest {manifest_path} carries format_version="
+                f"{fmt!r}; this build reads version {FORMAT_VERSION}"
+            )
+        return cls(manifest_path, manifest, verify=verify)
+
+    def _check_layout(self) -> None:
+        """Cheap structural checks: schema, contiguous ranges, files present."""
+        missing = [name for name in self._spec.required_arrays
+                   if name not in self._sharded_arrays
+                   and name not in self._common_arrays]
+        if missing:
+            raise ArtifactError(
+                f"sharded artifact for strategy {self.strategy!r} is missing "
+                f"payload arrays {missing}"
+            )
+        expected_start = 0
+        for item in self._shards:
+            if int(item["row_start"]) != expected_start:
+                raise ArtifactError(
+                    f"shard manifest {self.manifest_path} has non-contiguous "
+                    f"row ranges at shard {item['index']}"
+                )
+            expected_start = int(item["row_stop"])
+            if not self.shard_file(int(item["index"])).exists():
+                raise ArtifactError(
+                    f"missing shard file {item['path']!r} referenced by "
+                    f"{self.manifest_path}"
+                )
+        if expected_start != self.n:
+            raise ArtifactError(
+                f"shard manifest {self.manifest_path} covers rows "
+                f"[0, {expected_start}), expected [0, {self.n})"
+            )
+
+    # ------------------------------------------------------------------
+    # metadata accessors (mirror OracleArtifact)
+    # ------------------------------------------------------------------
+    @property
+    def strategy(self) -> str:
+        return str(self.metadata["strategy"])
+
+    @property
+    def n(self) -> int:
+        return int(self.metadata["n"])
+
+    @property
+    def epsilon(self) -> float:
+        return float(self.metadata["epsilon"])
+
+    @property
+    def stretch(self) -> StretchGuarantee:
+        return StretchGuarantee.from_dict(self.metadata["stretch"])
+
+    @property
+    def build_rounds(self) -> float:
+        return float(self.metadata["build"]["rounds"])
+
+    @property
+    def num_shards(self) -> int:
+        return len(self._shards)
+
+    @property
+    def row_ranges(self) -> List[Tuple[int, int]]:
+        return [(int(item["row_start"]), int(item["row_stop"]))
+                for item in self._shards]
+
+    @property
+    def array_names(self) -> List[str]:
+        return sorted(self._sharded_arrays) + sorted(self._common_arrays)
+
+    @property
+    def sharded_array_names(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._sharded_arrays))
+
+    def array_shape(self, name: str) -> Tuple[int, ...]:
+        """Logical (unsharded) shape of a payload array."""
+        if name in self._sharded_arrays:
+            return self._sharded_arrays[name][1]
+        if name in self._common_arrays:
+            return self._common_arrays[name][1]
+        raise KeyError(f"unknown payload array {name!r}; "
+                       f"known: {self.array_names}")
+
+    @property
+    def mapped_bytes(self) -> int:
+        """Total payload bytes addressable through the shard maps."""
+        return sum(int(item["bytes"]) for item in self._shards)
+
+    def validate(self) -> None:
+        """Schema check, for symmetry with :meth:`OracleArtifact.validate`."""
+        self._check_layout()
+
+    def shard_file(self, index: int) -> Path:
+        return self.manifest_path.with_name(str(self._shards[index]["path"]))
+
+    # ------------------------------------------------------------------
+    # shard access
+    # ------------------------------------------------------------------
+    def verify_shard(self, index: int) -> None:
+        """Stream shard ``index`` once and compare its SHA-256 checksum."""
+        item = self._shards[index]
+        path = self.shard_file(index)
+        if not path.exists():
+            raise ArtifactError(
+                f"missing shard file {item['path']!r} referenced by "
+                f"{self.manifest_path}"
+            )
+        if _sha256_file(path) != item["sha256"]:
+            raise ArtifactError(
+                f"shard checksum mismatch for {path}: the file does not match "
+                f"its manifest entry (corrupt or partially written)"
+            )
+        self._verified[index] = True
+
+    def open_shard(self, index: int) -> Dict[str, np.ndarray]:
+        """Memory-mapped arrays of shard ``index`` (opened and cached lazily)."""
+        opened = self._open.get(index)
+        if opened is not None:
+            return opened
+        if self.verify == "lazy" and not self._verified.get(index):
+            self.verify_shard(index)
+        path = self.shard_file(index)
+        if not path.exists():
+            raise ArtifactError(
+                f"missing shard file {path.name!r} referenced by "
+                f"{self.manifest_path}"
+            )
+        arrays = _mmap_npz(path)
+        start, stop = self.row_ranges[index]
+        for name in self._sharded_arrays:
+            dtype, shape = self._sharded_arrays[name]
+            block = arrays.get(name)
+            if block is None or block.shape[0] != stop - start \
+                    or block.shape[1:] != shape[1:] or block.dtype != dtype:
+                raise ArtifactError(
+                    f"shard {path.name} does not contain rows "
+                    f"[{start}, {stop}) of array {name!r} as the manifest "
+                    f"declares"
+                )
+        self._open[index] = arrays
+        self.faults += 1
+        return arrays
+
+    def shard_of_rows(self, rows: np.ndarray) -> np.ndarray:
+        """Shard index owning each row in ``rows`` (vectorised)."""
+        return np.searchsorted(self._row_starts, rows, side="right") - 1
+
+    # ------------------------------------------------------------------
+    # row accessors
+    # ------------------------------------------------------------------
+    def row(self, name: str, index: int) -> np.ndarray:
+        """Row ``index`` of sharded array ``name`` — a zero-copy mapped view."""
+        shard = int(self.shard_of_rows(np.asarray([index], dtype=np.int64))[0])
+        return self.open_shard(shard)[name][index - int(self._row_starts[shard])]
+
+    def rows(self, name: str, indices: np.ndarray) -> np.ndarray:
+        """Rows ``indices`` of ``name``, gathered shard by shard.
+
+        One fancy-index per touched shard; untouched shards are never
+        opened.  Returns a fresh array (the gather is the copy).
+        """
+        indices = np.asarray(indices, dtype=np.int64)
+        dtype, shape = self._sharded_arrays[name]
+        out = np.empty((len(indices),) + shape[1:], dtype=dtype)
+        shard_ids = self.shard_of_rows(indices)
+        for shard in np.unique(shard_ids):
+            selection = np.nonzero(shard_ids == shard)[0]
+            block = self.open_shard(int(shard))[name]
+            out[selection] = block[indices[selection] - int(self._row_starts[shard])]
+        return out
+
+    def gather(self, name: str, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+        """Elementwise ``array[rows[i], cols[i]]`` without materialising rows.
+
+        Advanced indexing on the memory map touches only the pages holding
+        the requested elements — the zero-copy point-query kernel for the
+        dense strategies.
+        """
+        rows = np.asarray(rows, dtype=np.int64)
+        cols = np.asarray(cols, dtype=np.int64)
+        dtype, _ = self._sharded_arrays[name]
+        out = np.empty(len(rows), dtype=dtype)
+        shard_ids = self.shard_of_rows(rows)
+        for shard in np.unique(shard_ids):
+            selection = np.nonzero(shard_ids == shard)[0]
+            block = self.open_shard(int(shard))[name]
+            out[selection] = block[rows[selection] - int(self._row_starts[shard]),
+                                   cols[selection]]
+        return out
+
+    def iter_shards(self, name: str) -> Iterator[Tuple[int, np.ndarray]]:
+        """Yield ``(row_start, mapped_block)`` per shard, for full scans."""
+        for index, (start, _stop) in enumerate(self.row_ranges):
+            yield start, self.open_shard(index)[name]
+
+    def common(self, name: str) -> np.ndarray:
+        """A non-sharded array, read from shard 0 once and cached."""
+        cached = self._common_cache.get(name)
+        if cached is None:
+            if name not in self._common_arrays:
+                raise KeyError(f"{name!r} is not a common array; "
+                               f"common: {sorted(self._common_arrays)}")
+            cached = np.asarray(self.open_shard(0)[name])
+            self._common_cache[name] = cached
+        return cached
+
+    def materialize(self, name: str) -> np.ndarray:
+        """The full array, concatenated across shards (for re-sharding)."""
+        if name in self._common_arrays:
+            return self.common(name)
+        return self.rows(name, np.arange(self.n, dtype=np.int64))
+
+    def resident_bytes(self) -> int:
+        """Payload bytes held resident by this object (common arrays only).
+
+        Mapped shard pages live in the page cache and are reclaimable; the
+        engine's row-block cache accounts for its own copies.
+        """
+        return sum(array.nbytes for array in self._common_cache.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"ShardedOracleArtifact(strategy={self.strategy!r}, n={self.n}, "
+                f"shards={self.num_shards}, faults={self.faults})")
+
+
+def load_artifact(path: PathLike, verify: str = "lazy",
+                  ) -> Union[OracleArtifact, "ShardedOracleArtifact"]:
+    """Load whichever artifact lives at ``path`` — monolithic or sharded.
+
+    A path naming a shard manifest (``*.shards.json``) always loads the
+    sharded artifact.  A bare/``.npz`` path prefers the monolithic payload
+    when it exists and falls back to a shard manifest next to it.
+    ``verify`` applies to sharded artifacts only — the monolithic loader
+    always verifies its single checksum.
+    """
+    path = Path(path)
+    if path.name.endswith(SHARD_MANIFEST_SUFFIX):
+        return ShardedOracleArtifact.load(path, verify=verify)
+    payload, _ = artifact_paths(path)
+    if payload.exists():
+        return OracleArtifact.load(payload)
+    manifest = shard_manifest_path(payload)
+    if manifest.exists():
+        return ShardedOracleArtifact.load(manifest, verify=verify)
+    raise ArtifactError(
+        f"oracle artifact not found: {payload} (no payload and no "
+        f"{manifest.name} shard manifest)"
+    )
+
+
+__all__ = [
+    "SHARD_MANIFEST_SUFFIX",
+    "SHARD_MANIFEST_VERSION",
+    "ShardedOracleArtifact",
+    "load_artifact",
+    "shard_artifact",
+    "shard_manifest_path",
+    "write_sharded_artifact",
+]

@@ -80,6 +80,11 @@ class StrategySpec:
     #: artifact build metadata so a slow build can be matched to the
     #: benchmark trajectory of the primitive that caused it.
     hot_primitives: Tuple[str, ...] = ()
+    #: Payload arrays whose leading axis is the node axis — the ones the
+    #: sharded artifact format (:mod:`repro.oracle.sharding`) splits into
+    #: per-node-range shard files.  Everything else (e.g. the landmark id
+    #: vector) is small and travels whole inside shard 0.
+    row_sharded_arrays: Tuple[str, ...] = ()
 
     def guarantee(self, epsilon: float, max_weight: float) -> StretchGuarantee:
         """The stretch guarantee a fresh build with these parameters carries."""
@@ -100,12 +105,14 @@ _SPECS: Dict[str, StrategySpec] = {
         required_arrays=("dist",),
         summary="Theorem 28 (2+eps,(1+eps)W)-APSP, dense n x n estimate matrix",
         hot_primitives=("filtered_product", "minplus_product"),
+        row_sharded_arrays=("dist",),
     ),
     "landmark-mssp": StrategySpec(
         name="landmark-mssp",
         required_arrays=("landmarks", "landmark_dist", "ball_idx", "ball_dist"),
         summary="hitting-set landmarks + (1+eps)-MSSP table + exact sqrt(n)-balls",
         hot_primitives=("filtered_product", "augmented_product"),
+        row_sharded_arrays=("landmark_dist", "ball_idx", "ball_dist"),
     ),
     "exact-fallback": StrategySpec(
         name="exact-fallback",
@@ -113,6 +120,7 @@ _SPECS: Dict[str, StrategySpec] = {
         summary="exact APSP via iterated dense min-plus squaring (baseline)",
         uses_epsilon=False,
         hot_primitives=("minplus_product",),
+        row_sharded_arrays=("dist",),
     ),
 }
 

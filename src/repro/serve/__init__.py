@@ -36,6 +36,7 @@ Quick start::
 from repro.serve.loadgen import (
     LoadReport,
     count_mismatches,
+    residency_from_stats,
     run_closed_loop,
     run_open_loop,
     zipf_pairs,
@@ -52,6 +53,7 @@ from repro.serve.router import (
     RoutingError,
     StretchBudget,
     StretchRouter,
+    shards_for_nodes,
 )
 from repro.serve.server import (
     DistanceServer,
@@ -77,8 +79,10 @@ __all__ = [
     "StretchRouter",
     "build_registry",
     "count_mismatches",
+    "residency_from_stats",
     "run_closed_loop",
     "run_open_loop",
     "serve_artifacts",
+    "shards_for_nodes",
     "zipf_pairs",
 ]

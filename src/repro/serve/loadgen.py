@@ -77,6 +77,9 @@ class LoadReport:
     offered_qps: Optional[float]
     latency: Dict[str, Optional[float]]
     mismatches: Optional[int] = None
+    #: Residency snapshot (shard faults, resident vs mapped bytes) from
+    #: :func:`residency_from_stats`, attached by ``--report-residency``.
+    residency: Optional[Dict[str, object]] = None
     #: Per-pair answers aligned with the input pairs (None = shed/error).
     answers: List[Optional[float]] = dataclasses.field(
         default_factory=list, repr=False)
@@ -99,6 +102,7 @@ class LoadReport:
             "offered_qps": self.offered_qps,
             "latency": self.latency,
             "mismatches": self.mismatches,
+            "residency": self.residency,
         }
 
     def summary(self) -> str:
@@ -118,6 +122,13 @@ class LoadReport:
             )
         if self.mismatches is not None:
             lines.append(f"answer mismatches: {self.mismatches}")
+        if self.residency is not None:
+            total = self.residency.get("total", {})
+            lines.append(
+                f"shard faults     : {total.get('shard_faults', 0)} "
+                f"(resident {total.get('resident_bytes', 0) / 2**20:.1f} MiB / "
+                f"mapped {total.get('mapped_bytes', 0) / 2**20:.1f} MiB)"
+            )
         return "\n".join(lines)
 
 
@@ -231,6 +242,28 @@ async def run_open_loop(server: DistanceServer, pairs: Sequence[Pair],
         latency=recorder.snapshot(),
         answers=answers,
     )
+
+
+def residency_from_stats(server_stats: Dict[str, object]) -> Dict[str, object]:
+    """Condense a server stats snapshot into a residency report.
+
+    Per loaded engine: shard-fault count and resident vs mapped payload
+    bytes (from :meth:`repro.oracle.engine.QueryEngine.memory_stats`),
+    plus a totals row.  Attached to :class:`LoadReport` by
+    ``repro loadgen --report-residency`` so a load report answers "how
+    much RAM did serving this workload actually take?" alongside its
+    latency percentiles.
+    """
+    engines = server_stats.get("engines", {}) or {}
+    per_engine: Dict[str, object] = {}
+    total = {"shard_faults": 0, "resident_bytes": 0, "mapped_bytes": 0}
+    for name, engine_stats in sorted(engines.items()):
+        memory = dict(engine_stats.get("memory", {}))
+        per_engine[name] = memory
+        total["shard_faults"] += int(memory.get("shard_faults", 0))
+        total["resident_bytes"] += int(memory.get("resident_bytes", 0))
+        total["mapped_bytes"] += int(memory.get("mapped_bytes", 0))
+    return {"total": total, "engines": per_engine}
 
 
 def count_mismatches(pairs: Sequence[Pair], answers: Sequence[Optional[float]],

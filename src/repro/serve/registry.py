@@ -22,12 +22,21 @@ several epsilon levels of one graph, each persisted as an
 
 The serving-cost model used by :class:`~repro.serve.router.StretchRouter`
 is intentionally simple and fully determined by the sidecar metadata:
-``resident_floats`` estimates the resident working-set size (``n²`` for
-the dense strategies, ``2nk + n·|A|`` for ``landmark-mssp``) and
+``resident_floats`` estimates the *actually resident* working-set size and
 ``query_cost`` the per-query work (1 lookup for dense strategies, a
-min over the ``|A|`` landmarks otherwise).  Cheapness is compared
-lexicographically — footprint first, then per-query work, then payload
-bytes, then name — so the order is total and reproducible.
+min over the ``|A|`` landmarks otherwise).  For monolithic artifacts the
+whole payload is resident once loaded (``n²`` for the dense strategies,
+``2nk + n·|A|`` for ``landmark-mssp``); for sharded artifacts
+(:mod:`repro.oracle.sharding`) only the hot-row block caches and the small
+common arrays are resident — the payload stays memory-mapped and is
+charged to ``mapped_floats`` instead.  Cheapness is compared
+lexicographically — resident footprint first, then per-query work, then
+payload bytes, then name — so the order is total and reproducible, and a
+sharded copy of an artifact routinely beats its monolithic twin.
+
+Sharded artifacts register **from the manifest alone**: the row ranges,
+byte sizes, and stretch metadata routing needs are all in the
+``.shards.json``, so registration never touches a shard file.
 """
 
 from __future__ import annotations
@@ -43,10 +52,15 @@ from repro.oracle.artifact import (
     FORMAT_VERSION,
     ArtifactError,
     META_SUFFIX,
-    OracleArtifact,
     artifact_paths,
 )
-from repro.oracle.engine import QueryEngine
+from repro.oracle.engine import ROW_BLOCK_CAPACITY, ROW_BLOCK_ROWS, QueryEngine
+from repro.oracle.sharding import (
+    SHARD_MANIFEST_SUFFIX,
+    SHARD_MANIFEST_VERSION,
+    load_artifact,
+    shard_manifest_path,
+)
 from repro.oracle.strategies import StretchGuarantee
 
 PathLike = str | Path
@@ -64,16 +78,26 @@ class ArtifactEntry:
     """One registered artifact: identity, guarantee, and serving cost."""
 
     name: str
-    path: Path  # payload (.npz) path
+    path: Path  # payload (.npz) path, or the .shards.json manifest
     strategy: str
     n: int
     epsilon: float
     stretch: StretchGuarantee
     payload_bytes: int
-    #: Estimated resident floats once loaded (n^2 dense, ~n^{3/2} landmark).
+    #: Estimated floats actually resident once loaded: the full payload for
+    #: monolithic artifacts, the hot-row block caches + common arrays for
+    #: sharded (memory-mapped) ones.
     resident_floats: float
     #: Estimated per-query work units (1 = one table lookup).
     query_cost: float
+    #: Whether the artifact is served from memory-mapped shards.
+    sharded: bool = False
+    num_shards: int = 1
+    #: Payload floats addressable through the shard maps (0 for monolithic
+    #: artifacts — everything they have is resident).
+    mapped_floats: float = 0.0
+    #: Per-shard node ranges, for shard-aware routing (None for monolithic).
+    row_ranges: Optional[Tuple[Tuple[int, int], ...]] = None
 
     @property
     def cost(self) -> Tuple[float, float, int, str]:
@@ -84,35 +108,63 @@ class ArtifactEntry:
         stretch = f"{self.stretch.multiplicative:g}x"
         if self.stretch.additive:
             stretch += f"+{self.stretch.additive:g}"
+        cost = (f"cost=({self.resident_floats:.0f} resident floats, "
+                f"{self.query_cost:g}/query")
+        if self.sharded:
+            cost += (f", {self.mapped_floats:.0f} mapped across "
+                     f"{self.num_shards} shards")
         return (f"{self.name}: {self.strategy} n={self.n} stretch={stretch} "
-                f"cost=({self.resident_floats:.0f} floats, "
-                f"{self.query_cost:g}/query)")
+                f"{cost})")
 
 
-def _entry_from_sidecar(name: str, payload: Path, metadata: dict) -> ArtifactEntry:
-    version = metadata.get("format_version")
-    if version != FORMAT_VERSION:
-        raise ArtifactError(
-            f"artifact {payload} has format_version={version!r}; "
-            f"this build reads version {FORMAT_VERSION}"
-        )
-    try:
-        strategy = str(metadata["strategy"])
-        n = int(metadata["n"])
-        epsilon = float(metadata["epsilon"])
-        stretch = StretchGuarantee.from_dict(metadata["stretch"])
-    except (KeyError, TypeError, ValueError) as exc:
-        raise ArtifactError(f"metadata sidecar for {payload} is missing or "
-                            f"malformed required fields: {exc}") from exc
-    build = metadata.get("build", {})
+def _serving_costs(strategy: str, n: int, build: dict,
+                   sharded: bool) -> Tuple[float, float, float]:
+    """``(resident_floats, query_cost, mapped_floats)`` for one artifact.
+
+    The cost model charges only what a loaded engine actually keeps in
+    RAM: a monolithic engine holds the full payload, while a sharded
+    engine holds at most its hot-row block caches (mirroring the engine's
+    ``ROW_BLOCK_ROWS``/``ROW_BLOCK_CAPACITY`` defaults) plus the small
+    common arrays — the payload itself is mapped, not resident.
+    """
     if strategy == "landmark-mssp":
         k = int(build.get("k") or max(2, math.ceil(math.sqrt(n))))
         landmarks = int(build.get("num_landmarks") or math.ceil(math.sqrt(n)))
-        resident = 2.0 * n * k + 1.0 * n * landmarks
+        payload_floats = 2.0 * n * k + 1.0 * n * landmarks
+        row_width = float(landmarks + 2 * k)
+        common_floats = float(landmarks)
         query_cost = float(landmarks)
     else:  # dense-apsp / exact-fallback store the full n x n matrix
-        resident = float(n) * n
+        payload_floats = float(n) * n
+        row_width = float(n)
+        common_floats = 0.0
         query_cost = 1.0
+    if not sharded:
+        return payload_floats, query_cost, 0.0
+    hot_rows = min(n, ROW_BLOCK_ROWS * ROW_BLOCK_CAPACITY)
+    return hot_rows * row_width + common_floats, query_cost, payload_floats
+
+
+def _required_metadata(metadata: dict, source: Path):
+    version = metadata.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ArtifactError(
+            f"artifact {source} has format_version={version!r}; "
+            f"this build reads version {FORMAT_VERSION}"
+        )
+    try:
+        return (str(metadata["strategy"]), int(metadata["n"]),
+                float(metadata["epsilon"]),
+                StretchGuarantee.from_dict(metadata["stretch"]))
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ArtifactError(f"metadata for {source} is missing or "
+                            f"malformed required fields: {exc}") from exc
+
+
+def _entry_from_sidecar(name: str, payload: Path, metadata: dict) -> ArtifactEntry:
+    strategy, n, epsilon, stretch = _required_metadata(metadata, payload)
+    resident, query_cost, mapped = _serving_costs(
+        strategy, n, metadata.get("build", {}), sharded=False)
     return ArtifactEntry(
         name=name,
         path=payload,
@@ -123,6 +175,40 @@ def _entry_from_sidecar(name: str, payload: Path, metadata: dict) -> ArtifactEnt
         payload_bytes=payload.stat().st_size,
         resident_floats=resident,
         query_cost=query_cost,
+    )
+
+
+def _entry_from_shard_manifest(name: str, manifest_path: Path,
+                               manifest: dict) -> ArtifactEntry:
+    """Build a sharded entry from manifest content alone (no shard I/O)."""
+    version = manifest.get("shard_manifest_version")
+    if version != SHARD_MANIFEST_VERSION:
+        raise ArtifactError(
+            f"shard manifest {manifest_path} has shard_manifest_version="
+            f"{version!r}; this build reads version {SHARD_MANIFEST_VERSION}"
+        )
+    metadata = manifest.get("metadata", {})
+    strategy, n, epsilon, stretch = _required_metadata(metadata, manifest_path)
+    shards = sorted(manifest.get("shards", []), key=lambda item: int(item["index"]))
+    if not shards:
+        raise ArtifactError(f"shard manifest {manifest_path} lists no shards")
+    resident, query_cost, mapped = _serving_costs(
+        strategy, n, metadata.get("build", {}), sharded=True)
+    return ArtifactEntry(
+        name=name,
+        path=manifest_path,
+        strategy=strategy,
+        n=n,
+        epsilon=epsilon,
+        stretch=stretch,
+        payload_bytes=sum(int(item["bytes"]) for item in shards),
+        resident_floats=resident,
+        query_cost=query_cost,
+        sharded=True,
+        num_shards=len(shards),
+        mapped_floats=mapped,
+        row_ranges=tuple((int(item["row_start"]), int(item["row_stop"]))
+                         for item in shards),
     )
 
 
@@ -153,15 +239,29 @@ class ArtifactRegistry:
     # registration and discovery
     # ------------------------------------------------------------------
     def register(self, path: PathLike, name: Optional[str] = None) -> ArtifactEntry:
-        """Register one artifact from its files (sidecar read, payload not).
+        """Register one artifact from its metadata (payloads are not read).
 
-        ``name`` defaults to the payload stem; auto-generated names are
-        suffixed (``oracle-2``, ``oracle-3``, …) on collision, while an
-        explicit duplicate ``name`` raises :class:`RegistryError`.
+        ``path`` may be a monolithic payload (with or without ``.npz``) or
+        a sharded artifact's ``.shards.json`` manifest; a bare path whose
+        payload is missing falls back to the shard manifest next to it.
+        Sharded artifacts register from the manifest alone — no shard file
+        is touched.  ``name`` defaults to the artifact stem;
+        auto-generated names are suffixed (``oracle-2``, ``oracle-3``, …)
+        on collision, while an explicit duplicate ``name`` raises
+        :class:`RegistryError`.
         """
+        path = Path(path)
+        if path.name.endswith(SHARD_MANIFEST_SUFFIX):
+            return self._register_sharded(path, name)
         payload, sidecar = artifact_paths(path)
         if not payload.exists():
-            raise ArtifactError(f"oracle artifact not found: {payload}")
+            manifest = shard_manifest_path(payload)
+            if manifest.exists():
+                return self._register_sharded(manifest, name)
+            raise ArtifactError(
+                f"oracle artifact not found: {payload} (no payload and no "
+                f"{manifest.name} shard manifest)"
+            )
         if not sidecar.exists():
             raise ArtifactError(f"metadata sidecar not found: {sidecar}")
         try:
@@ -170,8 +270,31 @@ class ArtifactRegistry:
             raise ArtifactError(
                 f"unparseable metadata sidecar {sidecar}: {exc}") from exc
 
+        chosen = self._claim_name(name, payload.name[: -len(".npz")])
+        entry = _entry_from_sidecar(chosen, payload, metadata)
+        self._entries[chosen] = entry
+        self.epoch += 1
+        return entry
+
+    def _register_sharded(self, manifest_path: Path,
+                          name: Optional[str]) -> ArtifactEntry:
+        if not manifest_path.exists():
+            raise ArtifactError(f"shard manifest not found: {manifest_path}")
+        try:
+            manifest = json.loads(manifest_path.read_text())
+        except json.JSONDecodeError as exc:
+            raise ArtifactError(
+                f"unparseable shard manifest {manifest_path}: {exc}") from exc
+        chosen = self._claim_name(
+            name, manifest_path.name[: -len(SHARD_MANIFEST_SUFFIX)])
+        entry = _entry_from_shard_manifest(chosen, manifest_path, manifest)
+        self._entries[chosen] = entry
+        self.epoch += 1
+        return entry
+
+    def _claim_name(self, name: Optional[str], default: str) -> str:
         explicit = name is not None
-        chosen = name if name is not None else payload.name[: -len(".npz")]
+        chosen = name if name is not None else default
         if chosen in self._entries:
             if explicit:
                 raise RegistryError(
@@ -182,16 +305,15 @@ class ArtifactRegistry:
             while f"{chosen}-{suffix}" in self._entries:
                 suffix += 1
             chosen = f"{chosen}-{suffix}"
-        entry = _entry_from_sidecar(chosen, payload, metadata)
-        self._entries[chosen] = entry
-        self.epoch += 1
-        return entry
+        return chosen
 
     def discover(self, root: PathLike) -> List[ArtifactEntry]:
-        """Register every artifact below ``root`` (by its ``.meta.json``).
+        """Register every artifact below ``root``.
 
-        Returns the newly registered entries, sorted by name.  Sidecars
-        whose payload is missing raise; an empty directory returns ``[]``.
+        Monolithic artifacts are found by their ``.meta.json`` sidecar,
+        sharded ones by their ``.shards.json`` manifest.  Returns the newly
+        registered entries, sorted by name.  Sidecars whose payload is
+        missing raise; an empty directory returns ``[]``.
         """
         root = Path(root)
         if not root.is_dir():
@@ -201,6 +323,8 @@ class ArtifactRegistry:
             payload = sidecar.with_name(
                 sidecar.name[: -len(META_SUFFIX)] + ".npz")
             found.append(self.register(payload))
+        for manifest in sorted(root.rglob(f"*{SHARD_MANIFEST_SUFFIX}")):
+            found.append(self.register(manifest))
         return sorted(found, key=lambda entry: entry.name)
 
     # ------------------------------------------------------------------
@@ -237,7 +361,10 @@ class ArtifactRegistry:
         entry = self.get(name)
         engine = self._engines.get(name)
         if engine is None:
-            engine = QueryEngine(OracleArtifact.load(entry.path))
+            # load_artifact dispatches on the entry path: monolithic
+            # payloads are read and checksummed whole, sharded manifests
+            # open lazily and verify each shard on first fault.
+            engine = QueryEngine(load_artifact(entry.path))
             self.loads += 1
             self._engines[name] = engine
             while len(self._engines) > self.capacity:
@@ -270,12 +397,20 @@ class ArtifactRegistry:
         return name in self._entries
 
     def stats(self) -> Dict[str, object]:
+        loaded_entries = [self._entries[name] for name in self._engines
+                          if name in self._entries]
         return {
             "artifacts": len(self._entries),
             "capacity": self.capacity,
             "loaded": self.loaded(),
             "loads": self.loads,
             "evictions": self.evictions,
+            # Resident vs mapped split over the currently loaded engines:
+            # mapped floats live in the page cache and cost no RAM budget.
+            "resident_floats": sum(entry.resident_floats
+                                   for entry in loaded_entries),
+            "mapped_floats": sum(entry.mapped_floats
+                                 for entry in loaded_entries),
         }
 
     # ------------------------------------------------------------------
@@ -304,6 +439,7 @@ class ArtifactRegistry:
                 "n": entry.n,
                 "epsilon": entry.epsilon,
                 "stretch": entry.stretch.as_dict(),
+                "sharded": entry.sharded,
             })
         payload = {"manifest_version": MANIFEST_VERSION, "artifacts": artifacts}
         path.parent.mkdir(parents=True, exist_ok=True)
@@ -359,6 +495,10 @@ def build_registry(paths: Iterable[PathLike], capacity: int = 4) -> ArtifactRegi
             # An artifact's own sidecar: register its payload.
             registry.register(
                 path.with_name(path.name[: -len(META_SUFFIX)] + ".npz"))
+            continue
+        if path.name.endswith(SHARD_MANIFEST_SUFFIX):
+            # A sharded artifact's own manifest.
+            registry.register(path)
             continue
         if path.suffix == ".json" and path.is_file():
             try:

@@ -23,13 +23,24 @@ router then serves the request from the **cheapest admissible artifact**:
 
 With ``prefer_loaded=False`` step 2 is skipped, giving the pure
 "cheapest admissible artifact" policy the unit tests pin down.
+
+Sharded artifacts (:mod:`repro.oracle.sharding`) make routing
+*shard-aware*: :meth:`StretchRouter.route_pairs` resolves a whole batch to
+one artifact and, from the manifest row ranges already held by the
+registry entry, computes exactly which shards hold the batch's rows —
+without loading an engine or touching a shard file.  The batch gather
+path faults in exactly those shards (point queries may prefetch a few
+neighbouring rows through the engine's bounded block cache), so the
+decision's ``shards`` tuple bounds how much of the payload the batch
+needs.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import math
-from typing import Callable, Dict, List, Optional
+from bisect import bisect_right
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.oracle.engine import QueryEngine
 from repro.oracle.strategies import StretchGuarantee
@@ -71,6 +82,28 @@ class StretchBudget:
         return budget_admits(guarantee, self.multiplicative, self.additive)
 
 
+def shards_for_nodes(entry: ArtifactEntry,
+                     nodes: Iterable[int]) -> Tuple[int, ...]:
+    """Shard indices of ``entry`` whose node ranges contain any of ``nodes``.
+
+    Computed purely from the manifest row ranges carried by the registry
+    entry — no engine load, no shard I/O.  Monolithic entries (no row
+    ranges) return the empty tuple.  Out-of-range nodes raise
+    ``ValueError`` — a shard promise for a node the artifact does not
+    hold would silently point at the wrong shard.
+    """
+    if not entry.sharded or not entry.row_ranges:
+        return ()
+    starts = [start for start, _stop in entry.row_ranges]
+    shards = set()
+    for node in nodes:
+        node = int(node)
+        if not 0 <= node < entry.n:
+            raise ValueError(f"node {node} out of range [0, {entry.n})")
+        shards.add(bisect_right(starts, node) - 1)
+    return tuple(sorted(shards))
+
+
 @dataclasses.dataclass(frozen=True)
 class RouteDecision:
     """Where one request was routed and why."""
@@ -81,6 +114,11 @@ class RouteDecision:
     loaded: bool
     #: True when the artifact came from the ``on_miss`` hook.
     from_miss_hook: bool = False
+    #: For sharded artifacts routed via ``route_pairs``: the shard indices
+    #: holding the request's rows.  The batch gather path faults exactly
+    #: these; point queries may additionally prefetch a bounded number of
+    #: neighbouring rows through the engine's block cache.
+    shards: Tuple[int, ...] = ()
 
     @property
     def n(self) -> int:
@@ -118,6 +156,7 @@ class StretchRouter:
         self.prefer_loaded = prefer_loaded
         self._route_counts: Dict[str, int] = {}
         self._miss_hook_routes = 0
+        self._sharded_routes = 0
         self._rejected = 0
         # Per-budget decision memo, invalidated whenever the registry's
         # catalogue or resident-engine set changes (its epoch moves) —
@@ -173,6 +212,29 @@ class StretchRouter:
         self._memo[memo_key] = decision
         return decision
 
+    def route_pairs(self, pairs: Sequence[Tuple[int, int]],
+                    multiplicative: float = math.inf,
+                    additive: float = math.inf) -> RouteDecision:
+        """Route a whole batch, annotated with the shards it can touch.
+
+        Same artifact choice as :meth:`route` (the budget fixes the
+        artifact, not the keys), but for sharded artifacts the returned
+        decision carries the shard indices covering every endpoint in
+        ``pairs`` — computed from the manifest row ranges alone, so a
+        router can predict (and a scheduler can pre-fault) exactly the
+        payload slice a batch needs before any engine exists.
+        """
+        decision = self.route(multiplicative=multiplicative, additive=additive)
+        if not decision.entry.sharded:
+            return decision
+        nodes = set()
+        for u, v in pairs:
+            nodes.add(u)
+            nodes.add(v)
+        self._sharded_routes += 1
+        return dataclasses.replace(
+            decision, shards=shards_for_nodes(decision.entry, nodes))
+
     def _route_via_miss_hook(self, budget: StretchBudget) -> Optional[RouteDecision]:
         if self.on_miss is None:
             return None
@@ -201,6 +263,7 @@ class StretchRouter:
         return {
             "routes": dict(sorted(self._route_counts.items())),
             "miss_hook_routes": self._miss_hook_routes,
+            "sharded_routes": self._sharded_routes,
             "rejected": self._rejected,
             "registry": self.registry.stats(),
         }

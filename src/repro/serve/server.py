@@ -74,7 +74,15 @@ class ServerConfig:
         Seconds a flush waits after the first enqueue so concurrent
         requests accumulate into one batch.  ``0`` disables coalescing:
         every request becomes its own single-pair engine batch (the
-        naive baseline the benchmark compares against).
+        naive baseline the benchmark compares against).  The string
+        ``"auto"`` opts into the adaptive window: the server keeps an
+        EWMA of the observed arrival rate and sizes each window to
+        collect about ``auto_target_batch`` keys, clamped to
+        ``[window_min, window_max]`` — light traffic gets low latency,
+        heavy traffic gets big gathers, with no tuning.
+    window_min / window_max / auto_target_batch:
+        Bounds and batch goal for the adaptive window (ignored for a
+        fixed numeric ``coalesce_window``).
     max_batch:
         Maximum keys per engine gather; a flush drains *all* pending
         keys in ``ceil(pending / max_batch)`` engine batches.
@@ -87,15 +95,31 @@ class ServerConfig:
         Samples per client backing the latency percentiles.
     """
 
-    coalesce_window: float = 0.001
+    coalesce_window: Union[float, str] = 0.001
+    window_min: float = 0.0002
+    window_max: float = 0.005
+    auto_target_batch: int = 64
     max_batch: int = 1024
     queue_capacity: int = 8192
     overload_policy: str = "shed"
     client_latency_window: int = 8192
 
     def __post_init__(self) -> None:
-        if self.coalesce_window < 0:
+        if isinstance(self.coalesce_window, str):
+            if self.coalesce_window != "auto":
+                raise ValueError(
+                    f"coalesce_window must be a non-negative number or "
+                    f"'auto', got {self.coalesce_window!r}"
+                )
+        elif self.coalesce_window < 0:
             raise ValueError("coalesce_window must be >= 0")
+        if not 0 < self.window_min <= self.window_max:
+            raise ValueError(
+                f"need 0 < window_min <= window_max, got "
+                f"{self.window_min} / {self.window_max}"
+            )
+        if self.auto_target_batch < 1:
+            raise ValueError("auto_target_batch must be >= 1")
         if self.max_batch < 1:
             raise ValueError("max_batch must be >= 1")
         if self.queue_capacity < 1:
@@ -105,6 +129,10 @@ class ServerConfig:
                 f"overload_policy must be 'shed' or 'wait', "
                 f"got {self.overload_policy!r}"
             )
+
+    @property
+    def auto_window(self) -> bool:
+        return self.coalesce_window == "auto"
 
 
 class _ClientStats:
@@ -203,6 +231,17 @@ class DistanceServer:
         self._closed = False
         self._draining = False
 
+        # Adaptive coalescing: with coalesce_window="auto" the flusher
+        # re-sizes the window each flush from an EWMA of the observed
+        # arrival rate; a numeric window stays fixed (and 0 disables
+        # coalescing entirely).
+        self._auto_window = self.config.auto_window
+        self._coalesce_disabled = (not self._auto_window
+                                   and self.config.coalesce_window <= 0)
+        self._window = (self.config.window_min if self._auto_window
+                        else float(self.config.coalesce_window or 0.0))
+        self._arrival_rate = 0.0  # EWMA keys/sec seen by the flusher
+
         self._in_flight = 0
         self._space_waiters: Deque[asyncio.Future] = deque()
 
@@ -290,7 +329,7 @@ class DistanceServer:
                     await self._admit_slow(stats)
                 self._in_flight += 1
                 try:
-                    if config.coalesce_window <= 0:
+                    if self._coalesce_disabled:
                         # Coalescing disabled: one single-pair engine batch
                         # per request — the naive loop the benchmark
                         # measures against.
@@ -349,6 +388,12 @@ class DistanceServer:
                 "in_flight": self._in_flight,
                 "pending_keys": sum(len(b) for b in self._pending.values()),
                 "overload_policy": self.config.overload_policy,
+            },
+            "coalescing": {
+                "mode": ("auto" if self._auto_window
+                         else ("off" if self._coalesce_disabled else "fixed")),
+                "window_s": self._window,
+                "ewma_arrival_rate": self._arrival_rate,
             },
             "router": self._router.stats(),
             "clients": {name: client.snapshot()
@@ -416,23 +461,58 @@ class DistanceServer:
             while True:
                 await self._wake.wait()
                 self._wake.clear()
+                elapsed = 0.0
                 if self._pending and not self._draining:
                     # The micro-batching window: let concurrent requests
                     # pile into the pending map before one gather.
-                    await asyncio.sleep(self.config.coalesce_window)
-                self._flush_pending()
+                    started = time.perf_counter()
+                    await asyncio.sleep(self._window)
+                    elapsed = time.perf_counter() - started
+                drained = self._flush_pending()
+                if self._auto_window and elapsed > 0 and drained:
+                    self._retune_window(drained, elapsed)
         except asyncio.CancelledError:
             self._flush_pending()
             raise
 
-    def _flush_pending(self) -> None:
+    #: EWMA smoothing for the observed arrival rate (higher = twitchier).
+    _EWMA_ALPHA = 0.2
+
+    def _retune_window(self, drained: int, elapsed: float) -> None:
+        """Size the next window to collect ~auto_target_batch keys.
+
+        The keys drained per window over the window's wall time is a
+        sample of the arrival rate while coalescing is active; the EWMA
+        smooths flush-to-flush noise so one quiet window does not
+        collapse the batch size.
+
+        When even ``window_max`` could not fill a batch at the observed
+        rate, waiting longer buys almost no batching and only taxes
+        latency, so light traffic drops to ``window_min`` instead of
+        pegging at the maximum — light traffic gets low latency, heavy
+        traffic gets big gathers.
+        """
+        rate = drained / elapsed
+        if self._arrival_rate <= 0:
+            self._arrival_rate = rate
+        else:
+            self._arrival_rate += self._EWMA_ALPHA * (rate - self._arrival_rate)
+        ideal = self.config.auto_target_batch / self._arrival_rate
+        if ideal > self.config.window_max:
+            self._window = self.config.window_min
+        else:
+            self._window = max(ideal, self.config.window_min)
+
+    def _flush_pending(self) -> int:
         """Drain every pending key with one engine gather per chunk."""
+        drained = 0
         while self._pending:
             pending, self._pending = self._pending, {}
             for name, bucket in pending.items():
                 # Insertion order aligns keys with futures.
                 keys = list(bucket)
                 futures = list(bucket.values())
+                drained += len(keys)
                 try:
                     engine = self._router.engine(name)
                 except Exception as exc:  # load failure fails the batch
@@ -451,6 +531,7 @@ class DistanceServer:
                     for future, value in zip(chunk_futures, values.tolist()):
                         if not future.done():
                             future.set_result(value)
+        return drained
 
     @staticmethod
     def _fail_futures(futures: Sequence[asyncio.Future],

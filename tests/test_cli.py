@@ -379,3 +379,109 @@ class TestPythonDashM:
         result = self._run("diameter", "--n", "16", "--seed", "3")
         assert result.returncode == 0
         assert "estimate" in result.stdout
+
+
+class TestShardingSubcommands:
+    """oracle build --shards / oracle shard, and sharded serving flags."""
+
+    def test_build_sharded_writes_manifest(self, tmp_path, capsys):
+        assert main(["oracle", "build", str(tmp_path / "big.npz"), "--n", "32",
+                     "--seed", "7", "--strategy", "dense-apsp",
+                     "--shards", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "manifest" in out
+        assert (tmp_path / "big.shards.json").exists()
+        assert (tmp_path / "big.shard-3.npz").exists()
+        assert not (tmp_path / "big.npz").exists()  # sharded, not monolithic
+
+    def test_query_and_bench_accept_sharded_artifacts(self, tmp_path, capsys):
+        assert main(["oracle", "build", str(tmp_path / "s.npz"), "--n", "32",
+                     "--seed", "7", "--shards", "3"]) == 0
+        capsys.readouterr()
+        assert main(["oracle", "query", str(tmp_path / "s.shards.json"),
+                     "--pairs", "0:5,3:7"]) == 0
+        assert "dist(0, 5)" in capsys.readouterr().out
+        assert main(["oracle", "bench", str(tmp_path / "s.shards.json"),
+                     "--queries", "500"]) == 0
+        assert "cached queries/sec" in capsys.readouterr().out
+
+    def test_shard_command_reshards_monolithic_artifact(self, tmp_path, capsys):
+        assert main(["oracle", "build", str(tmp_path / "m.npz"), "--n", "32",
+                     "--seed", "7", "--strategy", "dense-apsp"]) == 0
+        capsys.readouterr()
+        assert main(["oracle", "shard", str(tmp_path / "m.npz"),
+                     str(tmp_path / "m-sharded"), "--shards", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "4 shards" in out
+        assert (tmp_path / "m-sharded.shards.json").exists()
+        # Answers agree between the two on a spot check.
+        assert main(["oracle", "query", str(tmp_path / "m.npz"),
+                     "--pairs", "1:9"]) == 0
+        mono_out = capsys.readouterr().out
+        assert main(["oracle", "query", str(tmp_path / "m-sharded"),
+                     "--pairs", "1:9"]) == 0
+        assert capsys.readouterr().out == mono_out
+
+    def test_shard_command_bad_source_is_clean_error(self, tmp_path, capsys):
+        assert main(["oracle", "shard", str(tmp_path / "nope.npz"),
+                     str(tmp_path / "out"), "--shards", "2"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_shard_command_rejects_bad_count(self, tmp_path, capsys):
+        assert main(["oracle", "shard", str(tmp_path / "x.npz"),
+                     str(tmp_path / "out"), "--shards", "0"]) == 2
+        assert "--shards" in capsys.readouterr().err
+
+    def test_loadgen_report_residency_on_sharded_artifact(self, tmp_path,
+                                                          capsys):
+        assert main(["oracle", "build", str(tmp_path / "served.npz"),
+                     "--n", "32", "--seed", "7", "--strategy", "dense-apsp",
+                     "--shards", "4"]) == 0
+        capsys.readouterr()
+        json_out = tmp_path / "report.json"
+        assert main(["loadgen", str(tmp_path / "served.shards.json"),
+                     "--queries", "400", "--verify", "--report-residency",
+                     "--json-out", str(json_out)]) == 0
+        out = capsys.readouterr().out
+        assert "shard faults" in out
+        assert "answer mismatches: 0" in out
+        import json as json_module
+
+        payload = json_module.loads(json_out.read_text())
+        residency = payload["report"]["residency"]
+        assert residency["total"]["shard_faults"] >= 1
+        assert residency["total"]["mapped_bytes"] > \
+            residency["total"]["resident_bytes"]
+
+    def test_serve_auto_window(self, tmp_path, capsys):
+        assert main(["oracle", "build", str(tmp_path / "a.npz"), "--n", "24",
+                     "--seed", "7", "--strategy", "landmark-mssp"]) == 0
+        capsys.readouterr()
+        assert main(["serve", str(tmp_path / "a.npz"), "--queries", "300",
+                     "--window-ms", "auto"]) == 0
+        assert "engine batches" in capsys.readouterr().out
+
+    def test_serve_bad_window_is_clean_error(self, tmp_path, capsys):
+        assert main(["oracle", "build", str(tmp_path / "b.npz"), "--n", "24",
+                     "--seed", "7", "--strategy", "landmark-mssp"]) == 0
+        capsys.readouterr()
+        assert main(["serve", str(tmp_path / "b.npz"), "--queries", "10",
+                     "--window-ms", "soon"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_corrupt_shard_is_clean_error_at_query_time(self, tmp_path, capsys):
+        """Lazy shard checksums surface at query time, not load time —
+        the CLI must report them cleanly, not traceback."""
+        assert main(["oracle", "build", str(tmp_path / "c.npz"), "--n", "32",
+                     "--seed", "7", "--shards", "4"]) == 0
+        capsys.readouterr()
+        shard = tmp_path / "c.shard-1.npz"
+        data = bytearray(shard.read_bytes())
+        data[len(data) // 2] ^= 0xFF
+        shard.write_bytes(bytes(data))
+        assert main(["oracle", "query", str(tmp_path / "c.shards.json"),
+                     "--pairs", "8:9"]) == 1
+        assert "checksum" in capsys.readouterr().err
+        assert main(["oracle", "bench", str(tmp_path / "c.shards.json"),
+                     "--queries", "100"]) == 1
+        assert "checksum" in capsys.readouterr().err

@@ -1,0 +1,280 @@
+"""Tests for the sharded, memory-mapped artifact format: shard/monolith
+answer parity (the bit-identical contract), manifest structure, checksum
+corruption and missing-shard error paths, and the hot-row block cache."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.graphs import random_weighted_graph
+from repro.oracle import (
+    ArtifactError,
+    OracleArtifact,
+    QueryEngine,
+    RowBlockCache,
+    ShardedOracleArtifact,
+    build_oracle,
+    load_artifact,
+    shard_artifact,
+    shard_manifest_path,
+)
+
+STRATEGIES = ("dense-apsp", "landmark-mssp", "exact-fallback")
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return random_weighted_graph(34, average_degree=6, max_weight=11, seed=13)
+
+
+@pytest.fixture(scope="module")
+def artifacts(graph):
+    """One in-memory artifact per strategy, shared across the module."""
+    return {strategy: build_oracle(graph, strategy=strategy, epsilon=0.5)
+            for strategy in STRATEGIES}
+
+
+@pytest.fixture(scope="module")
+def sharded_dir(artifacts, tmp_path_factory):
+    """Each strategy saved monolithically and as a 5-shard artifact."""
+    root = tmp_path_factory.mktemp("sharded")
+    for strategy, artifact in artifacts.items():
+        artifact.save(root / f"{strategy}.npz")
+        artifact.save_sharded(root / f"{strategy}-sharded", num_shards=5)
+    return root
+
+
+def all_pairs(n):
+    return [(u, v) for u in range(n) for v in range(u, n)]
+
+
+class TestFormat:
+    def test_save_sharded_writes_manifest_and_shards(self, artifacts, tmp_path):
+        manifest_path, shards = artifacts["dense-apsp"].save_sharded(
+            tmp_path / "o", num_shards=4)
+        assert manifest_path.name == "o.shards.json"
+        assert [shard.name for shard in shards] == [
+            f"o.shard-{index}.npz" for index in range(4)]
+        manifest = json.loads(manifest_path.read_text())
+        assert manifest["num_shards"] == 4
+        rows = [(item["row_start"], item["row_stop"])
+                for item in manifest["shards"]]
+        assert rows[0][0] == 0
+        assert rows[-1][1] == artifacts["dense-apsp"].n
+        assert all(len(item["sha256"]) == 64 for item in manifest["shards"])
+        assert "dist" in manifest["sharded_arrays"]
+
+    def test_landmark_common_arrays_live_in_shard_zero(self, artifacts, tmp_path):
+        manifest_path, _ = artifacts["landmark-mssp"].save_sharded(
+            tmp_path / "lm", num_shards=3)
+        manifest = json.loads(manifest_path.read_text())
+        assert "landmarks" in manifest["common_arrays"]
+        loaded = ShardedOracleArtifact.load(manifest_path)
+        np.testing.assert_array_equal(
+            loaded.common("landmarks"),
+            artifacts["landmark-mssp"].arrays["landmarks"])
+
+    def test_load_artifact_dispatches_by_path(self, sharded_dir):
+        assert isinstance(load_artifact(sharded_dir / "dense-apsp.npz"),
+                          OracleArtifact)
+        assert isinstance(
+            load_artifact(sharded_dir / "dense-apsp-sharded.shards.json"),
+            ShardedOracleArtifact)
+        # Bare base path with no monolithic payload falls back to shards.
+        assert isinstance(load_artifact(sharded_dir / "dense-apsp-sharded"),
+                          ShardedOracleArtifact)
+
+    def test_load_artifact_missing_everything_raises(self, tmp_path):
+        with pytest.raises(ArtifactError, match="not found"):
+            load_artifact(tmp_path / "nope.npz")
+
+    def test_num_shards_out_of_range_rejected(self, artifacts, tmp_path):
+        with pytest.raises(ValueError, match="num_shards"):
+            artifacts["dense-apsp"].save_sharded(tmp_path / "bad", num_shards=0)
+        with pytest.raises(ValueError, match="num_shards"):
+            artifacts["dense-apsp"].save_sharded(tmp_path / "bad",
+                                                 num_shards=10_000)
+
+    def test_single_shard_round_trips(self, artifacts, tmp_path):
+        artifacts["dense-apsp"].save_sharded(tmp_path / "one", num_shards=1)
+        loaded = load_artifact(tmp_path / "one")
+        assert loaded.num_shards == 1
+        np.testing.assert_array_equal(
+            loaded.materialize("dist"), artifacts["dense-apsp"].arrays["dist"])
+
+    def test_rows_are_memory_mapped(self, sharded_dir):
+        loaded = ShardedOracleArtifact.load(
+            sharded_dir / "dense-apsp-sharded.shards.json")
+        row = loaded.row("dist", 0)
+        assert isinstance(row.base, np.memmap) or isinstance(row, np.memmap)
+
+
+class TestParity:
+    """The acceptance contract: sharded answers are bit-identical."""
+
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_batch_identical_over_all_pairs(self, artifacts, sharded_dir,
+                                            strategy):
+        mono = QueryEngine(OracleArtifact.load(sharded_dir / f"{strategy}.npz"))
+        sharded = QueryEngine(
+            load_artifact(sharded_dir / f"{strategy}-sharded"))
+        pairs = all_pairs(mono.n)
+        assert np.array_equal(mono.batch(pairs), sharded.batch(pairs))
+
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_point_and_k_nearest_identical(self, sharded_dir, strategy):
+        mono = QueryEngine(OracleArtifact.load(sharded_dir / f"{strategy}.npz"))
+        sharded = QueryEngine(load_artifact(sharded_dir / f"{strategy}-sharded"),
+                              block_rows=4, block_capacity=2)
+        for u in range(mono.n):
+            assert mono.dist(u, (u * 7 + 3) % mono.n) == \
+                sharded.dist(u, (u * 7 + 3) % mono.n)
+            assert mono.k_nearest(u, 6) == sharded.k_nearest(u, 6)
+
+    @given(
+        strategy=st.sampled_from(STRATEGIES),
+        num_shards=st.integers(min_value=1, max_value=9),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_property_reshard_preserves_every_answer(self, artifacts,
+                                                     tmp_path_factory,
+                                                     strategy, num_shards,
+                                                     seed):
+        """Any shard count, any workload: batch answers stay bit-identical
+        between a monolithic artifact and its resharded copy."""
+        artifact = artifacts[strategy]
+        root = tmp_path_factory.mktemp("prop")
+        artifact.save_sharded(root / "p", num_shards=num_shards)
+        mono = QueryEngine(artifact, cache_size=0)
+        sharded = QueryEngine(load_artifact(root / "p"), cache_size=0)
+        rng = np.random.default_rng(seed)
+        pairs = [(int(rng.integers(artifact.n)), int(rng.integers(artifact.n)))
+                 for _ in range(200)]
+        assert np.array_equal(mono.batch(pairs), sharded.batch(pairs))
+
+    def test_reshard_of_sharded_artifact_identical(self, sharded_dir,
+                                                   tmp_path):
+        source = sharded_dir / "landmark-mssp-sharded.shards.json"
+        manifest, _ = shard_artifact(source, tmp_path / "re", num_shards=2)
+        original = QueryEngine(load_artifact(source))
+        resharded = QueryEngine(load_artifact(manifest))
+        pairs = all_pairs(original.n)[:300]
+        assert np.array_equal(original.batch(pairs), resharded.batch(pairs))
+
+
+class TestLaziness:
+    def test_load_opens_no_shards(self, sharded_dir):
+        loaded = ShardedOracleArtifact.load(
+            sharded_dir / "dense-apsp-sharded.shards.json")
+        assert loaded.faults == 0
+
+    def test_queries_fault_only_touched_shards(self, sharded_dir):
+        loaded = ShardedOracleArtifact.load(
+            sharded_dir / "dense-apsp-sharded.shards.json")
+        # Keep row blocks inside one shard so a point query cannot drag
+        # neighbouring shards in through the block fetch.
+        engine = QueryEngine(loaded, block_rows=4, block_capacity=2)
+        engine.dist(0, 1)  # both endpoints' rows live in shard 0
+        assert loaded.faults == 1
+        engine.dist(0, loaded.n - 1)  # column index needs no other shard
+        assert loaded.faults == 1
+
+    def test_memory_stats_distinguish_resident_and_mapped(self, sharded_dir):
+        engine = QueryEngine(load_artifact(sharded_dir / "dense-apsp-sharded"))
+        engine.batch(all_pairs(engine.n)[:100])
+        memory = engine.memory_stats()
+        assert memory["sharded"] is True
+        assert memory["mapped_bytes"] > 0
+        assert memory["resident_bytes"] < memory["mapped_bytes"]
+        mono = QueryEngine(
+            OracleArtifact.load(sharded_dir / "dense-apsp.npz"))
+        mono_memory = mono.memory_stats()
+        assert mono_memory["sharded"] is False
+        assert mono_memory["mapped_bytes"] == 0
+        assert mono_memory["resident_bytes"] >= engine.n * engine.n * 8
+
+
+class TestCorruption:
+    def test_corrupt_shard_detected_on_first_open(self, artifacts, tmp_path):
+        _, shards = artifacts["dense-apsp"].save_sharded(tmp_path / "c",
+                                                         num_shards=3)
+        data = bytearray(shards[1].read_bytes())
+        data[len(data) // 2] ^= 0xFF
+        shards[1].write_bytes(bytes(data))
+        loaded = ShardedOracleArtifact.load(tmp_path / "c")  # lazy: loads fine
+        engine = QueryEngine(loaded)
+        n_per = -(-loaded.n // 3)
+        with pytest.raises(ArtifactError, match="checksum"):
+            engine.dist(n_per, n_per + 1)  # first touch of shard 1
+
+    def test_corrupt_shard_detected_eagerly(self, artifacts, tmp_path):
+        _, shards = artifacts["dense-apsp"].save_sharded(tmp_path / "e",
+                                                         num_shards=3)
+        data = bytearray(shards[2].read_bytes())
+        data[-10] ^= 0xFF
+        shards[2].write_bytes(bytes(data))
+        with pytest.raises(ArtifactError, match="checksum"):
+            ShardedOracleArtifact.load(tmp_path / "e", verify="eager")
+
+    def test_missing_shard_file_rejected_at_load(self, artifacts, tmp_path):
+        _, shards = artifacts["dense-apsp"].save_sharded(tmp_path / "m",
+                                                         num_shards=3)
+        shards[1].unlink()
+        with pytest.raises(ArtifactError, match="missing shard"):
+            ShardedOracleArtifact.load(tmp_path / "m")
+
+    def test_missing_manifest_rejected(self, tmp_path):
+        with pytest.raises(ArtifactError, match="manifest not found"):
+            ShardedOracleArtifact.load(tmp_path / "ghost")
+
+    def test_unknown_manifest_version_rejected(self, artifacts, tmp_path):
+        manifest_path, _ = artifacts["dense-apsp"].save_sharded(
+            tmp_path / "v", num_shards=2)
+        manifest = json.loads(manifest_path.read_text())
+        manifest["shard_manifest_version"] = 99
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(ArtifactError, match="shard_manifest_version"):
+            ShardedOracleArtifact.load(manifest_path)
+
+    def test_unparseable_manifest_rejected(self, tmp_path):
+        path = tmp_path / "bad.shards.json"
+        path.write_text("{not json")
+        with pytest.raises(ArtifactError, match="unparseable"):
+            ShardedOracleArtifact.load(path)
+
+    def test_manifest_path_helper(self, tmp_path):
+        assert shard_manifest_path(tmp_path / "x.npz").name == "x.shards.json"
+        assert shard_manifest_path(tmp_path / "x").name == "x.shards.json"
+        assert shard_manifest_path(
+            tmp_path / "x.shards.json").name == "x.shards.json"
+
+
+class TestRowBlockCache:
+    def test_serves_rows_and_bounds_residency(self):
+        table = np.arange(100.0).reshape(20, 5)
+        fetches = []
+
+        def fetch(start, stop):
+            fetches.append((start, stop))
+            return table[start:stop].copy()
+
+        cache = RowBlockCache(fetch, 20, block_rows=4, capacity=2)
+        for i in range(20):
+            np.testing.assert_array_equal(cache.row(i), table[i])
+        assert len(cache) <= 2
+        assert cache.misses == 5  # one fetch per block, sequential scan
+        cache.row(19)
+        assert cache.hits >= 1
+        assert cache.nbytes <= 2 * 4 * 5 * 8
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RowBlockCache(lambda s, e: None, 10, block_rows=0)
+        with pytest.raises(ValueError):
+            RowBlockCache(lambda s, e: None, 10, capacity=0)

@@ -182,3 +182,109 @@ class TestBuildRegistry:
         stray.write_text('{"unrelated": true}')
         with pytest.raises(ArtifactError, match="not a registry manifest"):
             build_registry([stray])
+
+
+class TestShardedRegistration:
+    """Sharded artifacts register from their manifest alone, and the cost
+    model charges them for the hot working set, not the mapped payload."""
+
+    @pytest.fixture(scope="class")
+    def sharded_dir(self, graph, tmp_path_factory):
+        root = tmp_path_factory.mktemp("sharded-reg")
+        artifact = build_oracle(graph, strategy="dense-apsp", epsilon=0.25)
+        artifact.save(root / "mono.npz")
+        artifact.save_sharded(root / "mapped", num_shards=4)
+        return root
+
+    def test_register_by_manifest_path(self, sharded_dir):
+        registry = ArtifactRegistry()
+        entry = registry.register(sharded_dir / "mapped.shards.json")
+        assert entry.sharded
+        assert entry.num_shards == 4
+        assert entry.row_ranges[0][0] == 0
+        assert entry.mapped_floats == entry.n * entry.n
+
+    def test_register_by_bare_path_falls_back_to_manifest(self, sharded_dir):
+        registry = ArtifactRegistry()
+        entry = registry.register(sharded_dir / "mapped")
+        assert entry.sharded and entry.name == "mapped"
+
+    def test_registration_never_touches_shard_files(self, graph, tmp_path):
+        artifact = build_oracle(graph, strategy="dense-apsp", epsilon=0.25)
+        _, shards = artifact.save_sharded(tmp_path / "gone", num_shards=2)
+        for shard in shards:
+            shard.unlink()  # only the manifest remains
+        registry = ArtifactRegistry()
+        entry = registry.register(tmp_path / "gone.shards.json")
+        assert entry.sharded  # registration succeeded from metadata alone
+        with pytest.raises(ArtifactError, match="missing shard"):
+            registry.engine("gone")
+
+    def test_cost_model_charges_hot_set_not_payload(self, sharded_dir, tmp_path):
+        """The satellite fix: a mapped artifact of a big graph must not be
+        charged n^2 resident floats.  Registration is metadata-only, so a
+        hand-written manifest for a large n exercises the model cheaply."""
+        big_n = 50_000
+        manifest = {
+            "shard_manifest_version": 1,
+            "metadata": {
+                "format_version": 1, "strategy": "dense-apsp", "n": big_n,
+                "num_edges": 10, "epsilon": 0.5, "max_weight": 1,
+                "stretch": {"multiplicative": 2.5, "additive": 1.5},
+                "build": {"rounds": 1, "seconds": 0.0},
+            },
+            "num_shards": 2,
+            "shards": [
+                {"index": 0, "path": "big.shard-0.npz", "row_start": 0,
+                 "row_stop": 25_000, "bytes": 100, "sha256": "0" * 64},
+                {"index": 1, "path": "big.shard-1.npz", "row_start": 25_000,
+                 "row_stop": 50_000, "bytes": 100, "sha256": "0" * 64},
+            ],
+            "sharded_arrays": {"dist": {"dtype": "float64",
+                                        "shape": [big_n, big_n]}},
+            "common_arrays": {},
+        }
+        path = tmp_path / "big.shards.json"
+        path.write_text(json.dumps(manifest))
+        entry = ArtifactRegistry().register(path)
+        assert entry.mapped_floats == float(big_n) * big_n
+        assert entry.resident_floats < entry.mapped_floats / 10
+
+    def test_registry_stats_split_resident_and_mapped(self, sharded_dir):
+        registry = ArtifactRegistry()
+        registry.register(sharded_dir / "mono.npz")
+        registry.register(sharded_dir / "mapped.shards.json")
+        registry.engine("mono")
+        registry.engine("mapped")
+        stats = registry.stats()
+        assert stats["mapped_floats"] > 0
+        assert stats["resident_floats"] > 0
+
+    def test_discover_finds_sharded_artifacts(self, sharded_dir):
+        registry = ArtifactRegistry()
+        names = [entry.name for entry in registry.discover(sharded_dir)]
+        assert "mono" in names and "mapped" in names
+
+    def test_manifest_round_trip_keeps_sharded_entries(self, sharded_dir,
+                                                       tmp_path):
+        registry = ArtifactRegistry()
+        registry.discover(sharded_dir)
+        manifest = registry.write_manifest(tmp_path / "fleet.json")
+        rebuilt = ArtifactRegistry.load_manifest(manifest)
+        assert rebuilt.get("mapped").sharded
+        assert rebuilt.get("mono").sharded is False
+
+    def test_build_registry_accepts_shard_manifest_paths(self, sharded_dir):
+        registry = build_registry([sharded_dir / "mapped.shards.json"])
+        assert registry.names() == ["mapped"]
+        assert registry.get("mapped").sharded
+
+    def test_sharded_engine_answers_match_monolithic(self, sharded_dir):
+        registry = ArtifactRegistry()
+        registry.register(sharded_dir / "mono.npz")
+        registry.register(sharded_dir / "mapped.shards.json")
+        mono = registry.engine("mono")
+        mapped = registry.engine("mapped")
+        pairs = [(u, v) for u in range(0, mono.n, 3) for v in range(mono.n)]
+        import numpy as np
+        assert np.array_equal(mono.batch(pairs), mapped.batch(pairs))

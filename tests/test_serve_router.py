@@ -153,3 +153,56 @@ class TestMissHook:
         with pytest.raises(RoutingError):
             router.route(multiplicative=0.5)
         assert router.stats()["rejected"] == 1
+
+
+class TestShardAwareRouting:
+    @pytest.fixture(scope="class")
+    def sharded_registry(self, graph, tmp_path_factory):
+        root = tmp_path_factory.mktemp("sharded-route")
+        build_oracle(graph, strategy="dense-apsp", epsilon=0.25).save_sharded(
+            root / "mapped", num_shards=4)
+        registry = ArtifactRegistry()
+        registry.register(root / "mapped.shards.json")
+        return registry
+
+    def test_route_pairs_names_only_touched_shards(self, sharded_registry):
+        router = StretchRouter(sharded_registry)
+        entry = sharded_registry.get("mapped")
+        per_shard = entry.row_ranges[0][1]  # rows per (non-final) shard
+        decision = router.route_pairs([(0, 1), (per_shard, per_shard + 1)])
+        assert decision.entry.sharded
+        assert decision.shards == (0, 1)
+        assert router.stats()["sharded_routes"] == 1
+
+    def test_route_pairs_covers_every_endpoint(self, sharded_registry):
+        router = StretchRouter(sharded_registry)
+        n = sharded_registry.get("mapped").n
+        decision = router.route_pairs([(0, n - 1)])
+        assert decision.shards[0] == 0
+        assert decision.shards[-1] == sharded_registry.get("mapped").num_shards - 1
+
+    def test_route_pairs_on_monolithic_artifact_has_no_shards(self, registry):
+        router = StretchRouter(registry)
+        decision = router.route_pairs([(0, 1)])
+        assert decision.shards == ()
+        assert router.stats()["sharded_routes"] == 0
+
+    def test_shards_for_nodes_helper(self, sharded_registry):
+        from repro.serve import shards_for_nodes
+
+        entry = sharded_registry.get("mapped")
+        assert shards_for_nodes(entry, []) == ()
+        every = shards_for_nodes(entry, range(entry.n))
+        assert every == tuple(range(entry.num_shards))
+
+    def test_shards_for_nodes_rejects_out_of_range(self, sharded_registry):
+        from repro.serve import shards_for_nodes
+
+        entry = sharded_registry.get("mapped")
+        with pytest.raises(ValueError, match="out of range"):
+            shards_for_nodes(entry, [-5])
+        with pytest.raises(ValueError, match="out of range"):
+            shards_for_nodes(entry, [entry.n])
+        router = StretchRouter(sharded_registry)
+        with pytest.raises(ValueError, match="out of range"):
+            router.route_pairs([(-5, 1)])

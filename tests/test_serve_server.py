@@ -266,3 +266,116 @@ class TestClientsAndShutdown:
             await server.stop()
 
         asyncio.run(drive())
+
+
+class TestAdaptiveCoalescing:
+    """coalesce_window="auto": the flusher sizes its window from the EWMA
+    of the observed arrival rate; answers stay identical to fixed-window
+    serving and the window stays inside [window_min, window_max]."""
+
+    def test_auto_window_answers_match_serial(self, graph, engine, reference):
+        pairs = distinct_pairs(graph.n, 120)
+
+        async def scenario():
+            config = ServerConfig(coalesce_window="auto",
+                                  window_min=0.0001, window_max=0.002)
+            async with DistanceServer(engine, config) as server:
+                answers = await asyncio.gather(
+                    *(server.dist(u, v) for u, v in pairs))
+                return answers, server.stats()
+
+        answers, stats = asyncio.run(scenario())
+        assert answers == [reference.dist(u, v) for u, v in pairs]
+        assert stats["coalescing"]["mode"] == "auto"
+        assert 0.0001 <= stats["coalescing"]["window_s"] <= 0.002
+        assert stats["coalescing"]["ewma_arrival_rate"] > 0
+        # Coalescing still happened: far fewer engine batches than keys.
+        assert stats["engine_batches"] < len(pairs)
+
+    def test_fixed_window_unchanged_by_default(self, engine):
+        async def scenario():
+            async with DistanceServer(engine) as server:
+                await server.dist(0, 1)
+                return server.stats()
+
+        stats = asyncio.run(scenario())
+        assert stats["coalescing"]["mode"] == "fixed"
+        assert stats["coalescing"]["window_s"] == ServerConfig().coalesce_window
+
+    def test_window_zero_reports_off(self, engine):
+        async def scenario():
+            config = ServerConfig(coalesce_window=0)
+            async with DistanceServer(engine, config) as server:
+                await server.dist(0, 1)
+                return server.stats()
+
+        assert asyncio.run(scenario())["coalescing"]["mode"] == "off"
+
+    def test_auto_config_validation(self):
+        with pytest.raises(ValueError, match="auto"):
+            ServerConfig(coalesce_window="fast")
+        with pytest.raises(ValueError, match="window_min"):
+            ServerConfig(coalesce_window="auto", window_min=0.01,
+                         window_max=0.001)
+        with pytest.raises(ValueError, match="auto_target_batch"):
+            ServerConfig(coalesce_window="auto", auto_target_batch=0)
+
+    def test_heavy_traffic_widens_the_window(self, graph, engine):
+        """Many arrivals per window push the EWMA rate up, so the chosen
+        window moves toward window_max (bounded, never beyond)."""
+        pairs = distinct_pairs(graph.n, 400)
+
+        async def scenario():
+            config = ServerConfig(coalesce_window="auto", window_min=0.0001,
+                                  window_max=0.003, auto_target_batch=512)
+            async with DistanceServer(engine, config) as server:
+                for _ in range(3):
+                    await asyncio.gather(
+                        *(server.dist(u, v) for u, v in pairs))
+                return server.stats()
+
+        stats = asyncio.run(scenario())
+        assert stats["coalescing"]["window_s"] > 0.0001
+        assert stats["coalescing"]["window_s"] <= 0.003
+
+
+class TestShardedServing:
+    def test_server_over_sharded_artifact_matches_monolithic(
+            self, graph, artifact_dir, tmp_path):
+        from repro.oracle import build_oracle as build
+
+        artifact = build(graph, strategy="dense-apsp", epsilon=0.5)
+        artifact.save(tmp_path / "mono.npz")
+        artifact.save_sharded(tmp_path / "mapped", num_shards=3)
+        registry = ArtifactRegistry()
+        registry.register(tmp_path / "mapped.shards.json")
+        pairs = distinct_pairs(graph.n, 150)
+
+        async def scenario():
+            async with DistanceServer(registry) as server:
+                answers = await asyncio.gather(
+                    *(server.dist(u, v) for u, v in pairs))
+                return answers, server.stats()
+
+        answers, stats = asyncio.run(scenario())
+        reference = QueryEngine(OracleArtifact.load(tmp_path / "mono.npz"))
+        assert answers == [reference.dist(u, v) for u, v in pairs]
+        memory = stats["engines"]["mapped"]["memory"]
+        assert memory["sharded"] is True
+        assert memory["shard_faults"] >= 1
+        assert memory["mapped_bytes"] > memory["resident_bytes"]
+
+    def test_light_traffic_keeps_window_small(self, engine):
+        """When even window_max cannot fill a batch at the observed rate,
+        the auto window drops to window_min instead of taxing every
+        request with maximum latency."""
+        async def scenario():
+            config = ServerConfig(coalesce_window="auto", window_min=0.0002,
+                                  window_max=0.005)
+            async with DistanceServer(engine, config) as server:
+                for v in range(1, 12):
+                    await server.dist(0, v)  # strictly serial: a trickle
+                return server.stats()
+
+        stats = asyncio.run(scenario())
+        assert stats["coalescing"]["window_s"] == 0.0002
