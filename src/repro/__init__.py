@@ -23,7 +23,10 @@ Leitersdorf, *Fast Approximate Shortest Paths in the Congested Clique*
 * an async serving subsystem — multi-artifact registry, stretch-budget
   routing, and a coalescing :class:`~repro.serve.DistanceServer` with a
   load generator — :mod:`repro.serve` (imported lazily: library users
-  who never serve pay no asyncio import cost).
+  who never serve pay no asyncio import cost);
+* a network tier over it — framed binary wire protocol with HTTP/JSON
+  fallback, per-process workers, a failover-capable front tier, and a
+  local cluster manager — :mod:`repro.net` (also lazy).
 
 Quick start::
 
@@ -54,17 +57,18 @@ from repro.matmul import (
     sparse_mm_clt18,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.4.0"
 
 
 def __getattr__(name: str):
     # Lazy submodule export (PEP 562): ``repro.serve`` pulls in asyncio
-    # and the serving stack, which pure library users never need.
-    if name == "serve":
+    # and the serving stack, ``repro.net`` additionally sockets and
+    # multiprocessing — pure library users never need either.
+    if name in ("serve", "net"):
         import importlib
 
-        module = importlib.import_module("repro.serve")
-        globals()["serve"] = module
+        module = importlib.import_module(f"repro.{name}")
+        globals()[name] = module
         return module
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
@@ -93,6 +97,7 @@ __all__ = [
     "graphs",
     "hopsets",
     "matmul",
+    "net",
     "oracle",
     "semiring",
     "serve",

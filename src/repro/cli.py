@@ -496,6 +496,17 @@ def cmd_serve(args: argparse.Namespace) -> int:
     print("\n-- server stats --")
     print(f"engine batches   : {stats['engine_batches']} "
           f"({stats['coalesced_keys']} coalesced keys)")
+    coalescing = stats["coalescing"]
+    configured = coalescing["configured"]
+    configured_str = (configured if isinstance(configured, str)
+                      else f"{configured * 1e3:g}ms")
+    # Configured vs effective matter independently: under --window-ms
+    # auto the EWMA re-sizes the window every flush, so the knob alone
+    # says nothing about what the server actually did.
+    print(f"coalescing       : mode={coalescing['mode']} "
+          f"configured={configured_str} "
+          f"effective={coalescing['window_s'] * 1e3:.3f}ms "
+          f"(ewma arrival {coalescing['ewma_arrival_rate']:,.0f}/s)")
     print(f"routes           : {stats['router']['routes']}")
     for name, engine_stats in stats["engines"].items():
         print(f"engine[{name}]: queries={engine_stats['queries_total']} "
@@ -535,16 +546,20 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
     pairs = zipf_pairs(decision.entry.n, args.queries, skew=args.zipf,
                        seed=args.seed)
 
+    collect_samples = bool(args.raw_jsonl)
+
     async def drive():
         async with DistanceServer(router, _serve_config(args)) as server:
             if args.mode == "open":
                 report = await run_open_loop(
                     server, pairs, qps=args.qps,
-                    multiplicative=args.stretch, additive=args.additive)
+                    multiplicative=args.stretch, additive=args.additive,
+                    collect_samples=collect_samples)
             else:
                 report = await run_closed_loop(
                     server, pairs, concurrency=args.concurrency,
-                    multiplicative=args.stretch, additive=args.additive)
+                    multiplicative=args.stretch, additive=args.additive,
+                    collect_samples=collect_samples)
             return report, server.stats()
 
     try:
@@ -563,6 +578,9 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
         report.mismatches = count_mismatches(pairs, report.answers, reference)
 
     print(report.summary())
+    if args.raw_jsonl:
+        written = report.write_samples_jsonl(args.raw_jsonl)
+        print(f"appended {written} raw samples to {args.raw_jsonl}")
     payload = {"schema": "repro-loadgen/v1", "report": report.as_dict(),
                "artifacts": [entry.name for entry in registry.entries()]}
     if args.json_out:
@@ -574,6 +592,113 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
     if args.verify and report.mismatches:
         return 1
     return 0
+
+
+def cmd_net_serve(args: argparse.Namespace) -> int:
+    """Spawn a worker fleet + front tier; serve until interrupted.
+
+    ``--self-test N`` instead drives N verified queries through the
+    whole stack (client -> frontend -> workers -> engines) and exits —
+    the one-command proof that the fleet answers correctly over TCP.
+    """
+    import asyncio
+    import dataclasses
+    import signal
+
+    from repro.net.cluster import Cluster
+    from repro.net.frontend import Frontend, NetClient, WorkerUnavailable
+    from repro.net.protocol import NetError, ProtocolError
+    from repro.oracle import ArtifactError
+    from repro.serve import (
+        RegistryError,
+        StretchRouter,
+        count_mismatches,
+        run_closed_loop,
+        zipf_pairs,
+    )
+    from repro.serve.loadgen import DEFAULT_ERROR_TYPES
+
+    try:
+        config_kwargs = dataclasses.asdict(_serve_config(args))
+        cluster = Cluster(args.artifacts, num_workers=args.workers,
+                          host=args.host, base_port=args.worker_base_port,
+                          config_kwargs=config_kwargs,
+                          capacity=args.capacity)
+        frontend = Frontend(args.artifacts, cluster.addresses,
+                            host=args.host, port=args.port,
+                            capacity=args.capacity)
+    except (ArtifactError, RegistryError, ValueError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    async def drive() -> int:
+        await frontend.start()
+        try:
+            print(f"workers  : {args.workers} on ports "
+                  f"{[port for _, port in cluster.addresses]}")
+            print(f"frontend : {frontend.host}:{frontend.port} "
+                  f"(binary frames + HTTP /healthz /statsz /query)")
+            if args.self_test:
+                registry = _serve_registry(args)
+                decision = _route_for_workload(StretchRouter(registry), args)
+                if decision is None:
+                    return 1
+                pairs = zipf_pairs(decision.entry.n, args.self_test,
+                                   skew=args.zipf, seed=args.seed)
+                net_errors = DEFAULT_ERROR_TYPES + (
+                    NetError, ProtocolError, WorkerUnavailable,
+                    ConnectionError, TimeoutError)
+                async with NetClient(frontend.host, frontend.port,
+                                     client="self-test") as client:
+                    report = await run_closed_loop(
+                        client, pairs, concurrency=args.concurrency,
+                        multiplicative=args.stretch, additive=args.additive,
+                        error_types=net_errors)
+                reference = _load_engine(str(decision.entry.path))
+                report.mismatches = count_mismatches(pairs, report.answers,
+                                                     reference)
+                print("\n-- self-test over TCP --")
+                print(report.summary())
+                return 1 if (report.mismatches or report.errors) else 0
+            stop = asyncio.Event()
+            loop = asyncio.get_running_loop()
+            for signum in (signal.SIGTERM, signal.SIGINT):
+                try:
+                    loop.add_signal_handler(signum, stop.set)
+                except (NotImplementedError, RuntimeError):
+                    pass
+            print("serving; Ctrl-C to drain and exit")
+            await stop.wait()
+            return 0
+        finally:
+            await frontend.stop()
+
+    try:
+        with cluster:
+            return asyncio.run(drive())
+    except (NetError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+def cmd_net_bench(args: argparse.Namespace) -> int:
+    """Run the cold/warm + ladder + failover campaign (see repro.net.bench)."""
+    from repro.net import bench
+
+    argv = ["--workers", str(args.workers), "--n", str(args.n),
+            "--shards", str(args.shards), "--batch", str(args.batch),
+            "--seed", str(args.seed)]
+    if args.smoke:
+        argv.append("--smoke")
+    if args.queries is not None:
+        argv += ["--queries", str(args.queries)]
+    if args.failover_queries is not None:
+        argv += ["--failover-queries", str(args.failover_queries)]
+    if args.out is not None:
+        argv += ["--out", str(args.out)]
+    if args.raw_dir is not None:
+        argv += ["--raw-dir", str(args.raw_dir)]
+    return bench.main(argv)
 
 
 # ----------------------------------------------------------------------
@@ -744,7 +869,59 @@ def build_parser() -> argparse.ArgumentParser:
                               "resident bytes in the report")
     loadgen.add_argument("--json-out", dest="json_out",
                          help="write the JSON report to this path")
+    loadgen.add_argument("--raw-jsonl", dest="raw_jsonl",
+                         help="append per-request raw samples (timestamp, "
+                              "client, latency, status) to this JSONL file; "
+                              "merge files back with LoadReport.from_jsonl")
     loadgen.set_defaults(func=cmd_loadgen)
+
+    net = sub.add_parser(
+        "net",
+        help="network serving tier: worker fleet, front tier, benchmark",
+    )
+    net_sub = net.add_subparsers(dest="net_command", required=True)
+
+    net_serve = net_sub.add_parser(
+        "serve",
+        help="spawn N worker processes + a front tier on one address",
+    )
+    _add_serving_options(net_serve)
+    net_serve.add_argument("--workers", type=int, default=2,
+                           help="worker processes to spawn")
+    net_serve.add_argument("--port", type=int, default=0,
+                           help="frontend port (0 picks an ephemeral port)")
+    net_serve.add_argument("--host", default="127.0.0.1")
+    net_serve.add_argument("--worker-base-port", type=int, default=0,
+                           dest="worker_base_port",
+                           help="first worker port (0 = ephemeral per worker)")
+    net_serve.add_argument("--self-test", type=int, default=0,
+                           dest="self_test", metavar="N",
+                           help="drive N verified queries through the fleet "
+                                "over TCP, then exit")
+    net_serve.add_argument("--concurrency", type=int, default=32,
+                           help="closed-loop clients for --self-test")
+    net_serve.set_defaults(func=cmd_net_serve)
+
+    net_bench = net_sub.add_parser(
+        "bench",
+        help="cold/warm + concurrency-ladder + failover campaign",
+    )
+    net_bench.add_argument("--smoke", action="store_true",
+                           help="reduced grid; gates only (CI mode)")
+    net_bench.add_argument("--workers", type=int, default=2)
+    net_bench.add_argument("--n", type=int, default=1024)
+    net_bench.add_argument("--shards", type=int, default=8)
+    net_bench.add_argument("--queries", type=int, default=None)
+    net_bench.add_argument("--failover-queries", type=int, default=None,
+                           dest="failover_queries")
+    net_bench.add_argument("--batch", type=int, default=256)
+    net_bench.add_argument("--seed", type=int, default=0)
+    net_bench.add_argument("--out", default=None,
+                           help="summary JSON path (default BENCH_PR6.json "
+                                "on full runs)")
+    net_bench.add_argument("--raw-dir", default=None, dest="raw_dir",
+                           help="keep raw JSONL samples in this directory")
+    net_bench.set_defaults(func=cmd_net_bench)
 
     return parser
 

@@ -1,0 +1,204 @@
+"""Spawn, watch, and stop a local fleet of distance-serving workers.
+
+:class:`Cluster` is the process-management layer under ``repro net``:
+it picks ports, spawns ``--workers N`` processes via the ``spawn``
+multiprocessing context (no inherited event loops or mmap handles —
+each worker maps the shard manifests itself, and the OS page cache
+makes the N-way mapping of one artifact nearly free), blocks until
+every worker answers ``GET /healthz``, and tears the fleet down with
+SIGTERM so workers drain in-flight frames before exiting.
+
+``kill_worker`` is deliberately rude (SIGKILL): it exists so the
+failover benchmark and the CI ``net-smoke`` job can murder a worker
+mid-campaign and assert the front tier re-routes with zero wrong
+answers.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import socket
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.net.protocol import NetError
+from repro.net.worker import worker_main
+
+
+def free_port(host: str = "127.0.0.1") -> int:
+    """An ephemeral port the OS just proved was free.
+
+    Racy by nature (something could grab it before the worker binds),
+    but workers are spawned immediately after and localhost CI has no
+    competing binders; a loser crashes fast and loudly at bind time.
+    """
+    with socket.socket(socket.AF_INET, socket.SOCK_STREAM) as probe:
+        probe.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        probe.bind((host, 0))
+        return probe.getsockname()[1]
+
+
+def _http_get(host: str, port: int, path: str,
+              timeout: float = 1.0) -> Optional[int]:
+    """Blocking one-shot HTTP GET; returns the status code or None."""
+    try:
+        with socket.create_connection((host, port), timeout=timeout) as conn:
+            conn.sendall(f"GET {path} HTTP/1.1\r\nHost: {host}\r\n"
+                         f"Connection: close\r\n\r\n".encode("ascii"))
+            conn.settimeout(timeout)
+            head = b""
+            while b"\r\n" not in head and len(head) < 256:
+                chunk = conn.recv(256)
+                if not chunk:
+                    break
+                head += chunk
+        parts = head.split(None, 2)
+        if len(parts) >= 2 and parts[0].startswith(b"HTTP/"):
+            return int(parts[1])
+    except (OSError, ValueError):
+        pass
+    return None
+
+
+class Cluster:
+    """A local fleet of worker processes serving the same artifacts.
+
+    Parameters
+    ----------
+    artifact_paths:
+        Artifact files / shard manifests every worker serves.
+    num_workers:
+        Fleet size.
+    host / base_port:
+        Bind address; ``base_port=0`` (default) lets :func:`free_port`
+        pick an ephemeral port per worker, ``base_port=P`` binds
+        ``P, P+1, ...``.
+    config_kwargs:
+        Forwarded to :class:`~repro.serve.server.ServerConfig` in each
+        worker (e.g. ``{"coalesce_window": 0.0}``).
+    capacity:
+        Per-worker registry LRU capacity (resident engines).
+    start_timeout:
+        Seconds to wait for every worker's ``/healthz`` to answer.
+    """
+
+    def __init__(self, artifact_paths: Sequence[str], num_workers: int = 2,
+                 host: str = "127.0.0.1", base_port: int = 0, *,
+                 config_kwargs: Optional[dict] = None, capacity: int = 4,
+                 start_timeout: float = 60.0):
+        if num_workers < 1:
+            raise ValueError("a cluster needs at least one worker")
+        self.artifact_paths = [str(path) for path in artifact_paths]
+        self.host = host
+        self.num_workers = num_workers
+        self.config_kwargs = dict(config_kwargs or {})
+        self.capacity = capacity
+        self.start_timeout = start_timeout
+        if base_port:
+            self.ports = [base_port + index for index in range(num_workers)]
+        else:
+            self.ports = []
+            while len(self.ports) < num_workers:
+                port = free_port(host)
+                if port not in self.ports:
+                    self.ports.append(port)
+        self._context = multiprocessing.get_context("spawn")
+        self._processes: List[Optional[multiprocessing.Process]] = \
+            [None] * num_workers
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "Cluster":
+        for index in range(self.num_workers):
+            self._spawn(index)
+        self.wait_healthy()
+        return self
+
+    def _spawn(self, index: int) -> None:
+        process = self._context.Process(
+            target=worker_main,
+            args=(self.artifact_paths, self.host, self.ports[index]),
+            kwargs={"worker_id": index, "capacity": self.capacity,
+                    "config_kwargs": self.config_kwargs},
+            name=f"repro-net-worker-{index}",
+            daemon=True,
+        )
+        process.start()
+        self._processes[index] = process
+
+    def wait_healthy(self, timeout: Optional[float] = None) -> None:
+        """Block until every live worker answers ``/healthz`` with 200."""
+        deadline = time.monotonic() + (timeout or self.start_timeout)
+        for index, port in enumerate(self.ports):
+            while True:
+                process = self._processes[index]
+                if process is None or not process.is_alive():
+                    raise NetError(
+                        f"worker {index} (port {port}) exited during startup "
+                        f"(exitcode={getattr(process, 'exitcode', None)})")
+                if _http_get(self.host, port, "/healthz") == 200:
+                    break
+                if time.monotonic() >= deadline:
+                    self.stop()
+                    raise NetError(
+                        f"worker {index} (port {port}) not healthy within "
+                        f"{timeout or self.start_timeout:.1f}s")
+                time.sleep(0.05)
+
+    def kill_worker(self, index: int) -> None:
+        """SIGKILL one worker — the failover experiment's chaos monkey."""
+        process = self._processes[index]
+        if process is not None and process.is_alive():
+            process.kill()
+            process.join(timeout=10.0)
+        self._processes[index] = None
+
+    def restart_worker(self, index: int) -> None:
+        """Bring a killed worker back on its original port."""
+        self.kill_worker(index)
+        self._spawn(index)
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """SIGTERM the fleet (graceful drain), escalating to SIGKILL."""
+        for process in self._processes:
+            if process is not None and process.is_alive():
+                process.terminate()
+        deadline = time.monotonic() + timeout
+        for index, process in enumerate(self._processes):
+            if process is None:
+                continue
+            process.join(timeout=max(0.0, deadline - time.monotonic()))
+            if process.is_alive():  # drain hung: stop being polite
+                process.kill()
+                process.join(timeout=5.0)
+            self._processes[index] = None
+
+    def __enter__(self) -> "Cluster":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def addresses(self) -> List[Tuple[str, int]]:
+        return [(self.host, port) for port in self.ports]
+
+    def alive(self) -> List[bool]:
+        return [process is not None and process.is_alive()
+                for process in self._processes]
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "host": self.host,
+            "workers": self.num_workers,
+            "ports": list(self.ports),
+            "alive": self.alive(),
+            "artifacts": list(self.artifact_paths),
+        }
+
+
+__all__ = ["Cluster", "free_port"]

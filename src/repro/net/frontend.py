@@ -1,0 +1,568 @@
+"""Front tier: fan batched requests out to workers; survive worker death.
+
+The front tier is the only address clients need.  It accepts the same
+wire protocol the workers speak (binary frames + HTTP fallback on one
+port), routes each request's stretch budget through its own
+metadata-only :class:`~repro.serve.registry.ArtifactRegistry` (sidecars
+and shard manifests are cheap to read; the frontend never loads an
+engine), pins the decision into the artifact hint so every worker
+answers from the same table, and partitions the pair batch across the
+healthy workers:
+
+* **sharded artifacts** — each pair's affinity is the shard holding its
+  canonical row (``searchsorted`` over the manifest row ranges, the same
+  math as :func:`repro.serve.router.shards_for_nodes`), and shards are
+  striped across workers, so a worker's hot-row cache and faulted shard
+  pages see a stable slice of the keyspace;
+* **monolithic artifacts** — contiguous equal chunks.
+
+Affinity is an optimisation, not a correctness constraint: every worker
+maps the full manifest, so any worker can answer any sub-batch.  That is
+what makes failover simple, in the spirit of the *Two for One, One for
+All* robustness framing — when a worker dies mid-request the sub-batch
+is retried on the next healthy worker (bounded retries, per-request
+timeout), the dead worker's consecutive-failure count trips the ejection
+threshold, and because assignment is computed over the *healthy* list,
+its shard ranges re-route to the survivors automatically.
+
+:class:`WorkerLink` is the persistent pipelined connection used for all
+of it: request ids match responses out of order, a reader task settles
+futures, and a broken link fails every in-flight request immediately
+(so retries start now, not at the timeout).  :class:`NetClient` reuses
+the same link machinery on the client side and adds optional request
+coalescing, so per-pair ``await client.dist(u, v)`` callers get the
+batch-native wire for free — the loadgen drives a network tier through
+the exact seam it drives an in-process server.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import math
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.net.protocol import (
+    ERR_BAD_NODES,
+    ERR_INTERNAL,
+    ERR_OVERLOADED,
+    ERR_ROUTING,
+    ERR_SHUTTING_DOWN,
+    MSG_ERROR,
+    MSG_PING,
+    MSG_PONG,
+    MSG_REQUEST,
+    MSG_RESPONSE,
+    NetError,
+    ProtocolError,
+    Request,
+    encode_frame,
+    pack_request,
+    read_frame,
+    unpack_error,
+    unpack_response,
+)
+from repro.net.worker import NetServiceBase
+from repro.serve.registry import ArtifactEntry, build_registry
+from repro.serve.router import RoutingError, StretchRouter, budget_admits
+from repro.serve.server import ServerClosed, ServerOverloaded
+
+Pair = Tuple[int, int]
+
+
+def map_wire_error(error: ProtocolError) -> Exception:
+    """Typed wire error -> the exception an in-process caller would see."""
+    if error.code == ERR_ROUTING:
+        return RoutingError(str(error))
+    if error.code == ERR_OVERLOADED:
+        return ServerOverloaded(str(error))
+    if error.code == ERR_BAD_NODES:
+        return ValueError(str(error))
+    if error.code == ERR_SHUTTING_DOWN:
+        return WorkerUnavailable(str(error))
+    if error.code == ERR_INTERNAL:
+        return NetError(str(error))
+    return error
+
+
+class WorkerUnavailable(ConnectionError):
+    """The far end is draining or gone; safe to retry on another worker."""
+
+
+#: Failures that justify retrying the same sub-batch on another worker.
+RETRYABLE = (ConnectionError, asyncio.TimeoutError, asyncio.IncompleteReadError)
+
+
+class WorkerLink:
+    """One persistent, pipelined connection to a worker (or front tier).
+
+    Many requests may be in flight at once; the 4-byte request id in the
+    frame header matches responses back to futures, so a slow sub-batch
+    never head-of-line-blocks a fast one.  A dead connection fails every
+    pending future with :class:`WorkerUnavailable` and the next request
+    reconnects lazily.
+    """
+
+    def __init__(self, host: str, port: int, name: str = "",
+                 connect_timeout: float = 3.0):
+        self.host = host
+        self.port = port
+        self.name = name or f"{host}:{port}"
+        self.connect_timeout = connect_timeout
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._read_task: Optional[asyncio.Task] = None
+        self._pending: Dict[int, asyncio.Future] = {}
+        self._req_ids = itertools.count(1)
+        self._connect_lock = asyncio.Lock()
+        # Health bookkeeping (maintained by the Frontend's failover path).
+        self.requests = 0
+        self.failures = 0
+        self.consecutive_failures = 0
+        self.ejected = False
+
+    @property
+    def connected(self) -> bool:
+        return self._writer is not None
+
+    async def _ensure_connected(self) -> None:
+        if self._writer is not None:
+            return
+        async with self._connect_lock:
+            if self._writer is not None:
+                return
+            reader, writer = await asyncio.wait_for(
+                asyncio.open_connection(self.host, self.port),
+                self.connect_timeout)
+            self._reader, self._writer = reader, writer
+            self._read_task = asyncio.get_running_loop().create_task(
+                self._read_loop(reader), name=f"repro-net-link-{self.name}")
+
+    async def _read_loop(self, reader: asyncio.StreamReader) -> None:
+        try:
+            while True:
+                frame = await read_frame(reader)
+                if frame is None:
+                    break
+                ftype, req_id, payload = frame
+                future = self._pending.pop(req_id, None)
+                if future is None or future.done():
+                    continue  # timed-out request answering late
+                try:
+                    if ftype == MSG_RESPONSE:
+                        future.set_result(unpack_response(payload, req_id))
+                    elif ftype == MSG_ERROR:
+                        future.set_exception(
+                            map_wire_error(unpack_error(payload, req_id)))
+                    elif ftype == MSG_PONG:
+                        future.set_result(None)
+                    else:
+                        future.set_exception(ProtocolError(
+                            0, f"unexpected frame type {ftype}", req_id))
+                except Exception as exc:
+                    # A popped future must always settle — a decode crash
+                    # here would otherwise strand its caller until timeout.
+                    if not future.done():
+                        future.set_exception(exc)
+        except (ProtocolError, ConnectionError, OSError):
+            pass
+        finally:
+            self._teardown(WorkerUnavailable(
+                f"connection to {self.name} closed"))
+
+    def _teardown(self, exc: Exception) -> None:
+        writer, self._reader, self._writer = self._writer, None, None
+        task, self._read_task = self._read_task, None
+        if task is not None and task is not asyncio.current_task():
+            task.cancel()
+        if writer is not None:
+            writer.close()
+        pending, self._pending = self._pending, {}
+        for future in pending.values():
+            if not future.done():
+                future.set_exception(exc)
+
+    async def request(self, pairs, multiplicative: float = math.inf,
+                      additive: float = math.inf, artifact: str = "",
+                      timeout: Optional[float] = None) -> np.ndarray:
+        """Send one batched request; returns the distance array."""
+        payload = pack_request(pairs, multiplicative, additive, artifact)
+        return await self._roundtrip(MSG_REQUEST, payload, timeout)
+
+    async def ping(self, timeout: Optional[float] = None) -> bool:
+        try:
+            await self._roundtrip(MSG_PING, b"", timeout)
+            return True
+        except RETRYABLE:
+            return False
+
+    async def _roundtrip(self, ftype: int, payload: bytes,
+                         timeout: Optional[float]) -> np.ndarray:
+        await self._ensure_connected()
+        req_id = next(self._req_ids) & 0xFFFFFFFF
+        future = asyncio.get_running_loop().create_future()
+        self._pending[req_id] = future
+        self.requests += 1
+        try:
+            self._writer.write(encode_frame(ftype, req_id, payload))
+            await self._writer.drain()
+            if timeout is None:
+                return await future
+            return await asyncio.wait_for(future, timeout)
+        except (ConnectionError, OSError) as exc:
+            raise WorkerUnavailable(f"{self.name}: {exc}") from exc
+        finally:
+            self._pending.pop(req_id, None)
+
+    async def close(self) -> None:
+        task = self._read_task
+        self._teardown(WorkerUnavailable(f"link to {self.name} closed"))
+        if task is not None and task is not asyncio.current_task():
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):
+                pass
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "connected": self.connected,
+            "requests": self.requests,
+            "failures": self.failures,
+            "consecutive_failures": self.consecutive_failures,
+            "ejected": self.ejected,
+            "in_flight": len(self._pending),
+        }
+
+
+class Frontend(NetServiceBase):
+    """Accept client connections; partition, fan out, retry, eject.
+
+    Parameters
+    ----------
+    artifact_paths:
+        The same artifact files/manifests the workers serve — read for
+        metadata only (routing and shard ranges), never loaded.
+    workers:
+        ``(host, port)`` of every worker in the fleet.
+    request_timeout:
+        Per-sub-batch timeout for one worker attempt.
+    max_attempts:
+        Worker attempts per sub-batch (1 primary + retries on fallback
+        workers) before the request fails with :class:`NetError`.
+    eject_after:
+        Consecutive failures after which a worker is ejected from the
+        rotation; its shard affinity re-routes to the survivors.
+    """
+
+    role = "frontend"
+
+    def __init__(self, artifact_paths: Sequence[str],
+                 workers: Sequence[Tuple[str, int]],
+                 host: str = "127.0.0.1", port: int = 0, *,
+                 request_timeout: float = 5.0, max_attempts: int = 3,
+                 eject_after: int = 3, capacity: int = 8):
+        super().__init__(host=host, port=port)
+        if not workers:
+            raise ValueError("frontend needs at least one worker address")
+        self._registry = build_registry(artifact_paths, capacity=capacity)
+        self._router = StretchRouter(self._registry)
+        self._links = [
+            WorkerLink(worker_host, worker_port, name=f"worker-{index}")
+            for index, (worker_host, worker_port) in enumerate(workers)
+        ]
+        self.request_timeout = request_timeout
+        self.max_attempts = max(1, int(max_attempts))
+        self.eject_after = max(1, int(eject_after))
+        self.retries = 0
+        self.failovers = 0
+        self.ejections = 0
+
+    # ------------------------------------------------------------------
+    # request handling
+    # ------------------------------------------------------------------
+    async def handle_request(self, request: Request) -> np.ndarray:
+        if self._draining:
+            raise ServerClosed("frontend is draining")
+        entry = self._resolve(request)
+        count = len(request)
+        if count == 0:
+            return np.zeros(0, dtype=np.float64)
+        u = request.u.astype(np.int64, copy=False)
+        v = request.v.astype(np.int64, copy=False)
+        if (int(u.min()) < 0 or int(u.max()) >= entry.n
+                or int(v.min()) < 0 or int(v.max()) >= entry.n):
+            raise ValueError(
+                f"request contains node ids outside [0, {entry.n})")
+        healthy = self.healthy_links()
+        if not healthy:
+            raise NetError("no healthy workers remain in the fleet")
+        assignment = self._assign(entry, u, v, len(healthy))
+        out = np.empty(count, dtype=np.float64)
+        tasks = []
+        slices: List[np.ndarray] = []
+        for worker_index in range(len(healthy)):
+            indices = np.nonzero(assignment == worker_index)[0]
+            if indices.size == 0:
+                continue
+            sub = np.empty((indices.size, 2), dtype=np.int32)
+            sub[:, 0] = u[indices]
+            sub[:, 1] = v[indices]
+            slices.append(indices)
+            tasks.append(self._fan_out(healthy, worker_index, sub, request,
+                                       entry.name))
+        answered = await asyncio.gather(*tasks)
+        for indices, values in zip(slices, answered):
+            out[indices] = values
+        return out
+
+    def _resolve(self, request: Request) -> ArtifactEntry:
+        """Route the budget (or validate the pinned artifact) to an entry."""
+        if request.artifact:
+            entry = self._registry.get(request.artifact)
+            if not budget_admits(entry.stretch, request.multiplicative,
+                                 request.additive):
+                raise RoutingError(
+                    f"pinned artifact {request.artifact!r} exceeds the "
+                    f"stretch budget {request.multiplicative:g}x+"
+                    f"{request.additive:g}")
+            return entry
+        return self._router.route(multiplicative=request.multiplicative,
+                                  additive=request.additive).entry
+
+    def _assign(self, entry: ArtifactEntry, u: np.ndarray, v: np.ndarray,
+                num_workers: int) -> np.ndarray:
+        """Healthy-worker index per pair: shard affinity, else even chunks."""
+        if num_workers == 1:
+            return np.zeros(len(u), dtype=np.int64)
+        if entry.sharded and entry.row_ranges:
+            starts = np.asarray([start for start, _stop in entry.row_ranges],
+                                dtype=np.int64)
+            rows = np.minimum(u, v)  # the canonical row the gather reads
+            shards = np.searchsorted(starts, rows, side="right") - 1
+            return shards % num_workers
+        return (np.arange(len(u), dtype=np.int64) * num_workers) // len(u)
+
+    async def _fan_out(self, healthy: List[WorkerLink], start: int,
+                       sub: np.ndarray, request: Request,
+                       artifact: str) -> np.ndarray:
+        """One sub-batch: primary worker, then bounded failover."""
+        attempts = min(self.max_attempts, len(healthy))
+        last_exc: Optional[Exception] = None
+        for attempt in range(attempts):
+            link = healthy[(start + attempt) % len(healthy)]
+            if link.ejected:
+                continue
+            try:
+                values = await link.request(
+                    sub, request.multiplicative, request.additive,
+                    artifact=artifact, timeout=self.request_timeout)
+            except RETRYABLE as exc:
+                self._mark_failure(link)
+                last_exc = exc
+                if attempt + 1 < attempts:
+                    self.retries += 1
+                    self.failovers += 1
+                continue
+            link.consecutive_failures = 0
+            return values
+        raise NetError(
+            f"sub-batch of {len(sub)} pairs failed on {attempts} worker(s): "
+            f"{last_exc}") from last_exc
+
+    def _mark_failure(self, link: WorkerLink) -> None:
+        link.failures += 1
+        link.consecutive_failures += 1
+        if not link.ejected and link.consecutive_failures >= self.eject_after:
+            link.ejected = True
+            self.ejections += 1
+
+    # ------------------------------------------------------------------
+    # fleet health
+    # ------------------------------------------------------------------
+    def healthy_links(self) -> List[WorkerLink]:
+        return [link for link in self._links if not link.ejected]
+
+    def links(self) -> List[WorkerLink]:
+        return list(self._links)
+
+    async def readmit(self, index: int) -> bool:
+        """Probe an ejected worker; put it back in rotation if it answers."""
+        link = self._links[index]
+        if await link.ping(timeout=self.request_timeout):
+            link.ejected = False
+            link.consecutive_failures = 0
+            return True
+        return False
+
+    async def stop(self, drain_timeout: float = 5.0) -> None:
+        await super().stop(drain_timeout)
+        for link in self._links:
+            await link.close()
+
+    def health(self) -> Dict[str, object]:
+        health = super().health()
+        health["workers"] = len(self._links)
+        health["healthy_workers"] = len(self.healthy_links())
+        return health
+
+    def stats(self) -> Dict[str, object]:
+        stats = super().stats()
+        stats["workers"] = [link.snapshot() for link in self._links]
+        stats["failovers"] = self.failovers
+        stats["retries"] = self.retries
+        stats["ejections"] = self.ejections
+        stats["router"] = self._router.stats()
+        return stats
+
+
+class NetClient:
+    """Client-side handle on a frontend (or a single worker) address.
+
+    ``batch`` sends one wire request per call — the throughput path.
+    ``dist`` awaits a single pair and, with coalescing enabled (the
+    default), parks concurrent callers in a pending map that a flusher
+    drains into one batched frame per micro-window — the same trick
+    :class:`~repro.serve.server.DistanceServer` plays in-process, moved
+    to the client edge of the wire.  Either way the answers are the
+    engine's, bit for bit.
+
+    Usable anywhere :class:`DistanceServer` is awaited: the load
+    generator's closed/open-loop drivers accept it unchanged.
+    """
+
+    def __init__(self, host: str, port: int, *, client: str = "client",
+                 coalesce_window: float = 0.0005, max_batch: int = 8192,
+                 request_timeout: float = 10.0):
+        self.link = WorkerLink(host, port, name=client)
+        self.client = client
+        self.coalesce_window = coalesce_window
+        self.max_batch = max_batch
+        self.request_timeout = request_timeout
+        self._pending: Dict[Tuple[float, float], Dict[Pair, asyncio.Future]] = {}
+        self._wake = asyncio.Event()
+        self._flusher: Optional[asyncio.Task] = None
+        self._closed = False
+
+    async def __aenter__(self) -> "NetClient":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.aclose()
+
+    async def aclose(self) -> None:
+        self._closed = True
+        if self._flusher is not None:
+            self._wake.set()
+            self._flusher.cancel()
+            try:
+                await self._flusher
+            except asyncio.CancelledError:
+                pass
+            self._flusher = None
+        await self.link.close()
+
+    async def batch(self, pairs, *, multiplicative: float = math.inf,
+                    additive: float = math.inf, artifact: str = "",
+                    ) -> np.ndarray:
+        """One batched wire request (the ladder benchmark's hot path)."""
+        return await self.link.request(
+            pairs, multiplicative, additive, artifact=artifact,
+            timeout=self.request_timeout)
+
+    async def dist(self, u: int, v: int, *, multiplicative: float = math.inf,
+                   additive: float = math.inf, client: str = "") -> float:
+        """Single-pair query, transparently coalesced onto the wire."""
+        if self._closed:
+            raise ServerClosed("client is closed")
+        if self.coalesce_window <= 0:
+            values = await self.batch([(u, v)], multiplicative=multiplicative,
+                                      additive=additive)
+            return float(values[0])
+        if self._flusher is None or self._flusher.done():
+            self._flusher = asyncio.get_running_loop().create_task(
+                self._flush_loop(), name=f"repro-net-client-{self.client}")
+        bucket = self._pending.setdefault((multiplicative, additive), {})
+        key = (u, v) if u <= v else (v, u)
+        future = bucket.get(key)
+        if future is None:
+            future = asyncio.get_running_loop().create_future()
+            bucket[key] = future
+            self._wake.set()
+        return float(await future)
+
+    async def _flush_loop(self) -> None:
+        try:
+            while True:
+                await self._wake.wait()
+                self._wake.clear()
+                if self._pending:
+                    await asyncio.sleep(self.coalesce_window)
+                await self._flush()
+        except asyncio.CancelledError:
+            await self._flush()
+            raise
+
+    async def _flush(self) -> None:
+        while self._pending:
+            pending, self._pending = self._pending, {}
+            for (multiplicative, additive), bucket in pending.items():
+                keys = list(bucket)
+                futures = list(bucket.values())
+                for start in range(0, len(keys), self.max_batch):
+                    chunk = keys[start:start + self.max_batch]
+                    chunk_futures = futures[start:start + self.max_batch]
+                    try:
+                        values = await self.link.request(
+                            chunk, multiplicative, additive,
+                            timeout=self.request_timeout)
+                    except Exception as exc:  # settle, never kill the loop
+                        for future in chunk_futures:
+                            if not future.done():
+                                future.set_exception(
+                                    exc if not isinstance(
+                                        exc, asyncio.CancelledError)
+                                    else WorkerUnavailable("client closing"))
+                        continue
+                    for future, value in zip(chunk_futures, values.tolist()):
+                        if not future.done():
+                            future.set_result(value)
+
+    def stats(self) -> Dict[str, object]:
+        return {"link": self.link.snapshot(),
+                "pending": sum(len(bucket)
+                               for bucket in self._pending.values())}
+
+
+async def wait_until_healthy(addresses: Sequence[Tuple[str, int]],
+                             timeout: float = 30.0,
+                             interval: float = 0.1) -> None:
+    """Block until every address answers a PING (cluster startup barrier)."""
+    deadline = time.monotonic() + timeout
+    for host, port in addresses:
+        link = WorkerLink(host, port, name=f"probe-{host}:{port}")
+        try:
+            while True:
+                if await link.ping(timeout=min(1.0, timeout)):
+                    break
+                if time.monotonic() >= deadline:
+                    raise NetError(
+                        f"worker at {host}:{port} not healthy after "
+                        f"{timeout:.1f}s")
+                await asyncio.sleep(interval)
+        finally:
+            await link.close()
+
+
+__all__ = [
+    "Frontend",
+    "NetClient",
+    "RETRYABLE",
+    "WorkerLink",
+    "WorkerUnavailable",
+    "map_wire_error",
+    "wait_until_healthy",
+]

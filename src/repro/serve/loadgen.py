@@ -27,9 +27,10 @@ from __future__ import annotations
 
 import asyncio
 import dataclasses
+import json
 import random
 import time
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.oracle.cache import LatencyRecorder
 from repro.oracle.engine import QueryEngine
@@ -37,6 +38,11 @@ from repro.serve.router import RoutingError
 from repro.serve.server import DistanceServer, ServerOverloaded
 
 Pair = Tuple[int, int]
+
+#: Exception classes a load loop counts as "error" (vs shed) by default.
+#: Network callers extend this with transport failures, e.g.
+#: ``DEFAULT_ERROR_TYPES + (NetError, ConnectionError, TimeoutError)``.
+DEFAULT_ERROR_TYPES: Tuple[type, ...] = (RoutingError, ValueError)
 
 
 def zipf_pairs(n: int, count: int, skew: float = 1.0,
@@ -83,6 +89,12 @@ class LoadReport:
     #: Per-pair answers aligned with the input pairs (None = shed/error).
     answers: List[Optional[float]] = dataclasses.field(
         default_factory=list, repr=False)
+    #: Per-request raw samples (``collect_samples=True``): dicts with
+    #: ``t`` (epoch seconds at issue), ``client``, ``latency_us`` and
+    #: ``status`` ("ok" / "shed" / "error").  Exported via
+    #: :meth:`write_samples_jsonl`, re-ingested by :meth:`from_jsonl`.
+    samples: List[Dict[str, object]] = dataclasses.field(
+        default_factory=list, repr=False)
 
     @property
     def success_rate(self) -> float:
@@ -104,6 +116,78 @@ class LoadReport:
             "mismatches": self.mismatches,
             "residency": self.residency,
         }
+
+    def write_samples_jsonl(self, path: str) -> int:
+        """Append this run's raw per-request samples to ``path`` as JSONL.
+
+        One JSON object per line, schema as in :attr:`samples`.  Appending
+        (not truncating) lets a campaign pour every rung and every worker
+        into one file that :meth:`from_jsonl` can merge back into a
+        report.  Returns the number of samples written.
+        """
+        with open(path, "a", encoding="utf-8") as sink:
+            for sample in self.samples:
+                sink.write(json.dumps(sample, sort_keys=True) + "\n")
+        return len(self.samples)
+
+    @classmethod
+    def from_jsonl(cls, paths: Iterable[str] | str,
+                   latency_window: int = 1 << 20) -> "LoadReport":
+        """Rebuild a merged report from raw JSONL sample files.
+
+        The inverse of :meth:`write_samples_jsonl`: counts come from the
+        per-sample ``status`` fields, the duration spans the earliest
+        issue to the latest completion across *all* files, and the
+        latency percentiles are recomputed over the union — so reports
+        from independent clients (or worker processes) merge into one
+        campaign-level view without sharing memory.  Lines that fail to
+        parse are counted as errors rather than aborting the merge.
+        """
+        if isinstance(paths, str):
+            paths = [paths]
+        recorder = LatencyRecorder(latency_window)
+        counts = {"ok": 0, "shed": 0, "error": 0}
+        first_issue = last_done = None
+        samples: List[Dict[str, object]] = []
+        for path in paths:
+            with open(path, "r", encoding="utf-8") as source:
+                for line in source:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        sample = json.loads(line)
+                        status = str(sample["status"])
+                        issued = float(sample["t"])
+                        latency_us = float(sample.get("latency_us") or 0.0)
+                    except (KeyError, TypeError, ValueError,
+                            json.JSONDecodeError):
+                        counts["error"] += 1
+                        continue
+                    counts[status if status in counts else "error"] += 1
+                    done = issued + latency_us / 1e6
+                    if first_issue is None or issued < first_issue:
+                        first_issue = issued
+                    if last_done is None or done > last_done:
+                        last_done = done
+                    if status == "ok" and latency_us > 0:
+                        recorder.record(int(latency_us * 1000))
+                    samples.append(sample)
+        requested = counts["ok"] + counts["shed"] + counts["error"]
+        duration = max(1e-9, (last_done - first_issue)
+                       if first_issue is not None else 0.0)
+        return cls(
+            mode="merged",
+            requested=requested,
+            completed=counts["ok"],
+            shed=counts["shed"],
+            errors=counts["error"],
+            duration_s=duration,
+            achieved_qps=counts["ok"] / duration,
+            offered_qps=None,
+            latency=recorder.snapshot(),
+            samples=samples,
+        )
 
     def summary(self) -> str:
         lines = [
@@ -138,44 +222,64 @@ async def run_closed_loop(server: DistanceServer, pairs: Sequence[Pair],
                           additive: float = float("inf"),
                           client: str = "loadgen",
                           latency_window: int = 65536,
-                          record_latency: bool = True) -> LoadReport:
+                          record_latency: bool = True,
+                          error_types: Tuple[type, ...] = DEFAULT_ERROR_TYPES,
+                          collect_samples: bool = False) -> LoadReport:
     """Drive ``pairs`` through ``server`` with a fixed number of workers.
 
     ``record_latency=False`` skips the per-request client-side timing
     (the report's latency snapshot stays empty) — the throughput
     harnesses use it because the server already keeps per-client
     percentiles, and timing every call twice taxes all modes equally.
+    ``server`` is anything with an awaitable ``dist(u, v, ...)`` —
+    the in-process :class:`DistanceServer` or a network client.
+    ``error_types`` widens what counts as a per-request error (network
+    callers add transport failures); ``collect_samples=True`` records a
+    raw per-request sample (timestamp, per-worker client id, latency,
+    status) into :attr:`LoadReport.samples` for JSONL export.
     """
     if concurrency < 1:
         raise ValueError(f"concurrency must be >= 1, got {concurrency}")
     recorder = LatencyRecorder(latency_window)
     answers: List[Optional[float]] = [None] * len(pairs)
+    samples: List[Dict[str, object]] = []
     indices = iter(range(len(pairs)))
+    timing = record_latency or collect_samples
     dist = server.dist
 
-    async def worker() -> Tuple[int, int, int]:
+    async def worker(worker_index: int) -> Tuple[int, int, int]:
         completed = shed = errors = 0
+        worker_client = f"{client}/{worker_index}" if collect_samples else client
         for index in indices:
             u, v = pairs[index]
-            started = time.perf_counter_ns() if record_latency else 0
+            issued = time.time() if collect_samples else 0.0
+            started = time.perf_counter_ns() if timing else 0
+            status = "ok"
             try:
                 answers[index] = await dist(
                     u, v, multiplicative=multiplicative, additive=additive,
                     client=client)
             except ServerOverloaded:
                 shed += 1
-                continue
-            except (RoutingError, ValueError):
+                status = "shed"
+            except error_types:
                 errors += 1
-                continue
-            if record_latency:
-                recorder.record(time.perf_counter_ns() - started)
-            completed += 1
+                status = "error"
+            elapsed_us = ((time.perf_counter_ns() - started) / 1000.0
+                          if timing else 0.0)
+            if status == "ok":
+                completed += 1
+                if record_latency:
+                    recorder.record(int(elapsed_us * 1000))
+            if collect_samples:
+                samples.append({"t": issued, "client": worker_client,
+                                "latency_us": elapsed_us, "status": status})
         return completed, shed, errors
 
     started = time.perf_counter()
     workers = max(1, min(concurrency, len(pairs)))
-    tallies = await asyncio.gather(*(worker() for _ in range(workers)))
+    tallies = await asyncio.gather(
+        *(worker(worker_index) for worker_index in range(workers)))
     duration = max(1e-9, time.perf_counter() - started)
     return LoadReport(
         mode="closed",
@@ -188,6 +292,7 @@ async def run_closed_loop(server: DistanceServer, pairs: Sequence[Pair],
         offered_qps=None,
         latency=recorder.snapshot(),
         answers=answers,
+        samples=samples,
     )
 
 
@@ -196,29 +301,40 @@ async def run_open_loop(server: DistanceServer, pairs: Sequence[Pair],
                         multiplicative: float = float("inf"),
                         additive: float = float("inf"),
                         client: str = "loadgen",
-                        latency_window: int = 65536) -> LoadReport:
+                        latency_window: int = 65536,
+                        error_types: Tuple[type, ...] = DEFAULT_ERROR_TYPES,
+                        collect_samples: bool = False) -> LoadReport:
     """Fire ``pairs`` at a fixed target QPS, independent of completions."""
     if qps <= 0:
         raise ValueError(f"qps must be positive, got {qps}")
     recorder = LatencyRecorder(latency_window)
     answers: List[Optional[float]] = [None] * len(pairs)
+    samples: List[Dict[str, object]] = []
     counters = {"completed": 0, "shed": 0, "errors": 0}
     interval = 1.0 / qps
 
     async def one(index: int, u: int, v: int) -> None:
+        issued = time.time() if collect_samples else 0.0
         started = time.perf_counter_ns()
+        status = "ok"
         try:
             answers[index] = await server.dist(
                 u, v, multiplicative=multiplicative, additive=additive,
                 client=client)
         except ServerOverloaded:
             counters["shed"] += 1
-            return
-        except (RoutingError, ValueError):
+            status = "shed"
+        except error_types:
             counters["errors"] += 1
-            return
-        recorder.record(time.perf_counter_ns() - started)
-        counters["completed"] += 1
+            status = "error"
+        elapsed_ns = time.perf_counter_ns() - started
+        if status == "ok":
+            recorder.record(elapsed_ns)
+            counters["completed"] += 1
+        if collect_samples:
+            samples.append({"t": issued, "client": client,
+                            "latency_us": elapsed_ns / 1000.0,
+                            "status": status})
 
     started = time.perf_counter()
     tasks = []
@@ -241,6 +357,7 @@ async def run_open_loop(server: DistanceServer, pairs: Sequence[Pair],
         offered_qps=qps,
         latency=recorder.snapshot(),
         answers=answers,
+        samples=samples,
     )
 
 

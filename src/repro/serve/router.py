@@ -256,6 +256,10 @@ class StretchRouter:
     def engine(self, name: str) -> QueryEngine:
         return self.registry.engine(name)
 
+    def entry(self, name: str) -> ArtifactEntry:
+        """Registry entry for ``name`` (raises ``RegistryError`` if unknown)."""
+        return self.registry.get(name)
+
     def loaded_engines(self) -> Dict[str, QueryEngine]:
         return self.registry.loaded_engines()
 

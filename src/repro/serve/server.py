@@ -45,6 +45,8 @@ from collections import deque
 from pathlib import Path
 from typing import Deque, Dict, List, Optional, Sequence, Tuple, Union
 
+import numpy as np
+
 from repro.oracle.cache import LatencyRecorder
 from repro.oracle.engine import QueryEngine
 from repro.serve.registry import ArtifactEntry, ArtifactRegistry
@@ -195,6 +197,13 @@ class _SingleEngineRouter:
 
     def engine(self, name: str) -> QueryEngine:
         return self._engine
+
+    def entry(self, name: str) -> ArtifactEntry:
+        if name != self._entry.name:
+            raise RoutingError(
+                f"unknown artifact {name!r}; this server holds only "
+                f"{self._entry.name!r}")
+        return self._entry
 
     def loaded_engines(self) -> Dict[str, QueryEngine]:
         return {self._entry.name: self._engine}
@@ -371,6 +380,91 @@ class DistanceServer:
             for u, v in pairs
         )))
 
+    async def gather(self, u, v, *, multiplicative: float = math.inf,
+                     additive: float = math.inf, client: str = "default",
+                     artifact: Optional[str] = None) -> np.ndarray:
+        """Vectorised batch: one route and one engine gather chain per call.
+
+        The wire-protocol fast path (:mod:`repro.net`): a worker decodes
+        a batched request into ``u``/``v`` node arrays and answers it
+        here, paying routing, validation, and the engine gather once per
+        *frame* instead of once per pair — no per-pair futures, no
+        coalescing window.  Answers are identical to per-pair
+        :meth:`dist` calls (both resolve through the engine's
+        ``batch_core``).  ``artifact`` pins a registered artifact by name
+        (still budget-checked) so a front tier can force every worker to
+        answer from the same table; ``None`` routes by budget as usual.
+
+        Each pair counts once in the request/served/shed/error totals
+        and client percentiles; the call occupies one backpressure slot.
+        """
+        if self._closed:
+            raise ServerClosed("server is shut down")
+        started = time.perf_counter_ns()
+        stats = self._client(client)
+        u = np.asarray(u, dtype=np.int64)
+        v = np.asarray(v, dtype=np.int64)
+        if u.shape != v.shape or u.ndim != 1:
+            raise ValueError(
+                f"u/v must be equal-length 1-D node arrays, got shapes "
+                f"{u.shape} and {v.shape}")
+        count = len(u)
+        stats.requests += count
+        self._requests_total += count
+        try:
+            if artifact is None:
+                decision = self._router.route(multiplicative=multiplicative,
+                                              additive=additive)
+                name, n = decision.name, decision.entry.n
+            else:
+                entry = self._router.entry(artifact)
+                if not budget_admits(entry.stretch, multiplicative, additive):
+                    raise RoutingError(
+                        f"pinned artifact {artifact!r} guarantees "
+                        f"{entry.stretch.multiplicative:g}x+"
+                        f"{entry.stretch.additive:g}, exceeding the stretch "
+                        f"budget {multiplicative:g}x+{additive:g}")
+                name, n = entry.name, entry.n
+            if count == 0:
+                values = np.zeros(0, dtype=np.float64)
+            else:
+                if (int(u.min()) < 0 or int(u.max()) >= n
+                        or int(v.min()) < 0 or int(v.max()) >= n):
+                    bad_mask = ((u < 0) | (u >= n) | (v < 0) | (v >= n))
+                    index = int(np.argmax(bad_mask))
+                    raise ValueError(
+                        f"node pair ({int(u[index])}, {int(v[index])}) "
+                        f"out of range [0, {n})")
+                config = self.config
+                if self._in_flight >= config.queue_capacity:
+                    await self._admit_slow(stats, weight=count)
+                self._in_flight += 1
+                try:
+                    lo = np.minimum(u, v)
+                    hi = np.maximum(u, v)
+                    engine = self._router.engine(name)
+                    values = np.empty(count, dtype=np.float64)
+                    for start in range(0, count, config.max_batch):
+                        chunk = slice(start, min(start + config.max_batch,
+                                                 count))
+                        values[chunk] = engine.batch_core(lo[chunk], hi[chunk])
+                        self._engine_batches += 1
+                        self._coalesced_keys += chunk.stop - chunk.start
+                finally:
+                    self._release()
+        except ServerOverloaded:
+            raise  # shed accounting happened at the admission gate
+        except BaseException:
+            stats.errors += count
+            self._errors_total += count
+            raise
+        stats.answered += count
+        self._served_total += count
+        if count:
+            stats.latency.record_many(
+                (time.perf_counter_ns() - started) // count, count)
+        return values
+
     # ------------------------------------------------------------------
     # stats
     # ------------------------------------------------------------------
@@ -392,6 +486,11 @@ class DistanceServer:
             "coalescing": {
                 "mode": ("auto" if self._auto_window
                          else ("off" if self._coalesce_disabled else "fixed")),
+                # Both the knob and the truth: "configured" is what the
+                # server was asked for, "window_s" the window actually in
+                # effect right now (they differ under mode="auto", where
+                # the EWMA re-sizes the window every flush).
+                "configured": self.config.coalesce_window,
                 "window_s": self._window,
                 "ewma_arrival_rate": self._arrival_rate,
             },
@@ -420,16 +519,19 @@ class DistanceServer:
                 self.config.client_latency_window)
         return stats
 
-    async def _admit_slow(self, stats: _ClientStats) -> None:
+    async def _admit_slow(self, stats: _ClientStats, weight: int = 1) -> None:
         """The backpressure gate, entered only when the queue is full.
 
         Returns with a slot reserved for the caller (who increments
         ``_in_flight`` immediately, with no await in between).
+        ``weight`` is how many requests a shed counts for — 1 for a point
+        query, the pair count for a :meth:`gather` batch, keeping the
+        request/served/shed/error totals consistent either way.
         """
         while self._in_flight >= self.config.queue_capacity:
             if self.config.overload_policy == "shed":
-                stats.shed += 1
-                self._shed_total += 1
+                stats.shed += weight
+                self._shed_total += weight
                 raise ServerOverloaded(
                     f"in-flight queue at capacity "
                     f"({self.config.queue_capacity}); request shed"

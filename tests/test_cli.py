@@ -485,3 +485,56 @@ class TestShardingSubcommands:
         assert main(["oracle", "bench", str(tmp_path / "c.shards.json"),
                      "--queries", "100"]) == 1
         assert "checksum" in capsys.readouterr().err
+
+
+class TestNetSubcommands:
+    def test_net_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main(["net"])
+
+    def test_net_serve_self_test_over_tcp(self, tmp_path, capsys):
+        """The one-command proof: spawn 2 worker processes + front tier,
+        drive verified queries over real sockets, exit clean."""
+        assert main(["oracle", "build", str(tmp_path / "n.npz"), "--n", "32",
+                     "--seed", "7", "--shards", "2"]) == 0
+        capsys.readouterr()
+        assert main(["net", "serve", str(tmp_path / "n.shards.json"),
+                     "--workers", "2", "--self-test", "200",
+                     "--concurrency", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "self-test over TCP" in out
+        assert "success rate     : 1.0000" in out
+
+    def test_net_serve_bad_artifact_is_clean_error(self, tmp_path, capsys):
+        assert main(["net", "serve", str(tmp_path / "missing.npz"),
+                     "--self-test", "10"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_net_serve_window_validation(self, tmp_path, capsys):
+        assert main(["net", "serve", str(tmp_path / "missing.npz"),
+                     "--window-ms", "soon", "--self-test", "10"]) != 0
+
+    def test_loadgen_raw_jsonl_export(self, tmp_path, capsys):
+        from repro.serve.loadgen import LoadReport
+
+        assert main(["oracle", "build", str(tmp_path / "r.npz"), "--n", "24",
+                     "--seed", "7", "--strategy", "landmark-mssp"]) == 0
+        capsys.readouterr()
+        raw = tmp_path / "raw.jsonl"
+        assert main(["loadgen", str(tmp_path / "r.npz"), "--queries", "150",
+                     "--raw-jsonl", str(raw)]) == 0
+        assert "raw samples" in capsys.readouterr().out
+        merged = LoadReport.from_jsonl(str(raw))
+        assert merged.requested == 150
+        assert merged.completed == 150
+
+    def test_serve_reports_effective_coalescing_window(self, tmp_path,
+                                                       capsys):
+        assert main(["oracle", "build", str(tmp_path / "w.npz"), "--n", "24",
+                     "--seed", "7", "--strategy", "landmark-mssp"]) == 0
+        capsys.readouterr()
+        assert main(["serve", str(tmp_path / "w.npz"), "--queries", "400",
+                     "--window-ms", "auto"]) == 0
+        out = capsys.readouterr().out
+        assert "coalescing       : mode=auto configured=auto" in out
+        assert "effective=" in out

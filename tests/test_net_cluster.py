@@ -1,0 +1,75 @@
+"""Cluster process-management tests: spawn a real 2-worker fleet over
+``multiprocessing``, serve verified queries through a front tier, kill a
+worker and check re-routing, and drain cleanly.  Kept small (n=48, a few
+hundred queries) — the benchmark campaign exercises the full scale."""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.net.bench import synthetic_sharded_artifact
+from repro.net.cluster import Cluster, free_port
+from repro.net.frontend import Frontend, NetClient
+from repro.serve import build_registry
+
+N = 48
+
+
+@pytest.fixture(scope="module")
+def manifest(tmp_path_factory):
+    return synthetic_sharded_artifact(
+        tmp_path_factory.mktemp("net-cluster"), n=N, num_shards=3, seed=11)
+
+
+@pytest.fixture(scope="module")
+def reference(manifest):
+    registry = build_registry([str(manifest)])
+    return registry.engine(registry.entries()[0].name)
+
+
+def test_free_port_is_bindable():
+    import socket
+
+    port = free_port()
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", port))
+
+
+def test_cluster_validation(manifest):
+    with pytest.raises(ValueError):
+        Cluster([str(manifest)], num_workers=0)
+
+
+def test_cluster_serves_and_survives_worker_kill(manifest, reference):
+    """The multiprocessing end-to-end: spawn, query, kill, re-route, drain."""
+    pairs = [(index % N, (index * 11 + 5) % N) for index in range(300)]
+    want = reference.batch(pairs)
+
+    with Cluster([str(manifest)], num_workers=2) as cluster:
+        assert all(cluster.alive())
+        assert cluster.describe()["workers"] == 2
+
+        async def drive():
+            frontend = Frontend([str(manifest)], cluster.addresses,
+                                port=free_port(), request_timeout=5.0)
+            await frontend.start()
+            try:
+                async with NetClient(*frontend.address) as client:
+                    before = await client.batch(pairs)
+                    cluster.kill_worker(0)
+                    after = [await client.batch(pairs) for _ in range(3)]
+                stats = frontend.stats()
+                return before, after, stats
+            finally:
+                await frontend.stop()
+
+        before, after, stats = asyncio.run(drive())
+        assert np.allclose(before, want)
+        for got in after:  # zero wrong answers through the kill
+            assert np.allclose(got, want)
+        assert stats["ejections"] == 1
+        assert cluster.alive() == [False, True]
+    assert not any(cluster.alive())  # context exit reaped the fleet

@@ -1,0 +1,266 @@
+"""Front-tier tests: shard-affinity partitioning with verified answers,
+artifact pinning for cross-worker determinism, failover with bounded
+retries, dead-worker ejection and re-routing, and the coalescing
+NetClient — two real workers on localhost sockets throughout."""
+
+from __future__ import annotations
+
+import asyncio
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.net.bench import synthetic_sharded_artifact
+from repro.net.frontend import Frontend, NetClient, WorkerUnavailable
+from repro.net.protocol import NetError
+from repro.net.worker import DistanceWorker
+from repro.serve import DistanceServer, RoutingError, StretchRouter, build_registry
+
+N = 64
+
+
+@pytest.fixture(scope="module")
+def manifest(tmp_path_factory) -> Path:
+    return synthetic_sharded_artifact(
+        tmp_path_factory.mktemp("net-frontend"), n=N, num_shards=4, seed=5)
+
+
+@pytest.fixture(scope="module")
+def reference(manifest):
+    registry = build_registry([str(manifest)])
+    return registry.engine(registry.entries()[0].name)
+
+
+def make_worker(manifest) -> DistanceWorker:
+    return DistanceWorker(
+        DistanceServer(StretchRouter(build_registry([str(manifest)]))))
+
+
+async def start_fleet(manifest, num_workers=2, **frontend_kwargs):
+    workers = []
+    for _ in range(num_workers):
+        worker = make_worker(manifest)
+        await worker.server.__aenter__()
+        await worker.start()
+        workers.append(worker)
+    frontend = Frontend([str(manifest)],
+                        [worker.address for worker in workers],
+                        **frontend_kwargs)
+    await frontend.start()
+    return frontend, workers
+
+
+async def stop_fleet(frontend, workers):
+    await frontend.stop()
+    for worker in workers:
+        await worker.stop()
+        await worker.server.__aexit__(None, None, None)
+
+
+def pairs_covering_all_shards(count=200):
+    return [(index % N, (index * 13 + 7) % N) for index in range(count)]
+
+
+class TestPartitioning:
+    def test_batch_spans_both_workers_and_matches_reference(
+            self, manifest, reference):
+        async def drive():
+            frontend, workers = await start_fleet(manifest)
+            try:
+                pairs = pairs_covering_all_shards()
+                async with NetClient(*frontend.address) as client:
+                    got = await client.batch(pairs)
+                served = [worker.server.stats()["served_total"]
+                          for worker in workers]
+                return got, pairs, served
+            finally:
+                await stop_fleet(frontend, workers)
+
+        got, pairs, served = asyncio.run(drive())
+        assert np.allclose(got, reference.batch(pairs))
+        # Shard affinity striped the batch across both workers.
+        assert all(count > 0 for count in served)
+        assert sum(served) == len(pairs)
+
+    def test_empty_batch(self, manifest):
+        async def drive():
+            frontend, workers = await start_fleet(manifest)
+            try:
+                async with NetClient(*frontend.address) as client:
+                    return await client.batch([])
+            finally:
+                await stop_fleet(frontend, workers)
+
+        assert asyncio.run(drive()).size == 0
+
+    def test_out_of_range_nodes_rejected_at_the_front(self, manifest):
+        async def drive():
+            frontend, workers = await start_fleet(manifest)
+            try:
+                async with NetClient(*frontend.address) as client:
+                    with pytest.raises(ValueError):
+                        await client.batch([(0, N + 50)])
+                served = sum(worker.server.stats()["served_total"]
+                             for worker in workers)
+                return served
+            finally:
+                await stop_fleet(frontend, workers)
+
+        assert asyncio.run(drive()) == 0  # never reached a worker
+
+    def test_unsatisfiable_budget_is_routing_error(self, manifest):
+        async def drive():
+            frontend, workers = await start_fleet(manifest)
+            try:
+                async with NetClient(*frontend.address) as client:
+                    with pytest.raises(RoutingError):
+                        await client.batch([(0, 1)], multiplicative=0.5,
+                                           additive=0.0)
+            finally:
+                await stop_fleet(frontend, workers)
+
+        asyncio.run(drive())
+
+    def test_single_worker_fleet(self, manifest, reference):
+        async def drive():
+            frontend, workers = await start_fleet(manifest, num_workers=1)
+            try:
+                pairs = pairs_covering_all_shards(60)
+                async with NetClient(*frontend.address) as client:
+                    return pairs, await client.batch(pairs)
+            finally:
+                await stop_fleet(frontend, workers)
+
+        pairs, got = asyncio.run(drive())
+        assert np.allclose(got, reference.batch(pairs))
+
+
+class TestFailover:
+    def test_dead_worker_is_retried_ejected_and_rerouted(
+            self, manifest, reference):
+        async def drive():
+            frontend, workers = await start_fleet(
+                manifest, request_timeout=2.0, eject_after=2)
+            try:
+                pairs = pairs_covering_all_shards()
+                async with NetClient(*frontend.address) as client:
+                    await client.batch(pairs[:40])  # warm both links
+                    await workers[1].stop(drain_timeout=0.1)  # kill one
+                    results = [await client.batch(pairs) for _ in range(4)]
+                stats = frontend.stats()
+                return pairs, results, stats, frontend.healthy_links()
+            finally:
+                await stop_fleet(frontend, workers[:1])
+
+        pairs, results, stats, healthy = asyncio.run(drive())
+        want = reference.batch(pairs)
+        for got in results:  # zero wrong answers through the failover
+            assert np.allclose(got, want)
+        assert stats["failovers"] >= 1
+        assert stats["ejections"] == 1
+        assert len(healthy) == 1  # dead worker left the rotation
+
+    def test_all_workers_dead_raises_net_error(self, manifest):
+        async def drive():
+            frontend, workers = await start_fleet(
+                manifest, request_timeout=1.0, eject_after=1, max_attempts=2)
+            try:
+                async with NetClient(*frontend.address) as client:
+                    await client.batch([(0, 1)])
+                    for worker in workers:
+                        await worker.stop(drain_timeout=0.1)
+                    with pytest.raises((NetError, WorkerUnavailable)):
+                        # Enough calls to eject every worker.
+                        for _ in range(4):
+                            await client.batch([(0, 1)])
+            finally:
+                await stop_fleet(frontend, [])
+                for worker in workers:
+                    await worker.server.__aexit__(None, None, None)
+
+        asyncio.run(drive())
+
+    def test_readmit_recovers_an_ejected_worker(self, manifest):
+        async def drive():
+            frontend, workers = await start_fleet(manifest, eject_after=1)
+            try:
+                frontend.links()[1].ejected = True
+                assert len(frontend.healthy_links()) == 1
+                assert await frontend.readmit(1)
+                return len(frontend.healthy_links())
+            finally:
+                await stop_fleet(frontend, workers)
+
+        assert asyncio.run(drive()) == 2
+
+
+class TestNetClientCoalescing:
+    def test_concurrent_dists_coalesce_onto_one_wire_request(
+            self, manifest, reference):
+        async def drive():
+            frontend, workers = await start_fleet(manifest)
+            try:
+                pairs = pairs_covering_all_shards(80)
+                async with NetClient(*frontend.address,
+                                     coalesce_window=0.002) as client:
+                    values = await asyncio.gather(
+                        *(client.dist(u, v) for u, v in pairs))
+                    wire_requests = client.link.requests
+                return pairs, values, wire_requests
+            finally:
+                await stop_fleet(frontend, workers)
+
+        pairs, values, wire_requests = asyncio.run(drive())
+        assert np.allclose(values, reference.batch(pairs))
+        # 80 awaited pairs collapsed into far fewer wire round trips.
+        assert wire_requests < len(pairs) / 2
+
+    def test_dist_without_coalescing(self, manifest, reference):
+        async def drive():
+            frontend, workers = await start_fleet(manifest)
+            try:
+                async with NetClient(*frontend.address,
+                                     coalesce_window=0.0) as client:
+                    return await client.dist(3, 9)
+            finally:
+                await stop_fleet(frontend, workers)
+
+        assert asyncio.run(drive()) == pytest.approx(
+            float(reference.batch([(3, 9)])[0]))
+
+    def test_artifact_pin_forces_one_table(self, manifest, reference):
+        async def drive():
+            frontend, workers = await start_fleet(manifest)
+            try:
+                name = build_registry([str(manifest)]).entries()[0].name
+                async with NetClient(*frontend.address) as client:
+                    pinned = await client.batch([(0, 5)], artifact=name)
+                    with pytest.raises(RoutingError):
+                        await client.batch([(0, 5)], artifact=name,
+                                           multiplicative=0.1)
+                return pinned
+            finally:
+                await stop_fleet(frontend, workers)
+
+        assert asyncio.run(drive())[0] == pytest.approx(
+            float(reference.batch([(0, 5)])[0]))
+
+
+class TestFrontendObservability:
+    def test_stats_and_health_include_fleet_state(self, manifest):
+        async def drive():
+            frontend, workers = await start_fleet(manifest)
+            try:
+                async with NetClient(*frontend.address) as client:
+                    await client.batch(pairs_covering_all_shards(30))
+                return frontend.stats(), frontend.health()
+            finally:
+                await stop_fleet(frontend, workers)
+
+        stats, health = asyncio.run(drive())
+        assert health["workers"] == 2
+        assert health["healthy_workers"] == 2
+        assert len(stats["workers"]) == 2
+        assert stats["workers"][0]["requests"] > 0
+        assert "router" in stats

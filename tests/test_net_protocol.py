@@ -1,0 +1,201 @@
+"""Wire-protocol tests: frame/payload roundtrips and the malformed-input
+edge cases the issue pins down — truncated frame, oversized length
+prefix, unknown version byte, empty pair batch, bad magic — plus the
+strict-JSON scrubber used by the HTTP fallback."""
+
+from __future__ import annotations
+
+import asyncio
+import math
+import struct
+
+import numpy as np
+import pytest
+
+from repro.net.protocol import (
+    ERR_BAD_FRAME,
+    ERR_UNSUPPORTED_VERSION,
+    HEADER,
+    MAGIC,
+    MAX_PAYLOAD,
+    MSG_REQUEST,
+    MSG_RESPONSE,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    encode_frame,
+    jsonable,
+    pack_error,
+    pack_request,
+    pack_response,
+    read_frame,
+    unpack_error,
+    unpack_request,
+    unpack_response,
+)
+
+
+def feed(*chunks: bytes) -> asyncio.StreamReader:
+    """A StreamReader pre-loaded with bytes and EOF."""
+    reader = asyncio.StreamReader()
+    for chunk in chunks:
+        reader.feed_data(chunk)
+    reader.feed_eof()
+    return reader
+
+
+def read_one(data: bytes):
+    async def drive():
+        return await read_frame(feed(data))
+
+    return asyncio.run(drive())
+
+
+class TestRoundtrips:
+    def test_request_roundtrip(self):
+        pairs = [(0, 5), (3, 3), (7, 1)]
+        payload = pack_request(pairs, 2.5, 1.0, "dense")
+        request = unpack_request(payload, req_id=9)
+        assert request.u.tolist() == [0, 3, 7]
+        assert request.v.tolist() == [5, 3, 1]
+        assert request.multiplicative == 2.5
+        assert request.additive == 1.0
+        assert request.artifact == "dense"
+        assert len(request) == 3
+
+    def test_request_accepts_arrays_and_infinite_budget(self):
+        u = np.arange(10, dtype=np.int32)
+        v = np.arange(10, dtype=np.int32)[::-1].copy()
+        payload = pack_request(np.stack([u, v], axis=1), math.inf, math.inf, "")
+        request = unpack_request(payload, req_id=1)
+        assert request.u.tolist() == u.tolist()
+        assert request.multiplicative == math.inf
+
+    def test_empty_pair_batch_roundtrips(self):
+        request = unpack_request(pack_request([], 1.0, 0.0, ""), req_id=2)
+        assert len(request) == 0
+        values = unpack_response(pack_response(np.zeros(0)), req_id=2)
+        assert values.size == 0
+
+    def test_response_roundtrip_preserves_inf(self):
+        values = np.asarray([1.5, math.inf, 0.0])
+        out = unpack_response(pack_response(values), req_id=3)
+        assert out.tolist()[0] == 1.5
+        assert math.isinf(out[1])
+
+    def test_error_roundtrip(self):
+        error = unpack_error(pack_error(ERR_BAD_FRAME, "boom"), req_id=4)
+        assert error.code == ERR_BAD_FRAME
+        assert error.req_id == 4
+        assert "boom" in str(error)
+        assert error.code_name == "bad-frame"
+
+    def test_frame_roundtrip_through_reader(self):
+        payload = pack_request([(1, 2)], math.inf, math.inf, "")
+        ftype, req_id, got = read_one(encode_frame(MSG_REQUEST, 77, payload))
+        assert (ftype, req_id) == (MSG_REQUEST, 77)
+        assert got == payload
+
+    def test_clean_eof_returns_none(self):
+        assert read_one(b"") is None
+
+
+class TestMalformedFrames:
+    def test_truncated_header_raises(self):
+        frame = encode_frame(MSG_REQUEST, 1, b"x" * 10)
+        with pytest.raises(ProtocolError) as excinfo:
+            read_one(frame[: HEADER.size - 3])
+        assert excinfo.value.code == ERR_BAD_FRAME
+
+    def test_truncated_payload_raises(self):
+        frame = encode_frame(MSG_REQUEST, 1, b"x" * 64)
+        with pytest.raises(ProtocolError) as excinfo:
+            read_one(frame[:-20])
+        assert excinfo.value.code == ERR_BAD_FRAME
+
+    def test_bad_magic_raises(self):
+        frame = bytearray(encode_frame(MSG_REQUEST, 1, b""))
+        frame[:4] = b"HTTP"
+        with pytest.raises(ProtocolError) as excinfo:
+            read_one(bytes(frame))
+        assert excinfo.value.code == ERR_BAD_FRAME
+
+    def test_unknown_version_byte_raises(self):
+        frame = bytearray(encode_frame(MSG_REQUEST, 1, b""))
+        frame[4] = PROTOCOL_VERSION + 1
+        with pytest.raises(ProtocolError) as excinfo:
+            read_one(bytes(frame))
+        assert excinfo.value.code == ERR_UNSUPPORTED_VERSION
+
+    def test_oversized_length_prefix_raises_before_reading_payload(self):
+        header = HEADER.pack(MAGIC, PROTOCOL_VERSION, MSG_REQUEST, 0, 1,
+                             MAX_PAYLOAD + 1)
+        with pytest.raises(ProtocolError) as excinfo:
+            read_one(header)
+        assert excinfo.value.code == ERR_BAD_FRAME
+        assert "payload" in str(excinfo.value)
+
+    def test_oversized_frame_rejected_by_encoder(self):
+        with pytest.raises(ProtocolError):
+            encode_frame(MSG_RESPONSE, 1, b"x" * (MAX_PAYLOAD + 1))
+
+
+class TestMalformedPayloads:
+    def test_request_shorter_than_head_raises(self):
+        with pytest.raises(ProtocolError):
+            unpack_request(b"ab", req_id=1)
+
+    def test_request_with_wrong_array_length_raises(self):
+        payload = bytearray(pack_request([(1, 2), (3, 4)], 1.0, 0.0, ""))
+        with pytest.raises(ProtocolError):
+            unpack_request(bytes(payload[:-4]), req_id=1)
+
+    def test_request_with_lying_hint_length_raises(self):
+        payload = bytearray(pack_request([(1, 2)], 1.0, 0.0, "abc"))
+        # Corrupt the hint length beyond the payload end.
+        head = struct.Struct("!ddHI")
+        mult, add, _hint_len, count = head.unpack_from(payload)
+        head.pack_into(payload, 0, mult, add, 60000, count)
+        with pytest.raises(ProtocolError):
+            unpack_request(bytes(payload), req_id=1)
+
+    def test_response_with_wrong_count_raises(self):
+        payload = bytearray(pack_response(np.asarray([1.0, 2.0])))
+        with pytest.raises(ProtocolError):
+            unpack_response(bytes(payload[:-8]), req_id=1)
+
+
+class TestPipelining:
+    def test_multiple_frames_in_one_stream(self):
+        data = b"".join(encode_frame(MSG_REQUEST, req_id,
+                                     pack_request([(req_id, 0)], 1.0, 0.0, ""))
+                        for req_id in (1, 2, 3))
+
+        async def drive():
+            reader = feed(data)
+            seen = []
+            while True:
+                frame = await read_frame(reader)
+                if frame is None:
+                    return seen
+                seen.append(frame[1])
+
+        assert asyncio.run(drive()) == [1, 2, 3]
+
+    def test_preread_bytes_are_consumed_first(self):
+        frame = encode_frame(MSG_REQUEST, 5, b"")
+
+        async def drive():
+            reader = feed(frame[4:])
+            return await read_frame(reader, preread=frame[:4])
+
+        ftype, req_id, payload = asyncio.run(drive())
+        assert (ftype, req_id, payload) == (MSG_REQUEST, 5, b"")
+
+
+class TestJsonable:
+    def test_scrubs_numpy_and_nonfinite(self):
+        doc = jsonable({"a": np.float64(1.5), "b": math.inf,
+                        "c": (np.int32(2), [float("nan")])})
+        assert doc["a"] == 1.5
+        assert doc["b"] == "inf"
+        assert doc["c"] == [2, ["nan"]]

@@ -158,3 +158,138 @@ class TestVerification:
 
     def test_none_answers_are_skipped(self, reference):
         assert count_mismatches([(0, 1), (2, 3)], [None, None], reference) == 0
+
+
+class TestRawSamples:
+    def test_closed_loop_collects_per_request_samples(self, graph, engine):
+        pairs = zipf_pairs(graph.n, 120, seed=3)
+
+        async def drive():
+            async with DistanceServer(engine) as server:
+                return await run_closed_loop(server, pairs, concurrency=8,
+                                             client="lg",
+                                             collect_samples=True)
+
+        report = asyncio.run(drive())
+        assert len(report.samples) == 120
+        sample = report.samples[0]
+        assert set(sample) == {"t", "client", "latency_us", "status"}
+        assert sample["status"] == "ok"
+        assert sample["latency_us"] > 0
+        assert sample["client"].startswith("lg/")  # per-worker client ids
+        # More than one closed-loop worker contributed.
+        assert len({s["client"] for s in report.samples}) > 1
+
+    def test_samples_off_by_default(self, graph, engine):
+        pairs = zipf_pairs(graph.n, 20, seed=3)
+
+        async def drive():
+            async with DistanceServer(engine) as server:
+                return await run_closed_loop(server, pairs, concurrency=4)
+
+        assert asyncio.run(drive()).samples == []
+
+    def test_error_and_shed_statuses_recorded(self, graph, engine):
+        pairs = [(0, 1), (0, graph.n + 99), (2, 3)]
+
+        async def drive():
+            async with DistanceServer(engine) as server:
+                return await run_closed_loop(server, pairs, concurrency=1,
+                                             collect_samples=True)
+
+        report = asyncio.run(drive())
+        statuses = sorted(s["status"] for s in report.samples)
+        assert statuses == ["error", "ok", "ok"]
+        assert report.errors == 1
+
+    def test_custom_error_types_widen_the_net(self, graph, engine):
+        class Flaky:
+            def __init__(self, inner):
+                self.inner = inner
+                self.calls = 0
+
+            async def dist(self, u, v, **kwargs):
+                self.calls += 1
+                if self.calls % 3 == 0:
+                    raise ConnectionError("flaky wire")
+                return await self.inner.dist(u, v, **kwargs)
+
+        pairs = zipf_pairs(graph.n, 30, seed=5)
+
+        async def drive():
+            async with DistanceServer(engine) as server:
+                flaky = Flaky(server)
+                with pytest.raises(ConnectionError):
+                    await run_closed_loop(flaky, pairs, concurrency=1)
+                flaky.calls = 0
+                return await run_closed_loop(
+                    flaky, pairs, concurrency=1,
+                    error_types=(ConnectionError,))
+
+        report = asyncio.run(drive())
+        assert report.errors == 10
+        assert report.completed == 20
+
+
+class TestJsonlRoundtrip:
+    def test_write_then_merge_reconstructs_counts(self, graph, engine,
+                                                  tmp_path):
+        from repro.serve.loadgen import LoadReport
+
+        pairs_a = zipf_pairs(graph.n, 80, seed=1)
+        pairs_b = zipf_pairs(graph.n, 40, seed=2)
+
+        async def drive():
+            async with DistanceServer(engine) as server:
+                first = await run_closed_loop(server, pairs_a, concurrency=8,
+                                              client="a",
+                                              collect_samples=True)
+                second = await run_open_loop(server, pairs_b, qps=4000.0,
+                                             client="b",
+                                             collect_samples=True)
+                return first, second
+
+        first, second = asyncio.run(drive())
+        path_a = tmp_path / "a.jsonl"
+        path_b = tmp_path / "b.jsonl"
+        assert first.write_samples_jsonl(str(path_a)) == 80
+        assert second.write_samples_jsonl(str(path_b)) == 40
+
+        merged = LoadReport.from_jsonl([str(path_a), str(path_b)])
+        assert merged.mode == "merged"
+        assert merged.requested == 120
+        assert merged.completed == first.completed + second.completed
+        assert merged.latency["count"] == merged.completed
+        assert merged.duration_s > 0
+        assert merged.achieved_qps > 0
+        assert len(merged.samples) == 120
+
+    def test_append_semantics_accumulate(self, graph, engine, tmp_path):
+        from repro.serve.loadgen import LoadReport
+
+        pairs = zipf_pairs(graph.n, 25, seed=9)
+        path = tmp_path / "all.jsonl"
+
+        async def drive():
+            async with DistanceServer(engine) as server:
+                for _ in range(3):
+                    report = await run_closed_loop(server, pairs,
+                                                   concurrency=4,
+                                                   collect_samples=True)
+                    report.write_samples_jsonl(str(path))
+
+        asyncio.run(drive())
+        merged = LoadReport.from_jsonl(str(path))
+        assert merged.requested == 75
+
+    def test_garbage_lines_count_as_errors(self, tmp_path):
+        from repro.serve.loadgen import LoadReport
+
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"t": 1.0, "client": "c", "latency_us": 5.0, '
+                        '"status": "ok"}\n'
+                        "this is not json\n"
+                        '{"latency_us": "nope"}\n')
+        merged = LoadReport.from_jsonl(str(path))
+        assert merged.completed == 1
+        assert merged.errors == 2
