@@ -52,6 +52,7 @@ from repro.graphs import (
 from repro.matmul import SemiringMatrix
 from repro.matmul.kernels import (
     DISPATCH,
+    HAVE_NUMBA,
     local_product,
     sparse_dict_product,
     submatrix_product,
@@ -623,6 +624,10 @@ def experiment_kernel_primitives(sizes: Sequence[int] = (64, 256),
             {
                 "csr": lambda: local_product(S, T, kernel="csr"),
                 "dense": lambda: local_product(S, T, kernel="dense"),
+                "dense_blocked":
+                    lambda: local_product(S, T, kernel="dense-blocked"),
+                **({"jit": lambda: local_product(S, T, kernel="jit")}
+                   if HAVE_NUMBA else {}),
             },
             DISPATCH.select(S, T), matrices_equal,
         ))
@@ -643,6 +648,10 @@ def experiment_kernel_primitives(sizes: Sequence[int] = (64, 256),
             {
                 "csr": lambda: local_product(SA, TA, kernel="csr"),
                 "dense": lambda: local_product(SA, TA, kernel="dense"),
+                "dense_blocked":
+                    lambda: local_product(SA, TA, kernel="dense-blocked"),
+                **({"jit": lambda: local_product(SA, TA, kernel="jit")}
+                   if HAVE_NUMBA else {}),
             },
             DISPATCH.select(SA, TA), matrices_equal,
         ))

@@ -21,7 +21,11 @@ Two roles in one file:
   compare against.  ``--smoke`` runs a reduced grid and *gates* against
   the committed baseline: it exits non-zero if any kernel disagrees with
   the dict reference or any speedup regressed more than ``--tolerance``
-  (default 3x) below the committed number.  CI runs the smoke mode.
+  (default 3x) below the committed number.  ``--smoke`` also runs the
+  parallel sharded-build ladder from ``bench_parallel_build.py`` and
+  enforces its gate: bit-identical shards at every job count, plus a
+  >=1.5x build speedup at 4 jobs on machines with >= 4 CPUs.  CI runs
+  the smoke mode.
 """
 
 from __future__ import annotations
@@ -36,6 +40,12 @@ from _harness import (
     experiment_kernel_primitives,
     experiment_primitives,
     format_table,
+)
+from bench_parallel_build import (
+    SMOKE_LADDER,
+    format_ladder,
+    gate_failures as parallel_gate_failures,
+    run_ladder,
 )
 
 #: Committed baseline written by full runs and read by --smoke gating.
@@ -157,6 +167,19 @@ def main(argv=None) -> int:
                       f"baseline {args.baseline})")
         else:
             print(f"regression gate SKIPPED: no baseline at {args.baseline}")
+
+        # Parallel-vs-serial sharded build gate (bit-parity everywhere;
+        # >=1.5x speedup at 4 jobs enforced only on >=4-CPU machines).
+        ladder = run_ladder(**SMOKE_LADDER)
+        print(format_ladder(ladder))
+        par_failures = parallel_gate_failures(ladder)
+        if par_failures:
+            print("PARALLEL BUILD GATE FAILED:")
+            for failure in par_failures:
+                print(f"  - {failure}")
+            status = 1
+        else:
+            print("parallel build gate OK")
 
     if args.json is not None:
         default_name = "BENCH_PR2.smoke.json" if args.smoke else "BENCH_PR2.json"

@@ -60,6 +60,7 @@ from repro.graphs import (
 from repro.graphs.reference import approximation_ratio
 from repro.hopsets import verify_hopset_property
 from repro.matmul import SemiringMatrix
+from repro.matmul.kernels import KERNEL_NAMES
 from repro.oracle import (
     STRATEGY_NAMES,
     ArtifactError,
@@ -251,25 +252,32 @@ def cmd_oracle_build(args: argparse.Namespace) -> int:
             return 1
     else:
         graph = _build_graph(args)
-    try:
-        builder = OracleBuilder(strategy=args.strategy, epsilon=args.epsilon, k=args.k)
-        artifact = builder.build(graph)
-    except ValueError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
+    kernel = None if args.kernel in (None, "auto") else args.kernel
+    extra_metadata = None
     if original_ids is not None:
         # Node ids in the file may be arbitrary; persist the mapping so
         # queries speak the file's ids, not the compacted internal ones.
-        artifact.metadata["node_ids"] = [original_ids[i] for i in range(graph.n)]
+        extra_metadata = {
+            "node_ids": [original_ids[i] for i in range(graph.n)]}
+    try:
+        builder = OracleBuilder(strategy=args.strategy, epsilon=args.epsilon,
+                                k=args.k, kernel=kernel, jobs=args.jobs)
+        if args.shards:
+            # Sharded builds go through the builder so --jobs workers can
+            # write their shard files directly.
+            artifact, manifest_path, shard_paths = builder.build_sharded(
+                graph, args.artifact, args.shards,
+                extra_metadata=extra_metadata)
+        else:
+            artifact = builder.build(graph)
+            if extra_metadata:
+                artifact.metadata.update(extra_metadata)
+    except (ArtifactError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     print(f"oracle build: {args.strategy} on n={graph.n}, m={graph.num_edges()}")
-    print(builder.report(artifact).summary())
+    print(builder.report(artifact).summary(verbose=args.verbose))
     if args.shards:
-        try:
-            manifest_path, shard_paths = artifact.save_sharded(
-                args.artifact, args.shards)
-        except (ArtifactError, ValueError) as exc:
-            print(f"error: {exc}", file=sys.stderr)
-            return 2
         print(f"manifest         : {manifest_path}")
         print(f"shards           : {len(shard_paths)} memory-mappable files "
               f"({shard_paths[0].name} .. {shard_paths[-1].name})")
@@ -778,6 +786,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--shards", type=int, default=0,
         help="write this many memory-mappable row shards plus a manifest "
              "instead of one monolithic .npz (0 = monolithic)",
+    )
+    build.add_argument(
+        "--jobs", type=int, default=None,
+        help="build with this many worker processes (row-slab parallel, "
+             "exact distances, bit-identical at any job count); default: "
+             "classic single-process simulated-clique build",
+    )
+    build.add_argument(
+        "--kernel", choices=KERNEL_NAMES, default="auto",
+        help="pin the min-plus kernel tier for the classic build's matrix "
+             "products (default: cost-model auto-selection)",
+    )
+    build.add_argument(
+        "--verbose", action="store_true",
+        help="also print per-phase wall-clock timings and worker count",
     )
     build.set_defaults(func=cmd_oracle_build, weighted=True)
 

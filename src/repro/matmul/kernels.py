@@ -1,52 +1,76 @@
-"""Local product kernels: sparse-dict, CSR, and dense, behind a cost model.
+"""Local product kernels: sparse-dict, CSR, and dense tiers, behind a cost model.
 
 In the Congested Clique algorithms each node computes products of the
 submatrices it has learned *locally* — local computation is free in the
-model, only communication costs rounds.  Three kernels provide that local
+model, only communication costs rounds.  Five kernels provide that local
 computation:
 
 * ``dict`` — the reference dictionary-based sparse semiring product: a pure
   Python triple loop, works for any semiring, cost proportional to the
-  number of elementary products.  Always available, slowest per product.
+  number of elementary products.  Always available, slowest per product,
+  and the bit-exact baseline every other tier is property-tested against.
 * ``csr`` — the vectorised sparse kernels of :mod:`repro.matmul.csr`:
   operands are converted (once, cached on the matrix) to CSR numpy arrays
   and the product is evaluated with gathers and segmented min-reductions.
   Available for the min-plus family (floats / augmented int64 encoding)
   and the Boolean semiring; typically 5-50x faster than ``dict`` on sparse
   inputs.
-* ``dense`` — the blocked dense broadcast kernel
-  (:func:`minplus_matmul_arrays`): densify both operands and take a full
-  ``n³`` min-plus.  Min-plus family only; wins when both operands are near
-  dense so the sparse bookkeeping is pure overhead.
+* ``dense`` — the row-block dense broadcast kernel
+  (:func:`repro.matmul.dense.minplus_matmul_arrays`): densify both
+  operands and take a full ``n³`` min-plus, one ``(block, n, n)``
+  temporary per row block.  Min-plus family only.
+* ``dense-blocked`` — the cache-tiled dense kernel
+  (:func:`repro.matmul.dense.minplus_blocked`): same ``n³`` product walked
+  in cache-sized ``(i, k, j)`` tiles with a running minimum, so the
+  temporaries stop thrashing memory bandwidth.  2-3x faster than
+  ``dense`` at n >= 512 and the tier the parallel build executor uses for
+  its row-slab products.
+* ``jit`` — a numba-compiled triple loop
+  (:func:`repro.matmul.dense.minplus_jit`).  Only offered when numba is
+  importable (the optional ``perf`` extra); never required.
 
 :class:`KernelDispatch` picks between them per call from estimated costs:
 the number of elementary products ``Σ_k colnnz_S(k) · rownnz_T(k)`` (the
 work of the sparse kernels) against the dense ``n³`` FLOP count, each
 weighted by a per-kernel cost-per-operation plus fixed setup and conversion
-charges.  The choice never affects the result — all three kernels are
-bit-identical on their common domain (property-tested).
+charges.  Cost estimates are memoized per operand pair (keyed on identity,
+shape, nnz, and conversion-cache state), so iterated call chains — repeated
+squaring, the per-subcube schedules of the faithful execution modes — pay
+the O(n) estimate once instead of on every ``select()``.  The choice never
+affects the result — all tiers are bit-identical on their common domain
+(property-tested).
 
 Pinning a kernel: every product entry point accepts ``kernel="dict" |
-"csr" | "dense"``, and the ``REPRO_KERNEL`` environment variable pins the
-default process-wide (benchmarks and tests use this; an env-pinned kernel
-that cannot handle the semiring or operation at hand falls back to the
-cost model over the kernels that can, while an explicitly passed one
-raises).
+"csr" | "dense" | "dense-blocked" | "jit"``, and the ``REPRO_KERNEL``
+environment variable pins the default process-wide (benchmarks and tests
+use this; an env-pinned kernel that cannot handle the semiring or operation
+at hand falls back to the cost model over the kernels that can, while an
+explicitly passed one raises).
 
-``benchmarks/bench_primitives.py --json`` measures all three kernels on
-fixed seeds/sizes and writes ``BENCH_PR2.json``; see the README's
-Performance section for how to read it.
+``benchmarks/bench_primitives.py --json`` measures the kernels on fixed
+seeds/sizes and writes ``BENCH_PR2.json``; see the README's Performance
+section for how to read it.
 """
 
 from __future__ import annotations
 
 import math
 import os
+from collections import OrderedDict
 from typing import Any, Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.matmul import csr as _csr
+from repro.matmul import dense as _dense
+from repro.matmul.dense import (  # noqa: F401  (re-exported: original home)
+    HAVE_NUMBA,
+    from_dense_array,
+    minplus_blocked,
+    minplus_jit,
+    minplus_matmul_arrays,
+    to_dense_array,
+)
 from repro.matmul.matrix import SemiringMatrix
 from repro.semiring.augmented import AugmentedMinPlusSemiring
 from repro.semiring.base import Semiring
@@ -56,10 +80,10 @@ from repro.semiring.minplus import MinPlusSemiring
 KERNEL_ENV_VAR = "REPRO_KERNEL"
 
 #: Valid kernel names ("auto" defers to the cost model).
-KERNEL_NAMES = ("auto", "dict", "csr", "dense")
+KERNEL_NAMES = ("auto", "dict", "csr", "dense", "dense-blocked", "jit")
 
-#: Row-block size for the numpy broadcast kernel (memory / speed trade-off).
-_BLOCK_ROWS = 32
+#: The dense-array tiers (one densified product, three inner loops).
+DENSE_TIERS = ("dense", "dense-blocked", "jit")
 
 
 class KernelDispatch:
@@ -72,6 +96,9 @@ class KernelDispatch:
     each other anyway.
     """
 
+    #: Maximum memoized cost entries kept (LRU); see :meth:`costs`.
+    COST_CACHE_SIZE = 128
+
     def __init__(
         self,
         dict_op: float = 1.0,
@@ -81,6 +108,8 @@ class KernelDispatch:
         dense_op: float = 0.012,
         dense_setup: float = 4000.0,
         dense_per_cell: float = 0.08,
+        dense_blocked_op: float = 0.005,
+        jit_op: float = 0.0015,
     ):
         self.dict_op = dict_op
         self.csr_op = csr_op
@@ -89,6 +118,9 @@ class KernelDispatch:
         self.dense_op = dense_op
         self.dense_setup = dense_setup
         self.dense_per_cell = dense_per_cell
+        self.dense_blocked_op = dense_blocked_op
+        self.jit_op = jit_op
+        self._cost_cache: "OrderedDict[Tuple, Dict[str, float]]" = OrderedDict()
 
     # -- eligibility ----------------------------------------------------
     @staticmethod
@@ -98,6 +130,11 @@ class KernelDispatch:
     @staticmethod
     def dense_eligible(semiring: Semiring) -> bool:
         return isinstance(semiring, (MinPlusSemiring, AugmentedMinPlusSemiring))
+
+    @staticmethod
+    def jit_eligible(semiring: Semiring) -> bool:
+        """The jit tier needs numba *and* a min-plus-family semiring."""
+        return _dense.HAVE_NUMBA and KernelDispatch.dense_eligible(semiring)
 
     # -- cost model -----------------------------------------------------
     @staticmethod
@@ -109,14 +146,38 @@ class KernelDispatch:
         )
         return int(col @ rows)
 
+    def _cost_key(self, S: SemiringMatrix, T: SemiringMatrix,
+                  products_scale: float) -> Tuple:
+        # Identity plus shape/nnz/conversion-state: a mutation through
+        # set()/add_entry() changes nnz (or clears the CSR cache) and so
+        # misses this key.  A same-nnz in-place rewrite could alias, but the
+        # estimate only steers kernel choice — results are unaffected.
+        return (
+            id(S), id(T), S.n, S.nnz(), T.nnz(), products_scale,
+            "csr" in S._cache, "csr" in T._cache,
+        )
+
+    def clear_cost_cache(self) -> None:
+        """Drop all memoized cost estimates."""
+        self._cost_cache.clear()
+
     def costs(self, S: SemiringMatrix, T: SemiringMatrix,
               products_scale: float = 1.0) -> Dict[str, float]:
         """Estimated cost of each eligible kernel (in dict-product units).
 
         ``products_scale`` scales the elementary-product estimate for
         restricted products that only touch a fraction of the cube (the
-        subcube calls of the faithful execution modes).
+        subcube calls of the faithful execution modes).  Memoized per
+        operand pair (LRU of :attr:`COST_CACHE_SIZE`): iterated squaring
+        and per-subcube schedules re-``select()`` over the same operands,
+        and the O(n) product estimate only needs to be paid once per pair.
         """
+        key = self._cost_key(S, T, products_scale)
+        cached = self._cost_cache.get(key)
+        if cached is not None:
+            self._cost_cache.move_to_end(key)
+            return dict(cached)
+
         products = self.estimated_products(S, T) * products_scale
         nnz = S.nnz() + T.nnz()
         n = S.n
@@ -130,11 +191,16 @@ class KernelDispatch:
                 self.csr_setup + convert + products * self.csr_op + nnz * 0.05
             )
         if self.dense_eligible(S.semiring):
-            out["dense"] = (
-                self.dense_setup
-                + 2 * n * n * self.dense_per_cell
-                + float(n) ** 3 * self.dense_op
-            )
+            densify = self.dense_setup + 2 * n * n * self.dense_per_cell
+            cube = float(n) ** 3
+            out["dense"] = densify + cube * self.dense_op
+            out["dense-blocked"] = densify + cube * self.dense_blocked_op
+            if self.jit_eligible(S.semiring):
+                out["jit"] = densify + cube * self.jit_op
+
+        self._cost_cache[key] = dict(out)
+        if len(self._cost_cache) > self.COST_CACHE_SIZE:
+            self._cost_cache.popitem(last=False)
         return out
 
     # -- selection ------------------------------------------------------
@@ -152,7 +218,9 @@ class KernelDispatch:
         cannot use it), then the ``REPRO_KERNEL`` environment variable
         (falls back to the cost model if ineligible), then the cost model.
         ``allowed`` restricts the menu for callers that lack a kernel
-        variant (e.g. witnessed products have no dense form);
+        variant (e.g. witnessed products have no dense form); listing
+        ``"dense"`` admits the whole dense-array family (``dense``,
+        ``dense-blocked``, and — with numba — ``jit``).
         ``products_scale`` is forwarded to :meth:`costs`.
         """
         eligible = {"dict"}
@@ -160,6 +228,9 @@ class KernelDispatch:
             eligible.add("csr")
         if "dense" in allowed and self.dense_eligible(S.semiring):
             eligible.add("dense")
+            eligible.add("dense-blocked")
+            if self.jit_eligible(S.semiring):
+                eligible.add("jit")
 
         if kernel is not None:
             if kernel not in KERNEL_NAMES:
@@ -168,10 +239,13 @@ class KernelDispatch:
                 )
             if kernel != "auto":
                 if kernel not in eligible:
+                    detail = ""
+                    if kernel == "jit" and not _dense.HAVE_NUMBA:
+                        detail = " — numba is not installed (perf extra)"
                     raise ValueError(
                         f"kernel {kernel!r} does not support the "
                         f"{S.semiring.name} semiring (or this operation); "
-                        f"eligible: {sorted(eligible)}"
+                        f"eligible: {sorted(eligible)}{detail}"
                     )
                 return kernel
 
@@ -184,8 +258,9 @@ class KernelDispatch:
                 )
             if pinned in eligible:
                 return pinned
-            # Pinned kernel can't run this call (wrong semiring or no such
-            # variant): fall through to the cost model over the eligible set.
+            # Pinned kernel can't run this call (wrong semiring, missing
+            # numba, or no such variant): fall through to the cost model
+            # over the eligible set.
 
         costs = self.costs(S, T, products_scale)
         return min(
@@ -207,17 +282,17 @@ def local_product(
     """Compute ``P = S · T`` over the matrices' semiring.
 
     ``keep``, if given, applies ρ-filtering with ρ = ``keep`` to the result
-    (requires an ordered semiring).  The kernel (sparse dictionaries, CSR,
-    or dense numpy) is chosen by the cost model unless pinned via
-    ``kernel`` or the ``REPRO_KERNEL`` environment variable, and never
-    affects the result.
+    (requires an ordered semiring).  The kernel tier (sparse dictionaries,
+    CSR, or one of the dense-array tiers) is chosen by the cost model
+    unless pinned via ``kernel`` or the ``REPRO_KERNEL`` environment
+    variable, and never affects the result.
     """
     S._check_compatible(T)
     choice = DISPATCH.select(S, T, kernel)
     if choice == "csr":
         return _csr.csr_product(S, T, keep=keep)
-    if choice == "dense":
-        product = _numpy_product(S, T)
+    if choice in DENSE_TIERS:
+        product = _numpy_product(S, T, variant=choice)
     else:
         product = sparse_dict_product(S, T)
     if keep is not None:
@@ -263,9 +338,9 @@ def submatrix_product(
     exactly the work a single node does for its assigned subcube in the
     Theorem 8 / Theorem 14 algorithms.  The faithful execution modes call
     this once per subcube over the same ``S`` and ``T``, so the CSR kernel's
-    cached operand encoding amortises over the whole schedule; the dispatch
-    cost model scales the full-product estimate by the subcube's row
-    fraction.
+    cached operand encoding — and the dispatcher's memoized cost estimate —
+    amortise over the whole schedule; the dispatch cost model scales the
+    full-product estimate by the subcube's row fraction.
     """
     row_fraction = min(1.0, len(row_set) / max(1, S.n))
     choice = DISPATCH.select(
@@ -317,73 +392,20 @@ def _dict_submatrix_product(
     return out
 
 
-# ----------------------------------------------------------------------
-# dense numpy kernel for the min-plus family
-# ----------------------------------------------------------------------
-def to_dense_array(M: SemiringMatrix) -> np.ndarray:
-    """Encode a min-plus-family matrix as a dense numpy array.
-
-    Plain min-plus matrices become ``float64`` arrays with ``inf`` for
-    missing entries; augmented matrices become ``int64`` arrays of the
-    order-preserving encoding with the infinity code for missing entries.
-    """
-    semiring = M.semiring
-    if isinstance(semiring, AugmentedMinPlusSemiring):
-        array = np.full((M.n, M.n), semiring.inf_code, dtype=np.int64)
-        for i, j, value in M.entries():
-            array[i, j] = semiring.encode(value)
-        return array
-    array = np.full((M.n, M.n), np.inf, dtype=np.float64)
-    for i, j, value in M.entries():
-        array[i, j] = value
-    return array
-
-
-def from_dense_array(
-    array: np.ndarray, semiring: Semiring
-) -> SemiringMatrix:
-    """Decode a dense numpy array back into a :class:`SemiringMatrix`."""
-    n = array.shape[0]
-    result = SemiringMatrix(n, semiring)
-    if isinstance(semiring, AugmentedMinPlusSemiring):
-        inf_code = semiring.inf_code
-        for i in range(n):
-            row = array[i]
-            nonzero = np.nonzero(row < inf_code)[0]
-            result.rows[i] = {
-                int(j): semiring.decode(int(row[j])) for j in nonzero
-            }
-        return result
-    for i in range(n):
-        row = array[i]
-        nonzero = np.nonzero(np.isfinite(row))[0]
-        result.rows[i] = {int(j): float(row[j]) for j in nonzero}
-    return result
-
-
-def minplus_matmul_arrays(A: np.ndarray, B: np.ndarray, block: int = _BLOCK_ROWS) -> np.ndarray:
-    """Dense min-plus product of two numpy arrays via blocked broadcasting."""
-    n = A.shape[0]
-    if A.dtype == np.int64:
-        # Augmented encoding: clip so inf + inf cannot be mistaken for finite.
-        out = np.empty((n, n), dtype=np.int64)
-    else:
-        out = np.empty((n, n), dtype=np.float64)
-    for start in range(0, n, block):
-        stop = min(n, start + block)
-        # shape: (rows, k, cols) -> min over k
-        chunk = A[start:stop, :, None] + B[None, :, :]
-        out[start:stop] = chunk.min(axis=1)
-    return out
-
-
-def _numpy_product(S: SemiringMatrix, T: SemiringMatrix) -> SemiringMatrix:
+def _numpy_product(S: SemiringMatrix, T: SemiringMatrix,
+                   variant: str = "dense") -> SemiringMatrix:
+    """Densify, run one of the dense-array tiers, and decode back."""
     semiring = S.semiring
     # Densify through the cached CSR encoding (vectorised scatter) rather
     # than the per-entry Python loop of to_dense_array.
     A = _csr.to_csr(S).dense()
     B = _csr.to_csr(T).dense()
-    C = minplus_matmul_arrays(A, B)
+    if variant == "dense-blocked":
+        C = _dense.minplus_blocked(A, B)
+    elif variant == "jit":
+        C = _dense.minplus_jit(A, B)
+    else:
+        C = _dense.minplus_matmul_arrays(A, B)
     if isinstance(semiring, AugmentedMinPlusSemiring):
         # Any sum involving the infinity code exceeds it; clamp back.
         np.minimum(C, semiring.inf_code, out=C)

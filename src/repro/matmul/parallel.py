@@ -1,0 +1,308 @@
+"""Process-parallel row-slab execution for the dense min-plus kernels.
+
+The paper's Congested Clique algorithms are row-parallel by construction:
+each of the ``n`` machines owns one row slab of the semiring product and
+never writes outside it.  This module exploits that decomposition on real
+cores for the build-side workloads (APSP closure, MSSP tables, single
+products):
+
+* Operands are shared **read-only** between worker processes as raw
+  memory-mapped files in a temporary directory — a spawn-context pool
+  (safe under threads, identical semantics on every platform) receives
+  picklable :class:`SharedArray` handles, never array payloads.
+* Each task computes one contiguous **row slab** of the output with the
+  cache-tiled kernel (:func:`repro.matmul.dense.minplus_blocked`) and
+  writes it into its disjoint slice of a shared output map, so stitching
+  is deterministic regardless of completion order.
+* Per-row results depend only on the operands — never on the slab
+  boundaries or the worker count — so ``jobs=1`` (which runs every task
+  inline, no pool, no pickling) is **bit-identical** to ``jobs=K`` for any
+  ``K``.  The oracle build path relies on this for its jobs-parity
+  guarantee (same per-shard SHA-256 at any job count).
+
+The iterated-squaring closure (:func:`minplus_closure`) synchronises once
+per squaring step: every slab of ``D²`` is computed from the same shared
+``D``, the ping/pong buffers swap, and the loop stops at the first step
+where no slab changed — a global condition, hence the same step count (and
+the same bits) at every job count.  The Bellman-Ford MSSP table
+(:func:`mssp_table`) needs no barriers at all: each slab of sources
+iterates against the fixed adjacency matrix until its own fixpoint.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import multiprocessing
+import os
+import shutil
+import tempfile
+import uuid
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.matmul.dense import minplus_blocked
+
+#: Spawn context: fork is unsafe in processes that ever started threads
+#: (the serving stack does), and spawn keeps worker state explicit.
+SPAWN_CONTEXT = multiprocessing.get_context("spawn")
+
+
+def default_jobs() -> int:
+    """A sensible default worker count: the usable CPUs of this process."""
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return max(1, os.cpu_count() or 1)
+
+
+def slab_ranges(n: int, slabs: int) -> List[Tuple[int, int]]:
+    """Split ``range(n)`` into ``slabs`` contiguous near-equal row ranges."""
+    if not 1 <= slabs <= n:
+        raise ValueError(f"slabs must be in [1, {n}], got {slabs}")
+    per = -(-n // slabs)  # ceil division
+    ranges = []
+    start = 0
+    while start < n:
+        stop = min(n, start + per)
+        ranges.append((start, stop))
+        start = stop
+    return ranges
+
+
+@dataclasses.dataclass(frozen=True)
+class SharedArray:
+    """A picklable handle to a raw array file shared between processes.
+
+    Only the path and the layout cross the process boundary; the payload
+    stays in the page cache and is mapped on demand by :meth:`open`.
+    """
+
+    path: str
+    dtype: str
+    shape: Tuple[int, ...]
+
+    def open(self, mode: str = "r") -> np.memmap:
+        """Map the file; ``"r"`` for operands, ``"r+"`` for outputs."""
+        return np.memmap(self.path, dtype=np.dtype(self.dtype), mode=mode,
+                         shape=self.shape)
+
+
+class SlabExecutor:
+    """Run row-slab tasks over memmap-shared arrays, serially or on a pool.
+
+    Use as a context manager::
+
+        with SlabExecutor(jobs=4) as ex:
+            W = ex.share("adjacency", adjacency)
+            closure, steps = minplus_closure(ex, W)
+            dist = np.asarray(closure.open())
+
+    ``jobs=1`` never creates a pool: every task runs inline in submission
+    order, which doubles as the bit-exact serial baseline.  An existing
+    spawn-context pool can be injected via ``pool=`` (the executor then
+    does not close it) — the test suite shares one pool across hypothesis
+    examples this way.  The temporary directory holding the shared maps is
+    removed on exit, so results needed afterwards must be copied out with
+    ``np.asarray``.
+    """
+
+    def __init__(self, jobs: int = 1, pool=None, tmp_dir: Optional[str] = None):
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        self._injected_pool = pool
+        self._pool = None
+        self._tmp_root = tmp_dir
+        self._tmp: Optional[str] = None
+
+    # -- lifecycle ------------------------------------------------------
+    def __enter__(self) -> "SlabExecutor":
+        self._tmp = tempfile.mkdtemp(prefix="repro-slab-", dir=self._tmp_root)
+        if self.jobs > 1:
+            pool = self._injected_pool
+            self._pool = pool if pool is not None else SPAWN_CONTEXT.Pool(self.jobs)
+        return self
+
+    def __exit__(self, *exc) -> None:
+        if self._pool is not None and self._injected_pool is None:
+            self._pool.terminate()
+            self._pool.join()
+        self._pool = None
+        if self._tmp is not None:
+            shutil.rmtree(self._tmp, ignore_errors=True)
+            self._tmp = None
+
+    def _path(self, name: str) -> str:
+        if self._tmp is None:
+            raise RuntimeError("SlabExecutor must be entered before use")
+        return os.path.join(self._tmp, f"{name}-{uuid.uuid4().hex[:8]}.bin")
+
+    # -- shared arrays --------------------------------------------------
+    def share(self, name: str, array: np.ndarray) -> SharedArray:
+        """Copy ``array`` into a shared read-only map; returns its handle."""
+        array = np.ascontiguousarray(array)
+        handle = SharedArray(self._path(name), str(array.dtype), array.shape)
+        out = np.memmap(handle.path, dtype=array.dtype, mode="w+",
+                        shape=array.shape)
+        out[...] = array
+        out.flush()
+        del out
+        return handle
+
+    def empty(self, name: str, dtype, shape: Tuple[int, ...]) -> SharedArray:
+        """Allocate an uninitialised shared output map."""
+        handle = SharedArray(self._path(name), str(np.dtype(dtype)), tuple(shape))
+        np.memmap(handle.path, dtype=np.dtype(dtype), mode="w+",
+                  shape=tuple(shape)).flush()
+        return handle
+
+    # -- task execution -------------------------------------------------
+    def map(self, fn: Callable, tasks: Sequence) -> List:
+        """Apply ``fn`` to every task; pooled when ``jobs > 1``.
+
+        ``fn`` must be a module-level function (spawn workers pickle it by
+        reference) and tasks must be picklable.  Results come back in task
+        order either way.
+        """
+        tasks = list(tasks)
+        if self._pool is None or len(tasks) <= 1:
+            return [fn(task) for task in tasks]
+        return self._pool.map(fn, tasks)
+
+
+# ----------------------------------------------------------------------
+# worker functions (module-level: spawn workers import them by name)
+# ----------------------------------------------------------------------
+def _product_slab(task) -> bool:
+    """One row slab of ``out = A · B``; returns whether it differs from A's."""
+    A_h, B_h, out_h, start, stop = task
+    A = A_h.open()
+    B = B_h.open()
+    out = out_h.open("r+")
+    rows = np.asarray(A[start:stop])
+    block = minplus_blocked(rows, B)
+    changed = not np.array_equal(block, rows)
+    out[start:stop] = block
+    out.flush()
+    return changed
+
+
+def _mssp_slab(task) -> int:
+    """Bellman-Ford a slab of source rows to fixpoint; returns iterations.
+
+    ``table[s] = min-plus closure row of source s`` — each row depends only
+    on the fixed adjacency ``W``, so slabs converge independently (no
+    cross-slab barrier) and the result is independent of the slab split.
+    """
+    W_h, out_h, sources, start, stop = task
+    W = W_h.open()
+    out = out_h.open("r+")
+    table = np.asarray(W[sources[start:stop]])
+    iterations = 0
+    # A shortest path has at most n-1 edges; each relaxation extends every
+    # row's horizon by one hop, so the loop always terminates.
+    for _ in range(max(1, W.shape[0] - 1)):
+        relaxed = minplus_blocked(table, W)
+        iterations += 1
+        if np.array_equal(relaxed, table):
+            break
+        table = relaxed
+    out[start:stop] = table
+    out.flush()
+    return iterations
+
+
+# ----------------------------------------------------------------------
+# drivers
+# ----------------------------------------------------------------------
+def parallel_minplus_product(
+    A: np.ndarray, B: np.ndarray, jobs: int = 1, slabs: Optional[int] = None,
+    pool=None,
+) -> np.ndarray:
+    """Row-slab parallel dense min-plus product of two arrays.
+
+    Bit-identical to ``minplus_blocked(A, B)`` for every ``jobs``/``slabs``
+    split (each output row is a function of the operands alone).
+    """
+    with SlabExecutor(jobs=jobs, pool=pool) as ex:
+        A_h = ex.share("A", A)
+        B_h = ex.share("B", B)
+        out_h = ex.empty("out", A.dtype, (A.shape[0], B.shape[1]))
+        ranges = slab_ranges(A.shape[0], min(slabs or max(jobs, 1), A.shape[0]))
+        ex.map(_product_slab,
+               [(A_h, B_h, out_h, start, stop) for start, stop in ranges])
+        return np.asarray(out_h.open())
+
+
+def minplus_closure(
+    executor: SlabExecutor,
+    W: SharedArray,
+    slabs: Optional[int] = None,
+) -> Tuple[SharedArray, int]:
+    """All-pairs min-plus closure of ``W`` by parallel iterated squaring.
+
+    ``W`` must carry a zero diagonal (``d(v, v) = 0``), which makes each
+    squaring monotone and self-including: after ``t`` steps every shortest
+    path of at most ``2^t`` edges is settled, so the loop converges within
+    ``ceil(log2(n-1))`` steps and stops one step after the last change.
+    Every step is a barrier — all slabs of ``D²`` read the same shared
+    ``D`` — so the step count, and therefore every bit of the result, is
+    identical at every job count.
+
+    Returns ``(closure_handle, squaring_steps)``; the handle lives in the
+    executor's temporary directory and dies with it.
+    """
+    n = W.shape[0]
+    slabs = min(slabs or max(executor.jobs, 1), n)
+    ranges = slab_ranges(n, slabs)
+    current, scratch = W, executor.empty("closure", W.dtype, W.shape)
+    steps = 0
+    limit = max(1, math.ceil(math.log2(max(2, n - 1)))) + 1
+    for _ in range(limit):
+        changed = executor.map(
+            _product_slab,
+            [(current, current, scratch, start, stop) for start, stop in ranges],
+        )
+        steps += 1
+        current, scratch = scratch, current
+        if not any(changed):
+            break
+    return current, steps
+
+
+def mssp_table(
+    executor: SlabExecutor,
+    W: SharedArray,
+    sources: Sequence[int],
+    slabs: Optional[int] = None,
+) -> SharedArray:
+    """Exact multi-source shortest-path table ``(len(sources), n)``.
+
+    Row ``i`` is the distance row of ``sources[i]`` — computed by
+    barrier-free per-slab Bellman-Ford against the shared adjacency, the
+    row-slab decomposition of the paper's MSSP workload.
+    """
+    sources = np.asarray(sources, dtype=np.int64)
+    out = executor.empty("mssp", W.dtype, (len(sources), W.shape[1]))
+    if len(sources) == 0:
+        return out
+    slabs = min(slabs or max(executor.jobs, 1), len(sources))
+    executor.map(
+        _mssp_slab,
+        [(W, out, sources, start, stop)
+         for start, stop in slab_ranges(len(sources), slabs)],
+    )
+    return out
+
+
+__all__ = [
+    "SharedArray",
+    "SlabExecutor",
+    "default_jobs",
+    "minplus_closure",
+    "mssp_table",
+    "parallel_minplus_product",
+    "slab_ranges",
+]

@@ -34,6 +34,7 @@ from repro.core.mssp import mssp
 from repro.distance.hitting_set import greedy_hitting_set
 from repro.distance.k_nearest import k_nearest
 from repro.graphs.graph import Graph
+from repro.oracle import parallel_build, sharding
 from repro.oracle.artifact import OracleArtifact
 from repro.oracle.strategies import get_strategy
 
@@ -51,8 +52,15 @@ class BuildReport:
     multiplicative_stretch: float
     additive_stretch: float
     detail: Dict[str, Any] = dataclasses.field(default_factory=dict)
+    #: Worker processes the build ran on (1 for the classic simulated path).
+    jobs: int = 1
+    #: ``"simulated-clique"`` (round-accounted classic path) or
+    #: ``"parallel"`` (multi-core exact build, rounds not simulated).
+    mode: str = "simulated-clique"
+    #: Per-phase wall-clock seconds, in execution order.
+    phases: Dict[str, float] = dataclasses.field(default_factory=dict)
 
-    def summary(self) -> str:
+    def summary(self, verbose: bool = False) -> str:
         lines = [
             f"strategy          : {self.strategy}",
             f"graph             : n={self.n}, m={self.num_edges}",
@@ -64,6 +72,10 @@ class BuildReport:
         ]
         for key, value in sorted(self.detail.items()):
             lines.append(f"{key:<18}: {value}")
+        if verbose:
+            lines.append(f"workers           : {self.jobs} ({self.mode})")
+            for name, seconds in self.phases.items():
+                lines.append(f"phase {name:<12}: {seconds:.2f}s")
         return "\n".join(lines)
 
 
@@ -82,31 +94,52 @@ class OracleBuilder:
         like the paper's APSP pipeline.
     kernel:
         Pin the local-product kernel used by the build's matrix products
-        (``"dict"``/``"csr"``/``"dense"``); ``None`` lets the cost model
-        choose per product.  Recorded in the artifact's build metadata so
-        benchmark artifacts are self-describing.
+        (``"dict"``/``"csr"``/``"dense"``/``"dense-blocked"``/``"jit"``);
+        ``None`` lets the cost model choose per product.  Recorded in the
+        artifact's build metadata so benchmark artifacts are
+        self-describing.
+    jobs:
+        ``None`` (default) runs the classic single-process build that
+        simulates the paper's Congested Clique rounds.  Any integer >= 1
+        switches to the multi-core row-slab build
+        (:mod:`repro.oracle.parallel_build`): exact distances, ``jobs``
+        worker processes, ``rounds=0.0`` recorded.  ``jobs=1`` runs the
+        parallel code path inline — the byte-exact serial baseline the
+        parity tests and benchmarks compare against.
+    pool:
+        Optional pre-started spawn-context pool for the parallel path
+        (test hook: shares one pool across many small builds).
     """
 
     def __init__(self, strategy: str = "landmark-mssp", epsilon: float = 0.5,
-                 k: Optional[int] = None, kernel: Optional[str] = None):
+                 k: Optional[int] = None, kernel: Optional[str] = None,
+                 jobs: Optional[int] = None, pool=None):
         self.spec = get_strategy(strategy)
         if epsilon <= 0:
             raise ValueError("epsilon must be positive")
+        if jobs is not None and jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
         self.epsilon = float(epsilon)
         self.k = k
         self.kernel = kernel
+        self.jobs = jobs
+        self.pool = pool
 
     def build(self, graph: Graph) -> OracleArtifact:
         """Run the strategy's build computation and package the artifact."""
         if graph.directed:
             raise ValueError("distance oracles require an undirected graph")
+        if self.jobs is not None:
+            return parallel_build.build_parallel(
+                graph, strategy=self.spec.name, epsilon=self.epsilon,
+                k=self.k, jobs=self.jobs, pool=self.pool)
         start = time.perf_counter()
         if self.spec.name == "dense-apsp":
-            arrays, rounds, detail = self._build_dense(graph)
+            arrays, rounds, detail, phases = self._build_dense(graph)
         elif self.spec.name == "landmark-mssp":
-            arrays, rounds, detail = self._build_landmark(graph)
+            arrays, rounds, detail, phases = self._build_landmark(graph)
         else:  # exact-fallback (get_strategy already rejected unknown names)
-            arrays, rounds, detail = self._build_exact(graph)
+            arrays, rounds, detail, phases = self._build_exact(graph)
         seconds = time.perf_counter() - start
 
         max_weight = graph.max_weight()
@@ -121,29 +154,53 @@ class OracleBuilder:
             "build": {"rounds": rounds, "seconds": seconds,
                       "kernel": self.kernel or "auto",
                       "hot_primitives": list(self.spec.hot_primitives),
+                      "mode": "simulated-clique",
+                      "jobs": 1,
+                      "phases": {name: round(value, 6)
+                                 for name, value in phases.items()},
                       **detail},
         }
         artifact = OracleArtifact(metadata=metadata, arrays=arrays)
         artifact.validate()
         return artifact
 
-    def build_sharded(self, graph: Graph, path, num_shards: int):
+    def build_sharded(self, graph: Graph, path, num_shards: int,
+                      extra_metadata: Optional[Dict[str, Any]] = None):
         """Build and persist directly as a sharded artifact.
 
-        Returns ``(artifact, manifest_path, shard_paths)``.  The shard
-        writer streams row slices (views) of the freshly built arrays to
-        disk one shard at a time, so no second full copy of the payload is
-        ever materialised — peak write-side memory stays one buffer,
-        not one artifact.
+        Returns ``(artifact, manifest_path, shard_paths)``.  On the classic
+        path the shard writer streams row slices (views) of the freshly
+        built arrays to disk one shard at a time, so no second full copy of
+        the payload is ever materialised.  With ``jobs=K`` the K workers
+        write their shard files directly (no full payload in any process)
+        and the returned artifact is the loaded
+        :class:`~repro.oracle.sharding.ShardedOracleArtifact` — same
+        metadata accessors, rows served from the maps.
         """
+        if self.jobs is not None:
+            manifest_path, shard_paths, _metadata = (
+                parallel_build.build_sharded_parallel(
+                    graph, path, num_shards, strategy=self.spec.name,
+                    epsilon=self.epsilon, k=self.k, jobs=self.jobs,
+                    pool=self.pool, extra_metadata=extra_metadata))
+            artifact = sharding.load_artifact(manifest_path, verify="none")
+            return artifact, manifest_path, shard_paths
         artifact = self.build(graph)
+        if extra_metadata:
+            artifact.metadata.update(extra_metadata)
         manifest_path, shard_paths = artifact.save_sharded(path, num_shards)
         return artifact, manifest_path, shard_paths
 
-    def report(self, artifact: OracleArtifact) -> BuildReport:
-        """Summarise a built artifact (round counts, stretch, detail)."""
+    def report(self, artifact) -> BuildReport:
+        """Summarise a built artifact (round counts, stretch, detail).
+
+        Accepts a monolithic :class:`OracleArtifact` or a loaded
+        :class:`~repro.oracle.sharding.ShardedOracleArtifact` — both carry
+        the same metadata schema.
+        """
         build = artifact.metadata["build"]
-        detail = {k: v for k, v in build.items() if k not in ("rounds", "seconds")}
+        skip = ("rounds", "seconds", "jobs", "mode", "phases")
+        detail = {k: v for k, v in build.items() if k not in skip}
         stretch = artifact.stretch
         return BuildReport(
             strategy=artifact.strategy,
@@ -155,24 +212,33 @@ class OracleBuilder:
             multiplicative_stretch=stretch.multiplicative,
             additive_stretch=stretch.additive,
             detail=detail,
+            jobs=int(build.get("jobs", 1)),
+            mode=str(build.get("mode", "simulated-clique")),
+            phases={name: float(value)
+                    for name, value in build.get("phases", {}).items()},
         )
 
     # ------------------------------------------------------------------
     # per-strategy builds
     # ------------------------------------------------------------------
     def _build_dense(self, graph: Graph):
+        tick = time.perf_counter()
         result = apsp_weighted(graph, epsilon=self.epsilon)
+        phases = {"apsp": time.perf_counter() - tick}
         arrays = {"dist": np.asarray(result.estimates, dtype=np.float64)}
         detail = {
             "variant": result.details.get("variant", "two_plus_eps"),
             "hitting_set_size": result.details.get("hitting_set_size"),
         }
-        return arrays, result.rounds, detail
+        return arrays, result.rounds, detail, phases
 
     def _build_exact(self, graph: Graph):
+        tick = time.perf_counter()
         result = apsp_dense_mm(graph)
+        phases = {"apsp": time.perf_counter() - tick}
         arrays = {"dist": np.asarray(result.estimates, dtype=np.float64)}
-        return arrays, result.rounds, {"squarings": result.details["squarings"]}
+        detail = {"squarings": result.details["squarings"]}
+        return arrays, result.rounds, detail, phases
 
     def _build_landmark(self, graph: Graph):
         n = graph.n
@@ -180,21 +246,29 @@ class OracleBuilder:
         if not 1 <= k <= n:
             raise ValueError(f"ball size k={k} out of range [1, {n}]")
         clique = Clique(n)
+        phases: Dict[str, float] = {}
 
         with clique.phase("oracle-build"):
             # Exact balls: every node's k nearest nodes (Theorem 18).
+            tick = time.perf_counter()
             knn = k_nearest(graph, k, clique=clique, label="k-nearest",
                             kernel=self.kernel)
+            phases["k-nearest"] = time.perf_counter() - tick
 
             # Landmarks: a hitting set of the balls (Lemma 4), announced.
+            tick = time.perf_counter()
             ball_sets = [knn.nearest_set(v) for v in range(n)]
             landmarks = greedy_hitting_set(ball_sets, n, clique=clique, label="hitting-set")
             clique.charge_broadcast(label="landmark-announce")
+            phases["hitting-set"] = time.perf_counter() - tick
 
             # The (1 + eps) landmark table (Theorem 3; hopset built inside).
+            tick = time.perf_counter()
             table = mssp(graph, landmarks, epsilon=self.epsilon, clique=clique,
                          label="mssp-landmarks", kernel=self.kernel)
+            phases["mssp"] = time.perf_counter() - tick
 
+        tick = time.perf_counter()
         ball_idx = np.full((n, k), -1, dtype=np.int64)
         ball_dist = np.full((n, k), np.inf, dtype=np.float64)
         for v in range(n):
@@ -204,6 +278,7 @@ class OracleBuilder:
             for slot, (u, (dist, _hops)) in enumerate(entries):
                 ball_idx[v, slot] = u
                 ball_dist[v, slot] = dist
+        phases["pack-balls"] = time.perf_counter() - tick
 
         arrays = {
             "landmarks": np.asarray(table.sources, dtype=np.int64),
@@ -217,7 +292,7 @@ class OracleBuilder:
             "beta": table.details.get("beta"),
             "hopset_edges": table.details.get("hopset_edges"),
         }
-        return arrays, clique.rounds, detail
+        return arrays, clique.rounds, detail, phases
 
 
 def build_oracle(
@@ -226,7 +301,8 @@ def build_oracle(
     epsilon: float = 0.5,
     k: Optional[int] = None,
     kernel: Optional[str] = None,
+    jobs: Optional[int] = None,
 ) -> OracleArtifact:
     """One-call convenience wrapper around :class:`OracleBuilder`."""
     return OracleBuilder(strategy=strategy, epsilon=epsilon, k=k,
-                         kernel=kernel).build(graph)
+                         kernel=kernel, jobs=jobs).build(graph)

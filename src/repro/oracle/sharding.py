@@ -155,6 +155,76 @@ def _mmap_npz(path: Path) -> Dict[str, np.ndarray]:
 # ----------------------------------------------------------------------
 # writing
 # ----------------------------------------------------------------------
+#: Fixed zip member timestamp (the zip epoch) for deterministic payloads.
+_ZIP_EPOCH = (1980, 1, 1, 0, 0, 0)
+
+
+def write_shard_payload(path: PathLike, payload: Dict[str, np.ndarray]) -> None:
+    """Write an ``.npz``-compatible shard file with **deterministic bytes**.
+
+    ``np.savez`` stamps each zip member with the current local time, so two
+    byte-identical array sets written at different moments (or by different
+    build workers) hash differently.  This writer pins every member to the
+    zip epoch and stores the arrays uncompressed with zip64 headers — the
+    exact layout ``np.savez`` produces minus the timestamps — so
+    :func:`_mmap_npz` maps the members unchanged and the shard's SHA-256 is
+    a pure function of the payload.  The parallel build relies on this for
+    its jobs-parity guarantee (jobs=K reproduces the jobs=1 bytes).
+
+    Member order follows ``payload``'s iteration order; callers that need
+    byte parity across code paths must present arrays in the same order.
+    """
+    with zipfile.ZipFile(path, "w", zipfile.ZIP_STORED) as archive:
+        for name, array in payload.items():
+            info = zipfile.ZipInfo(name + ".npy", date_time=_ZIP_EPOCH)
+            info.compress_type = zipfile.ZIP_STORED
+            with archive.open(info, "w", force_zip64=True) as member:
+                np.lib.format.write_array(
+                    member, np.asanyarray(array), allow_pickle=False)
+
+
+def shard_entry(index: int, shard_file: Path, row_start: int,
+                row_stop: int) -> Dict[str, Any]:
+    """Manifest entry for a written shard file (stats and hashes it)."""
+    return {
+        "index": index,
+        "path": Path(shard_file).name,
+        "row_start": int(row_start),
+        "row_stop": int(row_stop),
+        "bytes": Path(shard_file).stat().st_size,
+        "sha256": _sha256_file(Path(shard_file)),
+    }
+
+
+def write_shard_manifest(
+    manifest_path: Path,
+    metadata: Dict[str, Any],
+    shard_entries: List[Dict[str, Any]],
+    sharded_arrays: Dict[str, Dict[str, Any]],
+    common_arrays: Dict[str, Dict[str, Any]],
+) -> Path:
+    """Assemble and write the ``.shards.json`` manifest; returns its path."""
+    manifest = {
+        "shard_manifest_version": SHARD_MANIFEST_VERSION,
+        "metadata": {**metadata, "format_version": FORMAT_VERSION},
+        "num_shards": len(shard_entries),
+        "shards": shard_entries,
+        "sharded_arrays": sharded_arrays,
+        "common_arrays": common_arrays,
+    }
+    manifest_path.write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
+    return manifest_path
+
+
+def array_layout(arrays: Dict[str, Any], names) -> Dict[str, Dict[str, Any]]:
+    """The manifest's ``{name: {dtype, shape}}`` description of ``names``."""
+    return {
+        name: {"dtype": str(arrays[name].dtype),
+               "shape": list(arrays[name].shape)}
+        for name in names
+    }
+
+
 def write_sharded_artifact(
     metadata: Dict[str, Any],
     arrays: Dict[str, np.ndarray],
@@ -165,9 +235,9 @@ def write_sharded_artifact(
 
     Row-sharded arrays (per the strategy spec) are sliced by node range and
     each slice is streamed straight into its shard file — slicing yields
-    views, and ``np.savez`` writes them to disk chunk-wise, so peak extra
-    memory stays O(one write buffer) regardless of artifact size.  The
-    remaining (small) arrays are stored whole in shard 0.
+    views, and the deterministic writer streams them to disk chunk-wise, so
+    peak extra memory stays O(one write buffer) regardless of artifact
+    size.  The remaining (small) arrays are stored whole in shard 0.
     """
     spec = get_strategy(str(metadata["strategy"]))
     missing = [name for name in spec.required_arrays if name not in arrays]
@@ -198,35 +268,17 @@ def write_sharded_artifact(
         if index == 0:
             payload.update({name: arrays[name] for name in common_names})
         shard_file = manifest_path.with_name(shard_payload_name(base, index))
-        with open(shard_file, "wb") as handle:
-            np.savez(handle, **payload)
-        shard_entries.append({
-            "index": index,
-            "path": shard_file.name,
-            "row_start": start,
-            "row_stop": stop,
-            "bytes": shard_file.stat().st_size,
-            "sha256": _sha256_file(shard_file),
-        })
+        write_shard_payload(shard_file, payload)
+        shard_entries.append(shard_entry(index, shard_file, start, stop))
         shard_files.append(shard_file)
 
-    manifest = {
-        "shard_manifest_version": SHARD_MANIFEST_VERSION,
-        "metadata": {**metadata, "format_version": FORMAT_VERSION},
-        "num_shards": len(ranges),
-        "shards": shard_entries,
-        "sharded_arrays": {
-            name: {"dtype": str(arrays[name].dtype),
-                   "shape": list(arrays[name].shape)}
-            for name in spec.row_sharded_arrays
-        },
-        "common_arrays": {
-            name: {"dtype": str(arrays[name].dtype),
-                   "shape": list(arrays[name].shape)}
-            for name in common_names
-        },
-    }
-    manifest_path.write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
+    write_shard_manifest(
+        manifest_path,
+        metadata,
+        shard_entries,
+        array_layout(arrays, spec.row_sharded_arrays),
+        array_layout(arrays, common_names),
+    )
     return manifest_path, shard_files
 
 
@@ -599,8 +651,13 @@ __all__ = [
     "SHARD_MANIFEST_SUFFIX",
     "SHARD_MANIFEST_VERSION",
     "ShardedOracleArtifact",
+    "array_layout",
     "load_artifact",
     "shard_artifact",
+    "shard_entry",
     "shard_manifest_path",
+    "shard_payload_name",
+    "write_shard_manifest",
+    "write_shard_payload",
     "write_sharded_artifact",
 ]

@@ -1,0 +1,308 @@
+"""Tests for the row-slab executor and the parallel oracle build.
+
+The headline contract: a build at any job count is **bit-identical** to
+the jobs=1 build — same closure floats, same ball tables, same landmark
+set, and (for sharded builds) the same per-shard SHA-256.  A session-wide
+two-process spawn pool keeps the cross-process cases affordable; jobs=1
+paths run inline and are exercised densely via hypothesis.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cli import main
+from repro.graphs.generators import random_weighted_graph
+from repro.graphs.reference import all_pairs_dijkstra
+from repro.matmul.dense import minplus_blocked
+from repro.matmul.parallel import (
+    SPAWN_CONTEXT,
+    SlabExecutor,
+    minplus_closure,
+    mssp_table,
+    parallel_minplus_product,
+    slab_ranges,
+)
+from repro.oracle import OracleBuilder, QueryEngine, load_artifact
+from repro.oracle.parallel_build import (
+    build_parallel,
+    build_sharded_parallel,
+    weight_matrix,
+)
+
+
+@pytest.fixture(scope="session")
+def spawn_pool():
+    """One spawn pool for every pooled test (worker start-up is the cost)."""
+    pool = SPAWN_CONTEXT.Pool(2)
+    yield pool
+    pool.terminate()
+    pool.join()
+
+
+def shard_digests(shard_paths):
+    return [hashlib.sha256(path.read_bytes()).hexdigest()
+            for path in shard_paths]
+
+
+# ----------------------------------------------------------------------
+# slab executor primitives
+# ----------------------------------------------------------------------
+class TestSlabRanges:
+    @given(n=st.integers(min_value=1, max_value=400),
+           slabs=st.integers(min_value=1, max_value=400))
+    @settings(max_examples=60, deadline=None)
+    def test_partition_invariants(self, n, slabs):
+        if slabs > n:
+            with pytest.raises(ValueError):
+                slab_ranges(n, slabs)
+            return
+        ranges = slab_ranges(n, slabs)
+        assert ranges[0][0] == 0 and ranges[-1][1] == n
+        for (_, stop), (start, _) in zip(ranges, ranges[1:]):
+            assert stop == start
+        sizes = [stop - start for start, stop in ranges]
+        # Ceil-division contract (mirrors sharding._row_ranges): every slab
+        # is exactly ceil(n/slabs) rows except a possibly-short final slab.
+        chunk = -(-n // slabs)
+        assert all(size == chunk for size in sizes[:-1])
+        assert 1 <= sizes[-1] <= chunk
+        assert len(sizes) <= slabs
+
+
+class TestSlabExecutor:
+    def test_jobs_validation(self):
+        with pytest.raises(ValueError, match="jobs"):
+            SlabExecutor(jobs=0)
+
+    def test_requires_enter(self):
+        ex = SlabExecutor(jobs=1)
+        with pytest.raises(RuntimeError, match="entered"):
+            ex.share("x", np.zeros(3))
+
+    def test_share_roundtrip_and_cleanup(self):
+        data = np.arange(12, dtype=np.float64).reshape(3, 4)
+        with SlabExecutor(jobs=1) as ex:
+            handle = ex.share("data", data)
+            np.testing.assert_array_equal(np.asarray(handle.open()), data)
+            path = handle.path
+        assert not __import__("os").path.exists(path)
+
+    @settings(max_examples=15, deadline=None)
+    @given(r=st.integers(min_value=1, max_value=12),
+           m=st.integers(min_value=1, max_value=12),
+           c=st.integers(min_value=1, max_value=12),
+           slabs=st.integers(min_value=1, max_value=4),
+           seed=st.integers(min_value=0, max_value=2**31))
+    def test_product_slab_split_invariance(self, r, m, c, slabs, seed):
+        rng = np.random.default_rng(seed)
+        A = rng.uniform(0.0, 20.0, size=(r, m))
+        B = rng.uniform(0.0, 20.0, size=(m, c))
+        A[rng.random(A.shape) < 0.3] = np.inf
+        expected = minplus_blocked(A, B)
+        got = parallel_minplus_product(A, B, jobs=1, slabs=min(slabs, r))
+        np.testing.assert_array_equal(got, expected)
+
+    def test_product_pooled_matches_inline(self, spawn_pool):
+        rng = np.random.default_rng(11)
+        A = rng.uniform(0.0, 20.0, size=(33, 33))
+        B = rng.uniform(0.0, 20.0, size=(33, 33))
+        expected = parallel_minplus_product(A, B, jobs=1)
+        got = parallel_minplus_product(A, B, jobs=4, pool=spawn_pool)
+        np.testing.assert_array_equal(got, expected)
+
+
+class TestClosureAndMSSP:
+    @settings(max_examples=10, deadline=None)
+    @given(n=st.integers(min_value=2, max_value=24),
+           degree=st.floats(min_value=2.0, max_value=6.0),
+           seed=st.integers(min_value=0, max_value=2**31))
+    def test_closure_is_exact_apsp(self, n, degree, seed):
+        graph = random_weighted_graph(n, degree, max_weight=9, seed=seed)
+        exact = np.asarray(all_pairs_dijkstra(graph))
+        with SlabExecutor(jobs=1) as ex:
+            W = ex.share("W", weight_matrix(graph))
+            closure, steps = minplus_closure(ex, W)
+            got = np.asarray(closure.open())
+        np.testing.assert_array_equal(got, exact)
+        assert steps <= max(1, math.ceil(math.log2(max(2, n - 1)))) + 1
+
+    def test_closure_pooled_bit_identical(self, spawn_pool):
+        graph = random_weighted_graph(40, 5.0, max_weight=12, seed=3)
+        results = []
+        for jobs, pool in ((1, None), (4, spawn_pool)):
+            with SlabExecutor(jobs=jobs, pool=pool) as ex:
+                closure, steps = minplus_closure(ex, ex.share(
+                    "W", weight_matrix(graph)))
+                results.append((np.asarray(closure.open()), steps))
+        np.testing.assert_array_equal(results[0][0], results[1][0])
+        assert results[0][1] == results[1][1]  # same squaring step count
+
+    def test_mssp_table_matches_closure_rows(self):
+        graph = random_weighted_graph(30, 4.0, max_weight=7, seed=5)
+        sources = [0, 7, 19, 29]
+        exact = np.asarray(all_pairs_dijkstra(graph))
+        with SlabExecutor(jobs=1) as ex:
+            W = ex.share("W", weight_matrix(graph))
+            table = mssp_table(ex, W, sources, slabs=2)
+            got = np.asarray(table.open())
+        np.testing.assert_array_equal(got, exact[sources])
+
+    def test_mssp_empty_sources(self):
+        graph = random_weighted_graph(8, 3.0, max_weight=5, seed=6)
+        with SlabExecutor(jobs=1) as ex:
+            W = ex.share("W", weight_matrix(graph))
+            assert mssp_table(ex, W, []).shape == (0, 8)
+
+
+# ----------------------------------------------------------------------
+# parallel oracle builds: jobs parity
+# ----------------------------------------------------------------------
+class TestShardParity:
+    @settings(max_examples=6, deadline=None)
+    @given(n=st.integers(min_value=6, max_value=30),
+           seed=st.integers(min_value=0, max_value=2**31),
+           strategy=st.sampled_from(
+               ["landmark-mssp", "dense-apsp", "exact-fallback"]),
+           num_shards=st.integers(min_value=1, max_value=4))
+    def test_jobs4_shards_bit_identical_to_serial(
+            self, tmp_path_factory, spawn_pool, n, seed, strategy, num_shards):
+        graph = random_weighted_graph(n, 4.0, max_weight=9, seed=seed)
+        num_shards = min(num_shards, n)
+        tmp = tmp_path_factory.mktemp("parity")
+        _, serial, _ = build_sharded_parallel(
+            graph, tmp / "serial.npz", num_shards, strategy=strategy, jobs=1)
+        _, pooled, _ = build_sharded_parallel(
+            graph, tmp / "pooled.npz", num_shards, strategy=strategy,
+            jobs=4, pool=spawn_pool)
+        assert shard_digests(serial) == shard_digests(pooled)
+
+    def test_manifest_entries_match_serial_writer(self, tmp_path, spawn_pool):
+        # The parallel writer must produce the same manifest geometry the
+        # serial writer would: ranges, byte counts, per-shard hashes.
+        graph = random_weighted_graph(25, 5.0, max_weight=9, seed=8)
+        builder = OracleBuilder(strategy="landmark-mssp", jobs=4,
+                                pool=spawn_pool)
+        _, manifest_path, shard_paths = builder.build_sharded(
+            graph, tmp_path / "a.npz", 3)
+        manifest = json.loads(manifest_path.read_text())
+        assert manifest["num_shards"] == 3
+        for entry, path in zip(manifest["shards"], shard_paths):
+            assert entry["bytes"] == path.stat().st_size
+            assert entry["sha256"] == hashlib.sha256(
+                path.read_bytes()).hexdigest()
+
+    def test_in_memory_matches_sharded_payload(self, tmp_path):
+        graph = random_weighted_graph(20, 5.0, max_weight=9, seed=9)
+        artifact = build_parallel(graph, strategy="landmark-mssp", jobs=1)
+        _, _, _ = build_sharded_parallel(
+            graph, tmp_path / "s.npz", 2, strategy="landmark-mssp", jobs=1)
+        sharded = load_artifact(tmp_path / "s.npz", verify="eager")
+        for name in ("landmark_dist", "ball_idx", "ball_dist"):
+            np.testing.assert_array_equal(
+                sharded.materialize(name), artifact.arrays[name])
+        np.testing.assert_array_equal(
+            sharded.common("landmarks"), artifact.arrays["landmarks"])
+
+    def test_deterministic_across_runs(self, tmp_path):
+        # Byte determinism in time, not just across job counts: two runs
+        # of the same build hash identically (fixed zip timestamps).
+        graph = random_weighted_graph(15, 4.0, max_weight=9, seed=10)
+        digests = []
+        for tag in ("one", "two"):
+            _, shards, _ = build_sharded_parallel(
+                graph, tmp_path / f"{tag}.npz", 2, jobs=1)
+            digests.append(shard_digests(shards))
+        assert digests[0] == digests[1]
+
+
+class TestParallelArtifactSemantics:
+    def test_engine_serves_within_guarantee(self):
+        graph = random_weighted_graph(26, 4.0, max_weight=9, seed=12)
+        exact = all_pairs_dijkstra(graph)
+        artifact = build_parallel(graph, strategy="landmark-mssp",
+                                  epsilon=0.5, jobs=1)
+        engine = QueryEngine(artifact)
+        stretch = artifact.stretch
+        for u in range(graph.n):
+            for v in range(graph.n):
+                est = engine.dist(u, v)
+                if exact[u][v] == math.inf:
+                    assert est == math.inf
+                    continue
+                assert est >= exact[u][v] - 1e-9
+                assert est <= stretch.upper_bound(exact[u][v]) + 1e-9
+
+    def test_build_metadata_records_parallel_mode(self):
+        graph = random_weighted_graph(12, 4.0, max_weight=5, seed=13)
+        artifact = build_parallel(graph, jobs=1)
+        build = artifact.metadata["build"]
+        assert build["mode"] == "parallel"
+        assert build["jobs"] == 1
+        assert build["rounds"] == 0.0
+        assert build["squarings"] >= 1
+        assert set(build["phases"]) >= {"closure", "balls", "hitting-set"}
+
+    def test_builder_routes_jobs_to_parallel_path(self):
+        graph = random_weighted_graph(12, 4.0, max_weight=5, seed=14)
+        artifact = OracleBuilder(strategy="exact-fallback", jobs=1).build(graph)
+        assert artifact.metadata["build"]["mode"] == "parallel"
+        exact = np.asarray(all_pairs_dijkstra(graph))
+        np.testing.assert_array_equal(artifact.arrays["dist"], exact)
+
+    def test_classic_path_unchanged_without_jobs(self):
+        graph = random_weighted_graph(12, 4.0, max_weight=5, seed=15)
+        artifact = OracleBuilder(strategy="landmark-mssp").build(graph)
+        build = artifact.metadata["build"]
+        assert build["mode"] == "simulated-clique"
+        assert build["rounds"] > 0
+        assert "k-nearest" in build["phases"]
+
+    def test_invalid_inputs(self, tmp_path):
+        graph = random_weighted_graph(8, 3.0, max_weight=5, seed=16)
+        with pytest.raises(ValueError, match="jobs"):
+            build_parallel(graph, jobs=0)
+        with pytest.raises(ValueError, match="epsilon"):
+            build_parallel(graph, epsilon=0.0)
+        with pytest.raises(ValueError, match="jobs"):
+            OracleBuilder(jobs=0)
+        with pytest.raises(ValueError, match="num_shards"):
+            build_sharded_parallel(graph, tmp_path / "x.npz", 99, jobs=1)
+
+
+class TestBuildReportAndCLI:
+    def test_report_carries_phases_and_jobs(self):
+        graph = random_weighted_graph(14, 4.0, max_weight=6, seed=17)
+        builder = OracleBuilder(strategy="landmark-mssp", jobs=1)
+        artifact = builder.build(graph)
+        report = builder.report(artifact)
+        assert report.jobs == 1
+        assert report.mode == "parallel"
+        assert report.phases and all(v >= 0 for v in report.phases.values())
+        text = report.summary(verbose=True)
+        assert "workers" in text and "phase" in text
+        assert "workers" not in report.summary()
+
+    def test_cli_build_jobs_verbose(self, tmp_path, capsys):
+        artifact = tmp_path / "cli.npz"
+        assert main(["oracle", "build", str(artifact), "--n", "16",
+                     "--jobs", "1", "--shards", "2", "--verbose"]) == 0
+        out = capsys.readouterr().out
+        assert "workers           : 1 (parallel)" in out
+        assert "phase" in out
+        assert "manifest" in out
+        engine = QueryEngine(load_artifact(artifact))
+        assert engine.dist(0, 0) == 0.0
+
+    def test_cli_build_kernel_pin(self, tmp_path, capsys):
+        artifact = tmp_path / "cli2.npz"
+        assert main(["oracle", "build", str(artifact), "--n", "16",
+                     "--kernel", "dense-blocked"]) == 0
+        out = capsys.readouterr().out
+        assert "kernel            : dense-blocked" in out
