@@ -611,7 +611,16 @@ def cmd_net_serve(args: argparse.Namespace) -> int:
     """
     import asyncio
     import dataclasses
+    import os
     import signal
+
+    if args.trace_sample is not None:
+        # Before the Cluster spawns: worker processes inherit the
+        # environment, so the whole fleet samples at the same rate.
+        from repro.obs.tracing import SAMPLE_ENV_VAR, set_sample_rate
+
+        os.environ[SAMPLE_ENV_VAR] = str(args.trace_sample)
+        set_sample_rate(args.trace_sample)
 
     from repro.net.cluster import Cluster
     from repro.net.frontend import Frontend, NetClient, WorkerUnavailable
@@ -687,6 +696,58 @@ def cmd_net_serve(args: argparse.Namespace) -> int:
     except (NetError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+
+
+def cmd_obs(args: argparse.Namespace) -> int:
+    """Scrape a live worker or frontend ``/metricsz`` and summarise it.
+
+    Pointed at a frontend the snapshot is already the merged fleet view
+    (the frontend scrapes its workers before answering); pointed at one
+    worker it is that process's registry alone.
+    """
+    import json
+
+    from repro.obs.export import (
+        fetch_snapshot,
+        fetch_text,
+        render_snapshot,
+        render_top,
+    )
+
+    try:
+        if args.obs_command == "top":
+            snapshot = fetch_snapshot(args.host, args.port,
+                                      timeout=args.timeout)
+            print(render_top(snapshot, limit=args.limit))
+        elif args.obs_command == "snapshot":
+            snapshot = fetch_snapshot(args.host, args.port,
+                                      timeout=args.timeout)
+            fleet = snapshot.get("fleet")
+            if isinstance(fleet, dict):
+                print(f"fleet: {fleet.get('workers_scraped', '?')}/"
+                      f"{fleet.get('workers', '?')} workers scraped")
+            print(render_snapshot(snapshot))
+        else:  # export
+            if args.format == "prom":
+                text = fetch_text(args.host, args.port,
+                                  timeout=args.timeout)
+            else:
+                snapshot = fetch_snapshot(args.host, args.port,
+                                          timeout=args.timeout)
+                text = json.dumps(snapshot, indent=2, sort_keys=True) + "\n"
+            if args.out:
+                from pathlib import Path
+
+                Path(args.out).write_text(text)
+                print(f"wrote {args.out}")
+            else:
+                sys.stdout.write(text)
+    except BrokenPipeError:
+        return 0  # downstream pager/head closed the pipe; not an error
+    except (OSError, ConnectionError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 0
 
 
 def cmd_net_bench(args: argparse.Namespace) -> int:
@@ -923,6 +984,11 @@ def build_parser() -> argparse.ArgumentParser:
                                 "over TCP, then exit")
     net_serve.add_argument("--concurrency", type=int, default=32,
                            help="closed-loop clients for --self-test")
+    net_serve.add_argument("--trace-sample", type=float, default=None,
+                           dest="trace_sample", metavar="RATE",
+                           help="sample this fraction of requests for "
+                                "cross-tier tracing (fleet-wide; workers "
+                                "inherit the rate through the environment)")
     net_serve.set_defaults(func=cmd_net_serve)
 
     net_bench = net_sub.add_parser(
@@ -945,6 +1011,38 @@ def build_parser() -> argparse.ArgumentParser:
     net_bench.add_argument("--raw-dir", default=None, dest="raw_dir",
                            help="keep raw JSONL samples in this directory")
     net_bench.set_defaults(func=cmd_net_bench)
+
+    obs = sub.add_parser(
+        "obs",
+        help="scrape and summarise a live /metricsz endpoint",
+    )
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+
+    def _add_obs_target(sub_parser: argparse.ArgumentParser) -> None:
+        sub_parser.add_argument("--host", default="127.0.0.1")
+        sub_parser.add_argument("--port", type=int, required=True,
+                                help="worker or frontend port (a frontend "
+                                     "answers with the merged fleet view)")
+        sub_parser.add_argument("--timeout", type=float, default=5.0)
+        sub_parser.set_defaults(func=cmd_obs)
+
+    obs_snapshot = obs_sub.add_parser(
+        "snapshot", help="full metric catalogue, grouped by kind")
+    _add_obs_target(obs_snapshot)
+
+    obs_top = obs_sub.add_parser(
+        "top", help="largest counter/gauge series, value-descending")
+    _add_obs_target(obs_top)
+    obs_top.add_argument("--limit", type=int, default=20)
+
+    obs_export = obs_sub.add_parser(
+        "export", help="write the snapshot to a file (JSON or Prometheus "
+                       "text)")
+    _add_obs_target(obs_export)
+    obs_export.add_argument("--format", choices=("json", "prom"),
+                            default="json")
+    obs_export.add_argument("--out", default=None,
+                            help="output path (default: stdout)")
 
     return parser
 

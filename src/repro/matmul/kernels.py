@@ -121,6 +121,9 @@ class KernelDispatch:
         self.dense_blocked_op = dense_blocked_op
         self.jit_op = jit_op
         self._cost_cache: "OrderedDict[Tuple, Dict[str, float]]" = OrderedDict()
+        #: Per-kernel selection counts; surfaced as
+        #: ``repro_kernel_selected_total{kernel=...}`` on the obs registry.
+        self.selections: Dict[str, int] = {}
 
     # -- eligibility ----------------------------------------------------
     @staticmethod
@@ -160,6 +163,25 @@ class KernelDispatch:
     def clear_cost_cache(self) -> None:
         """Drop all memoized cost estimates."""
         self._cost_cache.clear()
+
+    def _record_selection(self, choice: str) -> str:
+        """Count the selected tier (dict bump + a registry series per tier).
+
+        The registry counter is callback-backed by :attr:`selections`, so
+        the per-call cost is one dict increment; the counter child is
+        created once per distinct kernel name.
+        """
+        if choice not in self.selections:
+            self.selections[choice] = 0
+            from repro.obs.metrics import get_registry
+            get_registry().counter(
+                "repro_kernel_selected_total",
+                "Kernel tiers chosen by KernelDispatch.select",
+                labels={"kernel": choice},
+            ).set_function(
+                lambda d, _k=choice: d.selections.get(_k, 0), self)
+        self.selections[choice] += 1
+        return choice
 
     def costs(self, S: SemiringMatrix, T: SemiringMatrix,
               products_scale: float = 1.0) -> Dict[str, float]:
@@ -247,7 +269,7 @@ class KernelDispatch:
                         f"{S.semiring.name} semiring (or this operation); "
                         f"eligible: {sorted(eligible)}{detail}"
                     )
-                return kernel
+                return self._record_selection(kernel)
 
         pinned = os.environ.get(KERNEL_ENV_VAR)
         if pinned and pinned != "auto":
@@ -257,16 +279,16 @@ class KernelDispatch:
                     f"valid kernels: {KERNEL_NAMES}"
                 )
             if pinned in eligible:
-                return pinned
+                return self._record_selection(pinned)
             # Pinned kernel can't run this call (wrong semiring, missing
             # numba, or no such variant): fall through to the cost model
             # over the eligible set.
 
         costs = self.costs(S, T, products_scale)
-        return min(
+        return self._record_selection(min(
             (name for name in costs if name in eligible),
             key=lambda name: costs[name],
-        )
+        ))
 
 
 #: Process-wide dispatcher instance (benchmarks may tweak its constants).

@@ -48,7 +48,7 @@ import numpy as np
 from repro.net.cluster import Cluster, free_port
 from repro.net.frontend import Frontend, NetClient, WorkerUnavailable
 from repro.net.protocol import NetError, ProtocolError
-from repro.oracle.cache import LatencyRecorder
+from repro.obs.metrics import get_registry
 from repro.serve.loadgen import (
     DEFAULT_ERROR_TYPES,
     LoadReport,
@@ -167,7 +167,13 @@ async def _ladder_rung(frontend: Frontend, pairs: Sequence[Tuple[int, int]],
     chunks = [pairs[start:start + batch_size]
               for start in range(0, len(pairs), batch_size)]
     chunk_iter = iter(range(len(chunks)))
-    recorder = LatencyRecorder(1 << 20)
+    # Percentiles come from the same obs recorder family every other tier
+    # uses, so `repro obs snapshot` during a campaign shows the ladder's
+    # live latency series next to the server-side ones.
+    recorder = get_registry().recorder(
+        "repro_net_bench_request_latency_us",
+        "Per-request wire latency on the benchmark ladder",
+        labels={"rung": str(clients)}, window=1 << 20).recorder
     samples: List[Dict[str, object]] = []
     counters = {"ok": 0, "error": 0, "ok_pairs": 0}
 

@@ -39,9 +39,10 @@ from __future__ import annotations
 
 import asyncio
 import itertools
+import json
 import math
 import time
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -51,6 +52,7 @@ from repro.net.protocol import (
     ERR_OVERLOADED,
     ERR_ROUTING,
     ERR_SHUTTING_DOWN,
+    ERR_UNSUPPORTED_VERSION,
     MSG_ERROR,
     MSG_PING,
     MSG_PONG,
@@ -66,6 +68,13 @@ from repro.net.protocol import (
     unpack_response,
 )
 from repro.net.worker import NetServiceBase
+from repro.obs.metrics import get_registry, merge_snapshots
+from repro.obs.tracing import (
+    TraceContext,
+    get_tracer,
+    trace_capable_blob,
+    unpack_trace_blob,
+)
 from repro.serve.registry import ArtifactEntry, build_registry
 from repro.serve.router import RoutingError, StretchRouter, budget_admits
 from repro.serve.server import ServerClosed, ServerOverloaded
@@ -123,6 +132,10 @@ class WorkerLink:
         self.failures = 0
         self.consecutive_failures = 0
         self.ejected = False
+        # Trace plumbing: a v1-only peer rejects traced frames once, after
+        # which the link downgrades itself and never sends a blob again.
+        self.trace_capable = True
+        self.trace_sink: Optional[Callable[[Dict[str, Any]], None]] = None
 
     @property
     def connected(self) -> bool:
@@ -148,6 +161,14 @@ class WorkerLink:
                 if frame is None:
                     break
                 ftype, req_id, payload = frame
+                if ftype == MSG_RESPONSE and frame.trace is not None \
+                        and self.trace_sink is not None:
+                    remote = unpack_trace_blob(frame.trace)
+                    if remote is not None:
+                        try:
+                            self.trace_sink(remote)
+                        except Exception:
+                            pass  # tracing must never break the data path
                 future = self._pending.pop(req_id, None)
                 if future is None or future.done():
                     continue  # timed-out request answering late
@@ -187,9 +208,19 @@ class WorkerLink:
 
     async def request(self, pairs, multiplicative: float = math.inf,
                       additive: float = math.inf, artifact: str = "",
-                      timeout: Optional[float] = None) -> np.ndarray:
+                      timeout: Optional[float] = None,
+                      trace: Optional[bytes] = None) -> np.ndarray:
         """Send one batched request; returns the distance array."""
         payload = pack_request(pairs, multiplicative, additive, artifact)
+        if trace is not None and self.trace_capable:
+            try:
+                return await self._roundtrip(MSG_REQUEST, payload, timeout,
+                                             trace=trace)
+            except ProtocolError as exc:
+                if exc.code != ERR_UNSUPPORTED_VERSION:
+                    raise
+                # Old peer: negotiate down and retry this request untraced.
+                self.trace_capable = False
         return await self._roundtrip(MSG_REQUEST, payload, timeout)
 
     async def ping(self, timeout: Optional[float] = None) -> bool:
@@ -200,14 +231,16 @@ class WorkerLink:
             return False
 
     async def _roundtrip(self, ftype: int, payload: bytes,
-                         timeout: Optional[float]) -> np.ndarray:
+                         timeout: Optional[float],
+                         trace: Optional[bytes] = None) -> np.ndarray:
         await self._ensure_connected()
         req_id = next(self._req_ids) & 0xFFFFFFFF
         future = asyncio.get_running_loop().create_future()
         self._pending[req_id] = future
         self.requests += 1
         try:
-            self._writer.write(encode_frame(ftype, req_id, payload))
+            self._writer.write(encode_frame(ftype, req_id, payload,
+                                            trace=trace))
             await self._writer.drain()
             if timeout is None:
                 return await future
@@ -280,44 +313,99 @@ class Frontend(NetServiceBase):
         self.retries = 0
         self.failovers = 0
         self.ejections = 0
+        self.readmits = 0
+        # Sampled traces in flight: trace id -> context.  Worker reply
+        # blobs arriving on any link are folded into the matching context.
+        self._live_traces: Dict[str, TraceContext] = {}
+        for link in self._links:
+            link.trace_sink = self._ingest_worker_trace
+        self._register_frontend_metrics()
+
+    def _register_frontend_metrics(self) -> None:
+        registry = get_registry()
+        for metric, help_text, reader in (
+            ("repro_frontend_retries_total",
+             "Sub-batch retries after a worker attempt failed",
+             lambda f: f.retries),
+            ("repro_frontend_failovers_total",
+             "Sub-batches moved to a different worker",
+             lambda f: f.failovers),
+            ("repro_frontend_ejections_total",
+             "Workers ejected from the rotation",
+             lambda f: f.ejections),
+            ("repro_frontend_readmits_total",
+             "Ejected workers probed healthy and readmitted",
+             lambda f: f.readmits),
+        ):
+            registry.counter(metric, help_text).set_function(reader, self)
+        registry.gauge(
+            "repro_frontend_healthy_workers",
+            "Workers currently in the rotation").set_function(
+                lambda f: len(f.healthy_links()), self)
+
+    def _ingest_worker_trace(self, payload: Dict[str, Any]) -> None:
+        context = self._live_traces.get(str(payload.get("id", "")))
+        if context is not None:
+            context.ingest(payload)
 
     # ------------------------------------------------------------------
     # request handling
     # ------------------------------------------------------------------
-    async def handle_request(self, request: Request) -> np.ndarray:
+    async def handle_request(self, request: Request,
+                             trace: Optional[TraceContext] = None,
+                             ) -> np.ndarray:
         if self._draining:
             raise ServerClosed("frontend is draining")
-        entry = self._resolve(request)
-        count = len(request)
-        if count == 0:
-            return np.zeros(0, dtype=np.float64)
-        u = request.u.astype(np.int64, copy=False)
-        v = request.v.astype(np.int64, copy=False)
-        if (int(u.min()) < 0 or int(u.max()) >= entry.n
-                or int(v.min()) < 0 or int(v.max()) >= entry.n):
-            raise ValueError(
-                f"request contains node ids outside [0, {entry.n})")
-        healthy = self.healthy_links()
-        if not healthy:
-            raise NetError("no healthy workers remain in the fleet")
-        assignment = self._assign(entry, u, v, len(healthy))
-        out = np.empty(count, dtype=np.float64)
-        tasks = []
-        slices: List[np.ndarray] = []
-        for worker_index in range(len(healthy)):
-            indices = np.nonzero(assignment == worker_index)[0]
-            if indices.size == 0:
-                continue
-            sub = np.empty((indices.size, 2), dtype=np.int32)
-            sub[:, 0] = u[indices]
-            sub[:, 1] = v[indices]
-            slices.append(indices)
-            tasks.append(self._fan_out(healthy, worker_index, sub, request,
-                                       entry.name))
-        answered = await asyncio.gather(*tasks)
-        for indices, values in zip(slices, answered):
-            out[indices] = values
-        return out
+        if trace is not None:
+            self._live_traces[trace.trace_id] = trace
+        try:
+            route_wall = time.time()
+            route_tick = time.perf_counter_ns()
+            entry = self._resolve(request)
+            count = len(request)
+            if count == 0:
+                return np.zeros(0, dtype=np.float64)
+            u = request.u.astype(np.int64, copy=False)
+            v = request.v.astype(np.int64, copy=False)
+            if (int(u.min()) < 0 or int(u.max()) >= entry.n
+                    or int(v.min()) < 0 or int(v.max()) >= entry.n):
+                raise ValueError(
+                    f"request contains node ids outside [0, {entry.n})")
+            healthy = self.healthy_links()
+            if not healthy:
+                raise NetError("no healthy workers remain in the fleet")
+            assignment = self._assign(entry, u, v, len(healthy))
+            if trace is not None:
+                trace.add("frontend.route", route_wall,
+                          (time.perf_counter_ns() - route_tick) / 1000.0)
+            out = np.empty(count, dtype=np.float64)
+            tasks = []
+            slices: List[np.ndarray] = []
+            trace_blob = (trace_capable_blob(trace.trace_id)
+                          if trace is not None else None)
+            for worker_index in range(len(healthy)):
+                indices = np.nonzero(assignment == worker_index)[0]
+                if indices.size == 0:
+                    continue
+                sub = np.empty((indices.size, 2), dtype=np.int32)
+                sub[:, 0] = u[indices]
+                sub[:, 1] = v[indices]
+                slices.append(indices)
+                tasks.append(self._fan_out(healthy, worker_index, sub,
+                                           request, entry.name,
+                                           trace_blob=trace_blob))
+            fanout_wall = time.time()
+            fanout_tick = time.perf_counter_ns()
+            answered = await asyncio.gather(*tasks)
+            if trace is not None:
+                trace.add("frontend.fanout", fanout_wall,
+                          (time.perf_counter_ns() - fanout_tick) / 1000.0)
+            for indices, values in zip(slices, answered):
+                out[indices] = values
+            return out
+        finally:
+            if trace is not None:
+                self._live_traces.pop(trace.trace_id, None)
 
     def _resolve(self, request: Request) -> ArtifactEntry:
         """Route the budget (or validate the pinned artifact) to an entry."""
@@ -348,7 +436,8 @@ class Frontend(NetServiceBase):
 
     async def _fan_out(self, healthy: List[WorkerLink], start: int,
                        sub: np.ndarray, request: Request,
-                       artifact: str) -> np.ndarray:
+                       artifact: str,
+                       trace_blob: Optional[bytes] = None) -> np.ndarray:
         """One sub-batch: primary worker, then bounded failover."""
         attempts = min(self.max_attempts, len(healthy))
         last_exc: Optional[Exception] = None
@@ -359,7 +448,8 @@ class Frontend(NetServiceBase):
             try:
                 values = await link.request(
                     sub, request.multiplicative, request.additive,
-                    artifact=artifact, timeout=self.request_timeout)
+                    artifact=artifact, timeout=self.request_timeout,
+                    trace=trace_blob)
             except RETRYABLE as exc:
                 self._mark_failure(link)
                 last_exc = exc
@@ -393,6 +483,8 @@ class Frontend(NetServiceBase):
         """Probe an ejected worker; put it back in rotation if it answers."""
         link = self._links[index]
         if await link.ping(timeout=self.request_timeout):
+            if link.ejected:
+                self.readmits += 1
             link.ejected = False
             link.consecutive_failures = 0
             return True
@@ -415,8 +507,60 @@ class Frontend(NetServiceBase):
         stats["failovers"] = self.failovers
         stats["retries"] = self.retries
         stats["ejections"] = self.ejections
+        stats["readmits"] = self.readmits
         stats["router"] = self._router.stats()
         return stats
+
+    # ------------------------------------------------------------------
+    # fleet metrics aggregation
+    # ------------------------------------------------------------------
+    async def _metrics_snapshot(self) -> Dict[str, Any]:
+        """Local registry merged with every reachable worker's registry.
+
+        Workers run in their own processes, so the frontend's in-process
+        registry only sees the frontend tier.  Scraping each worker's
+        ``/metricsz?format=json`` and merging makes the frontend's
+        endpoint a one-stop fleet view.
+        """
+        local = get_registry().snapshot()
+        remote = await asyncio.gather(
+            *(self._scrape_worker(link.host, link.port)
+              for link in self._links))
+        scraped = [snap for snap in remote if snap is not None]
+        merged = merge_snapshots([local] + scraped)
+        merged["fleet"] = {"workers": len(self._links),
+                           "workers_scraped": len(scraped)}
+        return merged
+
+    async def _scrape_worker(self, host: str, port: int,
+                             timeout: float = 2.0,
+                             ) -> Optional[Dict[str, Any]]:
+        try:
+            reader, writer = await asyncio.wait_for(
+                asyncio.open_connection(host, port), timeout)
+        except (OSError, asyncio.TimeoutError):
+            return None
+        try:
+            writer.write(b"GET /metricsz?format=json HTTP/1.1\r\n"
+                         b"Host: repro\r\nConnection: close\r\n\r\n")
+            await writer.drain()
+            raw = await asyncio.wait_for(reader.read(-1), timeout)
+        except (OSError, asyncio.TimeoutError):
+            return None
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (OSError, asyncio.TimeoutError):
+                pass
+        head, _sep, body = raw.partition(b"\r\n\r\n")
+        if b" 200 " not in head.split(b"\r\n", 1)[0]:
+            return None
+        try:
+            snapshot = json.loads(body)
+        except ValueError:
+            return None
+        return snapshot if isinstance(snapshot, dict) else None
 
 
 class NetClient:
@@ -446,6 +590,21 @@ class NetClient:
         self._wake = asyncio.Event()
         self._flusher: Optional[asyncio.Task] = None
         self._closed = False
+        # Sampled request tracing: contexts parked alongside the pending
+        # futures; the flusher turns the park time into a
+        # ``client.coalesce`` span and the wire round trip into
+        # ``client.request``.  Far-tier spans ride back in the response
+        # frame's trace blob and land via the link's trace sink.
+        self.tracer = get_tracer()
+        self._live: Dict[str, TraceContext] = {}
+        self._trace_meta: Dict[Tuple[float, float],
+                               Dict[Pair, Tuple[TraceContext, float, int]]] = {}
+        self.link.trace_sink = self._ingest_trace
+
+    def _ingest_trace(self, payload: Dict[str, Any]) -> None:
+        context = self._live.get(str(payload.get("id", "")))
+        if context is not None:
+            context.ingest(payload)
 
     async def __aenter__(self) -> "NetClient":
         return self
@@ -479,20 +638,45 @@ class NetClient:
         if self._closed:
             raise ServerClosed("client is closed")
         if self.coalesce_window <= 0:
-            values = await self.batch([(u, v)], multiplicative=multiplicative,
-                                      additive=additive)
-            return float(values[0])
+            return await self._dist_direct(u, v, multiplicative, additive)
         if self._flusher is None or self._flusher.done():
             self._flusher = asyncio.get_running_loop().create_task(
                 self._flush_loop(), name=f"repro-net-client-{self.client}")
-        bucket = self._pending.setdefault((multiplicative, additive), {})
+        budget = (multiplicative, additive)
+        bucket = self._pending.setdefault(budget, {})
         key = (u, v) if u <= v else (v, u)
         future = bucket.get(key)
         if future is None:
             future = asyncio.get_running_loop().create_future()
             bucket[key] = future
+            context = self.tracer.maybe_start()
+            if context is not None:
+                self._trace_meta.setdefault(budget, {})[key] = (
+                    context, time.time(), time.perf_counter_ns())
             self._wake.set()
         return float(await future)
+
+    async def _dist_direct(self, u: int, v: int, multiplicative: float,
+                           additive: float) -> float:
+        """Uncoalesced single pair; still traced when sampled."""
+        context = self.tracer.maybe_start()
+        trace_blob = None
+        if context is not None:
+            self._live[context.trace_id] = context
+            trace_blob = trace_capable_blob(context.trace_id)
+        wall = time.time()
+        tick = time.perf_counter_ns()
+        try:
+            values = await self.link.request(
+                [(u, v)], multiplicative, additive,
+                timeout=self.request_timeout, trace=trace_blob)
+        finally:
+            if context is not None:
+                context.add("client.request", wall,
+                            (time.perf_counter_ns() - tick) / 1000.0)
+                self._live.pop(context.trace_id, None)
+                self.tracer.finish(context)
+        return float(values[0])
 
     async def _flush_loop(self) -> None:
         try:
@@ -509,17 +693,25 @@ class NetClient:
     async def _flush(self) -> None:
         while self._pending:
             pending, self._pending = self._pending, {}
+            trace_meta, self._trace_meta = self._trace_meta, {}
             for (multiplicative, additive), bucket in pending.items():
                 keys = list(bucket)
                 futures = list(bucket.values())
+                meta = trace_meta.get((multiplicative, additive), {})
                 for start in range(0, len(keys), self.max_batch):
                     chunk = keys[start:start + self.max_batch]
                     chunk_futures = futures[start:start + self.max_batch]
+                    contexts = self._open_chunk_traces(chunk, meta)
+                    trace_blob = (trace_capable_blob(contexts[0].trace_id)
+                                  if contexts else None)
+                    wall = time.time()
+                    tick = time.perf_counter_ns()
                     try:
                         values = await self.link.request(
                             chunk, multiplicative, additive,
-                            timeout=self.request_timeout)
+                            timeout=self.request_timeout, trace=trace_blob)
                     except Exception as exc:  # settle, never kill the loop
+                        self._close_chunk_traces(contexts, wall, tick)
                         for future in chunk_futures:
                             if not future.done():
                                 future.set_exception(
@@ -527,9 +719,37 @@ class NetClient:
                                         exc, asyncio.CancelledError)
                                     else WorkerUnavailable("client closing"))
                         continue
+                    self._close_chunk_traces(contexts, wall, tick)
                     for future, value in zip(chunk_futures, values.tolist()):
                         if not future.done():
                             future.set_result(value)
+
+    def _open_chunk_traces(self, chunk, meta) -> List[TraceContext]:
+        """Stamp the coalesce span on every sampled pair in the chunk.
+
+        Only the first context's id rides the wire (one frame carries one
+        trace blob), so the carrier collects the far-tier spans; the rest
+        still get their client-side timeline.
+        """
+        contexts: List[TraceContext] = []
+        now = time.perf_counter_ns()
+        for key in chunk:
+            parked = meta.pop(key, None)
+            if parked is None:
+                continue
+            context, wall, tick = parked
+            context.add("client.coalesce", wall, (now - tick) / 1000.0)
+            self._live[context.trace_id] = context
+            contexts.append(context)
+        return contexts
+
+    def _close_chunk_traces(self, contexts: List[TraceContext],
+                            wall: float, tick: int) -> None:
+        duration_us = (time.perf_counter_ns() - tick) / 1000.0
+        for context in contexts:
+            context.add("client.request", wall, duration_us)
+            self._live.pop(context.trace_id, None)
+            self.tracer.finish(context)
 
     def stats(self) -> Dict[str, object]:
         return {"link": self.link.snapshot(),

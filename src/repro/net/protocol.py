@@ -47,8 +47,23 @@ import numpy as np
 
 #: First bytes of every binary frame; anything else is HTTP fallback.
 MAGIC = b"RNET"
-#: Wire protocol version this build speaks.
+#: Wire protocol version of a plain frame.  Untraced frames are
+#: byte-identical to what version-1-only builds emit, so a new client
+#: talking to an old worker (or vice versa) interoperates as long as no
+#: trace rides along.
 PROTOCOL_VERSION = 1
+#: Version stamped on frames that carry a trace blob (see FLAG_TRACE).
+#: Old builds reject it with ERR_UNSUPPORTED_VERSION, which the sender
+#: treats as "peer cannot trace" and retries untraced — genuine version
+#: negotiation with no handshake round-trip.
+TRACE_PROTOCOL_VERSION = 2
+
+#: Bit in the (previously reserved, always-zero) u16 header field:
+#: a trace blob precedes the payload.
+FLAG_TRACE = 0x0001
+
+#: trace_blob_length(u16) — precedes the trace blob on flagged frames.
+_TRACE_HEAD = struct.Struct("!H")
 
 #: magic(4) version(1) type(1) reserved(2) req_id(4) payload_length(4).
 HEADER = struct.Struct("!4sBBHII")
@@ -140,14 +155,50 @@ class Request:
 # ----------------------------------------------------------------------
 # frame encoding
 # ----------------------------------------------------------------------
-def encode_frame(ftype: int, req_id: int, payload: bytes = b"") -> bytes:
+class Frame(tuple):
+    """One decoded frame: unpacks as ``(type, req_id, payload)``.
+
+    A plain-tuple subclass so every historical ``ftype, req_id, payload =
+    frame`` site keeps working; the optional trace blob (a version-2
+    frame's FLAG_TRACE prefix) rides along as the ``trace`` attribute,
+    ``None`` on plain version-1 frames.
+    """
+
+    def __new__(cls, ftype: int, req_id: int, payload: bytes,
+                trace: Optional[bytes] = None) -> "Frame":
+        self = super().__new__(cls, (ftype, req_id, payload))
+        self.trace = trace
+        return self
+
+
+def encode_frame(ftype: int, req_id: int, payload: bytes = b"",
+                 trace: Optional[bytes] = None) -> bytes:
+    """Encode one frame; a ``trace`` blob upgrades it to version 2.
+
+    Untraced frames stay byte-identical to version-1 builds.  A traced
+    frame sets FLAG_TRACE in the former reserved field and prefixes the
+    payload with a u16 blob length plus the blob itself.
+    """
     if len(payload) > MAX_PAYLOAD:
         raise ProtocolError(
             ERR_BAD_FRAME,
             f"payload of {len(payload)} bytes exceeds MAX_PAYLOAD "
             f"({MAX_PAYLOAD})", req_id)
-    return HEADER.pack(MAGIC, PROTOCOL_VERSION, ftype, 0, req_id,
-                       len(payload)) + payload
+    if not trace:
+        return HEADER.pack(MAGIC, PROTOCOL_VERSION, ftype, 0, req_id,
+                           len(payload)) + payload
+    if len(trace) > 0xFFFF:
+        raise ProtocolError(
+            ERR_BAD_FRAME, f"trace blob of {len(trace)} bytes exceeds the "
+            f"u16 length prefix", req_id)
+    body = _TRACE_HEAD.pack(len(trace)) + trace + payload
+    if len(body) > MAX_PAYLOAD:
+        raise ProtocolError(
+            ERR_BAD_FRAME,
+            f"traced payload of {len(body)} bytes exceeds MAX_PAYLOAD "
+            f"({MAX_PAYLOAD})", req_id)
+    return HEADER.pack(MAGIC, TRACE_PROTOCOL_VERSION, ftype, FLAG_TRACE,
+                       req_id, len(body)) + body
 
 
 def pack_request(pairs, multiplicative: float = math.inf,
@@ -241,12 +292,14 @@ def unpack_error(payload: bytes, req_id: int = 0) -> ProtocolError:
 # ----------------------------------------------------------------------
 async def read_frame(reader: asyncio.StreamReader, *, preread: bytes = b"",
                      max_payload: int = MAX_PAYLOAD,
-                     ) -> Optional[Tuple[int, int, bytes]]:
-    """Read one frame; returns ``(type, req_id, payload)`` or None on EOF.
+                     ) -> Optional[Frame]:
+    """Read one frame; returns a :class:`Frame` or None on clean EOF.
 
-    EOF *between* frames is a clean close (None); EOF *inside* a frame is
-    a truncated frame and raises :class:`ProtocolError`, as do bad magic,
-    an unsupported version byte, and an oversized length prefix.
+    The result unpacks as ``(type, req_id, payload)``; a version-2
+    frame's trace blob is split off into ``frame.trace``.  EOF *between*
+    frames is a clean close (None); EOF *inside* a frame is a truncated
+    frame and raises :class:`ProtocolError`, as do bad magic, an
+    unsupported version byte, and an oversized length prefix.
     ``preread`` is bytes already consumed by the caller's dialect sniff.
     """
     header = preread
@@ -260,15 +313,16 @@ async def read_frame(reader: asyncio.StreamReader, *, preread: bytes = b"",
                 ERR_BAD_FRAME,
                 f"connection closed mid-header after "
                 f"{len(preread) + len(exc.partial)} of {HEADER.size} bytes")
-    magic, version, ftype, _reserved, req_id, length = HEADER.unpack(header)
+    magic, version, ftype, flags, req_id, length = HEADER.unpack(header)
     if magic != MAGIC:
         raise ProtocolError(ERR_BAD_FRAME,
                             f"bad frame magic {magic!r} (expected {MAGIC!r})")
-    if version != PROTOCOL_VERSION:
+    if version not in (PROTOCOL_VERSION, TRACE_PROTOCOL_VERSION):
         raise ProtocolError(
             ERR_UNSUPPORTED_VERSION,
             f"unsupported protocol version {version} "
-            f"(this build speaks {PROTOCOL_VERSION})", req_id)
+            f"(this build speaks {PROTOCOL_VERSION} and "
+            f"{TRACE_PROTOCOL_VERSION})", req_id)
     if length > max_payload:
         raise ProtocolError(
             ERR_BAD_FRAME,
@@ -281,7 +335,22 @@ async def read_frame(reader: asyncio.StreamReader, *, preread: bytes = b"",
             ERR_BAD_FRAME,
             f"connection closed mid-payload after {len(exc.partial)} of "
             f"{length} bytes", req_id)
-    return ftype, req_id, payload
+    trace: Optional[bytes] = None
+    if version == TRACE_PROTOCOL_VERSION and flags & FLAG_TRACE:
+        if len(payload) < _TRACE_HEAD.size:
+            raise ProtocolError(
+                ERR_BAD_FRAME, "traced frame too short for its trace-length "
+                "prefix", req_id)
+        (trace_len,) = _TRACE_HEAD.unpack_from(payload)
+        if len(payload) < _TRACE_HEAD.size + trace_len:
+            raise ProtocolError(
+                ERR_BAD_FRAME,
+                f"traced frame advertises a {trace_len}-byte trace blob but "
+                f"carries only {len(payload) - _TRACE_HEAD.size} bytes after "
+                f"the prefix", req_id)
+        trace = payload[_TRACE_HEAD.size:_TRACE_HEAD.size + trace_len]
+        payload = payload[_TRACE_HEAD.size + trace_len:]
+    return Frame(ftype, req_id, payload, trace)
 
 
 # ----------------------------------------------------------------------

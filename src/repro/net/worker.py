@@ -55,6 +55,9 @@ from repro.net.protocol import (
     read_http_request,
     unpack_request,
 )
+from repro.obs.export import PROMETHEUS_CONTENT_TYPE, to_prometheus_text
+from repro.obs.metrics import get_registry
+from repro.obs.tracing import TraceContext, unpack_trace_blob
 from repro.serve.registry import RegistryError
 from repro.serve.router import RoutingError
 from repro.serve.server import (
@@ -88,6 +91,31 @@ class NetServiceBase:
         self.http_requests = 0
         self.protocol_errors = 0
         self.wire_errors = 0  # MSG_ERROR frames sent
+        self._register_metrics()
+
+    def _register_metrics(self) -> None:
+        """Mirror the wire counters onto the obs registry (callbacks)."""
+        registry = get_registry()
+        labels = {"role": self.role}
+        for metric, help_text, read in (
+            ("repro_net_frames_in_total", "Binary frames decoded",
+             lambda s: s.frames_in),
+            ("repro_net_frames_out_total", "Binary frames sent",
+             lambda s: s.frames_out),
+            ("repro_net_http_requests_total", "HTTP fallback requests",
+             lambda s: s.http_requests),
+            ("repro_net_protocol_errors_total",
+             "Malformed frames or HTTP requests",
+             lambda s: s.protocol_errors),
+            ("repro_net_wire_errors_total", "MSG_ERROR frames sent",
+             lambda s: s.wire_errors),
+        ):
+            registry.counter(metric, help_text,
+                             labels=labels).set_function(read, self)
+        registry.gauge(
+            "repro_net_open_connections", "Connections currently served",
+            labels=labels,
+        ).set_function(lambda s: len(s._conn_tasks), self)
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -130,7 +158,10 @@ class NetServiceBase:
     # ------------------------------------------------------------------
     # subclass surface
     # ------------------------------------------------------------------
-    async def handle_request(self, request: Request) -> np.ndarray:
+    async def handle_request(self, request: Request,
+                             trace: Optional[TraceContext] = None
+                             ) -> np.ndarray:
+        """Answer one request; append spans to ``trace`` when sampled."""
         raise NotImplementedError
 
     def stats(self) -> Dict[str, object]:
@@ -215,36 +246,53 @@ class NetServiceBase:
                                               str(exc)):
                     return
                 continue
-            code, message, values = await self._answer(request)
+            code, message, values, reply_trace = await self._answer(
+                request, frame.trace)
             if values is not None:
                 ok = await self._send(writer, encode_frame(
-                    MSG_RESPONSE, req_id, pack_response(values)))
+                    MSG_RESPONSE, req_id, pack_response(values),
+                    trace=reply_trace))
             else:
                 ok = await self._send_error(writer, req_id, code, message)
             if not ok:
                 return  # client disconnected mid-request: stop quietly
 
-    async def _answer(self, request: Request
-                      ) -> Tuple[int, str, Optional[np.ndarray]]:
-        """Run the handler, mapping every failure to a typed wire error."""
+    async def _answer(self, request: Request,
+                      trace_blob: Optional[bytes] = None,
+                      ) -> Tuple[int, str, Optional[np.ndarray],
+                                 Optional[bytes]]:
+        """Run the handler, mapping every failure to a typed wire error.
+
+        A request-side trace blob (the upstream tier sampled this
+        request) opens a local :class:`TraceContext` under the same id;
+        the spans the handler records travel back in the response frame's
+        trace blob — responses carry a trace exactly when the request
+        did, so version-1 peers never see a version-2 frame.
+        """
+        trace: Optional[TraceContext] = None
+        payload = unpack_trace_blob(trace_blob)
+        if payload is not None:
+            trace = TraceContext(payload["id"], self.role)
         try:
-            return 0, "", await self.handle_request(request)
+            values = await self.handle_request(request, trace=trace)
+            reply = trace.to_blob() if trace is not None else None
+            return 0, "", values, reply
         except (ServerClosed,) as exc:
-            return ERR_SHUTTING_DOWN, str(exc), None
+            return ERR_SHUTTING_DOWN, str(exc), None, None
         except ServerOverloaded as exc:
-            return ERR_OVERLOADED, str(exc), None
+            return ERR_OVERLOADED, str(exc), None, None
         except (RoutingError, RegistryError) as exc:
-            return ERR_ROUTING, str(exc), None
+            return ERR_ROUTING, str(exc), None, None
         except ValueError as exc:
-            return ERR_BAD_NODES, str(exc), None
+            return ERR_BAD_NODES, str(exc), None, None
         except ProtocolError as exc:
-            return exc.code, str(exc), None
+            return exc.code, str(exc), None, None
         except NetError as exc:
-            return ERR_INTERNAL, str(exc), None
+            return ERR_INTERNAL, str(exc), None, None
         except asyncio.CancelledError:
             raise
         except Exception as exc:  # the event-loop firewall
-            return ERR_INTERNAL, f"{type(exc).__name__}: {exc}", None
+            return ERR_INTERNAL, f"{type(exc).__name__}: {exc}", None, None
 
     # ------------------------------------------------------------------
     # HTTP fallback
@@ -264,13 +312,15 @@ class NetServiceBase:
         if parsed is None:
             return
         method, path, _headers, body = parsed
-        status, payload = await self._http_route(method, path, body)
-        writer.write(http_response(status, payload))
+        result = await self._http_route(method, path, body)
+        status, payload = result[0], result[1]
+        content_type = result[2] if len(result) > 2 else "application/json"
+        writer.write(http_response(status, payload, content_type))
         await writer.drain()
 
     async def _http_route(self, method: str, path: str, body: bytes
-                          ) -> Tuple[int, object]:
-        path = path.split("?", 1)[0]
+                          ) -> Tuple:
+        path, _, query = path.partition("?")
         if path == "/healthz":
             if method != "GET":
                 return 405, {"error": "method-not-allowed"}
@@ -279,12 +329,31 @@ class NetServiceBase:
             if method != "GET":
                 return 405, {"error": "method-not-allowed"}
             return 200, jsonable(self.stats())
+        if path == "/metricsz":
+            if method != "GET":
+                return 405, {"error": "method-not-allowed"}
+            return await self._http_metrics(query)
         if path == "/query":
             if method != "POST":
                 return 405, {"error": "method-not-allowed"}
             return await self._http_query(body)
         return 404, {"error": "not-found",
-                     "endpoints": ["/healthz", "/statsz", "/query"]}
+                     "endpoints": ["/healthz", "/statsz", "/metricsz",
+                                   "/query"]}
+
+    async def _http_metrics(self, query: str) -> Tuple:
+        """``GET /metricsz``: Prometheus text, or the mergeable JSON
+        snapshot with ``?format=json`` (what the fleet aggregator pulls)."""
+        snapshot = await self._metrics_snapshot()
+        if "format=json" in query:
+            return 200, jsonable(snapshot)
+        return (200, to_prometheus_text(snapshot).encode("utf-8"),
+                PROMETHEUS_CONTENT_TYPE)
+
+    async def _metrics_snapshot(self) -> Dict[str, object]:
+        """This process's registry snapshot (the frontend overrides this
+        with a fleet scrape-and-merge)."""
+        return get_registry().snapshot()
 
     def health(self) -> Dict[str, object]:
         return {"status": "draining" if self._draining else "ok",
@@ -312,7 +381,7 @@ class NetServiceBase:
                 json.JSONDecodeError) as exc:
             return 400, {"error": "bad-request",
                          "message": f"malformed query body: {exc}"}
-        code, message, values = await self._answer(request)
+        code, message, values, _reply_trace = await self._answer(request)
         if values is None:
             status = {ERR_OVERLOADED: 503, ERR_SHUTTING_DOWN: 503,
                       ERR_ROUTING: 404, ERR_BAD_NODES: 400,
@@ -360,7 +429,9 @@ class DistanceWorker(NetServiceBase):
         self.worker_id = worker_id
         self.server = server
 
-    async def handle_request(self, request: Request) -> np.ndarray:
+    async def handle_request(self, request: Request,
+                             trace: Optional[TraceContext] = None
+                             ) -> np.ndarray:
         if self._draining:
             raise ServerClosed("worker is draining")
         return await self.server.gather(
@@ -369,6 +440,7 @@ class DistanceWorker(NetServiceBase):
             additive=request.additive,
             client="net",
             artifact=request.artifact or None,
+            trace=trace,
         )
 
     def health(self) -> Dict[str, object]:
@@ -383,6 +455,12 @@ class DistanceWorker(NetServiceBase):
         # (stats["server"]["coalescing"]["window_s"]) next to the
         # configured knob — /statsz is where operators read the truth.
         stats["server"] = self.server.stats()
+        # Residency per loaded engine (resident vs mapped bytes, shard
+        # faults) so a fleet's memory story is one /statsz sweep away,
+        # not a loadgen --report-residency run.
+        stats["memory"] = {name: engine.memory_stats()
+                           for name, engine
+                           in sorted(self.server.engines().items())}
         return stats
 
 

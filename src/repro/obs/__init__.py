@@ -1,0 +1,61 @@
+"""`repro.obs` — dependency-free observability for the whole stack.
+
+One :class:`MetricsRegistry` per process (counters, gauges, fixed-bucket
+histograms, mergeable percentile recorders), sampled cross-tier request
+tracing that rides the `repro.net` wire protocol, and Prometheus text
+exposition served at every tier's ``/metricsz`` route with a fleet
+aggregator at the frontend.  See the README's "Observability" section
+for the metric catalogue and trace schema.
+"""
+
+from .metrics import (
+    Counter,
+    DEFAULT_LATENCY_BUCKETS_US,
+    Gauge,
+    Histogram,
+    LatencyRecorder,
+    MetricsRegistry,
+    RecorderHandle,
+    get_registry,
+    merge_snapshots,
+    set_enabled,
+)
+from .tracing import (
+    Span,
+    TraceContext,
+    Tracer,
+    get_tracer,
+    set_sample_rate,
+    unpack_trace_blob,
+)
+from .export import (
+    fetch_snapshot,
+    fetch_text,
+    render_snapshot,
+    render_top,
+    to_prometheus_text,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS_US",
+    "Gauge",
+    "Histogram",
+    "LatencyRecorder",
+    "MetricsRegistry",
+    "RecorderHandle",
+    "Span",
+    "TraceContext",
+    "Tracer",
+    "fetch_snapshot",
+    "fetch_text",
+    "get_registry",
+    "get_tracer",
+    "merge_snapshots",
+    "render_snapshot",
+    "render_top",
+    "set_enabled",
+    "set_sample_rate",
+    "to_prometheus_text",
+    "unpack_trace_blob",
+]

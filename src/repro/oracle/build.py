@@ -34,9 +34,29 @@ from repro.core.mssp import mssp
 from repro.distance.hitting_set import greedy_hitting_set
 from repro.distance.k_nearest import k_nearest
 from repro.graphs.graph import Graph
+from repro.obs.metrics import get_registry
 from repro.oracle import parallel_build, sharding
 from repro.oracle.artifact import OracleArtifact
 from repro.oracle.strategies import get_strategy
+
+
+def record_build_phases(strategy: str, phases: Dict[str, float]) -> None:
+    """Publish per-phase build wall-clock onto the obs registry.
+
+    One ``repro_build_phase_seconds_total{strategy,phase}`` counter per
+    phase name — builds are rare, so these are plain imperative adds (the
+    per-phase dicts in artifact metadata stay the canonical record; this
+    mirrors them onto ``/metricsz`` so long-running build fleets can be
+    watched).  Both the classic simulated path and the parallel executor
+    (:mod:`repro.oracle.parallel_build`) report through here.
+    """
+    registry = get_registry()
+    for phase, seconds in phases.items():
+        registry.counter(
+            "repro_build_phase_seconds_total",
+            "Wall-clock seconds spent per oracle build phase",
+            labels={"strategy": strategy, "phase": phase},
+        ).inc(float(seconds))
 
 
 @dataclasses.dataclass
@@ -141,6 +161,7 @@ class OracleBuilder:
         else:  # exact-fallback (get_strategy already rejected unknown names)
             arrays, rounds, detail, phases = self._build_exact(graph)
         seconds = time.perf_counter() - start
+        record_build_phases(self.spec.name, phases)
 
         max_weight = graph.max_weight()
         guarantee = self.spec.guarantee(self.epsilon, max_weight)

@@ -13,13 +13,20 @@ Three small, dependency-free pieces:
 * :class:`LatencyRecorder` — a bounded ring of per-query latencies (in
   nanoseconds) from which ``stats()`` derives P50/P95/P99.  Bounding the
   ring keeps a long-lived serving engine at O(1) memory no matter how many
-  queries it has answered.
+  queries it has answered.  The implementation now lives in
+  :mod:`repro.obs.metrics` (it gained ``merge()`` for cross-worker
+  aggregation and backs the registry's recorder metric kind); it is
+  re-exported here so every historical import site keeps working.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Any, Callable, Dict, Hashable, List, Optional
+from typing import Any, Callable, Hashable
+
+from ..obs.metrics import LatencyRecorder
+
+__all__ = ["LRUCache", "LatencyRecorder", "RowBlockCache"]
 
 
 class LRUCache:
@@ -126,79 +133,3 @@ class RowBlockCache:
 
     def __len__(self) -> int:
         return len(self._blocks)
-
-
-class LatencyRecorder:
-    """Bounded reservoir of recent query latencies (nanoseconds)."""
-
-    __slots__ = ("window", "count", "_ring", "_next")
-
-    def __init__(self, window: int = 65536):
-        if window <= 0:
-            raise ValueError(f"latency window must be positive, got {window}")
-        self.window = int(window)
-        self.count = 0
-        self._ring: List[int] = []
-        self._next = 0
-
-    def record(self, nanoseconds: int) -> None:
-        """Add one sample, overwriting the oldest once the window is full."""
-        self.count += 1
-        if len(self._ring) < self.window:
-            self._ring.append(nanoseconds)
-        else:
-            self._ring[self._next] = nanoseconds
-            self._next = (self._next + 1) % self.window
-
-    def record_many(self, nanoseconds: int, count: int) -> None:
-        """Add ``count`` identical samples with slice assignment, not a loop.
-
-        Used by batch queries, whose per-query latency is the amortised
-        share of the batch: the batch path genuinely smooths the tail, so
-        equal samples are the honest representation of it.
-        """
-        if count <= 0:
-            return
-        self.count += count
-        fill = min(count, self.window)
-        capacity = self.window - len(self._ring)
-        if capacity:
-            take = min(fill, capacity)
-            self._ring.extend([nanoseconds] * take)
-            fill -= take
-        if fill:
-            end = self._next + fill
-            if end <= self.window:
-                self._ring[self._next:end] = [nanoseconds] * fill
-                self._next = end % self.window
-            else:
-                wrap = end - self.window
-                self._ring[self._next:] = [nanoseconds] * (self.window - self._next)
-                self._ring[:wrap] = [nanoseconds] * wrap
-                self._next = wrap
-
-    @staticmethod
-    def _pick(ordered: List[int], p: float) -> float:
-        """Nearest-rank percentile of pre-sorted samples, in microseconds."""
-        rank = min(len(ordered) - 1, max(0, round(p / 100.0 * (len(ordered) - 1))))
-        return ordered[rank] / 1000.0
-
-    def percentile(self, p: float) -> Optional[float]:
-        """The ``p``-th percentile latency in microseconds (None if empty)."""
-        if not self._ring:
-            return None
-        return self._pick(sorted(self._ring), p)
-
-    def snapshot(self) -> Dict[str, Optional[float]]:
-        """P50/P95/P99 and mean over the current window, in microseconds."""
-        if not self._ring:
-            return {"count": 0, "p50_us": None, "p95_us": None, "p99_us": None,
-                    "mean_us": None}
-        ordered = sorted(self._ring)
-        return {
-            "count": self.count,
-            "p50_us": self._pick(ordered, 50.0),
-            "p95_us": self._pick(ordered, 95.0),
-            "p99_us": self._pick(ordered, 99.0),
-            "mean_us": sum(ordered) / len(ordered) / 1000.0,
-        }

@@ -33,6 +33,7 @@ from typing import Dict, List, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.obs.metrics import get_registry
 from repro.oracle.artifact import OracleArtifact
 from repro.oracle.cache import LatencyRecorder, LRUCache, RowBlockCache
 from repro.oracle.sharding import ShardedOracleArtifact
@@ -105,6 +106,63 @@ class QueryEngine:
             self._point = self._point_landmark
             self._point_batch = self._point_batch_landmark
             self._row = self._row_landmark
+
+        self._register_metrics()
+
+    def _register_metrics(self) -> None:
+        """Expose engine state on the process registry via weakref callbacks.
+
+        Every series reads the counters the hot paths already maintain
+        (``self._queries``, the LRU hit/miss totals, shard-fault counts),
+        so instrumentation adds zero work per query; the latency recorder
+        is *attached*, not copied, so ``/metricsz`` sees the live window.
+        """
+        registry = get_registry()
+        labels = {"strategy": self.strategy}
+        registry.counter(
+            "repro_engine_queries_total",
+            "Point/batch/k-nearest queries answered by oracle engines",
+            labels=labels,
+        ).set_function(lambda e: e._queries, self)
+        registry.counter(
+            "repro_engine_cache_hits_total",
+            "Answer-LRU hits", labels=labels,
+        ).set_function(lambda e: e.cache.hits, self)
+        registry.counter(
+            "repro_engine_cache_misses_total",
+            "Answer-LRU misses", labels=labels,
+        ).set_function(lambda e: e.cache.misses, self)
+        registry.counter(
+            "repro_engine_shard_faults_total",
+            "Shard open faults across sharded artifacts", labels=labels,
+        ).set_function(lambda e: e.memory_stats()["shard_faults"], self)
+        registry.gauge(
+            "repro_engine_mapped_bytes",
+            "Payload bytes memory-mapped (sharded artifacts)", labels=labels,
+        ).set_function(lambda e: e.memory_stats()["mapped_bytes"], self)
+        registry.gauge(
+            "repro_engine_resident_bytes",
+            "Payload bytes resident in memory", labels=labels,
+        ).set_function(lambda e: e.memory_stats()["resident_bytes"], self)
+        registry.counter(
+            "repro_rowblock_cache_hits_total",
+            "Hot-row block cache hits", labels=labels,
+        ).set_function(
+            lambda e: sum(c.hits for c in e._block_caches.values()), self)
+        registry.counter(
+            "repro_rowblock_cache_misses_total",
+            "Hot-row block cache misses", labels=labels,
+        ).set_function(
+            lambda e: sum(c.misses for c in e._block_caches.values()), self)
+        registry.gauge(
+            "repro_rowblock_cache_bytes",
+            "Bytes held by hot-row block caches", labels=labels,
+        ).set_function(
+            lambda e: sum(c.nbytes for c in e._block_caches.values()), self)
+        registry.recorder(
+            "repro_engine_latency_us",
+            "Per-query engine latency", labels=labels,
+        ).attach(self.latency)
 
     def _init_sharded(self, artifact: ShardedOracleArtifact, block_rows: int,
                       block_capacity: int) -> None:

@@ -273,6 +273,8 @@ def build_parallel(
                 arrays[name] = source[1]
         phases["materialize"] = time.perf_counter() - tick
     seconds = time.perf_counter() - start
+    from repro.oracle.build import record_build_phases
+    record_build_phases(spec.name, phases)
     metadata = _metadata(graph, spec, float(epsilon), seconds, jobs, phases,
                          detail, None)
     artifact = OracleArtifact(metadata=metadata, arrays=arrays)
@@ -335,6 +337,8 @@ def build_sharded_parallel(
         phases["shard-write"] = time.perf_counter() - tick
 
     seconds = time.perf_counter() - start
+    from repro.oracle.build import record_build_phases
+    record_build_phases(spec.name, phases)
     metadata = _metadata(graph, spec, float(epsilon), seconds, jobs, phases,
                          detail, extra_metadata)
     write_shard_manifest(

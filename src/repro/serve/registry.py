@@ -234,6 +234,32 @@ class ArtifactRegistry:
         #: Bumped on any catalogue or resident-set change; lets routers
         #: memoize per-budget decisions and invalidate them cheaply.
         self.epoch = 0
+        self._register_metrics()
+
+    def _register_metrics(self) -> None:
+        """Mirror registry state onto the obs registry (weakref callbacks)."""
+        from repro.obs.metrics import get_registry
+        registry = get_registry()
+        registry.counter(
+            "repro_registry_loads_total",
+            "QueryEngine loads performed by artifact registries",
+        ).set_function(lambda r: r.loads, self)
+        registry.counter(
+            "repro_registry_evictions_total",
+            "Resident engines evicted by artifact registries",
+        ).set_function(lambda r: r.evictions, self)
+        registry.gauge(
+            "repro_registry_epoch",
+            "Catalogue/resident-set change epoch",
+        ).set_function(lambda r: r.epoch, self)
+        registry.gauge(
+            "repro_registry_entries",
+            "Registered artifacts (resident or not)",
+        ).set_function(lambda r: len(r._entries), self)
+        registry.gauge(
+            "repro_registry_resident_engines",
+            "QueryEngine instances currently resident",
+        ).set_function(lambda r: len(r._engines), self)
 
     # ------------------------------------------------------------------
     # registration and discovery

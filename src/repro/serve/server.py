@@ -261,6 +261,49 @@ class DistanceServer:
         self._errors_total = 0
         self._engine_batches = 0
         self._coalesced_keys = 0
+        self._register_metrics()
+
+    def _register_metrics(self) -> None:
+        """Mirror server totals onto the obs registry (weakref callbacks).
+
+        Every series reads the plain-int counters the hot coroutines
+        already maintain, so the dist()/gather() paths pay nothing for
+        being observable.
+        """
+        from repro.obs.metrics import get_registry
+        registry = get_registry()
+        for metric, help_text, read in (
+            ("repro_serve_requests_total",
+             "Requests entering DistanceServer (pairs count individually)",
+             lambda s: s._requests_total),
+            ("repro_serve_served_total",
+             "Requests answered successfully", lambda s: s._served_total),
+            ("repro_serve_shed_total",
+             "Requests shed at the backpressure gate",
+             lambda s: s._shed_total),
+            ("repro_serve_errors_total",
+             "Requests failed with an error", lambda s: s._errors_total),
+            ("repro_serve_engine_batches_total",
+             "Vectorised engine gathers issued", lambda s: s._engine_batches),
+            ("repro_serve_coalesced_keys_total",
+             "Distinct keys resolved through engine gathers",
+             lambda s: s._coalesced_keys),
+        ):
+            registry.counter(metric, help_text).set_function(read, self)
+        for metric, help_text, read in (
+            ("repro_serve_in_flight",
+             "Requests holding a queue slot right now",
+             lambda s: s._in_flight),
+            ("repro_serve_pending_keys",
+             "Keys parked in coalescing buckets",
+             lambda s: sum(len(b) for b in s._pending.values())),
+            ("repro_serve_coalesce_window_seconds",
+             "Coalescing window currently in effect", lambda s: s._window),
+            ("repro_serve_ewma_arrival_rate",
+             "EWMA keys/sec observed by the flusher",
+             lambda s: s._arrival_rate),
+        ):
+            registry.gauge(metric, help_text).set_function(read, self)
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -382,7 +425,8 @@ class DistanceServer:
 
     async def gather(self, u, v, *, multiplicative: float = math.inf,
                      additive: float = math.inf, client: str = "default",
-                     artifact: Optional[str] = None) -> np.ndarray:
+                     artifact: Optional[str] = None,
+                     trace=None) -> np.ndarray:
         """Vectorised batch: one route and one engine gather chain per call.
 
         The wire-protocol fast path (:mod:`repro.net`): a worker decodes
@@ -436,9 +480,19 @@ class DistanceServer:
                         f"node pair ({int(u[index])}, {int(v[index])}) "
                         f"out of range [0, {n})")
                 config = self.config
+                # Manual span timing (not the context manager) keeps the
+                # untraced path free of any tracing overhead.
+                if trace is not None:
+                    span_wall = time.time()
+                    span_tick = time.perf_counter_ns()
                 if self._in_flight >= config.queue_capacity:
                     await self._admit_slow(stats, weight=count)
                 self._in_flight += 1
+                if trace is not None:
+                    trace.add("worker.queue", span_wall,
+                              (time.perf_counter_ns() - span_tick) / 1000.0)
+                    span_wall = time.time()
+                    span_tick = time.perf_counter_ns()
                 try:
                     lo = np.minimum(u, v)
                     hi = np.maximum(u, v)
@@ -450,6 +504,10 @@ class DistanceServer:
                         values[chunk] = engine.batch_core(lo[chunk], hi[chunk])
                         self._engine_batches += 1
                         self._coalesced_keys += chunk.stop - chunk.start
+                    if trace is not None:
+                        trace.add("worker.gather", span_wall,
+                                  (time.perf_counter_ns() - span_tick)
+                                  / 1000.0)
                 finally:
                     self._release()
         except ServerOverloaded:
@@ -504,6 +562,15 @@ class DistanceServer:
     def client_stats(self, client: str = "default") -> Dict[str, object]:
         return self._client(client).snapshot()
 
+    def engines(self) -> Dict[str, QueryEngine]:
+        """The engines currently loaded behind this server, by name.
+
+        Public accessor for aggregators (the net worker's ``/statsz``
+        residency report) that need per-engine ``memory_stats()`` without
+        reaching into the router.
+        """
+        return dict(self._router.loaded_engines())
+
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
@@ -517,6 +584,13 @@ class DistanceServer:
         if stats is None:
             stats = self._clients[name] = _ClientStats(
                 self.config.client_latency_window)
+            # Attach (not copy) the client's recorder so /metricsz reads
+            # the same live window stats() reports.
+            from repro.obs.metrics import get_registry
+            get_registry().recorder(
+                "repro_serve_client_latency_us",
+                "Per-client request latency", labels={"client": name},
+            ).attach(stats.latency)
         return stats
 
     async def _admit_slow(self, stats: _ClientStats, weight: int = 1) -> None:

@@ -15,12 +15,15 @@ import pytest
 from repro.net.protocol import (
     ERR_BAD_FRAME,
     ERR_UNSUPPORTED_VERSION,
+    FLAG_TRACE,
     HEADER,
     MAGIC,
     MAX_PAYLOAD,
     MSG_REQUEST,
     MSG_RESPONSE,
     PROTOCOL_VERSION,
+    TRACE_PROTOCOL_VERSION,
+    Frame,
     ProtocolError,
     encode_frame,
     jsonable,
@@ -99,6 +102,57 @@ class TestRoundtrips:
         assert read_one(b"") is None
 
 
+class TestTracedFrames:
+    def test_untraced_encode_is_byte_identical_to_version_1(self):
+        payload = pack_request([(1, 2)], math.inf, math.inf, "")
+        frame = encode_frame(MSG_REQUEST, 5, payload)
+        magic, version, ftype, flags, req_id, length = HEADER.unpack(
+            frame[:HEADER.size])
+        assert (magic, version, flags) == (MAGIC, PROTOCOL_VERSION, 0)
+        assert frame[HEADER.size:] == payload
+
+    def test_traced_frame_roundtrips_blob_and_payload(self):
+        payload = pack_request([(1, 2), (3, 4)], 2.0, 1.0, "dense")
+        blob = b'{"id":"deadbeefdeadbeef"}'
+        encoded = encode_frame(MSG_REQUEST, 11, payload, trace=blob)
+        version = encoded[4]
+        assert version == TRACE_PROTOCOL_VERSION
+        frame = read_one(encoded)
+        ftype, req_id, got = frame  # 3-tuple unpack still works
+        assert (ftype, req_id) == (MSG_REQUEST, 11)
+        assert got == payload
+        assert frame.trace == blob
+
+    def test_plain_frame_has_none_trace_attribute(self):
+        frame = read_one(encode_frame(MSG_REQUEST, 1, b""))
+        assert isinstance(frame, Frame)
+        assert frame.trace is None
+
+    def test_truncated_trace_blob_raises(self):
+        blob = b'{"id":"deadbeefdeadbeef"}'
+        encoded = bytearray(encode_frame(MSG_REQUEST, 3, b"", trace=blob))
+        # Advertise more trace bytes than the frame carries.
+        offset = HEADER.size
+        encoded[offset:offset + 2] = struct.pack("!H", len(blob) + 10)
+        with pytest.raises(ProtocolError) as excinfo:
+            read_one(bytes(encoded))
+        assert excinfo.value.code == ERR_BAD_FRAME
+
+    def test_oversized_trace_blob_rejected_by_encoder(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            encode_frame(MSG_REQUEST, 1, b"", trace=b"x" * 0x10000)
+        assert excinfo.value.code == ERR_BAD_FRAME
+
+    def test_version_2_flag_without_blob_yields_plain_payload(self):
+        # A v2 frame whose FLAG_TRACE bit is clear is read as plain.
+        payload = b"abc"
+        frame_bytes = HEADER.pack(MAGIC, TRACE_PROTOCOL_VERSION, MSG_REQUEST,
+                                  0, 9, len(payload)) + payload
+        frame = read_one(frame_bytes)
+        assert frame.trace is None
+        assert frame[2] == payload
+
+
 class TestMalformedFrames:
     def test_truncated_header_raises(self):
         frame = encode_frame(MSG_REQUEST, 1, b"x" * 10)
@@ -120,8 +174,10 @@ class TestMalformedFrames:
         assert excinfo.value.code == ERR_BAD_FRAME
 
     def test_unknown_version_byte_raises(self):
+        # Version 2 is the traced-frame version, so the first *unknown*
+        # byte is 3.
         frame = bytearray(encode_frame(MSG_REQUEST, 1, b""))
-        frame[4] = PROTOCOL_VERSION + 1
+        frame[4] = TRACE_PROTOCOL_VERSION + 1
         with pytest.raises(ProtocolError) as excinfo:
             read_one(bytes(frame))
         assert excinfo.value.code == ERR_UNSUPPORTED_VERSION

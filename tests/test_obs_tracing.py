@@ -1,0 +1,168 @@
+"""Tracing tests: sampling decisions, span timing, wire-blob roundtrips
+(malformed blobs must degrade rather than raise), and the loadgen
+raw-sample contract that lets trace spans merge into LoadReport."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.tracing import (
+    SAMPLE_ENV_VAR,
+    TraceContext,
+    Tracer,
+    trace_capable_blob,
+    unpack_trace_blob,
+)
+from repro.serve.loadgen import LoadReport
+
+
+class TestSampling:
+    def test_rate_zero_never_starts(self):
+        tracer = Tracer(sample_rate=0.0)
+        assert all(tracer.maybe_start() is None for _ in range(200))
+        assert tracer.started == 0
+
+    def test_rate_one_always_starts(self):
+        tracer = Tracer(sample_rate=1.0, tier="client")
+        contexts = [tracer.maybe_start() for _ in range(50)]
+        assert all(ctx is not None for ctx in contexts)
+        ids = {ctx.trace_id for ctx in contexts}
+        assert len(ids) == 50  # ids are fresh per request
+        assert all(len(trace_id) == 16 for trace_id in ids)
+
+    def test_incoming_trace_id_wins_over_local_rate(self):
+        # Upstream sampled the request: this tier must trace it even
+        # though its own sample rate is zero.
+        tracer = Tracer(sample_rate=0.0, tier="worker")
+        ctx = tracer.maybe_start("deadbeefdeadbeef")
+        assert ctx is not None
+        assert ctx.trace_id == "deadbeefdeadbeef"
+        assert ctx.tier == "worker"
+
+    def test_env_var_feeds_default_rate(self, monkeypatch):
+        monkeypatch.setenv(SAMPLE_ENV_VAR, "1.0")
+        assert Tracer().sample_rate == 1.0
+        monkeypatch.setenv(SAMPLE_ENV_VAR, "garbage")
+        assert Tracer().sample_rate == 0.0
+        monkeypatch.setenv(SAMPLE_ENV_VAR, "7")  # clamped
+        assert Tracer().sample_rate == 1.0
+
+    def test_finish_none_is_noop(self):
+        tracer = Tracer(sample_rate=1.0)
+        tracer.finish(None)
+        assert tracer.finished == 0
+
+    def test_capacity_bounds_stored_traces(self):
+        tracer = Tracer(sample_rate=1.0, capacity=4)
+        for _ in range(10):
+            tracer.finish(tracer.maybe_start())
+        assert len(tracer.traces()) == 4
+        assert tracer.finished == 10
+
+
+class TestSpans:
+    def test_span_contextmanager_times_the_block(self):
+        ctx = TraceContext("0" * 16, "client")
+        with ctx.span("work"):
+            pass
+        (span,) = ctx.spans
+        assert span.name == "work"
+        assert span.tier == "client"
+        assert span.duration_us >= 0.0
+
+    def test_span_recorded_even_when_block_raises(self):
+        ctx = TraceContext("0" * 16, "client")
+        with pytest.raises(RuntimeError):
+            with ctx.span("boom"):
+                raise RuntimeError("x")
+        assert [span.name for span in ctx.spans] == ["boom"]
+
+    def test_add_and_stage_total(self):
+        ctx = TraceContext("0" * 16, "frontend")
+        ctx.add("frontend.route", 100.0, 250.0)
+        ctx.add("frontend.fanout", 100.1, 1750.0)
+        assert ctx.stage_total_us() == pytest.approx(2000.0)
+
+    def test_ingest_folds_remote_spans(self):
+        ctx = TraceContext("a" * 16, "client")
+        ctx.ingest({"id": "a" * 16, "spans": [
+            {"name": "worker.gather", "tier": "worker",
+             "start": 5.0, "duration_us": 42.0}]})
+        (span,) = ctx.spans
+        assert (span.name, span.tier, span.duration_us) == (
+            "worker.gather", "worker", 42.0)
+
+
+class TestWireBlobs:
+    def test_blob_roundtrip_preserves_spans(self):
+        ctx = TraceContext("b" * 16, "worker")
+        ctx.add("worker.queue", 1.0, 10.0)
+        ctx.add("worker.gather", 1.1, 90.0)
+        payload = unpack_trace_blob(ctx.to_blob())
+        assert payload["id"] == "b" * 16
+        assert [item["name"] for item in payload["spans"]] == [
+            "worker.queue", "worker.gather"]
+
+    def test_request_blob_is_id_only(self):
+        payload = unpack_trace_blob(trace_capable_blob("c" * 16))
+        assert payload["id"] == "c" * 16
+        assert payload["spans"] == []
+
+    def test_json_blob_accepted_for_handrolled_clients(self):
+        payload = unpack_trace_blob(b'{"id":"abcd"}')
+        assert payload == {"id": "abcd"}
+
+    @pytest.mark.parametrize("blob", [
+        None, b"", b"not json", b"\xff\xfe", b"[1,2]",
+        b'{"no_id": true}', b'{"id": 123}', b"\x54",
+        b"\x54\x10trunc"])
+    def test_malformed_blobs_degrade_to_none(self, blob):
+        assert unpack_trace_blob(blob) is None
+
+    def test_truncated_binary_blob_degrades_not_raises(self):
+        ctx = TraceContext("e" * 16, "worker")
+        ctx.add("worker.gather", 1.0, 5.0)
+        blob = ctx.to_blob()
+        for cut in range(1, len(blob)):
+            unpack_trace_blob(blob[:cut])  # must never raise
+
+    def test_ingest_tolerates_missing_span_fields(self):
+        ctx = TraceContext("d" * 16, "client")
+        ctx.ingest({"id": "d" * 16, "spans": [{}]})
+        (span,) = ctx.spans
+        assert span.name == "?"
+        assert span.duration_us == 0.0
+
+
+class TestExport:
+    def make_finished_tracer(self) -> Tracer:
+        tracer = Tracer(sample_rate=1.0, tier="client")
+        ctx = tracer.maybe_start()
+        ctx.add("client.coalesce", 100.0, 500.0)
+        ctx.add("client.request", 100.5, 1500.0)
+        ctx.ingest({"id": ctx.trace_id, "spans": [
+            {"name": "worker.gather", "tier": "worker",
+             "start": 100.6, "duration_us": 900.0}]})
+        tracer.finish(ctx)
+        return tracer
+
+    def test_span_records_carry_loadgen_keys(self):
+        records = self.make_finished_tracer().span_records()
+        assert len(records) == 3
+        for record in records:
+            assert {"t", "client", "latency_us", "status",
+                    "trace", "span", "tier"} <= set(record)
+            assert record["status"] == "ok"
+        assert records[0]["client"] == "client/client.coalesce"
+        assert records[2]["client"] == "worker/worker.gather"
+
+    def test_export_jsonl_merges_into_loadreport(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        tracer = self.make_finished_tracer()
+        assert tracer.export_jsonl(str(path)) == 3
+        # Append mode: a second export doubles the population.
+        assert tracer.export_jsonl(str(path)) == 3
+        report = LoadReport.from_jsonl(str(path))
+        assert report.completed == 6
+        assert report.errors == 0
+        assert report.latency["count"] == 6
