@@ -1,0 +1,74 @@
+"""Deterministic fault injection for the serving fleet.
+
+``repro.chaos`` is the failure-testing half of the robustness story: a
+seedable, per-site fault plan that the network tier consults at a few
+well-known points, so a test or benchmark can subject a *real*
+multi-process cluster to slow workers, dropped connections, corrupt
+frames, shed load, stuck event loops, and bit-rotted shard files — and
+then assert that the fleet degrades gracefully (typed errors, retries,
+failover) instead of serving wrong answers or hanging.
+
+The layer has three parts:
+
+* :class:`~repro.chaos.plan.FaultPlan` / :class:`~repro.chaos.plan.
+  FaultSpec` — a declarative, JSON-serialisable plan: *where* (an
+  injection site such as ``worker.recv``), *what* (a fault kind), *how
+  often* (a probability), and *who* (an optional worker-id scope).
+* :class:`~repro.chaos.inject.FaultInjector` — the runtime half: one
+  per process, seeded deterministically from ``(plan seed, site, kind,
+  worker id)`` so a given plan replays the same fault sequence on every
+  run, with every injected fault counted in the process
+  :class:`~repro.obs.metrics.MetricsRegistry`
+  (``repro_chaos_injections_total{site,kind}``).
+* :mod:`repro.chaos.disk` — on-disk faults: flip bytes inside an
+  ``oracle.shard-K.npz`` payload (with a backup sidecar so tests can
+  corrupt, observe the quarantine, then restore and observe recovery).
+
+Activation is by environment variable so worker processes spawned by
+:class:`repro.net.cluster.Cluster` inherit the plan with zero plumbing:
+``REPRO_CHAOS`` holds either the JSON plan itself or a path to a JSON
+file.  An unset/empty variable means no injector is built and the
+serving hot paths pay a single ``is None`` check.
+
+Injection sites wired in :mod:`repro.net.worker`:
+
+========================  ====================================================
+site                      kinds honoured
+========================  ====================================================
+``worker.recv``           ``drop_connection``, ``shed``, ``error_frame``,
+                          ``delay``, ``stuck_worker``
+``worker.gather``         ``delay``, ``slow_worker``
+``worker.send``           ``corrupt_frame``, ``drop_connection``
+========================  ====================================================
+
+``corrupt_shard`` is not a runtime site — it is applied to artifact
+files on disk via :func:`~repro.chaos.disk.apply_disk_faults` before
+(or during) a run.
+"""
+
+from repro.chaos.disk import (
+    apply_disk_faults,
+    corrupt_shard_file,
+    restore_shard_file,
+)
+from repro.chaos.inject import FaultInjector, injector_from_env
+from repro.chaos.plan import (
+    CHAOS_ENV_VAR,
+    FAULT_KINDS,
+    FaultPlan,
+    FaultSpec,
+    PlanError,
+)
+
+__all__ = [
+    "CHAOS_ENV_VAR",
+    "FAULT_KINDS",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "PlanError",
+    "apply_disk_faults",
+    "corrupt_shard_file",
+    "injector_from_env",
+    "restore_shard_file",
+]

@@ -1,0 +1,112 @@
+"""On-disk faults: deterministic bit rot for sharded oracle artifacts.
+
+The runtime injector (:mod:`repro.chaos.inject`) breaks *behaviour*;
+this module breaks *data*.  :func:`corrupt_shard_file` overwrites a
+seeded run of bytes inside a shard payload with ``0xFF`` — chosen
+because a float64 whose bytes are all ``0xFF`` decodes as NaN, so the
+corruption is guaranteed to surface as obviously-invalid distances (the
+quarantine trigger) rather than plausible-but-wrong values, while still
+failing the shard's SHA-256 manifest check the way any bit rot would.
+
+Corruption writes a ``<shard>.chaos-bak`` backup sidecar by default, so
+tests and the ``repro chaos`` CLI can corrupt a shard, watch the
+serving stack quarantine it, then :func:`restore_shard_file` it and
+watch the re-verify/re-mmap recovery path succeed.
+"""
+
+from __future__ import annotations
+
+import random
+import shutil
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.chaos.plan import FaultPlan, PlanError
+
+PathLike = Union[str, Path]
+
+#: Suffix of the pristine-copy sidecar written before corruption.
+BACKUP_SUFFIX = ".chaos-bak"
+
+#: Bytes at the head/tail of the payload left untouched: the zip local
+#: file header at the front and the central directory at the back must
+#: stay parseable so the fault models *data* rot, not a truncated file.
+_GUARD_BYTES = 4096
+
+
+def corrupt_shard_file(path: PathLike, *, seed: int = 0, flips: int = 256,
+                       backup: bool = True) -> Dict[str, object]:
+    """Overwrite ``flips`` bytes of a shard payload with ``0xFF``.
+
+    The corrupted run lands at a seeded offset inside the middle of the
+    file (away from the zip structures at either end), so the array
+    data itself rots.  Returns a description of what was done —
+    ``{"path", "offset", "flips", "backup"}`` — for logs and reports.
+    """
+    path = Path(path)
+    size = path.stat().st_size
+    flips = int(flips)
+    if flips <= 0:
+        raise PlanError(f"flips must be positive, got {flips}")
+    lo = min(_GUARD_BYTES, size // 4)
+    hi = max(lo + 1, size - _GUARD_BYTES - flips)
+    offset = lo + random.Random(seed).randrange(max(1, hi - lo))
+    offset = min(offset, max(0, size - flips))
+    backup_path: Optional[Path] = None
+    if backup:
+        backup_path = path.with_name(path.name + BACKUP_SUFFIX)
+        if not backup_path.exists():
+            shutil.copy2(path, backup_path)
+    with open(path, "r+b") as handle:
+        handle.seek(offset)
+        handle.write(b"\xff" * flips)
+    return {"path": str(path), "offset": int(offset), "flips": flips,
+            "backup": str(backup_path) if backup_path else None}
+
+
+def restore_shard_file(path: PathLike) -> bool:
+    """Undo :func:`corrupt_shard_file` from its backup sidecar.
+
+    Returns True when a backup existed and was restored (the sidecar is
+    removed), False when there was nothing to restore.
+    """
+    path = Path(path)
+    backup_path = path.with_name(path.name + BACKUP_SUFFIX)
+    if not backup_path.exists():
+        return False
+    shutil.copy2(backup_path, path)
+    backup_path.unlink()
+    return True
+
+
+def apply_disk_faults(plan: FaultPlan, manifest_path: PathLike, *,
+                      backup: bool = True) -> List[Dict[str, object]]:
+    """Apply every ``corrupt_shard`` fault in ``plan`` to one artifact.
+
+    ``manifest_path`` names the sharded artifact (base path, ``.npz``,
+    or ``*.shards.json`` — anything :func:`repro.oracle.sharding.
+    shard_manifest_path` accepts).  Shard indices beyond the artifact's
+    shard count raise :class:`~repro.chaos.plan.PlanError` rather than
+    silently corrupting nothing.
+    """
+    from repro.oracle.sharding import ShardedOracleArtifact, shard_manifest_path
+
+    specs = plan.disk_faults
+    if not specs:
+        return []
+    artifact = ShardedOracleArtifact.load(
+        shard_manifest_path(manifest_path), verify="none")
+    reports: List[Dict[str, object]] = []
+    for spec in specs:
+        if not 0 <= spec.shard < artifact.num_shards:
+            raise PlanError(
+                f"corrupt_shard index {spec.shard} out of range for "
+                f"{artifact.num_shards}-shard artifact {manifest_path}")
+        reports.append(corrupt_shard_file(
+            artifact.shard_file(spec.shard),
+            seed=plan.seed + spec.shard, flips=spec.flips, backup=backup))
+    return reports
+
+
+__all__ = ["BACKUP_SUFFIX", "apply_disk_faults", "corrupt_shard_file",
+           "restore_shard_file"]

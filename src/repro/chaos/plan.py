@@ -1,0 +1,262 @@
+"""Declarative fault plans: what to break, where, how often, for whom.
+
+A :class:`FaultPlan` is a seed plus an ordered list of
+:class:`FaultSpec` entries.  Plans are plain JSON so they can live in a
+file, a CLI flag, or the ``REPRO_CHAOS`` environment variable that
+worker processes inherit from :class:`repro.net.cluster.Cluster`::
+
+    {
+      "seed": 42,
+      "faults": [
+        {"site": "worker.gather", "kind": "delay", "probability": 0.05,
+         "ms": 40},
+        {"site": "worker.recv", "kind": "drop_connection",
+         "probability": 0.01},
+        {"site": "worker.gather", "kind": "slow_worker", "workers": [1],
+         "ms": 150},
+        {"kind": "corrupt_shard", "shard": 2, "flips": 256}
+      ]
+    }
+
+Everything validates eagerly — a typo'd fault kind or probability out of
+``[0, 1]`` raises :class:`PlanError` at parse time, never mid-run.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: Environment variable carrying the active plan (JSON text or a path
+#: to a JSON file).  Unset or empty means chaos is off.
+CHAOS_ENV_VAR = "REPRO_CHAOS"
+
+#: Every fault kind the injector and the disk layer understand.
+FAULT_KINDS = (
+    "delay",            # sleep ``ms`` before continuing
+    "drop_connection",  # close the peer's connection mid-exchange
+    "corrupt_frame",    # flip header bytes of an outgoing frame
+    "slow_worker",      # persistent per-worker added latency of ``ms``
+    "stuck_worker",     # block the whole event loop for ``ms`` (liveness
+                        # probes stall too — supervisor territory)
+    "error_frame",      # answer with a spurious ERR_INTERNAL frame
+    "shed",             # answer with ERR_OVERLOADED (fake backpressure)
+    "corrupt_shard",    # on-disk: flip bytes in an oracle.shard-K.npz
+)
+
+#: Kinds that only make sense as on-disk actions, never at a runtime
+#: injection site.
+DISK_KINDS = ("corrupt_shard",)
+
+
+class PlanError(ValueError):
+    """A fault plan that does not validate (bad kind, probability, JSON)."""
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultSpec:
+    """One fault: where, what, how often, and for which workers.
+
+    ``site`` is free-form (the injector matches it by string equality
+    against whatever the instrumented code asks for); the wired sites
+    are documented in :mod:`repro.chaos`.  ``workers`` scopes the fault
+    to specific worker ids (empty means every worker).  ``limit`` caps
+    how many times this spec may fire in one process (``None`` is
+    unlimited).  ``shard``/``flips`` only apply to ``corrupt_shard``.
+    """
+
+    kind: str
+    site: str = ""
+    probability: float = 1.0
+    ms: float = 0.0
+    workers: Tuple[int, ...] = ()
+    limit: Optional[int] = None
+    shard: int = 0
+    flips: int = 256
+
+    def __post_init__(self):
+        if self.kind not in FAULT_KINDS:
+            raise PlanError(
+                f"unknown fault kind {self.kind!r} "
+                f"(known: {', '.join(FAULT_KINDS)})")
+        if self.kind in DISK_KINDS:
+            if self.site:
+                raise PlanError(
+                    f"{self.kind!r} is an on-disk fault and takes no site "
+                    f"(got {self.site!r})")
+        elif not self.site:
+            raise PlanError(f"fault kind {self.kind!r} requires a site")
+        if not 0.0 <= self.probability <= 1.0:
+            raise PlanError(
+                f"probability must be in [0, 1], got {self.probability}")
+        if self.ms < 0:
+            raise PlanError(f"ms must be non-negative, got {self.ms}")
+        if self.limit is not None and self.limit < 0:
+            raise PlanError(f"limit must be non-negative, got {self.limit}")
+        if self.flips <= 0:
+            raise PlanError(f"flips must be positive, got {self.flips}")
+        object.__setattr__(self, "workers",
+                           tuple(int(w) for w in self.workers))
+
+    def applies_to(self, worker_id: Optional[int]) -> bool:
+        """Whether this spec is in scope for ``worker_id``.
+
+        A spec with no worker scope applies everywhere; a scoped spec
+        applies only to the listed ids (and never to a process that has
+        no worker id at all, such as the frontend).
+        """
+        if not self.workers:
+            return True
+        return worker_id is not None and int(worker_id) in self.workers
+
+    def as_dict(self) -> Dict[str, object]:
+        doc: Dict[str, object] = {"kind": self.kind}
+        if self.site:
+            doc["site"] = self.site
+        if self.probability != 1.0:
+            doc["probability"] = self.probability
+        if self.ms:
+            doc["ms"] = self.ms
+        if self.workers:
+            doc["workers"] = list(self.workers)
+        if self.limit is not None:
+            doc["limit"] = self.limit
+        if self.kind in DISK_KINDS:
+            doc["shard"] = self.shard
+            doc["flips"] = self.flips
+        return doc
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, object]) -> "FaultSpec":
+        if not isinstance(doc, dict):
+            raise PlanError(f"fault spec must be an object, got {doc!r}")
+        unknown = set(doc) - {
+            "kind", "site", "probability", "ms", "workers", "limit",
+            "shard", "flips"}
+        if unknown:
+            raise PlanError(
+                f"unknown fault spec fields: {', '.join(sorted(unknown))}")
+        try:
+            return cls(
+                kind=str(doc.get("kind", "")),
+                site=str(doc.get("site", "")),
+                probability=float(doc.get("probability", 1.0)),
+                ms=float(doc.get("ms", 0.0)),
+                workers=tuple(doc.get("workers", ())),
+                limit=(None if doc.get("limit") is None
+                       else int(doc["limit"])),
+                shard=int(doc.get("shard", 0)),
+                flips=int(doc.get("flips", 256)),
+            )
+        except (TypeError, ValueError) as exc:
+            if isinstance(exc, PlanError):
+                raise
+            raise PlanError(f"malformed fault spec {doc!r}: {exc}")
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultPlan:
+    """A seed plus an ordered list of faults.
+
+    The seed makes every run of the same plan inject the same fault
+    sequence per ``(site, kind, worker)`` stream — chaos tests are
+    reproducible, not flaky.
+    """
+
+    faults: Tuple[FaultSpec, ...] = ()
+    seed: int = 0
+
+    def __post_init__(self):
+        object.__setattr__(self, "faults", tuple(self.faults))
+
+    @property
+    def runtime_faults(self) -> Tuple[FaultSpec, ...]:
+        return tuple(s for s in self.faults if s.kind not in DISK_KINDS)
+
+    @property
+    def disk_faults(self) -> Tuple[FaultSpec, ...]:
+        return tuple(s for s in self.faults if s.kind in DISK_KINDS)
+
+    def scoped(self, worker_id: Optional[int]) -> List[FaultSpec]:
+        """Runtime faults in scope for one worker, in plan order."""
+        return [s for s in self.runtime_faults if s.applies_to(worker_id)]
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"seed": self.seed,
+                "faults": [spec.as_dict() for spec in self.faults]}
+
+    def to_json(self) -> str:
+        return json.dumps(self.as_dict(), sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, object]) -> "FaultPlan":
+        if not isinstance(doc, dict):
+            raise PlanError(f"fault plan must be an object, got {doc!r}")
+        unknown = set(doc) - {"seed", "faults"}
+        if unknown:
+            raise PlanError(
+                f"unknown fault plan fields: {', '.join(sorted(unknown))}")
+        faults = doc.get("faults", [])
+        if not isinstance(faults, (list, tuple)):
+            raise PlanError("fault plan 'faults' must be a list")
+        try:
+            seed = int(doc.get("seed", 0))
+        except (TypeError, ValueError) as exc:
+            raise PlanError(f"fault plan seed must be an int: {exc}")
+        return cls(faults=tuple(FaultSpec.from_dict(spec) for spec in faults),
+                   seed=seed)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        try:
+            doc = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise PlanError(f"fault plan is not valid JSON: {exc}")
+        return cls.from_dict(doc)
+
+    @classmethod
+    def from_env_value(cls, value: str) -> Optional["FaultPlan"]:
+        """Decode a ``REPRO_CHAOS`` value: inline JSON or a file path."""
+        value = value.strip()
+        if not value:
+            return None
+        if value.startswith("{"):
+            return cls.from_json(value)
+        path = value[1:] if value.startswith("@") else value
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                return cls.from_json(handle.read())
+        except OSError as exc:
+            raise PlanError(f"cannot read fault plan file {path!r}: {exc}")
+
+    @classmethod
+    def from_env(cls, environ=None) -> Optional["FaultPlan"]:
+        """The active plan per ``REPRO_CHAOS``, or None when chaos is off."""
+        value = (environ if environ is not None else os.environ).get(
+            CHAOS_ENV_VAR, "")
+        return cls.from_env_value(value)
+
+
+def example_plan() -> FaultPlan:
+    """The documented "bad day" starter plan (also ``repro chaos plan``)."""
+    return FaultPlan(seed=42, faults=(
+        FaultSpec(kind="delay", site="worker.gather", probability=0.05,
+                  ms=40.0),
+        FaultSpec(kind="drop_connection", site="worker.recv",
+                  probability=0.01),
+        FaultSpec(kind="slow_worker", site="worker.gather", workers=(1,),
+                  ms=150.0),
+        FaultSpec(kind="corrupt_shard", shard=0, flips=256),
+    ))
+
+
+def merge_plans(plans: Sequence[FaultPlan]) -> FaultPlan:
+    """Concatenate several plans (first plan's seed wins)."""
+    if not plans:
+        return FaultPlan()
+    faults: List[FaultSpec] = []
+    for plan in plans:
+        faults.extend(plan.faults)
+    return FaultPlan(faults=tuple(faults), seed=plans[0].seed)

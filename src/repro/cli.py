@@ -622,9 +622,10 @@ def cmd_net_serve(args: argparse.Namespace) -> int:
         os.environ[SAMPLE_ENV_VAR] = str(args.trace_sample)
         set_sample_rate(args.trace_sample)
 
+    from repro.net.bench import NET_ERROR_TYPES
     from repro.net.cluster import Cluster
-    from repro.net.frontend import Frontend, NetClient, WorkerUnavailable
-    from repro.net.protocol import NetError, ProtocolError
+    from repro.net.frontend import Frontend, NetClient
+    from repro.net.protocol import NetError
     from repro.oracle import ArtifactError
     from repro.serve import (
         RegistryError,
@@ -633,7 +634,6 @@ def cmd_net_serve(args: argparse.Namespace) -> int:
         run_closed_loop,
         zipf_pairs,
     )
-    from repro.serve.loadgen import DEFAULT_ERROR_TYPES
 
     try:
         config_kwargs = dataclasses.asdict(_serve_config(args))
@@ -662,15 +662,12 @@ def cmd_net_serve(args: argparse.Namespace) -> int:
                     return 1
                 pairs = zipf_pairs(decision.entry.n, args.self_test,
                                    skew=args.zipf, seed=args.seed)
-                net_errors = DEFAULT_ERROR_TYPES + (
-                    NetError, ProtocolError, WorkerUnavailable,
-                    ConnectionError, TimeoutError)
                 async with NetClient(frontend.host, frontend.port,
                                      client="self-test") as client:
                     report = await run_closed_loop(
                         client, pairs, concurrency=args.concurrency,
                         multiplicative=args.stretch, additive=args.additive,
-                        error_types=net_errors)
+                        error_types=NET_ERROR_TYPES)
                 reference = _load_engine(str(decision.entry.path))
                 report.mismatches = count_mismatches(pairs, report.answers,
                                                      reference)
@@ -696,6 +693,107 @@ def cmd_net_serve(args: argparse.Namespace) -> int:
     except (NetError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+
+
+def cmd_chaos_plan(args: argparse.Namespace) -> int:
+    """Print (``--example``) or validate-and-normalise a fault plan."""
+    from repro.chaos.plan import FaultPlan, PlanError, example_plan
+
+    if args.example:
+        print(example_plan().to_json())
+        return 0
+    if not args.plan:
+        print("error: pass a plan (JSON or @path) or --example",
+              file=sys.stderr)
+        return 1
+    try:
+        plan = FaultPlan.from_env_value(args.plan)
+    except PlanError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if plan is None:
+        print("error: empty plan", file=sys.stderr)
+        return 1
+    print(plan.to_json())
+    return 0
+
+
+def cmd_chaos_corrupt(args: argparse.Namespace) -> int:
+    """Apply (or ``--restore``) a plan's on-disk shard corruption."""
+    import json
+
+    from repro.chaos.disk import apply_disk_faults, restore_shard_file
+    from repro.chaos.plan import FaultPlan, PlanError
+    from repro.oracle import ArtifactError
+    from repro.oracle.sharding import (
+        ShardedOracleArtifact,
+        shard_manifest_path,
+    )
+
+    try:
+        if args.restore:
+            artifact = ShardedOracleArtifact.load(
+                shard_manifest_path(args.artifact), verify="none")
+            restored = [index for index in range(artifact.num_shards)
+                        if restore_shard_file(artifact.shard_file(index))]
+            print(json.dumps({"restored_shards": restored}))
+            return 0
+        if not args.plan:
+            print("error: pass a plan (JSON or @path) or --restore",
+                  file=sys.stderr)
+            return 1
+        plan = FaultPlan.from_env_value(args.plan)
+        if plan is None or not plan.disk_faults:
+            print("error: plan has no corrupt_shard faults", file=sys.stderr)
+            return 1
+        reports = apply_disk_faults(plan, args.artifact,
+                                    backup=not args.no_backup)
+        print(json.dumps({"corrupted": reports}))
+        return 0
+    except (PlanError, ArtifactError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+def cmd_chaos_run(args: argparse.Namespace) -> int:
+    """``net serve`` under a fault plan: the one-command chaos drill.
+
+    Exports the plan through ``REPRO_CHAOS`` *before* the Cluster
+    spawns (workers inherit the environment), applies any
+    ``corrupt_shard`` faults to the artifact files, then delegates to
+    :func:`cmd_net_serve` — so ``--self-test N`` under a plan is the
+    availability + zero-wrong-answers drill from the benchmark, sized
+    to taste.
+    """
+    import os
+
+    from repro.chaos.disk import apply_disk_faults
+    from repro.chaos.plan import CHAOS_ENV_VAR, FaultPlan, PlanError
+    from repro.oracle import ArtifactError
+
+    try:
+        plan = FaultPlan.from_env_value(args.plan)
+    except PlanError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if plan is None:
+        print("error: empty plan", file=sys.stderr)
+        return 1
+    os.environ[CHAOS_ENV_VAR] = plan.to_json()
+    try:
+        if plan.disk_faults:
+            for artifact in args.artifacts:
+                reports = apply_disk_faults(plan, artifact)
+                for report in reports:
+                    print(f"corrupted: {report['path']} "
+                          f"(+{report['flips']}B @ {report['offset']})")
+    except (PlanError, ArtifactError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    try:
+        return cmd_net_serve(args)
+    finally:
+        os.environ.pop(CHAOS_ENV_VAR, None)
 
 
 def cmd_obs(args: argparse.Namespace) -> int:
@@ -1011,6 +1109,55 @@ def build_parser() -> argparse.ArgumentParser:
     net_bench.add_argument("--raw-dir", default=None, dest="raw_dir",
                            help="keep raw JSONL samples in this directory")
     net_bench.set_defaults(func=cmd_net_bench)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="deterministic fault injection: plan, corrupt, run",
+    )
+    chaos_sub = chaos.add_subparsers(dest="chaos_command", required=True)
+
+    chaos_plan = chaos_sub.add_parser(
+        "plan", help="print an example plan or validate one")
+    chaos_plan.add_argument("plan", nargs="?", default=None,
+                            help="plan JSON, a path, or @path")
+    chaos_plan.add_argument("--example", action="store_true",
+                            help="print the documented example plan")
+    chaos_plan.set_defaults(func=cmd_chaos_plan)
+
+    chaos_corrupt = chaos_sub.add_parser(
+        "corrupt", help="apply a plan's corrupt_shard faults to an artifact")
+    chaos_corrupt.add_argument("artifact",
+                               help="sharded artifact (base path, .npz, or "
+                                    ".shards.json)")
+    chaos_corrupt.add_argument("plan", nargs="?", default=None,
+                               help="plan JSON, a path, or @path")
+    chaos_corrupt.add_argument("--restore", action="store_true",
+                               help="restore every shard from its "
+                                    ".chaos-bak sidecar instead")
+    chaos_corrupt.add_argument("--no-backup", action="store_true",
+                               dest="no_backup",
+                               help="corrupt without writing backup "
+                                    "sidecars")
+    chaos_corrupt.set_defaults(func=cmd_chaos_corrupt)
+
+    chaos_run = chaos_sub.add_parser(
+        "run", help="net serve with a fault plan active fleet-wide")
+    chaos_run.add_argument("--plan", required=True,
+                           help="plan JSON, a path, or @path")
+    _add_serving_options(chaos_run)
+    chaos_run.add_argument("--workers", type=int, default=2)
+    chaos_run.add_argument("--port", type=int, default=0)
+    chaos_run.add_argument("--host", default="127.0.0.1")
+    chaos_run.add_argument("--worker-base-port", type=int, default=0,
+                           dest="worker_base_port")
+    chaos_run.add_argument("--self-test", type=int, default=0,
+                           dest="self_test", metavar="N",
+                           help="drive N verified queries through the "
+                                "faulted fleet, then exit")
+    chaos_run.add_argument("--concurrency", type=int, default=32)
+    chaos_run.add_argument("--trace-sample", type=float, default=None,
+                           dest="trace_sample", metavar="RATE")
+    chaos_run.set_defaults(func=cmd_chaos_run)
 
     obs = sub.add_parser(
         "obs",

@@ -67,6 +67,13 @@ DEFAULT_OUT = Path(__file__).resolve().parents[3] / "BENCH_PR6.json"
 SPEEDUP_FLOOR = 1.5
 FAILOVER_ERROR_CEILING = 0.01
 
+#: Everything a verified load run over the wire counts as a failed
+#: request — loadgen's defaults plus the transport layer.  Shared with
+#: ``benchmarks/bench_chaos.py`` and ``repro net serve --self-test``.
+NET_ERROR_TYPES: Tuple[type, ...] = DEFAULT_ERROR_TYPES + (
+    NetError, ProtocolError, WorkerUnavailable, ConnectionError,
+    TimeoutError)
+
 FULL_RUNGS = (1, 10, 50, 500)
 SMOKE_RUNGS = (1, 10, 50)
 GATE_RUNG = 50
@@ -261,9 +268,6 @@ async def bench_failover(frontend: Frontend, cluster: Cluster,
     rotation.  Every completed answer is then replayed through a direct
     engine.
     """
-    net_errors = DEFAULT_ERROR_TYPES + (
-        NetError, ProtocolError, WorkerUnavailable, ConnectionError,
-        TimeoutError)
     async with NetClient(*frontend.address, client="failover") as client:
         counting = _CountingClient(client)
 
@@ -277,7 +281,7 @@ async def bench_failover(frontend: Frontend, cluster: Cluster,
 
         load_task = asyncio.ensure_future(run_closed_loop(
             counting, pairs, concurrency=concurrency, client="failover",
-            error_types=net_errors, collect_samples=True))
+            error_types=NET_ERROR_TYPES, collect_samples=True))
         kill_info = await chaos()
         report = await load_task
     if raw_path is not None:

@@ -12,17 +12,33 @@ SIGTERM so workers drain in-flight frames before exiting.
 failover benchmark and the CI ``net-smoke`` job can murder a worker
 mid-campaign and assert the front tier re-routes with zero wrong
 answers.
+
+The optional **supervisor** (``supervise=True`` or
+:meth:`Cluster.start_supervisor`) closes the self-healing loop: a
+background thread probes every worker's ``/healthz`` each interval,
+respawns dead processes with per-worker exponential backoff, and
+SIGKILLs-then-respawns *stuck* workers — alive processes whose event
+loop has stalled (``stuck_after`` consecutive probe failures), which is
+exactly the failure mode the chaos layer's ``stuck_worker`` fault
+manufactures.  Supervision is off by default so tests that assert on
+dead workers keep their semantics.
 """
 
 from __future__ import annotations
 
+import json
+import logging
 import multiprocessing
 import socket
+import threading
 import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.net.protocol import NetError
 from repro.net.worker import worker_main
+from repro.obs.metrics import get_registry
+
+logger = logging.getLogger("repro.net.cluster")
 
 
 def free_port(host: str = "127.0.0.1") -> int:
@@ -80,12 +96,23 @@ class Cluster:
         Per-worker registry LRU capacity (resident engines).
     start_timeout:
         Seconds to wait for every worker's ``/healthz`` to answer.
+    supervise:
+        Start the self-healing supervisor thread with the fleet.
+    supervise_interval / stuck_after / respawn_backoff /
+    respawn_max_backoff:
+        Supervisor tuning: probe period, consecutive ``/healthz``
+        failures before a live-but-stalled worker is declared stuck and
+        SIGKILLed, and the initial/capped exponential backoff between
+        respawns of the same worker slot.
     """
 
     def __init__(self, artifact_paths: Sequence[str], num_workers: int = 2,
                  host: str = "127.0.0.1", base_port: int = 0, *,
                  config_kwargs: Optional[dict] = None, capacity: int = 4,
-                 start_timeout: float = 60.0):
+                 start_timeout: float = 60.0, supervise: bool = False,
+                 supervise_interval: float = 0.5, stuck_after: int = 3,
+                 respawn_backoff: float = 0.5,
+                 respawn_max_backoff: float = 30.0):
         if num_workers < 1:
             raise ValueError("a cluster needs at least one worker")
         self.artifact_paths = [str(path) for path in artifact_paths]
@@ -94,6 +121,11 @@ class Cluster:
         self.config_kwargs = dict(config_kwargs or {})
         self.capacity = capacity
         self.start_timeout = start_timeout
+        self.supervise = supervise
+        self.supervise_interval = supervise_interval
+        self.stuck_after = max(1, int(stuck_after))
+        self.respawn_backoff = respawn_backoff
+        self.respawn_max_backoff = respawn_max_backoff
         if base_port:
             self.ports = [base_port + index for index in range(num_workers)]
         else:
@@ -105,6 +137,25 @@ class Cluster:
         self._context = multiprocessing.get_context("spawn")
         self._processes: List[Optional[multiprocessing.Process]] = \
             [None] * num_workers
+        # Supervisor state: last /healthz status + consecutive failures
+        # per worker, respawn backoff bookkeeping, and the thread itself.
+        self.respawns = 0
+        self.stuck_kills = 0
+        self._last_healthz: List[Optional[int]] = [None] * num_workers
+        self._healthz_failures = [0] * num_workers
+        self._next_respawn = [0.0] * num_workers
+        self._backoff = [respawn_backoff] * num_workers
+        self._supervisor: Optional[threading.Thread] = None
+        self._supervisor_stop = threading.Event()
+        registry = get_registry()
+        registry.counter(
+            "repro_cluster_respawns_total",
+            "Worker processes respawned by the cluster supervisor",
+        ).set_function(lambda c: c.respawns, self)
+        registry.counter(
+            "repro_cluster_stuck_kills_total",
+            "Stuck (alive but unresponsive) workers SIGKILLed",
+        ).set_function(lambda c: c.stuck_kills, self)
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -113,6 +164,8 @@ class Cluster:
         for index in range(self.num_workers):
             self._spawn(index)
         self.wait_healthy()
+        if self.supervise:
+            self.start_supervisor()
         return self
 
     def _spawn(self, index: int) -> None:
@@ -128,7 +181,13 @@ class Cluster:
         self._processes[index] = process
 
     def wait_healthy(self, timeout: Optional[float] = None) -> None:
-        """Block until every live worker answers ``/healthz`` with 200."""
+        """Block until every live worker answers ``/healthz`` with 200.
+
+        Failure messages carry the whole fleet's status — pid, port,
+        liveness, exit code, and last ``/healthz`` answer per worker —
+        so a dead-on-arrival fleet is diagnosable from the exception
+        alone, without re-running under a debugger.
+        """
         deadline = time.monotonic() + (timeout or self.start_timeout)
         for index, port in enumerate(self.ports):
             while True:
@@ -136,15 +195,110 @@ class Cluster:
                 if process is None or not process.is_alive():
                     raise NetError(
                         f"worker {index} (port {port}) exited during startup "
-                        f"(exitcode={getattr(process, 'exitcode', None)})")
-                if _http_get(self.host, port, "/healthz") == 200:
+                        f"(exitcode={getattr(process, 'exitcode', None)}); "
+                        f"fleet: {json.dumps(self.worker_status())}")
+                status = _http_get(self.host, port, "/healthz")
+                self._last_healthz[index] = status
+                if status == 200:
                     break
                 if time.monotonic() >= deadline:
+                    fleet = json.dumps(self.worker_status())
                     self.stop()
                     raise NetError(
                         f"worker {index} (port {port}) not healthy within "
-                        f"{timeout or self.start_timeout:.1f}s")
+                        f"{timeout or self.start_timeout:.1f}s; "
+                        f"fleet: {fleet}")
                 time.sleep(0.05)
+
+    def worker_status(self) -> List[Dict[str, object]]:
+        """Per-worker status (pid, port, liveness, last ``/healthz``)."""
+        out: List[Dict[str, object]] = []
+        for index, port in enumerate(self.ports):
+            process = self._processes[index]
+            out.append({
+                "worker": index,
+                "port": port,
+                "pid": getattr(process, "pid", None),
+                "alive": process is not None and process.is_alive(),
+                "exitcode": getattr(process, "exitcode", None),
+                "last_healthz": self._last_healthz[index],
+            })
+        return out
+
+    # ------------------------------------------------------------------
+    # supervision (self-healing)
+    # ------------------------------------------------------------------
+    def start_supervisor(self) -> None:
+        """Start the background probe/respawn thread (idempotent)."""
+        if self._supervisor is not None and self._supervisor.is_alive():
+            return
+        self._supervisor_stop.clear()
+        self._supervisor = threading.Thread(
+            target=self._supervise_loop, name="repro-cluster-supervisor",
+            daemon=True)
+        self._supervisor.start()
+
+    def stop_supervisor(self) -> None:
+        if self._supervisor is None:
+            return
+        self._supervisor_stop.set()
+        self._supervisor.join(timeout=10.0)
+        self._supervisor = None
+
+    def _supervise_loop(self) -> None:
+        while not self._supervisor_stop.wait(self.supervise_interval):
+            for index in range(self.num_workers):
+                if self._supervisor_stop.is_set():
+                    return
+                try:
+                    self._check_worker(index)
+                except Exception:  # noqa: BLE001 - supervisor must survive
+                    logger.exception("supervisor check of worker %d failed",
+                                     index)
+
+    def _check_worker(self, index: int) -> None:
+        """One supervision step: probe, declare stuck, respawn with backoff."""
+        process = self._processes[index]
+        dead = process is None or not process.is_alive()
+        if not dead:
+            status = _http_get(self.host, self.ports[index], "/healthz")
+            self._last_healthz[index] = status
+            if status == 200:
+                # Healthy: forgive history so future faults back off fresh.
+                self._healthz_failures[index] = 0
+                self._backoff[index] = self.respawn_backoff
+                return
+            self._healthz_failures[index] += 1
+            if self._healthz_failures[index] < self.stuck_after:
+                return
+            # Alive but unresponsive for stuck_after probes: the event
+            # loop is wedged (chaos stuck_worker, runaway gather, ...).
+            # SIGTERM would be ignored by a stalled loop; go straight
+            # to SIGKILL and treat the slot as dead below.
+            logger.warning(
+                "worker %d (pid %s, port %d) stuck: %d consecutive /healthz "
+                "failures; killing for respawn", index, process.pid,
+                self.ports[index], self._healthz_failures[index])
+            self.stuck_kills += 1
+            process.kill()
+            process.join(timeout=10.0)
+            self._processes[index] = None
+            dead = True
+        if dead:
+            now = time.monotonic()
+            if now < self._next_respawn[index]:
+                return  # still backing off this slot
+            backoff = self._backoff[index]
+            self._next_respawn[index] = now + backoff
+            self._backoff[index] = min(backoff * 2.0,
+                                       self.respawn_max_backoff)
+            self._healthz_failures[index] = 0
+            self.respawns += 1
+            logger.warning(
+                "respawning worker %d on port %d (respawn #%d, next backoff "
+                "%.1fs)", index, self.ports[index], self.respawns,
+                self._backoff[index])
+            self._spawn(index)
 
     def kill_worker(self, index: int) -> None:
         """SIGKILL one worker — the failover experiment's chaos monkey."""
@@ -161,6 +315,7 @@ class Cluster:
 
     def stop(self, timeout: float = 10.0) -> None:
         """SIGTERM the fleet (graceful drain), escalating to SIGKILL."""
+        self.stop_supervisor()
         for process in self._processes:
             if process is not None and process.is_alive():
                 process.terminate()
@@ -170,6 +325,9 @@ class Cluster:
                 continue
             process.join(timeout=max(0.0, deadline - time.monotonic()))
             if process.is_alive():  # drain hung: stop being polite
+                logger.warning(
+                    "worker %d (pid %s) did not drain within %.1fs; "
+                    "escalating to SIGKILL", index, process.pid, timeout)
                 process.kill()
                 process.join(timeout=5.0)
             self._processes[index] = None
@@ -198,6 +356,9 @@ class Cluster:
             "ports": list(self.ports),
             "alive": self.alive(),
             "artifacts": list(self.artifact_paths),
+            "supervised": self.supervise,
+            "respawns": self.respawns,
+            "stuck_kills": self.stuck_kills,
         }
 
 

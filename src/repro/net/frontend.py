@@ -48,6 +48,8 @@ import numpy as np
 
 from repro.net.protocol import (
     ERR_BAD_NODES,
+    ERR_DATA_INTEGRITY,
+    ERR_DEADLINE_EXCEEDED,
     ERR_INTERNAL,
     ERR_OVERLOADED,
     ERR_ROUTING,
@@ -68,7 +70,8 @@ from repro.net.protocol import (
     unpack_response,
 )
 from repro.net.worker import NetServiceBase
-from repro.obs.metrics import get_registry, merge_snapshots
+from repro.obs.metrics import LatencyRecorder, get_registry, merge_snapshots
+from repro.oracle.sharding import ShardIntegrityError
 from repro.obs.tracing import (
     TraceContext,
     get_tracer,
@@ -77,7 +80,7 @@ from repro.obs.tracing import (
 )
 from repro.serve.registry import ArtifactEntry, build_registry
 from repro.serve.router import RoutingError, StretchRouter, budget_admits
-from repro.serve.server import ServerClosed, ServerOverloaded
+from repro.serve.server import DeadlineExceeded, ServerClosed, ServerOverloaded
 
 Pair = Tuple[int, int]
 
@@ -92,6 +95,10 @@ def map_wire_error(error: ProtocolError) -> Exception:
         return ValueError(str(error))
     if error.code == ERR_SHUTTING_DOWN:
         return WorkerUnavailable(str(error))
+    if error.code == ERR_DEADLINE_EXCEEDED:
+        return DeadlineExceeded(str(error))
+    if error.code == ERR_DATA_INTEGRITY:
+        return ShardIntegrityError(str(error))
     if error.code == ERR_INTERNAL:
         return NetError(str(error))
     return error
@@ -103,6 +110,128 @@ class WorkerUnavailable(ConnectionError):
 
 #: Failures that justify retrying the same sub-batch on another worker.
 RETRYABLE = (ConnectionError, asyncio.TimeoutError, asyncio.IncompleteReadError)
+
+#: Everything the fan-out path treats as "this worker attempt failed, move
+#: on": transport failures plus typed remote errors that another worker can
+#: answer correctly — ERR_INTERNAL (that worker is broken, the request is
+#: fine) and ERR_DATA_INTEGRITY (that worker's copy of a shard is rotten;
+#: requests are idempotent reads, so re-asking elsewhere is always safe).
+FAILOVER_ERRORS = RETRYABLE + (NetError, ShardIntegrityError)
+
+BREAKER_CLOSED = "closed"
+BREAKER_OPEN = "open"
+BREAKER_HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Per-worker circuit breaker: closed -> open -> half-open -> closed.
+
+    Replaces the blunt consecutive-failure ejection with the standard
+    three-state machine.  The circuit opens on either ``consecutive_after``
+    consecutive failures *or* a failure rate above ``rate_threshold``
+    across the last ``window`` outcomes (only once ``rate_min_samples``
+    outcomes exist, so one blip on a quiet link cannot open it).  While
+    open, :meth:`allow` is False and no requests are routed to the
+    worker.  After ``cooldown`` seconds :meth:`ready_to_probe` turns
+    true; the owner sends a single probe (half-open state admits exactly
+    one).  A successful probe closes the circuit and resets the
+    cooldown; a failed one re-opens it with the cooldown doubled, capped
+    at ``max_cooldown`` — a flapping worker gets probed geometrically
+    less often.
+    """
+
+    def __init__(self, *, consecutive_after: int = 3,
+                 rate_threshold: float = 0.5, window: int = 20,
+                 rate_min_samples: int = 10, cooldown: float = 1.0,
+                 max_cooldown: float = 30.0):
+        self.consecutive_after = max(1, int(consecutive_after))
+        self.rate_threshold = float(rate_threshold)
+        self.rate_min_samples = max(1, int(rate_min_samples))
+        self.cooldown = float(cooldown)
+        self.max_cooldown = float(max_cooldown)
+        self.state = BREAKER_CLOSED
+        self.consecutive = 0
+        self.opens = 0       # every transition into OPEN (incl. re-opens)
+        self.probing = False
+        self._outcomes: List[bool] = []
+        self._window = max(1, int(window))
+        self._opened_at = 0.0
+        self._next_cooldown = self.cooldown
+
+    def allow(self) -> bool:
+        """May regular traffic be routed to this worker right now?"""
+        return self.state == BREAKER_CLOSED
+
+    def ready_to_probe(self) -> bool:
+        """Open, cooled down, and no probe already in flight?"""
+        return (self.state == BREAKER_OPEN and not self.probing
+                and time.monotonic() - self._opened_at >= self._next_cooldown)
+
+    def begin_probe(self) -> None:
+        """Move open -> half-open and claim the single probe slot."""
+        self.state = BREAKER_HALF_OPEN
+        self.probing = True
+
+    def record_success(self) -> bool:
+        """A request (or probe) succeeded; True if the circuit re-closed."""
+        self._push(True)
+        self.consecutive = 0
+        if self.state == BREAKER_CLOSED:
+            return False
+        self.force_close()
+        return True
+
+    def record_failure(self) -> bool:
+        """A request (or probe) failed; True if the circuit opened."""
+        self._push(False)
+        self.consecutive += 1
+        if self.state == BREAKER_HALF_OPEN:
+            # Failed probe: back off harder before the next one.
+            self.probing = False
+            self._open(self._next_cooldown * 2.0)
+            return True
+        if self.state == BREAKER_CLOSED and (
+                self.consecutive >= self.consecutive_after
+                or self._rate_tripped()):
+            self._open(self.cooldown)
+            return True
+        return False
+
+    def force_close(self) -> None:
+        """Close the circuit and reset the backoff (probe success path)."""
+        self.state = BREAKER_CLOSED
+        self.probing = False
+        self.consecutive = 0
+        self._next_cooldown = self.cooldown
+
+    def force_open(self) -> None:
+        """Open the circuit by fiat (operator/test hook)."""
+        self._open(self.cooldown)
+
+    def _open(self, next_cooldown: float) -> None:
+        self.state = BREAKER_OPEN
+        self.opens += 1
+        self._opened_at = time.monotonic()
+        self._next_cooldown = min(next_cooldown, self.max_cooldown)
+
+    def _rate_tripped(self) -> bool:
+        if len(self._outcomes) < self.rate_min_samples:
+            return False
+        failures = self._outcomes.count(False)
+        return failures / len(self._outcomes) > self.rate_threshold
+
+    def _push(self, ok: bool) -> None:
+        self._outcomes.append(ok)
+        if len(self._outcomes) > self._window:
+            del self._outcomes[0]
+
+    def snapshot(self) -> Dict[str, object]:
+        return {"state": self.state, "opens": self.opens,
+                "consecutive_failures": self.consecutive,
+                "window_failure_rate": (
+                    self._outcomes.count(False) / len(self._outcomes)
+                    if self._outcomes else 0.0),
+                "cooldown_s": self._next_cooldown}
 
 
 class WorkerLink:
@@ -131,11 +260,25 @@ class WorkerLink:
         self.requests = 0
         self.failures = 0
         self.consecutive_failures = 0
-        self.ejected = False
-        # Trace plumbing: a v1-only peer rejects traced frames once, after
-        # which the link downgrades itself and never sends a blob again.
+        self.breaker = CircuitBreaker()
+        # Feature negotiation: a peer that rejects a v2/v3 frame with
+        # ERR_UNSUPPORTED_VERSION downgrades the link, which never sends
+        # that field again — deadline first (v3), then trace (v2).
         self.trace_capable = True
+        self.deadline_capable = True
         self.trace_sink: Optional[Callable[[Dict[str, Any]], None]] = None
+
+    @property
+    def ejected(self) -> bool:
+        """Out of the rotation?  (The breaker is the source of truth.)"""
+        return not self.breaker.allow()
+
+    @ejected.setter
+    def ejected(self, value: bool) -> None:
+        if value:
+            self.breaker.force_open()
+        else:
+            self.breaker.force_close()
 
     @property
     def connected(self) -> bool:
@@ -209,19 +352,37 @@ class WorkerLink:
     async def request(self, pairs, multiplicative: float = math.inf,
                       additive: float = math.inf, artifact: str = "",
                       timeout: Optional[float] = None,
-                      trace: Optional[bytes] = None) -> np.ndarray:
-        """Send one batched request; returns the distance array."""
+                      trace: Optional[bytes] = None,
+                      deadline: Optional[float] = None) -> np.ndarray:
+        """Send one batched request; returns the distance array.
+
+        ``deadline`` is an absolute ``time.monotonic()`` instant; the
+        remaining budget is computed at send time and travels as the v3
+        relative-seconds header field, so the receiving worker can stop
+        working the moment nobody is waiting.
+        """
         payload = pack_request(pairs, multiplicative, additive, artifact)
-        if trace is not None and self.trace_capable:
+        send_trace = trace if self.trace_capable else None
+        send_budget = None
+        if deadline is not None and self.deadline_capable:
+            send_budget = max(0.0, deadline - time.monotonic())
+        while True:
             try:
                 return await self._roundtrip(MSG_REQUEST, payload, timeout,
-                                             trace=trace)
+                                             trace=send_trace,
+                                             deadline=send_budget)
             except ProtocolError as exc:
-                if exc.code != ERR_UNSUPPORTED_VERSION:
+                if exc.code != ERR_UNSUPPORTED_VERSION or (
+                        send_trace is None and send_budget is None):
                     raise
-                # Old peer: negotiate down and retry this request untraced.
-                self.trace_capable = False
-        return await self._roundtrip(MSG_REQUEST, payload, timeout)
+                # Old peer: negotiate down one feature per retry —
+                # deadline (v3) first, then trace (v2) — and re-send.
+                if send_budget is not None:
+                    self.deadline_capable = False
+                    send_budget = None
+                else:
+                    self.trace_capable = False
+                    send_trace = None
 
     async def ping(self, timeout: Optional[float] = None) -> bool:
         try:
@@ -232,7 +393,8 @@ class WorkerLink:
 
     async def _roundtrip(self, ftype: int, payload: bytes,
                          timeout: Optional[float],
-                         trace: Optional[bytes] = None) -> np.ndarray:
+                         trace: Optional[bytes] = None,
+                         deadline: Optional[float] = None) -> np.ndarray:
         await self._ensure_connected()
         req_id = next(self._req_ids) & 0xFFFFFFFF
         future = asyncio.get_running_loop().create_future()
@@ -240,7 +402,7 @@ class WorkerLink:
         self.requests += 1
         try:
             self._writer.write(encode_frame(ftype, req_id, payload,
-                                            trace=trace))
+                                            trace=trace, deadline=deadline))
             await self._writer.drain()
             if timeout is None:
                 return await future
@@ -267,6 +429,7 @@ class WorkerLink:
             "failures": self.failures,
             "consecutive_failures": self.consecutive_failures,
             "ejected": self.ejected,
+            "breaker": self.breaker.snapshot(),
             "in_flight": len(self._pending),
         }
 
@@ -287,8 +450,27 @@ class Frontend(NetServiceBase):
         Worker attempts per sub-batch (1 primary + retries on fallback
         workers) before the request fails with :class:`NetError`.
     eject_after:
-        Consecutive failures after which a worker is ejected from the
-        rotation; its shard affinity re-routes to the survivors.
+        Consecutive failures after which a worker's circuit breaker
+        opens and it leaves the rotation; its shard affinity re-routes
+        to the survivors.  An open breaker is probed after a cooldown
+        (half-open) and re-closes on a successful probe — readmission is
+        automatic, not an operator action.
+    failure_rate_threshold / failure_window:
+        Second breaker trigger: failure rate above the threshold across
+        the last ``failure_window`` outcomes opens the circuit even when
+        successes keep resetting the consecutive counter.
+    breaker_cooldown / breaker_max_cooldown:
+        Seconds before an open breaker is probed; doubles per failed
+        probe up to the cap.
+    hedge_ratio:
+        Hedged-request budget as a fraction of sub-batches sent (0
+        disables hedging).  When a primary attempt is slower than the
+        observed P95 attempt latency, one duplicate is sent to the next
+        healthy worker and the first answer wins — tail latency is
+        traded for bounded duplicate work.
+    hedge_min_delay:
+        Floor (seconds) for the hedge delay, so a cold latency window
+        cannot cause hedge storms.
     """
 
     role = "frontend"
@@ -297,7 +479,13 @@ class Frontend(NetServiceBase):
                  workers: Sequence[Tuple[str, int]],
                  host: str = "127.0.0.1", port: int = 0, *,
                  request_timeout: float = 5.0, max_attempts: int = 3,
-                 eject_after: int = 3, capacity: int = 8):
+                 eject_after: int = 3, capacity: int = 8,
+                 failure_rate_threshold: float = 0.5,
+                 failure_window: int = 20,
+                 breaker_cooldown: float = 1.0,
+                 breaker_max_cooldown: float = 30.0,
+                 hedge_ratio: float = 0.1,
+                 hedge_min_delay: float = 0.05):
         super().__init__(host=host, port=port)
         if not workers:
             raise ValueError("frontend needs at least one worker address")
@@ -310,10 +498,26 @@ class Frontend(NetServiceBase):
         self.request_timeout = request_timeout
         self.max_attempts = max(1, int(max_attempts))
         self.eject_after = max(1, int(eject_after))
+        for link in self._links:
+            link.breaker = CircuitBreaker(
+                consecutive_after=self.eject_after,
+                rate_threshold=failure_rate_threshold,
+                window=failure_window,
+                cooldown=breaker_cooldown,
+                max_cooldown=breaker_max_cooldown)
+        self.hedge_ratio = float(hedge_ratio)
+        self.hedge_min_delay = float(hedge_min_delay)
         self.retries = 0
         self.failovers = 0
         self.ejections = 0
         self.readmits = 0
+        self.hedges = 0
+        self.hedge_wins = 0
+        self.deadline_rejections = 0
+        self._subbatches = 0
+        # Attempt latency window feeding the hedge delay (P95).
+        self._attempt_latency = LatencyRecorder(window=512)
+        self._probe_tasks: set = set()
         # Sampled traces in flight: trace id -> context.  Worker reply
         # blobs arriving on any link are folded into the matching context.
         self._live_traces: Dict[str, TraceContext] = {}
@@ -336,6 +540,18 @@ class Frontend(NetServiceBase):
             ("repro_frontend_readmits_total",
              "Ejected workers probed healthy and readmitted",
              lambda f: f.readmits),
+            ("repro_frontend_hedges_total",
+             "Duplicate sub-batches sent after the hedge delay",
+             lambda f: f.hedges),
+            ("repro_frontend_hedge_wins_total",
+             "Hedged requests whose duplicate answered first",
+             lambda f: f.hedge_wins),
+            ("repro_frontend_deadline_rejections_total",
+             "Requests rejected because their deadline had expired",
+             lambda f: f.deadline_rejections),
+            ("repro_frontend_breaker_opens_total",
+             "Circuit-breaker transitions into the open state",
+             lambda f: sum(link.breaker.opens for link in f._links)),
         ):
             registry.counter(metric, help_text).set_function(reader, self)
         registry.gauge(
@@ -353,9 +569,16 @@ class Frontend(NetServiceBase):
     # ------------------------------------------------------------------
     async def handle_request(self, request: Request,
                              trace: Optional[TraceContext] = None,
+                             deadline: Optional[float] = None,
                              ) -> np.ndarray:
         if self._draining:
             raise ServerClosed("frontend is draining")
+        if deadline is not None and time.monotonic() >= deadline:
+            # Admission check: don't fan out work nobody is waiting for.
+            self.deadline_rejections += 1
+            raise DeadlineExceeded(
+                "request deadline expired at frontend admission")
+        self._maybe_probe()
         if trace is not None:
             self._live_traces[trace.trace_id] = trace
         try:
@@ -393,7 +616,8 @@ class Frontend(NetServiceBase):
                 slices.append(indices)
                 tasks.append(self._fan_out(healthy, worker_index, sub,
                                            request, entry.name,
-                                           trace_blob=trace_blob))
+                                           trace_blob=trace_blob,
+                                           deadline=deadline))
             fanout_wall = time.time()
             fanout_tick = time.perf_counter_ns()
             answered = await asyncio.gather(*tasks)
@@ -437,61 +661,216 @@ class Frontend(NetServiceBase):
     async def _fan_out(self, healthy: List[WorkerLink], start: int,
                        sub: np.ndarray, request: Request,
                        artifact: str,
-                       trace_blob: Optional[bytes] = None) -> np.ndarray:
-        """One sub-batch: primary worker, then bounded failover."""
-        attempts = min(self.max_attempts, len(healthy))
+                       trace_blob: Optional[bytes] = None,
+                       deadline: Optional[float] = None) -> np.ndarray:
+        """One sub-batch: primary worker, then bounded budget-aware failover.
+
+        Each attempt's timeout is the smaller of ``request_timeout`` and
+        the remaining deadline budget, so retries never outlive the
+        caller's patience.  Transport failures and failover-safe remote
+        errors (see :data:`FAILOVER_ERRORS`) move the sub-batch to the
+        next healthy worker; if every attempt fails with a data-integrity
+        error, that typed error propagates (the data, not the fleet, is
+        the problem).
+
+        The attempt budget is ``max_attempts`` even when fewer workers
+        are in rotation: with one survivor, a transient drop on it is
+        retried on the same link rather than failing the caller — the
+        degraded fleet is exactly when retry slack matters most.
+        """
+        attempts = self.max_attempts
         last_exc: Optional[Exception] = None
         for attempt in range(attempts):
             link = healthy[(start + attempt) % len(healthy)]
-            if link.ejected:
+            if not link.breaker.allow():
                 continue
+            timeout = self.request_timeout
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    self.deadline_rejections += 1
+                    raise DeadlineExceeded(
+                        f"deadline expired after {attempt} worker attempt(s)"
+                    ) from last_exc
+                timeout = min(timeout, remaining)
+            hedge_link = self._hedge_candidate(healthy, start, attempt)
+            self._subbatches += 1
             try:
-                values = await link.request(
-                    sub, request.multiplicative, request.additive,
-                    artifact=artifact, timeout=self.request_timeout,
-                    trace=trace_blob)
-            except RETRYABLE as exc:
-                self._mark_failure(link)
+                values = await self._request_hedged(
+                    link, hedge_link, sub, request, artifact, trace_blob,
+                    timeout, deadline)
+            except FAILOVER_ERRORS as exc:
                 last_exc = exc
                 if attempt + 1 < attempts:
                     self.retries += 1
-                    self.failovers += 1
+                    next_link = healthy[(start + attempt + 1) % len(healthy)]
+                    if next_link is not link:  # same-link retry ≠ failover
+                        self.failovers += 1
                 continue
-            link.consecutive_failures = 0
             return values
+        if isinstance(last_exc, ShardIntegrityError):
+            raise ShardIntegrityError(
+                f"sub-batch of {len(sub)} pairs hit persistent data "
+                f"corruption after {attempts} attempt(s): {last_exc}"
+            ) from last_exc
         raise NetError(
-            f"sub-batch of {len(sub)} pairs failed on {attempts} worker(s): "
-            f"{last_exc}") from last_exc
+            f"sub-batch of {len(sub)} pairs failed after {attempts} "
+            f"attempt(s): {last_exc}") from last_exc
+
+    def _hedge_candidate(self, healthy: List[WorkerLink], start: int,
+                         attempt: int) -> Optional[WorkerLink]:
+        """The link a hedge would go to, or None when hedging is off-budget.
+
+        The hedge budget is ``hedge_ratio`` of all sub-batches sent, so
+        tail-chasing can never double the fleet's load; the candidate is
+        the next breaker-closed link after the primary.
+        """
+        if len(healthy) < 2 or self.hedge_ratio <= 0:
+            return None
+        if self.hedges >= self.hedge_ratio * max(1, self._subbatches):
+            return None
+        for offset in range(1, len(healthy)):
+            candidate = healthy[(start + attempt + offset) % len(healthy)]
+            if candidate.breaker.allow():
+                return candidate
+        return None
+
+    def _hedge_delay(self) -> float:
+        """Seconds before a slow attempt is hedged: observed P95, clamped."""
+        p95_us = self._attempt_latency.snapshot().get("p95_us")
+        if not p95_us:
+            return self.request_timeout  # cold window: never hedge blind
+        return min(max(p95_us / 1e6, self.hedge_min_delay),
+                   self.request_timeout)
+
+    async def _request_hedged(self, link: WorkerLink,
+                              hedge_link: Optional[WorkerLink],
+                              sub: np.ndarray, request: Request,
+                              artifact: str, trace_blob: Optional[bytes],
+                              timeout: float,
+                              deadline: Optional[float]) -> np.ndarray:
+        """One worker attempt, optionally raced against a hedged duplicate.
+
+        The duplicate goes out only if the primary is still unanswered
+        after the hedge delay; the first clean answer wins and the loser
+        is cancelled/consumed.  Requests are idempotent reads, so the
+        duplicate is always safe.
+        """
+        primary = asyncio.ensure_future(self._timed_request(
+            link, sub, request, artifact, trace_blob, timeout, deadline))
+        hedged: Optional[asyncio.Future] = None
+        if hedge_link is not None:
+            delay = self._hedge_delay()
+            if delay < timeout:
+                done, _ = await asyncio.wait({primary}, timeout=delay)
+                if not done:
+                    self.hedges += 1
+                    hedged = asyncio.ensure_future(self._timed_request(
+                        hedge_link, sub, request, artifact, trace_blob,
+                        timeout, deadline))
+        if hedged is None:
+            return await primary
+        tasks = {primary, hedged}
+        winner: Optional[asyncio.Future] = None
+        while tasks and winner is None:
+            done, tasks = await asyncio.wait(
+                tasks, return_when=asyncio.FIRST_COMPLETED)
+            for task in done:
+                if task.exception() is None:
+                    winner = task
+                    break
+        for task in (primary, hedged):
+            if task is winner:
+                continue
+            task.cancel()
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):
+                pass  # loser outcome: cancelled, or its failure was noted
+        if winner is None:
+            raise primary.exception()  # both failed: primary's error stands
+        if winner is hedged:
+            self.hedge_wins += 1
+        return winner.result()
+
+    async def _timed_request(self, link: WorkerLink, sub: np.ndarray,
+                             request: Request, artifact: str,
+                             trace_blob: Optional[bytes], timeout: float,
+                             deadline: Optional[float]) -> np.ndarray:
+        """One wire attempt with breaker + latency-window bookkeeping."""
+        tick = time.perf_counter_ns()
+        try:
+            values = await link.request(
+                sub, request.multiplicative, request.additive,
+                artifact=artifact, timeout=timeout, trace=trace_blob,
+                deadline=deadline)
+        except FAILOVER_ERRORS as exc:
+            self._mark_failure(link)
+            raise exc
+        self._attempt_latency.record(time.perf_counter_ns() - tick)
+        link.consecutive_failures = 0
+        link.breaker.record_success()
+        return values
 
     def _mark_failure(self, link: WorkerLink) -> None:
         link.failures += 1
         link.consecutive_failures += 1
-        if not link.ejected and link.consecutive_failures >= self.eject_after:
-            link.ejected = True
+        was_closed = link.breaker.state == BREAKER_CLOSED
+        if link.breaker.record_failure() and was_closed:
             self.ejections += 1
+
+    def _maybe_probe(self) -> None:
+        """Kick off a background readmission probe per cooled-down breaker."""
+        for index, link in enumerate(self._links):
+            if link.breaker.ready_to_probe():
+                link.breaker.begin_probe()
+                task = asyncio.get_running_loop().create_task(
+                    self._probe(index),
+                    name=f"repro-net-probe-{link.name}")
+                self._probe_tasks.add(task)
+                task.add_done_callback(self._probe_tasks.discard)
+
+    async def _probe(self, index: int) -> None:
+        """Half-open single probe: PING the worker, close or re-open."""
+        link = self._links[index]
+        if await link.ping(timeout=self.request_timeout):
+            self.readmits += 1
+            link.consecutive_failures = 0
+            link.breaker.force_close()
+        else:
+            link.breaker.record_failure()  # re-opens with doubled cooldown
 
     # ------------------------------------------------------------------
     # fleet health
     # ------------------------------------------------------------------
     def healthy_links(self) -> List[WorkerLink]:
-        return [link for link in self._links if not link.ejected]
+        return [link for link in self._links if link.breaker.allow()]
 
     def links(self) -> List[WorkerLink]:
         return list(self._links)
 
     async def readmit(self, index: int) -> bool:
-        """Probe an ejected worker; put it back in rotation if it answers."""
+        """Probe an ejected worker; put it back in rotation if it answers.
+
+        The explicit operator/test hook; the breaker's half-open probes
+        (:meth:`_maybe_probe`) do the same thing automatically after
+        each cooldown.
+        """
         link = self._links[index]
         if await link.ping(timeout=self.request_timeout):
             if link.ejected:
                 self.readmits += 1
-            link.ejected = False
             link.consecutive_failures = 0
+            link.breaker.force_close()
             return True
         return False
 
     async def stop(self, drain_timeout: float = 5.0) -> None:
         await super().stop(drain_timeout)
+        for task in list(self._probe_tasks):
+            task.cancel()
+        if self._probe_tasks:
+            await asyncio.gather(*self._probe_tasks, return_exceptions=True)
         for link in self._links:
             await link.close()
 
@@ -508,6 +887,10 @@ class Frontend(NetServiceBase):
         stats["retries"] = self.retries
         stats["ejections"] = self.ejections
         stats["readmits"] = self.readmits
+        stats["hedges"] = self.hedges
+        stats["hedge_wins"] = self.hedge_wins
+        stats["deadline_rejections"] = self.deadline_rejections
+        stats["hedge_delay_s"] = self._hedge_delay()
         stats["router"] = self._router.stats()
         return stats
 
@@ -630,7 +1013,8 @@ class NetClient:
         """One batched wire request (the ladder benchmark's hot path)."""
         return await self.link.request(
             pairs, multiplicative, additive, artifact=artifact,
-            timeout=self.request_timeout)
+            timeout=self.request_timeout,
+            deadline=time.monotonic() + self.request_timeout)
 
     async def dist(self, u: int, v: int, *, multiplicative: float = math.inf,
                    additive: float = math.inf, client: str = "") -> float:
@@ -669,7 +1053,8 @@ class NetClient:
         try:
             values = await self.link.request(
                 [(u, v)], multiplicative, additive,
-                timeout=self.request_timeout, trace=trace_blob)
+                timeout=self.request_timeout, trace=trace_blob,
+                deadline=time.monotonic() + self.request_timeout)
         finally:
             if context is not None:
                 context.add("client.request", wall,
@@ -709,7 +1094,9 @@ class NetClient:
                     try:
                         values = await self.link.request(
                             chunk, multiplicative, additive,
-                            timeout=self.request_timeout, trace=trace_blob)
+                            timeout=self.request_timeout, trace=trace_blob,
+                            deadline=(time.monotonic()
+                                      + self.request_timeout))
                     except Exception as exc:  # settle, never kill the loop
                         self._close_chunk_traces(contexts, wall, tick)
                         for future in chunk_futures:
@@ -778,6 +1165,11 @@ async def wait_until_healthy(addresses: Sequence[Tuple[str, int]],
 
 
 __all__ = [
+    "BREAKER_CLOSED",
+    "BREAKER_HALF_OPEN",
+    "BREAKER_OPEN",
+    "CircuitBreaker",
+    "FAILOVER_ERRORS",
     "Frontend",
     "NetClient",
     "RETRYABLE",

@@ -57,13 +57,28 @@ PROTOCOL_VERSION = 1
 #: treats as "peer cannot trace" and retries untraced — genuine version
 #: negotiation with no handshake round-trip.
 TRACE_PROTOCOL_VERSION = 2
+#: Version stamped on frames that carry a deadline budget (see
+#: FLAG_DEADLINE).  Same negotiation story as version 2: an old peer
+#: rejects it with ERR_UNSUPPORTED_VERSION and the sender downgrades to
+#: the best version the peer speaks and retries, losing the deadline
+#: (and trace) but not the request.
+DEADLINE_PROTOCOL_VERSION = 3
 
 #: Bit in the (previously reserved, always-zero) u16 header field:
 #: a trace blob precedes the payload.
 FLAG_TRACE = 0x0001
+#: Bit in the flags field: a float64 deadline budget (seconds the
+#: sender is still willing to wait) precedes the payload — and the
+#: trace blob, when both flags are set.  The budget is *relative*, not
+#: a wall-clock instant, so it survives clock skew between hosts; each
+#: receiver re-anchors it against its own monotonic clock on decode.
+FLAG_DEADLINE = 0x0002
 
 #: trace_blob_length(u16) — precedes the trace blob on flagged frames.
 _TRACE_HEAD = struct.Struct("!H")
+#: deadline_budget_seconds(f64) — precedes the payload (and trace blob)
+#: on FLAG_DEADLINE frames.
+_DEADLINE_HEAD = struct.Struct("!d")
 
 #: magic(4) version(1) type(1) reserved(2) req_id(4) payload_length(4).
 HEADER = struct.Struct("!4sBBHII")
@@ -96,6 +111,8 @@ ERR_OVERLOADED = 4         # server shed the request (backpressure)
 ERR_BAD_NODES = 5          # node ids out of range / malformed pairs
 ERR_INTERNAL = 6
 ERR_SHUTTING_DOWN = 7
+ERR_DEADLINE_EXCEEDED = 8  # the request's deadline budget ran out
+ERR_DATA_INTEGRITY = 9     # quarantined/corrupt shard data backs the answer
 
 ERROR_NAMES = {
     ERR_BAD_FRAME: "bad-frame",
@@ -105,6 +122,8 @@ ERROR_NAMES = {
     ERR_BAD_NODES: "bad-nodes",
     ERR_INTERNAL: "internal",
     ERR_SHUTTING_DOWN: "shutting-down",
+    ERR_DEADLINE_EXCEEDED: "deadline-exceeded",
+    ERR_DATA_INTEGRITY: "data-integrity",
 }
 
 
@@ -160,45 +179,70 @@ class Frame(tuple):
 
     A plain-tuple subclass so every historical ``ftype, req_id, payload =
     frame`` site keeps working; the optional trace blob (a version-2
-    frame's FLAG_TRACE prefix) rides along as the ``trace`` attribute,
-    ``None`` on plain version-1 frames.
+    frame's FLAG_TRACE prefix) rides along as the ``trace`` attribute
+    and the optional deadline budget (a version-3 frame's FLAG_DEADLINE
+    prefix, in seconds) as ``deadline`` — both ``None`` when absent.
     """
 
     def __new__(cls, ftype: int, req_id: int, payload: bytes,
-                trace: Optional[bytes] = None) -> "Frame":
+                trace: Optional[bytes] = None,
+                deadline: Optional[float] = None) -> "Frame":
         self = super().__new__(cls, (ftype, req_id, payload))
         self.trace = trace
+        self.deadline = deadline
         return self
 
 
 def encode_frame(ftype: int, req_id: int, payload: bytes = b"",
-                 trace: Optional[bytes] = None) -> bytes:
-    """Encode one frame; a ``trace`` blob upgrades it to version 2.
+                 trace: Optional[bytes] = None,
+                 deadline: Optional[float] = None) -> bytes:
+    """Encode one frame; ``trace``/``deadline`` upgrade its version.
 
-    Untraced frames stay byte-identical to version-1 builds.  A traced
-    frame sets FLAG_TRACE in the former reserved field and prefixes the
-    payload with a u16 blob length plus the blob itself.
+    Untraced, deadline-free frames stay byte-identical to version-1
+    builds.  A traced frame sets FLAG_TRACE in the former reserved
+    field and prefixes the payload with a u16 blob length plus the
+    blob; a ``deadline`` (remaining budget in seconds — a relative
+    duration, never a wall-clock instant) stamps version 3, sets
+    FLAG_DEADLINE, and prepends a float64 budget before the trace
+    prefix (when both ride along) and the payload.
     """
     if len(payload) > MAX_PAYLOAD:
         raise ProtocolError(
             ERR_BAD_FRAME,
             f"payload of {len(payload)} bytes exceeds MAX_PAYLOAD "
             f"({MAX_PAYLOAD})", req_id)
-    if not trace:
+    if not trace and deadline is None:
         return HEADER.pack(MAGIC, PROTOCOL_VERSION, ftype, 0, req_id,
                            len(payload)) + payload
-    if len(trace) > 0xFFFF:
-        raise ProtocolError(
-            ERR_BAD_FRAME, f"trace blob of {len(trace)} bytes exceeds the "
-            f"u16 length prefix", req_id)
-    body = _TRACE_HEAD.pack(len(trace)) + trace + payload
+    flags = 0
+    prefix = b""
+    version = PROTOCOL_VERSION
+    if deadline is not None:
+        budget = float(deadline)
+        if not math.isfinite(budget) or budget < 0.0:
+            raise ProtocolError(
+                ERR_BAD_FRAME,
+                f"deadline budget must be finite and non-negative, "
+                f"got {budget}", req_id)
+        flags |= FLAG_DEADLINE
+        prefix += _DEADLINE_HEAD.pack(budget)
+        version = DEADLINE_PROTOCOL_VERSION
+    if trace:
+        if len(trace) > 0xFFFF:
+            raise ProtocolError(
+                ERR_BAD_FRAME, f"trace blob of {len(trace)} bytes exceeds "
+                f"the u16 length prefix", req_id)
+        flags |= FLAG_TRACE
+        prefix += _TRACE_HEAD.pack(len(trace)) + trace
+        version = max(version, TRACE_PROTOCOL_VERSION)
+    body = prefix + payload
     if len(body) > MAX_PAYLOAD:
         raise ProtocolError(
             ERR_BAD_FRAME,
-            f"traced payload of {len(body)} bytes exceeds MAX_PAYLOAD "
+            f"flagged payload of {len(body)} bytes exceeds MAX_PAYLOAD "
             f"({MAX_PAYLOAD})", req_id)
-    return HEADER.pack(MAGIC, TRACE_PROTOCOL_VERSION, ftype, FLAG_TRACE,
-                       req_id, len(body)) + body
+    return HEADER.pack(MAGIC, version, ftype, flags, req_id,
+                       len(body)) + body
 
 
 def pack_request(pairs, multiplicative: float = math.inf,
@@ -317,12 +361,13 @@ async def read_frame(reader: asyncio.StreamReader, *, preread: bytes = b"",
     if magic != MAGIC:
         raise ProtocolError(ERR_BAD_FRAME,
                             f"bad frame magic {magic!r} (expected {MAGIC!r})")
-    if version not in (PROTOCOL_VERSION, TRACE_PROTOCOL_VERSION):
+    if version not in (PROTOCOL_VERSION, TRACE_PROTOCOL_VERSION,
+                       DEADLINE_PROTOCOL_VERSION):
         raise ProtocolError(
             ERR_UNSUPPORTED_VERSION,
             f"unsupported protocol version {version} "
-            f"(this build speaks {PROTOCOL_VERSION} and "
-            f"{TRACE_PROTOCOL_VERSION})", req_id)
+            f"(this build speaks {PROTOCOL_VERSION}.."
+            f"{DEADLINE_PROTOCOL_VERSION})", req_id)
     if length > max_payload:
         raise ProtocolError(
             ERR_BAD_FRAME,
@@ -336,7 +381,20 @@ async def read_frame(reader: asyncio.StreamReader, *, preread: bytes = b"",
             f"connection closed mid-payload after {len(exc.partial)} of "
             f"{length} bytes", req_id)
     trace: Optional[bytes] = None
-    if version == TRACE_PROTOCOL_VERSION and flags & FLAG_TRACE:
+    deadline: Optional[float] = None
+    if version >= DEADLINE_PROTOCOL_VERSION and flags & FLAG_DEADLINE:
+        if len(payload) < _DEADLINE_HEAD.size:
+            raise ProtocolError(
+                ERR_BAD_FRAME, "deadline frame too short for its budget "
+                "prefix", req_id)
+        (deadline,) = _DEADLINE_HEAD.unpack_from(payload)
+        if not math.isfinite(deadline) or deadline < 0.0:
+            raise ProtocolError(
+                ERR_BAD_FRAME,
+                f"deadline budget {deadline} is not a finite non-negative "
+                f"duration", req_id)
+        payload = payload[_DEADLINE_HEAD.size:]
+    if version >= TRACE_PROTOCOL_VERSION and flags & FLAG_TRACE:
         if len(payload) < _TRACE_HEAD.size:
             raise ProtocolError(
                 ERR_BAD_FRAME, "traced frame too short for its trace-length "
@@ -350,7 +408,7 @@ async def read_frame(reader: asyncio.StreamReader, *, preread: bytes = b"",
                 f"the prefix", req_id)
         trace = payload[_TRACE_HEAD.size:_TRACE_HEAD.size + trace_len]
         payload = payload[_TRACE_HEAD.size + trace_len:]
-    return Frame(ftype, req_id, payload, trace)
+    return Frame(ftype, req_id, payload, trace, deadline)
 
 
 # ----------------------------------------------------------------------

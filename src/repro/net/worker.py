@@ -26,13 +26,17 @@ import asyncio
 import json
 import math
 import signal
+import time
 from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.chaos.inject import injector_from_env
 from repro.net.protocol import (
     ERR_BAD_FRAME,
     ERR_BAD_NODES,
+    ERR_DATA_INTEGRITY,
+    ERR_DEADLINE_EXCEEDED,
     ERR_INTERNAL,
     ERR_OVERLOADED,
     ERR_ROUTING,
@@ -58,9 +62,11 @@ from repro.net.protocol import (
 from repro.obs.export import PROMETHEUS_CONTENT_TYPE, to_prometheus_text
 from repro.obs.metrics import get_registry
 from repro.obs.tracing import TraceContext, unpack_trace_blob
+from repro.oracle.sharding import ShardIntegrityError
 from repro.serve.registry import RegistryError
 from repro.serve.router import RoutingError
 from repro.serve.server import (
+    DeadlineExceeded,
     DistanceServer,
     ServerClosed,
     ServerConfig,
@@ -91,6 +97,9 @@ class NetServiceBase:
         self.http_requests = 0
         self.protocol_errors = 0
         self.wire_errors = 0  # MSG_ERROR frames sent
+        #: Optional :class:`repro.chaos.FaultInjector`; None (the normal
+        #: case) keeps every wired site at one ``is None`` check.
+        self.chaos = None
         self._register_metrics()
 
     def _register_metrics(self) -> None:
@@ -159,13 +168,20 @@ class NetServiceBase:
     # subclass surface
     # ------------------------------------------------------------------
     async def handle_request(self, request: Request,
-                             trace: Optional[TraceContext] = None
+                             trace: Optional[TraceContext] = None,
+                             deadline: Optional[float] = None
                              ) -> np.ndarray:
-        """Answer one request; append spans to ``trace`` when sampled."""
+        """Answer one request; append spans to ``trace`` when sampled.
+
+        ``deadline`` is an absolute ``time.monotonic()`` instant (or
+        None); handlers raise
+        :class:`~repro.serve.server.DeadlineExceeded` when it has
+        already passed rather than doing doomed work.
+        """
         raise NotImplementedError
 
     def stats(self) -> Dict[str, object]:
-        return {
+        stats: Dict[str, object] = {
             "role": self.role,
             "address": f"{self.host}:{self.port}",
             "draining": self._draining,
@@ -178,6 +194,10 @@ class NetServiceBase:
                 "open_connections": len(self._conn_tasks),
             },
         }
+        if self.chaos is not None:
+            stats["chaos"] = {"injected": self.chaos.injected,
+                              "counts": self.chaos.counts()}
+        return stats
 
     # ------------------------------------------------------------------
     # per-connection dispatch
@@ -246,19 +266,70 @@ class NetServiceBase:
                                               str(exc)):
                     return
                 continue
+            # The wire carries a *relative* budget (clock-skew safe);
+            # re-anchor it to this process's monotonic clock on receipt.
+            deadline = (time.monotonic() + frame.deadline
+                        if frame.deadline is not None else None)
+            if self.chaos is not None:
+                verdict = await self._chaos_recv(writer, req_id)
+                if verdict == "close":
+                    return
+                if verdict == "answered":
+                    continue
             code, message, values, reply_trace = await self._answer(
-                request, frame.trace)
+                request, frame.trace, deadline=deadline)
             if values is not None:
-                ok = await self._send(writer, encode_frame(
-                    MSG_RESPONSE, req_id, pack_response(values),
-                    trace=reply_trace))
+                data = encode_frame(MSG_RESPONSE, req_id,
+                                    pack_response(values), trace=reply_trace)
             else:
-                ok = await self._send_error(writer, req_id, code, message)
-            if not ok:
+                self.wire_errors += 1
+                data = encode_frame(MSG_ERROR, req_id,
+                                    pack_error(code, message))
+            if self.chaos is not None:
+                spec = self.chaos.pick("worker.send")
+                if spec is not None:
+                    if spec.kind == "drop_connection":
+                        return  # response lost: peer sees a dead link
+                    if spec.kind == "corrupt_frame":
+                        # Stomp the magic so the peer *detects* a broken
+                        # frame (typed teardown + retry) — chaos must
+                        # never corrupt distances silently.
+                        data = b"\xff" * len(MAGIC) + data[len(MAGIC):]
+            if not await self._send(writer, data):
                 return  # client disconnected mid-request: stop quietly
+
+    async def _chaos_recv(self, writer: asyncio.StreamWriter,
+                          req_id: int) -> str:
+        """Roll the ``worker.recv`` site; return what the frame loop does.
+
+        ``"close"`` tears the connection down, ``"answered"`` means a
+        fake error frame already went out, ``"continue"`` proceeds to
+        the real handler (possibly after an injected stall).
+        """
+        spec = self.chaos.pick("worker.recv")
+        if spec is None:
+            return "continue"
+        if spec.kind == "drop_connection":
+            return "close"
+        if spec.kind == "shed":
+            ok = await self._send_error(writer, req_id, ERR_OVERLOADED,
+                                        "chaos: injected shed")
+            return "answered" if ok else "close"
+        if spec.kind == "error_frame":
+            ok = await self._send_error(writer, req_id, ERR_INTERNAL,
+                                        "chaos: injected internal error")
+            return "answered" if ok else "close"
+        if spec.kind == "stuck_worker":
+            # Deliberately block the event loop: /healthz stalls too,
+            # which is exactly what the cluster supervisor looks for.
+            time.sleep((spec.ms or 60000.0) / 1000.0)
+        elif spec.ms:
+            await asyncio.sleep(spec.ms / 1000.0)
+        return "continue"
 
     async def _answer(self, request: Request,
                       trace_blob: Optional[bytes] = None,
+                      deadline: Optional[float] = None,
                       ) -> Tuple[int, str, Optional[np.ndarray],
                                  Optional[bytes]]:
         """Run the handler, mapping every failure to a typed wire error.
@@ -274,13 +345,18 @@ class NetServiceBase:
         if payload is not None:
             trace = TraceContext(payload["id"], self.role)
         try:
-            values = await self.handle_request(request, trace=trace)
+            values = await self.handle_request(request, trace=trace,
+                                               deadline=deadline)
             reply = trace.to_blob() if trace is not None else None
             return 0, "", values, reply
         except (ServerClosed,) as exc:
             return ERR_SHUTTING_DOWN, str(exc), None, None
         except ServerOverloaded as exc:
             return ERR_OVERLOADED, str(exc), None, None
+        except DeadlineExceeded as exc:
+            return ERR_DEADLINE_EXCEEDED, str(exc), None, None
+        except ShardIntegrityError as exc:
+            return ERR_DATA_INTEGRITY, str(exc), None, None
         except (RoutingError, RegistryError) as exc:
             return ERR_ROUTING, str(exc), None, None
         except ValueError as exc:
@@ -430,10 +506,20 @@ class DistanceWorker(NetServiceBase):
         self.server = server
 
     async def handle_request(self, request: Request,
-                             trace: Optional[TraceContext] = None
+                             trace: Optional[TraceContext] = None,
+                             deadline: Optional[float] = None
                              ) -> np.ndarray:
         if self._draining:
             raise ServerClosed("worker is draining")
+        if deadline is not None and time.monotonic() >= deadline:
+            # Dequeue-time check: the frame sat behind enough pipelined
+            # work (or injected stalls) that nobody is waiting anymore.
+            raise DeadlineExceeded(
+                "request deadline expired before the worker dequeued it")
+        if self.chaos is not None:
+            spec = self.chaos.pick("worker.gather")
+            if spec is not None and spec.ms:
+                await asyncio.sleep(spec.ms / 1000.0)
         return await self.server.gather(
             request.u, request.v,
             multiplicative=request.multiplicative,
@@ -441,6 +527,7 @@ class DistanceWorker(NetServiceBase):
             client="net",
             artifact=request.artifact or None,
             trace=trace,
+            deadline=deadline,
         )
 
     def health(self) -> Dict[str, object]:
@@ -483,6 +570,9 @@ async def run_worker(artifact_paths: Sequence[str], host: str, port: int,
     server = DistanceServer(StretchRouter(registry),
                             config=config or ServerConfig())
     worker = DistanceWorker(server, host=host, port=port, worker_id=worker_id)
+    # Fault injection rides in on REPRO_CHAOS (inherited from the Cluster
+    # spawner); a malformed plan fails the worker loudly at startup.
+    worker.chaos = injector_from_env(worker_id)
     stop = stop or asyncio.Event()
     loop = asyncio.get_running_loop()
     for signum in (signal.SIGTERM, signal.SIGINT):

@@ -66,6 +66,7 @@ __all__ = [
     "MetricsRegistry",
     "RecorderHandle",
     "get_registry",
+    "inc",
     "merge_snapshots",
     "set_enabled",
 ]
@@ -590,3 +591,16 @@ def get_registry() -> MetricsRegistry:
 def set_enabled(enabled: bool) -> None:
     """Flip instrumentation on/off process-wide (the overhead baseline)."""
     _REGISTRY.enabled = bool(enabled)
+
+
+def inc(name: str, help: str = "", labels: LabelMap = None,
+        amount: float = 1.0) -> None:
+    """Bump a counter on the default registry, creating it on first use.
+
+    The one-liner for call sites (chaos injection, quarantine paths)
+    that fire rarely enough that holding a Counter handle is not worth
+    the plumbing::
+
+        inc("repro_chaos_injections_total", labels={"site": "worker.recv"})
+    """
+    _REGISTRY.counter(name, help, labels=labels).inc(amount)

@@ -128,6 +128,20 @@ class RowBlockCache:
     def nbytes(self) -> int:
         return sum(block.nbytes for block in self._blocks.values())
 
+    def invalidate_rows(self, rows) -> int:
+        """Drop every cached block holding one of ``rows``.
+
+        The surgical cousin of :meth:`clear`, used by the shard-integrity
+        quarantine: when a shard's mapping is suspect, only the blocks
+        copied out of it need to go — the rest of the hot set stays warm.
+        Returns the number of blocks dropped.
+        """
+        dropped = 0
+        for index in {int(row) // self.block_rows for row in rows}:
+            if self._blocks.pop(index, None) is not None:
+                dropped += 1
+        return dropped
+
     def clear(self) -> None:
         self._blocks.clear()
 

@@ -379,6 +379,33 @@ class QueryEngine:
         """Drop cached answers (hit/miss counters are kept)."""
         self.cache.clear()
 
+    def quarantine_rows(self, rows: Sequence[int]) -> List[int]:
+        """Purge every cache that may hold data derived from ``rows``.
+
+        Called by the serving layer when a gather touching ``rows``
+        produced impossible distances (NaN/negative).  The answer LRU is
+        cleared wholesale (its keys are pairs, not rows — there is no
+        cheap way to tell which entries are tainted), the row-block
+        caches drop only the blocks covering ``rows``, and — for sharded
+        artifacts — each implicated shard is quarantined so its next
+        open re-verifies the checksum.  Returns the quarantined shard
+        indices (empty for monolithic artifacts, whose single payload
+        was checksum-verified at load).
+        """
+        self.cache.clear()
+        if not self._sharded:
+            return []
+        for cache in self._block_caches.values():
+            cache.invalidate_rows(rows)
+        row_array = np.asarray(list(rows), dtype=np.int64)
+        if row_array.size == 0:
+            return []
+        shards = sorted(
+            int(s) for s in np.unique(self.artifact.shard_of_rows(row_array)))
+        for shard in shards:
+            self.artifact.quarantine(shard)
+        return shards
+
     # ------------------------------------------------------------------
     # strategy kernels
     # ------------------------------------------------------------------

@@ -37,6 +37,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import time
 import zipfile
 from pathlib import Path
 from typing import Any, Dict, Iterator, List, Tuple, Union
@@ -52,6 +53,18 @@ from repro.oracle.artifact import (
 from repro.oracle.strategies import StretchGuarantee, get_strategy
 
 PathLike = Union[str, Path]
+
+
+class ShardIntegrityError(ArtifactError):
+    """A shard whose bytes are quarantined or condemned.
+
+    Raised when a quarantined shard fails its forced re-verification (the
+    file on disk really is rotten) and on every subsequent open until the
+    recheck window elapses.  The serving stack maps this to the wire
+    error ``ERR_DATA_INTEGRITY`` so clients see a typed failure instead
+    of NaN distances.
+    """
+
 
 #: Bump on any incompatible shard/manifest layout change.
 SHARD_MANIFEST_VERSION = 1
@@ -368,6 +381,18 @@ class ShardedOracleArtifact:
         self._common_cache: Dict[str, np.ndarray] = {}
         #: Number of shard files opened (and page-mapped) so far.
         self.faults = 0
+        #: Shards dropped for re-verification (see :meth:`quarantine`).
+        self.quarantines = 0
+        #: Shards whose next open must re-verify the checksum regardless
+        #: of the artifact's verify mode.
+        self._suspect: set = set()
+        #: Condemned shards: index -> monotonic instant the re-verify
+        #: failed.  Opens raise :class:`ShardIntegrityError` immediately
+        #: (no repeated hashing) until ``condemned_recheck`` seconds have
+        #: passed, after which one more verify is attempted — a repaired
+        #: file heals without a process restart.
+        self._condemned: Dict[int, float] = {}
+        self.condemned_recheck = 30.0
         self._check_layout()
         if verify == "eager":
             for index in range(self.num_shards):
@@ -511,13 +536,52 @@ class ShardedOracleArtifact:
             )
         self._verified[index] = True
 
+    def quarantine(self, index: int) -> None:
+        """Drop shard ``index``'s mapping so the next open re-verifies it.
+
+        The serving layer calls this when a gather through the shard
+        produced impossible distances (NaN/negative): the cached memory
+        map and verification state are discarded, and the next
+        :meth:`open_shard` streams the file's checksum again no matter
+        the artifact's verify mode — re-mmapping from disk if the file
+        is sound, condemning the shard (typed
+        :class:`ShardIntegrityError` on every open) if it is not.
+        """
+        self._open.pop(index, None)
+        self._verified.pop(index, None)
+        self._condemned.pop(index, None)
+        self._suspect.add(index)
+        if index == 0:
+            self._common_cache.clear()
+        self.quarantines += 1
+
     def open_shard(self, index: int) -> Dict[str, np.ndarray]:
         """Memory-mapped arrays of shard ``index`` (opened and cached lazily)."""
         opened = self._open.get(index)
         if opened is not None:
             return opened
-        if self.verify == "lazy" and not self._verified.get(index):
-            self.verify_shard(index)
+        condemned_at = self._condemned.get(index)
+        if condemned_at is not None:
+            if time.monotonic() - condemned_at < self.condemned_recheck:
+                raise ShardIntegrityError(
+                    f"shard {index} of {self.manifest_path.name} is "
+                    f"condemned: its file failed checksum re-verification "
+                    f"(repair or restore the shard file to recover)")
+            # Recheck window elapsed: give the (possibly repaired) file
+            # one more chance below.
+            self._condemned.pop(index, None)
+            self._suspect.add(index)
+        if index in self._suspect or (
+                self.verify == "lazy" and not self._verified.get(index)):
+            try:
+                self.verify_shard(index)
+            except ArtifactError as exc:
+                if index in self._suspect:
+                    self._condemned[index] = time.monotonic()
+                if isinstance(exc, ShardIntegrityError):
+                    raise
+                raise ShardIntegrityError(str(exc)) from exc
+            self._suspect.discard(index)
         path = self.shard_file(index)
         if not path.exists():
             raise ArtifactError(
@@ -650,6 +714,7 @@ def load_artifact(path: PathLike, verify: str = "lazy",
 __all__ = [
     "SHARD_MANIFEST_SUFFIX",
     "SHARD_MANIFEST_VERSION",
+    "ShardIntegrityError",
     "ShardedOracleArtifact",
     "array_layout",
     "load_artifact",

@@ -56,6 +56,7 @@ from repro.serve.router import (
     shards_for_nodes,
 )
 from repro.serve.server import (
+    DeadlineExceeded,
     DistanceServer,
     ServerClosed,
     ServerConfig,
@@ -66,6 +67,7 @@ from repro.serve.server import (
 __all__ = [
     "ArtifactEntry",
     "ArtifactRegistry",
+    "DeadlineExceeded",
     "DistanceServer",
     "LoadReport",
     "MANIFEST_VERSION",

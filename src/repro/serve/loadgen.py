@@ -83,6 +83,15 @@ class LoadReport:
     offered_qps: Optional[float]
     latency: Dict[str, Optional[float]]
     mismatches: Optional[int] = None
+    #: Requests that blew the client-side deadline (``timeout=`` on the
+    #: load loops).  First-class — not folded into :attr:`errors` — so
+    #: availability math can distinguish "slow" from "broken".
+    timeouts: int = 0
+    #: Error taxonomy: exception class name -> count.  Timeouts appear
+    #: under ``"timeout"``.  The chaos benchmark asserts on this (e.g.
+    #: shard corruption must surface as typed integrity errors, never as
+    #: generic transport failures).
+    error_taxonomy: Dict[str, int] = dataclasses.field(default_factory=dict)
     #: Residency snapshot (shard faults, resident vs mapped bytes) from
     #: :func:`residency_from_stats`, attached by ``--report-residency``.
     residency: Optional[Dict[str, object]] = None
@@ -100,6 +109,11 @@ class LoadReport:
     def success_rate(self) -> float:
         return self.completed / self.requested if self.requested else 1.0
 
+    @property
+    def availability(self) -> float:
+        """Fraction of requests answered (not shed, errored, or timed out)."""
+        return self.success_rate
+
     def as_dict(self) -> Dict[str, object]:
         """Everything except the raw answers, for JSON reports."""
         return {
@@ -108,7 +122,10 @@ class LoadReport:
             "completed": self.completed,
             "shed": self.shed,
             "errors": self.errors,
+            "timeouts": self.timeouts,
             "success_rate": self.success_rate,
+            "availability": self.availability,
+            "error_taxonomy": dict(self.error_taxonomy),
             "duration_s": self.duration_s,
             "achieved_qps": self.achieved_qps,
             "offered_qps": self.offered_qps,
@@ -146,7 +163,7 @@ class LoadReport:
         if isinstance(paths, str):
             paths = [paths]
         recorder = LatencyRecorder(latency_window)
-        counts = {"ok": 0, "shed": 0, "error": 0}
+        counts = {"ok": 0, "shed": 0, "error": 0, "timeout": 0}
         first_issue = last_done = None
         samples: List[Dict[str, object]] = []
         for path in paths:
@@ -173,7 +190,7 @@ class LoadReport:
                     if status == "ok" and latency_us > 0:
                         recorder.record(int(latency_us * 1000))
                     samples.append(sample)
-        requested = counts["ok"] + counts["shed"] + counts["error"]
+        requested = sum(counts.values())
         duration = max(1e-9, (last_done - first_issue)
                        if first_issue is not None else 0.0)
         return cls(
@@ -182,6 +199,7 @@ class LoadReport:
             completed=counts["ok"],
             shed=counts["shed"],
             errors=counts["error"],
+            timeouts=counts["timeout"],
             duration_s=duration,
             achieved_qps=counts["ok"] / duration,
             offered_qps=None,
@@ -193,8 +211,9 @@ class LoadReport:
         lines = [
             f"mode             : {self.mode}",
             f"requests         : {self.requested} "
-            f"({self.completed} ok, {self.shed} shed, {self.errors} errors)",
-            f"success rate     : {self.success_rate:.4f}",
+            f"({self.completed} ok, {self.shed} shed, {self.errors} errors, "
+            f"{self.timeouts} timeouts)",
+            f"availability     : {self.availability:.4f}",
             f"duration         : {self.duration_s:.3f}s",
             f"achieved qps     : {self.achieved_qps:,.0f}"
             + (f" (offered {self.offered_qps:,.0f})" if self.offered_qps else ""),
@@ -204,6 +223,10 @@ class LoadReport:
                 f"latency P50/P95/P99 (us): {self.latency['p50_us']:.1f} / "
                 f"{self.latency['p95_us']:.1f} / {self.latency['p99_us']:.1f}"
             )
+        if self.error_taxonomy:
+            taxonomy = ", ".join(f"{name}={count}" for name, count
+                                 in sorted(self.error_taxonomy.items()))
+            lines.append(f"error taxonomy   : {taxonomy}")
         if self.mismatches is not None:
             lines.append(f"answer mismatches: {self.mismatches}")
         if self.residency is not None:
@@ -224,7 +247,8 @@ async def run_closed_loop(server: DistanceServer, pairs: Sequence[Pair],
                           latency_window: int = 65536,
                           record_latency: bool = True,
                           error_types: Tuple[type, ...] = DEFAULT_ERROR_TYPES,
-                          collect_samples: bool = False) -> LoadReport:
+                          collect_samples: bool = False,
+                          timeout: Optional[float] = None) -> LoadReport:
     """Drive ``pairs`` through ``server`` with a fixed number of workers.
 
     ``record_latency=False`` skips the per-request client-side timing
@@ -237,18 +261,23 @@ async def run_closed_loop(server: DistanceServer, pairs: Sequence[Pair],
     callers add transport failures); ``collect_samples=True`` records a
     raw per-request sample (timestamp, per-worker client id, latency,
     status) into :attr:`LoadReport.samples` for JSONL export.
+    ``timeout`` bounds each request client-side: a request that has not
+    answered within ``timeout`` seconds is cancelled and counted in
+    :attr:`LoadReport.timeouts` — the load loop never hangs on a stuck
+    server, which is the whole point under chaos.
     """
     if concurrency < 1:
         raise ValueError(f"concurrency must be >= 1, got {concurrency}")
     recorder = LatencyRecorder(latency_window)
     answers: List[Optional[float]] = [None] * len(pairs)
     samples: List[Dict[str, object]] = []
+    taxonomy: Dict[str, int] = {}
     indices = iter(range(len(pairs)))
     timing = record_latency or collect_samples
     dist = server.dist
 
-    async def worker(worker_index: int) -> Tuple[int, int, int]:
-        completed = shed = errors = 0
+    async def worker(worker_index: int) -> Tuple[int, int, int, int]:
+        completed = shed = errors = timeouts = 0
         worker_client = f"{client}/{worker_index}" if collect_samples else client
         for index in indices:
             u, v = pairs[index]
@@ -256,15 +285,23 @@ async def run_closed_loop(server: DistanceServer, pairs: Sequence[Pair],
             started = time.perf_counter_ns() if timing else 0
             status = "ok"
             try:
-                answers[index] = await dist(
-                    u, v, multiplicative=multiplicative, additive=additive,
-                    client=client)
+                call = dist(u, v, multiplicative=multiplicative,
+                            additive=additive, client=client)
+                if timeout is not None:
+                    call = asyncio.wait_for(call, timeout)
+                answers[index] = await call
             except ServerOverloaded:
                 shed += 1
                 status = "shed"
-            except error_types:
+            except (TimeoutError, asyncio.TimeoutError):
+                timeouts += 1
+                status = "timeout"
+                taxonomy["timeout"] = taxonomy.get("timeout", 0) + 1
+            except error_types as exc:
                 errors += 1
                 status = "error"
+                name = type(exc).__name__
+                taxonomy[name] = taxonomy.get(name, 0) + 1
             elapsed_us = ((time.perf_counter_ns() - started) / 1000.0
                           if timing else 0.0)
             if status == "ok":
@@ -274,7 +311,7 @@ async def run_closed_loop(server: DistanceServer, pairs: Sequence[Pair],
             if collect_samples:
                 samples.append({"t": issued, "client": worker_client,
                                 "latency_us": elapsed_us, "status": status})
-        return completed, shed, errors
+        return completed, shed, errors, timeouts
 
     started = time.perf_counter()
     workers = max(1, min(concurrency, len(pairs)))
@@ -287,6 +324,8 @@ async def run_closed_loop(server: DistanceServer, pairs: Sequence[Pair],
         completed=sum(tally[0] for tally in tallies),
         shed=sum(tally[1] for tally in tallies),
         errors=sum(tally[2] for tally in tallies),
+        timeouts=sum(tally[3] for tally in tallies),
+        error_taxonomy=taxonomy,
         duration_s=duration,
         achieved_qps=sum(tally[0] for tally in tallies) / duration,
         offered_qps=None,
@@ -303,14 +342,20 @@ async def run_open_loop(server: DistanceServer, pairs: Sequence[Pair],
                         client: str = "loadgen",
                         latency_window: int = 65536,
                         error_types: Tuple[type, ...] = DEFAULT_ERROR_TYPES,
-                        collect_samples: bool = False) -> LoadReport:
-    """Fire ``pairs`` at a fixed target QPS, independent of completions."""
+                        collect_samples: bool = False,
+                        timeout: Optional[float] = None) -> LoadReport:
+    """Fire ``pairs`` at a fixed target QPS, independent of completions.
+
+    ``timeout`` bounds each request client-side exactly as in
+    :func:`run_closed_loop`.
+    """
     if qps <= 0:
         raise ValueError(f"qps must be positive, got {qps}")
     recorder = LatencyRecorder(latency_window)
     answers: List[Optional[float]] = [None] * len(pairs)
     samples: List[Dict[str, object]] = []
-    counters = {"completed": 0, "shed": 0, "errors": 0}
+    taxonomy: Dict[str, int] = {}
+    counters = {"completed": 0, "shed": 0, "errors": 0, "timeouts": 0}
     interval = 1.0 / qps
 
     async def one(index: int, u: int, v: int) -> None:
@@ -318,15 +363,24 @@ async def run_open_loop(server: DistanceServer, pairs: Sequence[Pair],
         started = time.perf_counter_ns()
         status = "ok"
         try:
-            answers[index] = await server.dist(
+            call = server.dist(
                 u, v, multiplicative=multiplicative, additive=additive,
                 client=client)
+            if timeout is not None:
+                call = asyncio.wait_for(call, timeout)
+            answers[index] = await call
         except ServerOverloaded:
             counters["shed"] += 1
             status = "shed"
-        except error_types:
+        except (TimeoutError, asyncio.TimeoutError):
+            counters["timeouts"] += 1
+            status = "timeout"
+            taxonomy["timeout"] = taxonomy.get("timeout", 0) + 1
+        except error_types as exc:
             counters["errors"] += 1
             status = "error"
+            name = type(exc).__name__
+            taxonomy[name] = taxonomy.get(name, 0) + 1
         elapsed_ns = time.perf_counter_ns() - started
         if status == "ok":
             recorder.record(elapsed_ns)
@@ -352,6 +406,8 @@ async def run_open_loop(server: DistanceServer, pairs: Sequence[Pair],
         completed=counters["completed"],
         shed=counters["shed"],
         errors=counters["errors"],
+        timeouts=counters["timeouts"],
+        error_taxonomy=taxonomy,
         duration_s=duration,
         achieved_qps=counters["completed"] / duration,
         offered_qps=qps,

@@ -231,6 +231,9 @@ class ArtifactRegistry:
         self._engines: "OrderedDict[str, QueryEngine]" = OrderedDict()
         self.loads = 0
         self.evictions = 0
+        #: Entries dropped because their payload failed to load — the
+        #: artifact directory vanished or rotted while registered.
+        self.load_failures = 0
         #: Bumped on any catalogue or resident-set change; lets routers
         #: memoize per-budget decisions and invalidate them cheaply.
         self.epoch = 0
@@ -248,6 +251,10 @@ class ArtifactRegistry:
             "repro_registry_evictions_total",
             "Resident engines evicted by artifact registries",
         ).set_function(lambda r: r.evictions, self)
+        registry.counter(
+            "repro_registry_load_failures_total",
+            "Registry entries dropped after their payload failed to load",
+        ).set_function(lambda r: r.load_failures, self)
         registry.gauge(
             "repro_registry_epoch",
             "Catalogue/resident-set change epoch",
@@ -383,6 +390,15 @@ class ArtifactRegistry:
 
         Loading verifies the payload checksum and may evict the least
         recently used engine once more than ``capacity`` are resident.
+
+        An artifact that fails to load — files deleted from under a
+        running server, sidecar unreadable, checksum rot — raises a
+        typed :class:`RegistryError` AND drops the entry from the
+        catalogue, so the router immediately stops offering the dead
+        artifact and subsequent requests re-route to the survivors
+        instead of re-tripping on the same corpse.  Nothing is cached
+        on the failure path: a later re-``register`` of a repaired
+        artifact starts clean.
         """
         entry = self.get(name)
         engine = self._engines.get(name)
@@ -390,7 +406,16 @@ class ArtifactRegistry:
             # load_artifact dispatches on the entry path: monolithic
             # payloads are read and checksummed whole, sharded manifests
             # open lazily and verify each shard on first fault.
-            engine = QueryEngine(load_artifact(entry.path))
+            try:
+                engine = QueryEngine(load_artifact(entry.path))
+            except (ArtifactError, OSError) as exc:
+                self._entries.pop(name, None)
+                self._engines.pop(name, None)
+                self.load_failures += 1
+                self.epoch += 1
+                raise RegistryError(
+                    f"artifact {name!r} failed to load from {entry.path} "
+                    f"and was evicted from the registry: {exc}") from exc
             self.loads += 1
             self._engines[name] = engine
             while len(self._engines) > self.capacity:
@@ -431,6 +456,7 @@ class ArtifactRegistry:
             "loaded": self.loaded(),
             "loads": self.loads,
             "evictions": self.evictions,
+            "load_failures": self.load_failures,
             # Resident vs mapped split over the currently loaded engines:
             # mapped floats live in the page cache and cost no RAM budget.
             "resident_floats": sum(entry.resident_floats

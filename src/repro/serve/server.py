@@ -49,6 +49,7 @@ import numpy as np
 
 from repro.oracle.cache import LatencyRecorder
 from repro.oracle.engine import QueryEngine
+from repro.oracle.sharding import ShardIntegrityError
 from repro.serve.registry import ArtifactEntry, ArtifactRegistry
 from repro.serve.router import (
     RouteDecision,
@@ -66,6 +67,17 @@ class ServerClosed(RuntimeError):
 
 class ServerOverloaded(RuntimeError):
     """Request shed: the in-flight queue is at capacity (load-shed policy)."""
+
+
+class DeadlineExceeded(RuntimeError):
+    """The request's deadline expired before an answer could be produced.
+
+    Deadlines are absolute ``time.monotonic()`` instants checked at the
+    admission gate, after any backpressure wait, and between gather
+    chunks — work that cannot finish in time is abandoned early instead
+    of burning engine cycles on an answer nobody is waiting for.  The
+    net tier maps this to the wire error ``ERR_DEADLINE_EXCEEDED``.
+    """
 
 
 @dataclasses.dataclass(frozen=True)
@@ -261,6 +273,8 @@ class DistanceServer:
         self._errors_total = 0
         self._engine_batches = 0
         self._coalesced_keys = 0
+        self._quarantines = 0
+        self._deadline_rejections = 0
         self._register_metrics()
 
     def _register_metrics(self) -> None:
@@ -288,6 +302,12 @@ class DistanceServer:
             ("repro_serve_coalesced_keys_total",
              "Distinct keys resolved through engine gathers",
              lambda s: s._coalesced_keys),
+            ("repro_serve_quarantines_total",
+             "Gathers that tripped the shard-integrity quarantine",
+             lambda s: s._quarantines),
+            ("repro_serve_deadline_rejections_total",
+             "Requests abandoned because their deadline expired",
+             lambda s: s._deadline_rejections),
         ):
             registry.counter(metric, help_text).set_function(read, self)
         for metric, help_text, read in (
@@ -426,7 +446,8 @@ class DistanceServer:
     async def gather(self, u, v, *, multiplicative: float = math.inf,
                      additive: float = math.inf, client: str = "default",
                      artifact: Optional[str] = None,
-                     trace=None) -> np.ndarray:
+                     trace=None,
+                     deadline: Optional[float] = None) -> np.ndarray:
         """Vectorised batch: one route and one engine gather chain per call.
 
         The wire-protocol fast path (:mod:`repro.net`): a worker decodes
@@ -441,6 +462,17 @@ class DistanceServer:
 
         Each pair counts once in the request/served/shed/error totals
         and client percentiles; the call occupies one backpressure slot.
+
+        ``deadline`` (an absolute ``time.monotonic()`` instant, or None)
+        bounds the work: it is checked at admission, again after any
+        backpressure wait, and between gather chunks, raising
+        :class:`DeadlineExceeded` instead of computing answers the
+        caller has stopped waiting for.  Chunk results are screened for
+        impossible distances (NaN/negative — mapped shard bytes gone
+        bad); a failed screen quarantines the implicated shards, retries
+        the chunk once against re-verified data, and raises
+        :class:`~repro.oracle.sharding.ShardIntegrityError` if the
+        corruption is persistent.  A wrong answer is never returned.
         """
         if self._closed:
             raise ServerClosed("server is shut down")
@@ -456,6 +488,7 @@ class DistanceServer:
         stats.requests += count
         self._requests_total += count
         try:
+            self._check_deadline(deadline, "at admission")
             if artifact is None:
                 decision = self._router.route(multiplicative=multiplicative,
                                               additive=additive)
@@ -487,6 +520,7 @@ class DistanceServer:
                     span_tick = time.perf_counter_ns()
                 if self._in_flight >= config.queue_capacity:
                     await self._admit_slow(stats, weight=count)
+                    self._check_deadline(deadline, "waiting for a queue slot")
                 self._in_flight += 1
                 if trace is not None:
                     trace.add("worker.queue", span_wall,
@@ -499,9 +533,12 @@ class DistanceServer:
                     engine = self._router.engine(name)
                     values = np.empty(count, dtype=np.float64)
                     for start in range(0, count, config.max_batch):
+                        if start:
+                            self._check_deadline(deadline, "between chunks")
                         chunk = slice(start, min(start + config.max_batch,
                                                  count))
-                        values[chunk] = engine.batch_core(lo[chunk], hi[chunk])
+                        values[chunk] = self._screened_batch(
+                            engine, lo[chunk], hi[chunk])
                         self._engine_batches += 1
                         self._coalesced_keys += chunk.stop - chunk.start
                     if trace is not None:
@@ -535,6 +572,8 @@ class DistanceServer:
             "errors_total": self._errors_total,
             "engine_batches": self._engine_batches,
             "coalesced_keys": self._coalesced_keys,
+            "quarantines": self._quarantines,
+            "deadline_rejections": self._deadline_rejections,
             "queue": {
                 "capacity": self.config.queue_capacity,
                 "in_flight": self._in_flight,
@@ -592,6 +631,45 @@ class DistanceServer:
                 "Per-client request latency", labels={"client": name},
             ).attach(stats.latency)
         return stats
+
+    def _check_deadline(self, deadline: Optional[float], where: str) -> None:
+        """Raise :class:`DeadlineExceeded` if ``deadline`` has passed."""
+        if deadline is not None and time.monotonic() >= deadline:
+            self._deadline_rejections += 1
+            raise DeadlineExceeded(f"request deadline expired {where}")
+
+    def _screened_batch(self, engine: QueryEngine, lo: np.ndarray,
+                        hi: np.ndarray) -> np.ndarray:
+        """One engine gather whose answers are guaranteed plausible.
+
+        Distances are non-negative by construction (``inf`` for
+        disconnected pairs is fine); a NaN or negative value can only
+        mean the bytes backing the gather have rotted — a corrupted
+        mapped shard, typically.  On a failed screen the implicated rows'
+        caches are purged and their shards quarantined
+        (:meth:`QueryEngine.quarantine_rows`), then the gather runs once
+        more against freshly re-verified data.  Either the re-verify
+        fails (the shard is condemned and ``open_shard`` raises a typed
+        :class:`~repro.oracle.sharding.ShardIntegrityError`), or a sound
+        file was re-mapped and the clean retry answer is returned.  If
+        the retry is somehow still implausible, the error is raised
+        here — under no screen outcome does a wrong answer escape.
+        """
+        values = engine.batch_core(lo, hi)
+        bad = ~(values >= 0)  # catches NaN and negatives in one pass
+        if not bad.any():
+            return values
+        self._quarantines += 1
+        rows = np.unique(np.concatenate([lo[bad], hi[bad]]))
+        shards = engine.quarantine_rows(rows)
+        values = engine.batch_core(lo, hi)
+        bad = ~(values >= 0)
+        if bad.any():
+            raise ShardIntegrityError(
+                f"gather returned implausible distances for "
+                f"{int(bad.sum())} pair(s) even after quarantining "
+                f"shard(s) {shards} and re-gathering")
+        return values
 
     async def _admit_slow(self, stats: _ClientStats, weight: int = 1) -> None:
         """The backpressure gate, entered only when the queue is full.
@@ -728,6 +806,7 @@ async def serve_artifacts(paths: Sequence[Union[str, Path]],
 
 
 __all__ = [
+    "DeadlineExceeded",
     "DistanceServer",
     "ServerClosed",
     "ServerConfig",

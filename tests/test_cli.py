@@ -264,7 +264,7 @@ class TestServeSubcommands:
                      "--window-ms", "1", "--concurrency", "16"]) == 0
         out = capsys.readouterr().out
         assert "serving 2 artifact(s)" in out
-        assert "success rate     : 1.0000" in out
+        assert "availability     : 1.0000" in out
         assert "engine batches" in out
         assert "cheap" in out
 
@@ -332,7 +332,7 @@ class TestServeSubcommands:
                      "--queries", "150"]) == 0
         out = capsys.readouterr().out
         assert "serving 2 artifact(s)" in out
-        assert "success rate     : 1.0000" in out
+        assert "availability     : 1.0000" in out
 
     def test_serve_accepts_sidecar_path(self, artifact_dir, capsys):
         assert main(["serve", str(artifact_dir / "exact.meta.json"),
@@ -503,7 +503,7 @@ class TestNetSubcommands:
                      "--concurrency", "8"]) == 0
         out = capsys.readouterr().out
         assert "self-test over TCP" in out
-        assert "success rate     : 1.0000" in out
+        assert "availability     : 1.0000" in out
 
     def test_net_serve_bad_artifact_is_clean_error(self, tmp_path, capsys):
         assert main(["net", "serve", str(tmp_path / "missing.npz"),

@@ -80,7 +80,7 @@ class TestExamples:
         module.main(36, 300)
         out = capsys.readouterr().out
         assert "two stretch budgets" in out
-        assert "success rate     : 1.0000" in out
+        assert "availability     : 1.0000" in out
         assert "engine batches" in out
 
     def test_routing_tables(self, capsys):

@@ -1,7 +1,10 @@
 """Wire-protocol tests: frame/payload roundtrips and the malformed-input
 edge cases the issue pins down — truncated frame, oversized length
 prefix, unknown version byte, empty pair batch, bad magic — plus the
-strict-JSON scrubber used by the HTTP fallback."""
+strict-JSON scrubber used by the HTTP fallback, deadline (v3) frames,
+and hypothesis fuzzing of the decoder (random, truncated, and
+bit-flipped streams must yield a typed error or a clean close, never an
+uncaught exception or a hang)."""
 
 from __future__ import annotations
 
@@ -11,8 +14,11 @@ import struct
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.net.protocol import (
+    DEADLINE_PROTOCOL_VERSION,
     ERR_BAD_FRAME,
     ERR_UNSUPPORTED_VERSION,
     FLAG_TRACE,
@@ -153,6 +159,44 @@ class TestTracedFrames:
         assert frame[2] == payload
 
 
+class TestDeadlineFrames:
+    def test_deadline_frame_roundtrips_budget(self):
+        payload = pack_request([(1, 2)], math.inf, math.inf, "")
+        encoded = encode_frame(MSG_REQUEST, 8, payload, deadline=1.25)
+        assert encoded[4] == DEADLINE_PROTOCOL_VERSION
+        frame = read_one(encoded)
+        assert frame.deadline == pytest.approx(1.25)
+        assert frame[2] == payload
+
+    def test_deadline_and_trace_coexist(self):
+        blob = b'{"id":"deadbeefdeadbeef"}'
+        frame = read_one(encode_frame(MSG_REQUEST, 9, b"xy", trace=blob,
+                                      deadline=0.5))
+        assert frame.trace == blob
+        assert frame.deadline == pytest.approx(0.5)
+        assert frame[2] == b"xy"
+
+    def test_plain_frame_has_none_deadline(self):
+        frame = read_one(encode_frame(MSG_REQUEST, 1, b""))
+        assert frame.deadline is None
+
+    def test_undeadlined_encode_is_byte_identical_to_version_1(self):
+        payload = pack_request([(4, 5)], math.inf, math.inf, "")
+        frame = encode_frame(MSG_REQUEST, 5, payload)
+        assert frame[4] == PROTOCOL_VERSION
+
+    def test_truncated_deadline_field_raises(self):
+        encoded = bytearray(encode_frame(MSG_REQUEST, 3, b"", deadline=2.0))
+        # Lie about the payload length so the 8-byte budget is cut short.
+        magic, version, ftype, flags, req_id, length = HEADER.unpack(
+            bytes(encoded[:HEADER.size]))
+        truncated = HEADER.pack(magic, version, ftype, flags, req_id, 4) \
+            + bytes(encoded[HEADER.size:HEADER.size + 4])
+        with pytest.raises(ProtocolError) as excinfo:
+            read_one(truncated)
+        assert excinfo.value.code == ERR_BAD_FRAME
+
+
 class TestMalformedFrames:
     def test_truncated_header_raises(self):
         frame = encode_frame(MSG_REQUEST, 1, b"x" * 10)
@@ -174,10 +218,10 @@ class TestMalformedFrames:
         assert excinfo.value.code == ERR_BAD_FRAME
 
     def test_unknown_version_byte_raises(self):
-        # Version 2 is the traced-frame version, so the first *unknown*
-        # byte is 3.
+        # Version 3 is the deadline-frame version, so the first *unknown*
+        # byte is 4.
         frame = bytearray(encode_frame(MSG_REQUEST, 1, b""))
-        frame[4] = TRACE_PROTOCOL_VERSION + 1
+        frame[4] = DEADLINE_PROTOCOL_VERSION + 1
         with pytest.raises(ProtocolError) as excinfo:
             read_one(bytes(frame))
         assert excinfo.value.code == ERR_UNSUPPORTED_VERSION
@@ -246,6 +290,82 @@ class TestPipelining:
 
         ftype, req_id, payload = asyncio.run(drive())
         assert (ftype, req_id, payload) == (MSG_REQUEST, 5, b"")
+
+
+class TestFuzz:
+    """Property-based decoder fuzzing: no input may crash or hang.
+
+    The contract under fuzz is exactly three outcomes — a Frame, a clean
+    ``None`` close, or :class:`ProtocolError` — for *any* byte stream.
+    Anything else escaping (KeyError, struct.error, UnicodeDecodeError,
+    OverflowError...) would kill a worker's read loop in production.
+    """
+
+    @staticmethod
+    def decode(data: bytes):
+        try:
+            return read_one(data)
+        except ProtocolError:
+            return "protocol-error"
+
+    @given(st.binary(max_size=256))
+    @settings(max_examples=200, deadline=None)
+    def test_random_streams_never_escape_typed_errors(self, data):
+        self.decode(data)  # reaching past this line is the assertion
+
+    @given(st.binary(max_size=64))
+    @settings(max_examples=100, deadline=None)
+    def test_random_bytes_with_valid_magic_never_escape(self, tail):
+        self.decode(MAGIC + tail)
+
+    @given(st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_truncated_valid_frames_never_escape(self, data):
+        payload = pack_request([(1, 2), (3, 4)], 2.0, 1.0, "dense")
+        frame = encode_frame(MSG_REQUEST, 7, payload, trace=b'{"id":"ab"}',
+                             deadline=1.5)
+        cut = data.draw(st.integers(min_value=0, max_value=len(frame)))
+        result = self.decode(frame[:cut])
+        if cut == 0:
+            assert result is None  # clean EOF, not an error
+        elif cut < len(frame):
+            assert result in (None, "protocol-error")
+
+    @given(st.data())
+    @settings(max_examples=200, deadline=None)
+    def test_bit_flipped_frames_never_escape(self, data):
+        payload = pack_request([(0, 9)], math.inf, math.inf, "x")
+        frame = bytearray(encode_frame(MSG_REQUEST, 3, payload,
+                                       deadline=0.25))
+        position = data.draw(st.integers(min_value=0,
+                                         max_value=len(frame) - 1))
+        bit = data.draw(st.integers(min_value=0, max_value=7))
+        frame[position] ^= 1 << bit
+        self.decode(bytes(frame))
+
+    @given(st.binary(max_size=128))
+    @settings(max_examples=200, deadline=None)
+    def test_unpack_request_raises_only_protocol_error(self, payload):
+        try:
+            unpack_request(payload, req_id=1)
+        except ProtocolError:
+            pass
+
+    @given(st.binary(max_size=128))
+    @settings(max_examples=100, deadline=None)
+    def test_unpack_response_raises_only_protocol_error(self, payload):
+        try:
+            unpack_response(payload, req_id=1)
+        except ProtocolError:
+            pass
+
+    @given(st.binary(max_size=128))
+    @settings(max_examples=100, deadline=None)
+    def test_unpack_error_raises_only_protocol_error(self, payload):
+        try:
+            unpack_error(payload, req_id=1)
+        except ProtocolError:
+            pass
 
 
 class TestJsonable:

@@ -217,8 +217,11 @@ class TestShardedRegistration:
         registry = ArtifactRegistry()
         entry = registry.register(tmp_path / "gone.shards.json")
         assert entry.sharded  # registration succeeded from metadata alone
-        with pytest.raises(ArtifactError, match="missing shard"):
+        # The missing payload only surfaces at load time, where it is
+        # retyped as a RegistryError and the entry is dropped.
+        with pytest.raises(RegistryError, match="missing shard"):
             registry.engine("gone")
+        assert "gone" not in registry
 
     def test_cost_model_charges_hot_set_not_payload(self, sharded_dir, tmp_path):
         """The satellite fix: a mapped artifact of a big graph must not be
@@ -288,3 +291,88 @@ class TestShardedRegistration:
         pairs = [(u, v) for u in range(0, mono.n, 3) for v in range(mono.n)]
         import numpy as np
         assert np.array_equal(mono.batch(pairs), mapped.batch(pairs))
+
+
+@pytest.fixture
+def fragile_dir(artifact_dir, tmp_path):
+    """Function-scoped copy of the artifacts so tests can destroy files."""
+    import shutil
+
+    root = tmp_path / "fragile"
+    shutil.copytree(artifact_dir, root)
+    return root
+
+
+class TestMidServeLoadFailures:
+    """An artifact that rots or vanishes while registered must fail with a
+    typed error, leave the catalogue (so routing falls over to survivors),
+    and never poison the resident-engine cache."""
+
+    def test_vanished_payload_raises_typed_error_and_evicts(self, fragile_dir):
+        registry = ArtifactRegistry()
+        registry.discover(fragile_dir)
+        (fragile_dir / "cheap.npz").unlink()
+        with pytest.raises(RegistryError, match="evicted"):
+            registry.engine("cheap")
+        assert "cheap" not in registry
+        assert not registry.is_loaded("cheap")
+        assert registry.load_failures == 1
+        assert registry.stats()["load_failures"] == 1
+        # Unrelated artifacts are unharmed.
+        assert registry.engine("mid") is not None
+
+    def test_unreadable_sidecar_raises_typed_error_and_evicts(self, fragile_dir):
+        registry = ArtifactRegistry()
+        registry.discover(fragile_dir)
+        sidecar = fragile_dir / "cheap.meta.json"
+        sidecar.write_text("{truncated mid-write")
+        with pytest.raises(RegistryError, match="evicted"):
+            registry.engine("cheap")
+        assert "cheap" not in registry
+        assert registry.load_failures == 1
+
+    def test_vanished_artifact_dir_of_sharded_entry(self, graph, tmp_path):
+        import shutil
+
+        root = tmp_path / "sharded"
+        root.mkdir()
+        oracle = build_oracle(graph, strategy="dense-apsp", epsilon=0.25)
+        manifest, _ = oracle.save_sharded(root / "frag", num_shards=3)
+        registry = ArtifactRegistry()
+        registry.register(manifest)
+        shutil.rmtree(root)
+        with pytest.raises(RegistryError, match="evicted"):
+            registry.engine("frag")
+        assert len(registry) == 0
+
+    def test_router_reroutes_to_survivor_after_eviction(self, fragile_dir):
+        from repro.serve import StretchRouter
+
+        registry = ArtifactRegistry()
+        registry.discover(fragile_dir)
+        router = StretchRouter(registry)
+        assert router.route().name == "cheap"
+        (fragile_dir / "cheap.npz").unlink()
+        with pytest.raises(RegistryError, match="evicted"):
+            router.engine("cheap")
+        # The eviction bumped the registry epoch, so the router's memo is
+        # stale and the next route lands on a surviving artifact.
+        decision = router.route()
+        assert decision.name != "cheap"
+        assert router.engine(decision.name) is not None
+
+    def test_failed_load_does_not_poison_reregistration(self, artifact_dir,
+                                                        fragile_dir):
+        import shutil
+
+        registry = ArtifactRegistry()
+        registry.discover(fragile_dir)
+        (fragile_dir / "cheap.npz").unlink()
+        with pytest.raises(RegistryError):
+            registry.engine("cheap")
+        # Repair the file and re-register: loads cleanly, no stale state.
+        shutil.copy(artifact_dir / "cheap.npz", fragile_dir / "cheap.npz")
+        entry = registry.register(fragile_dir / "cheap.npz")
+        assert entry.name == "cheap"  # the name was freed by the eviction
+        assert registry.engine("cheap") is not None
+        assert registry.load_failures == 1
