@@ -7,59 +7,27 @@ learn the whole spanner (broadcasting m' edges to everyone costs
 ``ceil(m' / n)`` rounds, since each node can relay n edges per round to all
 others), then compute distances locally.
 
-We use the classic greedy spanner (Althöfer et al.): edges are scanned in
-non-decreasing weight order and added whenever the current spanner distance
-between the endpoints exceeds (2k − 1) times the edge weight.  The greedy
-spanner has at most ``n^{1+1/k}`` edges (girth argument) and stretch at most
-``2k − 1``, matching the bound used by the paper.
+The greedy spanner construction itself now lives in
+:mod:`repro.oracle.spanner` (it backs the first-class ``spanner-greedy``
+oracle strategy); this baseline keeps the one-shot dense-output APSP view
+of the same trade-off and re-exports :func:`build_greedy_spanner` for
+backward compatibility.
 """
 
 from __future__ import annotations
 
-import heapq
 import math
-from typing import List, Optional, Tuple
+from typing import Optional
 
 import numpy as np
 
 from repro.cclique.accounting import Clique
 from repro.core.results import APSPResult
-from repro.graphs.graph import Graph, INF
+from repro.graphs.graph import Graph
 from repro.graphs.reference import all_pairs_dijkstra
+from repro.oracle.spanner import build_greedy_spanner
 
-
-def build_greedy_spanner(graph: Graph, k: int) -> Graph:
-    """The greedy (2k − 1)-spanner of ``graph``."""
-    if k < 1:
-        raise ValueError("k must be at least 1")
-    spanner = Graph(graph.n, directed=False)
-    stretch = 2 * k - 1
-    edges = sorted(graph.edges(), key=lambda e: (e[2], e[0], e[1]))
-    for u, v, w in edges:
-        limit = stretch * w
-        if _bounded_distance(spanner, u, v, limit) > limit:
-            spanner.add_edge(u, v, w)
-    return spanner
-
-
-def _bounded_distance(graph: Graph, source: int, target: int, limit: float) -> float:
-    """Dijkstra from ``source`` pruned at ``limit`` (early exit on target)."""
-    dist = {source: 0.0}
-    heap: List[Tuple[float, int]] = [(0.0, source)]
-    while heap:
-        d, u = heapq.heappop(heap)
-        if d > dist.get(u, INF):
-            continue
-        if u == target:
-            return d
-        if d > limit:
-            return INF
-        for v, w in graph.neighbors(u).items():
-            nd = d + w
-            if nd <= limit and nd < dist.get(v, INF):
-                dist[v] = nd
-                heapq.heappush(heap, (nd, v))
-    return dist.get(target, INF)
+__all__ = ["apsp_spanner", "build_greedy_spanner"]
 
 
 def apsp_spanner(

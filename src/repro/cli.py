@@ -288,6 +288,91 @@ def cmd_oracle_build(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_oracle_strategies(args: argparse.Namespace) -> int:
+    """List every registered strategy straight from the registry.
+
+    The listing is registry-derived — a strategy registered by a plugin
+    or a test shows up here with its guarantee and size estimates, no
+    CLI change needed.
+    """
+    from repro.oracle.strategies import REGISTRY
+
+    n = args.n
+    m = int(round(args.n * args.degree / 2.0))
+    print(f"registered oracle strategies ({len(REGISTRY)}); estimates at "
+          f"n={n} m={m} epsilon={args.epsilon:g} max_weight={args.max_weight:g}:")
+    for spec in REGISTRY.specs():
+        guarantee = spec.guarantee(args.epsilon, args.max_weight)
+        stretch = f"{guarantee.multiplicative:g}x"
+        if guarantee.additive:
+            stretch += f"+{guarantee.additive:g}"
+        estimate = spec.estimate(n, m, args.epsilon)
+        print(f"\n  {spec.name}  (query_kind={spec.query_kind}, "
+              f"{'epsilon-sensitive' if spec.uses_epsilon else 'epsilon-free'})")
+        print(f"    {spec.summary}")
+        print(f"    guarantee    : {stretch}")
+        print(f"    est. payload : {estimate.payload_bytes / 1e6:.2f} MB "
+              f"({estimate.payload_floats:,.0f} floats)")
+        print(f"    est. query   : {estimate.query_cost:g} lookups; "
+              f"build cost ~{estimate.build_cost:.3g}")
+        print(f"    arrays       : {', '.join(spec.required_arrays)}")
+    return 0
+
+
+def cmd_plan(args: argparse.Namespace) -> int:
+    """Plan (and optionally build) a stretch-budget artifact fleet."""
+    from repro.oracle.planner import (
+        PlanError,
+        execute_plan,
+        parse_budget,
+        plan_fleet,
+    )
+
+    if args.graph:
+        try:
+            graph, _original_ids = load_edge_list(args.graph)
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot load graph {args.graph}: {exc}",
+                  file=sys.stderr)
+            return 1
+    else:
+        graph = _build_graph(args)
+
+    budget_texts = args.budget or ["3", "4.5", "inf"]
+    try:
+        budgets = [parse_budget(text) for text in budget_texts]
+        max_resident = (math.inf if math.isinf(args.max_resident_mb)
+                        else args.max_resident_mb * 1e6 / 8.0)
+        plan = plan_fleet(
+            graph,
+            budgets=budgets,
+            epsilon=args.epsilon,
+            max_query_cost=args.max_query_cost,
+            max_resident_floats=max_resident,
+            shard_target_bytes=args.shard_target_mb * 1024 * 1024,
+        )
+    except PlanError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(plan.summary())
+    if not args.out:
+        print("\n(dry run; pass --out DIR to build the fleet)")
+        return 0
+    try:
+        execution = execute_plan(plan, graph, args.out, jobs=args.jobs)
+    except (ArtifactError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(f"\nbuilt {len(plan.builds())} artifact(s) into {args.out}")
+    for choice in plan.choices:
+        print(f"  budget {choice.budget.multiplicative:g}x -> "
+              f"{execution.artifact_for(choice)}")
+    print(f"manifest         : {execution.manifest_path}")
+    print(f"boot it with     : python -m repro net serve "
+          f"{execution.manifest_path}")
+    return 0
+
+
 def cmd_oracle_shard(args: argparse.Namespace) -> int:
     """Re-shard an existing artifact (monolithic or sharded) on disk."""
     if args.shards < 1:
@@ -522,6 +607,37 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_stretch_mix(text: str):
+    """Parse ``"mult[+add]:weight,..."`` into ``[(StretchBudget, weight)]``.
+
+    A missing ``:weight`` defaults to 1; e.g. ``"3:1,4.5:2,inf"`` sends a
+    quarter of requests with a 3x budget, half with 4.5x, a quarter
+    unconstrained.
+    """
+    from repro.oracle.planner import parse_budget
+
+    entries = []
+    for chunk in text.split(","):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        budget_text, sep, weight_text = chunk.rpartition(":")
+        if not sep:
+            budget_text, weight_text = chunk, "1"
+        budget = parse_budget(budget_text)
+        try:
+            weight = float(weight_text)
+        except ValueError:
+            raise ValueError(f"bad weight {weight_text!r} in stretch-mix "
+                             f"entry {chunk!r}") from None
+        if weight <= 0:
+            raise ValueError(f"stretch-mix weight must be positive in {chunk!r}")
+        entries.append((budget, weight))
+    if not entries:
+        raise ValueError("empty --stretch-mix")
+    return entries
+
+
 def cmd_loadgen(args: argparse.Namespace) -> int:
     """Run the load generator against an in-process server; emit JSON."""
     import asyncio
@@ -530,6 +646,7 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
     from repro.serve import (
         DistanceServer,
         RegistryError,
+        RoutingError,
         StretchRouter,
         count_mismatches,
         residency_from_stats,
@@ -542,17 +659,52 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
         print(f"error: --queries must be positive, got {args.queries}",
               file=sys.stderr)
         return 2
+    mix = None
+    if args.stretch_mix:
+        try:
+            mix = _parse_stretch_mix(args.stretch_mix)
+        except ValueError as exc:
+            print(f"error: bad --stretch-mix value: {exc}", file=sys.stderr)
+            return 2
     try:
         registry = _serve_registry(args)
     except (ArtifactError, RegistryError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
     router = StretchRouter(registry)
-    decision = _route_for_workload(router, args)
-    if decision is None:
-        return 1
-    pairs = zipf_pairs(decision.entry.n, args.queries, skew=args.zipf,
-                       seed=args.seed)
+    budgets = None
+    if mix is not None:
+        # Resolve every budget in the mix up front: each must be
+        # routable, and the sampled node range must fit the *smallest*
+        # artifact any request can land on.
+        decisions = []
+        try:
+            for budget, _weight in mix:
+                decisions.append(router.route(
+                    multiplicative=budget.multiplicative,
+                    additive=budget.additive))
+        except RoutingError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        nodes = min(routed.entry.n for routed in decisions)
+        pairs = zipf_pairs(nodes, args.queries, skew=args.zipf,
+                           seed=args.seed)
+        chooser = random.Random(args.seed + 1)
+        chosen = chooser.choices(range(len(mix)),
+                                 weights=[weight for _, weight in mix],
+                                 k=args.queries)
+        budgets = [(mix[i][0].multiplicative, mix[i][0].additive)
+                   for i in chosen]
+        print("stretch mix      : " + ", ".join(
+            f"{budget.multiplicative:g}x->{routed.name} "
+            f"(w={weight:g})"
+            for (budget, weight), routed in zip(mix, decisions)))
+    else:
+        decision = _route_for_workload(router, args)
+        if decision is None:
+            return 1
+        pairs = zipf_pairs(decision.entry.n, args.queries, skew=args.zipf,
+                           seed=args.seed)
 
     collect_samples = bool(args.raw_jsonl)
 
@@ -562,12 +714,12 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
                 report = await run_open_loop(
                     server, pairs, qps=args.qps,
                     multiplicative=args.stretch, additive=args.additive,
-                    collect_samples=collect_samples)
+                    collect_samples=collect_samples, budgets=budgets)
             else:
                 report = await run_closed_loop(
                     server, pairs, concurrency=args.concurrency,
                     multiplicative=args.stretch, additive=args.additive,
-                    collect_samples=collect_samples)
+                    collect_samples=collect_samples, budgets=budgets)
             return report, server.stats()
 
     try:
@@ -579,11 +731,28 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
     if args.report_residency:
         report.residency = residency_from_stats(server_stats)
     if args.verify:
-        # The budget is fixed for the whole run, so every request routed
-        # to the artifact resolved up front: replay it through a fresh
-        # direct engine (monolithic or sharded, per the routed entry).
-        reference = _load_engine(str(decision.entry.path))
-        report.mismatches = count_mismatches(pairs, report.answers, reference)
+        if mix is not None:
+            # Each budget in the mix routed independently; replay every
+            # answered pair against the engine its budget routed to.
+            mismatches = 0
+            for index_in_mix, routed in enumerate(decisions):
+                group = [i for i, choice in enumerate(chosen)
+                         if choice == index_in_mix]
+                if not group:
+                    continue
+                reference = _load_engine(str(routed.entry.path))
+                mismatches += count_mismatches(
+                    [pairs[i] for i in group],
+                    [report.answers[i] for i in group], reference)
+            report.mismatches = mismatches
+        else:
+            # The budget is fixed for the whole run, so every request
+            # routed to the artifact resolved up front: replay it through
+            # a fresh direct engine (monolithic or sharded, per the
+            # routed entry).
+            reference = _load_engine(str(decision.entry.path))
+            report.mismatches = count_mismatches(pairs, report.answers,
+                                                 reference)
 
     print(report.summary())
     if args.raw_jsonl:
@@ -963,6 +1132,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     build.set_defaults(func=cmd_oracle_build, weighted=True)
 
+    strategies = oracle_sub.add_parser(
+        "strategies",
+        help="list registered oracle strategies with guarantees and "
+             "size estimates",
+    )
+    strategies.add_argument("--n", type=int, default=1024,
+                            help="graph size the size estimates assume")
+    strategies.add_argument("--degree", type=float, default=8.0,
+                            help="average degree the size estimates assume")
+    strategies.add_argument("--epsilon", type=float, default=0.5)
+    strategies.add_argument("--max-weight", type=float, default=16,
+                            dest="max_weight")
+    strategies.set_defaults(func=cmd_oracle_strategies)
+
     shard = oracle_sub.add_parser(
         "shard", help="re-shard an existing artifact into memory-mappable "
                       "row shards",
@@ -1021,6 +1204,49 @@ def build_parser() -> argparse.ArgumentParser:
                                 help="Zipf skew of the sampled query pairs")
         sub_parser.add_argument("--seed", type=int, default=0)
 
+    plan = sub.add_parser(
+        "plan",
+        help="plan a stretch-budget artifact fleet from the strategy "
+             "registry; --out builds it into a bootable manifest",
+    )
+    plan.add_argument(
+        "--budget", action="append", default=None,
+        help="repeatable stretch budget 'mult' or 'mult+add' "
+             "(default: 3, 4.5, inf)",
+    )
+    plan.add_argument("--graph", help="edge-list file to plan for (instead of --n)")
+    plan.add_argument("--n", type=int, default=96, help="number of nodes")
+    plan.add_argument("--degree", type=float, default=8.0, help="average degree")
+    plan.add_argument("--max-weight", type=int, default=16, dest="max_weight")
+    plan.add_argument("--seed", type=int, default=0)
+    plan.add_argument("--epsilon", type=float, default=0.5)
+    plan.add_argument("--grid", action="store_true", help="use a grid workload")
+    plan.add_argument(
+        "--max-query-cost", type=float, default=math.inf,
+        dest="max_query_cost",
+        help="reject strategies whose per-query work (in table-lookup "
+             "units) exceeds this",
+    )
+    plan.add_argument(
+        "--max-resident-mb", type=float, default=math.inf,
+        dest="max_resident_mb",
+        help="reject strategies whose estimated serving resident set "
+             "exceeds this many MB",
+    )
+    plan.add_argument(
+        "--shard-target-mb", type=float, default=4.0,
+        dest="shard_target_mb",
+        help="artifacts above this estimated size are built sharded, "
+             "about this many MB per shard",
+    )
+    plan.add_argument("--out", help="build the planned fleet into this "
+                                    "directory and pin fleet.json")
+    plan.add_argument(
+        "--jobs", type=int, default=None,
+        help="build with this many worker processes (as in oracle build)",
+    )
+    plan.set_defaults(func=cmd_plan, weighted=True)
+
     serve = sub.add_parser(
         "serve",
         help="serve one or more oracle artifacts with coalescing and routing",
@@ -1055,6 +1281,13 @@ def build_parser() -> argparse.ArgumentParser:
                          help="append per-request raw samples (timestamp, "
                               "client, latency, status) to this JSONL file; "
                               "merge files back with LoadReport.from_jsonl")
+    loadgen.add_argument(
+        "--stretch-mix", dest="stretch_mix",
+        help="mixed-fidelity workload: comma list of 'mult[+add]:weight' "
+             "request budgets, e.g. '3:1,4.5:2,inf:1'; each request "
+             "carries a budget sampled by weight (overrides --stretch/"
+             "--additive)",
+    )
     loadgen.set_defaults(func=cmd_loadgen)
 
     net = sub.add_parser(

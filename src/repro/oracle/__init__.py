@@ -4,9 +4,17 @@ The headline algorithms in :mod:`repro.core` are one-shot Congested Clique
 computations.  This package turns them into a *distance oracle* with the
 build/serve split used by production shortest-path systems:
 
-* :mod:`repro.oracle.build` — :class:`OracleBuilder` runs one of three
-  strategies (``dense-apsp``, ``landmark-mssp``, ``exact-fallback``) and
-  records the simulated build rounds and the stretch guarantee.
+* :mod:`repro.oracle.strategies` — the pluggable :class:`StrategyRegistry`
+  of build strategies (``dense-apsp``, ``landmark-mssp``,
+  ``exact-fallback``, ``spanner-greedy``, ``hopset-landmark``), each a
+  declarative :class:`StrategySpec` with build fn, stretch guarantee and
+  cost estimators.
+* :mod:`repro.oracle.build` — :class:`OracleBuilder` dispatches through
+  the registry and records the simulated build rounds and the stretch
+  guarantee.
+* :mod:`repro.oracle.planner` — :func:`plan_fleet` / :func:`execute_plan`
+  turn stretch/latency/memory budgets into a built, bootable artifact
+  fleet.
 * :mod:`repro.oracle.artifact` — :class:`OracleArtifact`, a versioned
   on-disk format (compressed ``.npz`` payload + JSON metadata sidecar with
   a payload checksum) that round-trips through ``save``/``load``.
@@ -46,33 +54,57 @@ from repro.oracle.sharding import (
     write_sharded_artifact,
 )
 from repro.oracle.strategies import (
+    QUERY_KINDS,
+    REGISTRY,
     STRATEGY_NAMES,
+    CostEstimate,
+    StrategyRegistry,
     StrategySpec,
     StretchGuarantee,
     get_strategy,
+    register_strategy,
+)
+from repro.oracle.planner import (
+    FleetPlan,
+    PlanChoice,
+    PlanError,
+    execute_plan,
+    parse_budget,
+    plan_fleet,
 )
 
 __all__ = [
     "ArtifactError",
     "BuildReport",
+    "CostEstimate",
     "FORMAT_VERSION",
+    "FleetPlan",
     "LRUCache",
     "LatencyRecorder",
     "OracleArtifact",
     "OracleBuilder",
+    "PlanChoice",
+    "PlanError",
+    "QUERY_KINDS",
     "QueryEngine",
+    "REGISTRY",
     "RowBlockCache",
     "SHARD_MANIFEST_SUFFIX",
     "SHARD_MANIFEST_VERSION",
     "STRATEGY_NAMES",
     "ShardedOracleArtifact",
+    "StrategyRegistry",
     "StrategySpec",
     "StretchGuarantee",
     "artifact_paths",
     "build_oracle",
+    "execute_plan",
     "get_strategy",
     "load_artifact",
     "measure_throughput",
+    "parse_budget",
+    "plan_fleet",
+    "register_strategy",
     "shard_artifact",
     "shard_manifest_path",
     "write_sharded_artifact",

@@ -91,6 +91,15 @@ class OracleArtifact:
         return StretchGuarantee.from_dict(self.metadata["stretch"])
 
     @property
+    def query_kind(self) -> str:
+        """Engine kernel family serving this payload (sidecar-recorded;
+        falls back to the registered spec for pre-PR10 artifacts)."""
+        kind = self.metadata.get("query_kind")
+        if kind is not None:
+            return str(kind)
+        return get_strategy(self.strategy).query_kind
+
+    @property
     def build_rounds(self) -> float:
         return float(self.metadata["build"]["rounds"])
 

@@ -7,15 +7,23 @@ of the build is recorded in the artifact metadata, so the build/serve
 trade-off each strategy makes (rounds and artifact size at build time vs
 accuracy and work at query time) stays visible end to end.
 
-Strategy internals:
+Dispatch is registry-driven: the builder resolves the strategy's
+:class:`~repro.oracle.strategies.StrategySpec` and calls its ``build_fn``
+— a ``(builder, graph) -> (arrays, rounds, detail, phases)`` function.
+The three built-in builds living in this module:
 
-* ``dense-apsp`` wraps :func:`repro.core.apsp_weighted` (Theorem 28).
-* ``landmark-mssp`` composes :func:`repro.distance.k_nearest`
+* :func:`build_dense_arrays` wraps :func:`repro.core.apsp_weighted`
+  (Theorem 28).
+* :func:`build_landmark_arrays` composes :func:`repro.distance.k_nearest`
   (Theorem 18, exact √n-balls), :func:`repro.distance.hitting_set.
   greedy_hitting_set` (Lemma 4 landmarks) and :func:`repro.core.mssp`
   (Theorem 3, the (1 + ε) landmark table) under a single accounting
   context, mirroring the pipeline of Section 6.1.
-* ``exact-fallback`` wraps :func:`repro.baselines.apsp_dense_mm`.
+* :func:`build_exact_arrays` wraps :func:`repro.baselines.apsp_dense_mm`.
+
+``spanner-greedy`` and ``hopset-landmark`` live in their own modules
+(:mod:`repro.oracle.spanner`, :mod:`repro.oracle.hopset_landmark`) and
+plug in through the same registry path.
 """
 
 from __future__ import annotations
@@ -105,13 +113,16 @@ class OracleBuilder:
     Parameters
     ----------
     strategy:
-        One of :data:`repro.oracle.strategies.STRATEGY_NAMES`.
+        Any name registered on :data:`repro.oracle.strategies.REGISTRY`
+        (see :data:`~repro.oracle.strategies.STRATEGY_NAMES`).
     epsilon:
-        Stretch parameter for the approximate strategies (ignored by
-        ``exact-fallback``).
+        Stretch parameter for the approximate strategies (ignored by the
+        strategies whose guarantee does not depend on it).
     k:
-        Ball size for ``landmark-mssp``; defaults to ``ceil(sqrt(n))``
-        like the paper's APSP pipeline.
+        Ball size for the landmark strategies — defaults to
+        ``ceil(sqrt(n))`` like the paper's APSP pipeline — and the
+        spanner parameter for ``spanner-greedy`` (defaults to 2, i.e. a
+        3-spanner).
     kernel:
         Pin the local-product kernel used by the build's matrix products
         (``"dict"``/``"csr"``/``"dense"``/``"dense-blocked"``/``"jit"``);
@@ -122,10 +133,10 @@ class OracleBuilder:
         ``None`` (default) runs the classic single-process build that
         simulates the paper's Congested Clique rounds.  Any integer >= 1
         switches to the multi-core row-slab build
-        (:mod:`repro.oracle.parallel_build`): exact distances, ``jobs``
-        worker processes, ``rounds=0.0`` recorded.  ``jobs=1`` runs the
-        parallel code path inline — the byte-exact serial baseline the
-        parity tests and benchmarks compare against.
+        (:mod:`repro.oracle.parallel_build`): ``jobs`` worker processes
+        with ``rounds=0.0`` recorded.  ``jobs=1`` runs the parallel code
+        path inline — the byte-exact serial baseline the parity tests and
+        benchmarks compare against.
     pool:
         Optional pre-started spawn-context pool for the parallel path
         (test hook: shares one pool across many small builds).
@@ -154,19 +165,16 @@ class OracleBuilder:
                 graph, strategy=self.spec.name, epsilon=self.epsilon,
                 k=self.k, jobs=self.jobs, pool=self.pool)
         start = time.perf_counter()
-        if self.spec.name == "dense-apsp":
-            arrays, rounds, detail, phases = self._build_dense(graph)
-        elif self.spec.name == "landmark-mssp":
-            arrays, rounds, detail, phases = self._build_landmark(graph)
-        else:  # exact-fallback (get_strategy already rejected unknown names)
-            arrays, rounds, detail, phases = self._build_exact(graph)
+        build_fn = self.spec.resolve_build()
+        arrays, rounds, detail, phases = build_fn(self, graph)
         seconds = time.perf_counter() - start
         record_build_phases(self.spec.name, phases)
 
         max_weight = graph.max_weight()
-        guarantee = self.spec.guarantee(self.epsilon, max_weight)
+        guarantee = self.spec.guarantee(self.epsilon, max_weight, self.k)
         metadata: Dict[str, Any] = {
             "strategy": self.spec.name,
+            "query_kind": self.spec.query_kind,
             "n": graph.n,
             "num_edges": graph.num_edges(),
             "epsilon": self.epsilon,
@@ -239,81 +247,105 @@ class OracleBuilder:
                     for name, value in build.get("phases", {}).items()},
         )
 
-    # ------------------------------------------------------------------
-    # per-strategy builds
-    # ------------------------------------------------------------------
-    def _build_dense(self, graph: Graph):
+
+def default_ball_size(builder: OracleBuilder, n: int) -> int:
+    """Resolve and validate the builder's ball size (ceil(sqrt(n)) default)."""
+    k = builder.k if builder.k is not None else max(
+        2, min(n, math.ceil(math.sqrt(n))))
+    if not 1 <= k <= n:
+        raise ValueError(f"ball size k={k} out of range [1, {n}]")
+    return k
+
+
+def pack_balls(neighbors, n: int, k: int):
+    """Pack per-node ``{u: (dist, hops)}`` dicts into padded ball arrays.
+
+    Rows are sorted by ``(dist, hops, id)`` — the classic tie-break —
+    truncated to ``k`` slots, and padded with ``-1`` / ``inf`` (which the
+    query engine skips).
+    """
+    ball_idx = np.full((n, k), -1, dtype=np.int64)
+    ball_dist = np.full((n, k), np.inf, dtype=np.float64)
+    for v in range(n):
+        entries = sorted(
+            neighbors[v].items(), key=lambda kv: (kv[1][0], kv[1][1], kv[0])
+        )[:k]
+        for slot, (u, (dist, _hops)) in enumerate(entries):
+            ball_idx[v, slot] = u
+            ball_dist[v, slot] = dist
+    return ball_idx, ball_dist
+
+
+# ----------------------------------------------------------------------
+# built-in build functions (referenced by dotted path from the registry)
+# ----------------------------------------------------------------------
+def build_dense_arrays(builder: OracleBuilder, graph: Graph):
+    """``dense-apsp``: Theorem 28, one dense (2+ε, (1+ε)W) matrix."""
+    tick = time.perf_counter()
+    result = apsp_weighted(graph, epsilon=builder.epsilon)
+    phases = {"apsp": time.perf_counter() - tick}
+    arrays = {"dist": np.asarray(result.estimates, dtype=np.float64)}
+    detail = {
+        "variant": result.details.get("variant", "two_plus_eps"),
+        "hitting_set_size": result.details.get("hitting_set_size"),
+    }
+    return arrays, result.rounds, detail, phases
+
+
+def build_exact_arrays(builder: OracleBuilder, graph: Graph):
+    """``exact-fallback``: exact APSP by iterated min-plus squaring."""
+    tick = time.perf_counter()
+    result = apsp_dense_mm(graph)
+    phases = {"apsp": time.perf_counter() - tick}
+    arrays = {"dist": np.asarray(result.estimates, dtype=np.float64)}
+    detail = {"squarings": result.details["squarings"]}
+    return arrays, result.rounds, detail, phases
+
+
+def build_landmark_arrays(builder: OracleBuilder, graph: Graph):
+    """``landmark-mssp``: balls + hitting-set landmarks + (1+ε) MSSP table."""
+    n = graph.n
+    k = default_ball_size(builder, n)
+    clique = Clique(n)
+    phases: Dict[str, float] = {}
+
+    with clique.phase("oracle-build"):
+        # Exact balls: every node's k nearest nodes (Theorem 18).
         tick = time.perf_counter()
-        result = apsp_weighted(graph, epsilon=self.epsilon)
-        phases = {"apsp": time.perf_counter() - tick}
-        arrays = {"dist": np.asarray(result.estimates, dtype=np.float64)}
-        detail = {
-            "variant": result.details.get("variant", "two_plus_eps"),
-            "hitting_set_size": result.details.get("hitting_set_size"),
-        }
-        return arrays, result.rounds, detail, phases
+        knn = k_nearest(graph, k, clique=clique, label="k-nearest",
+                        kernel=builder.kernel)
+        phases["k-nearest"] = time.perf_counter() - tick
 
-    def _build_exact(self, graph: Graph):
+        # Landmarks: a hitting set of the balls (Lemma 4), announced.
         tick = time.perf_counter()
-        result = apsp_dense_mm(graph)
-        phases = {"apsp": time.perf_counter() - tick}
-        arrays = {"dist": np.asarray(result.estimates, dtype=np.float64)}
-        detail = {"squarings": result.details["squarings"]}
-        return arrays, result.rounds, detail, phases
+        ball_sets = [knn.nearest_set(v) for v in range(n)]
+        landmarks = greedy_hitting_set(ball_sets, n, clique=clique, label="hitting-set")
+        clique.charge_broadcast(label="landmark-announce")
+        phases["hitting-set"] = time.perf_counter() - tick
 
-    def _build_landmark(self, graph: Graph):
-        n = graph.n
-        k = self.k if self.k is not None else max(2, min(n, math.ceil(math.sqrt(n))))
-        if not 1 <= k <= n:
-            raise ValueError(f"ball size k={k} out of range [1, {n}]")
-        clique = Clique(n)
-        phases: Dict[str, float] = {}
-
-        with clique.phase("oracle-build"):
-            # Exact balls: every node's k nearest nodes (Theorem 18).
-            tick = time.perf_counter()
-            knn = k_nearest(graph, k, clique=clique, label="k-nearest",
-                            kernel=self.kernel)
-            phases["k-nearest"] = time.perf_counter() - tick
-
-            # Landmarks: a hitting set of the balls (Lemma 4), announced.
-            tick = time.perf_counter()
-            ball_sets = [knn.nearest_set(v) for v in range(n)]
-            landmarks = greedy_hitting_set(ball_sets, n, clique=clique, label="hitting-set")
-            clique.charge_broadcast(label="landmark-announce")
-            phases["hitting-set"] = time.perf_counter() - tick
-
-            # The (1 + eps) landmark table (Theorem 3; hopset built inside).
-            tick = time.perf_counter()
-            table = mssp(graph, landmarks, epsilon=self.epsilon, clique=clique,
-                         label="mssp-landmarks", kernel=self.kernel)
-            phases["mssp"] = time.perf_counter() - tick
-
+        # The (1 + eps) landmark table (Theorem 3; hopset built inside).
         tick = time.perf_counter()
-        ball_idx = np.full((n, k), -1, dtype=np.int64)
-        ball_dist = np.full((n, k), np.inf, dtype=np.float64)
-        for v in range(n):
-            entries = sorted(
-                knn.neighbors[v].items(), key=lambda kv: (kv[1][0], kv[1][1], kv[0])
-            )[:k]
-            for slot, (u, (dist, _hops)) in enumerate(entries):
-                ball_idx[v, slot] = u
-                ball_dist[v, slot] = dist
-        phases["pack-balls"] = time.perf_counter() - tick
+        table = mssp(graph, landmarks, epsilon=builder.epsilon, clique=clique,
+                     label="mssp-landmarks", kernel=builder.kernel)
+        phases["mssp"] = time.perf_counter() - tick
 
-        arrays = {
-            "landmarks": np.asarray(table.sources, dtype=np.int64),
-            "landmark_dist": np.asarray(table.distances, dtype=np.float64),
-            "ball_idx": ball_idx,
-            "ball_dist": ball_dist,
-        }
-        detail = {
-            "k": k,
-            "num_landmarks": len(table.sources),
-            "beta": table.details.get("beta"),
-            "hopset_edges": table.details.get("hopset_edges"),
-        }
-        return arrays, clique.rounds, detail, phases
+    tick = time.perf_counter()
+    ball_idx, ball_dist = pack_balls(knn.neighbors, n, k)
+    phases["pack-balls"] = time.perf_counter() - tick
+
+    arrays = {
+        "landmarks": np.asarray(table.sources, dtype=np.int64),
+        "landmark_dist": np.asarray(table.distances, dtype=np.float64),
+        "ball_idx": ball_idx,
+        "ball_dist": ball_dist,
+    }
+    detail = {
+        "k": k,
+        "num_landmarks": len(table.sources),
+        "beta": table.details.get("beta"),
+        "hopset_edges": table.details.get("hopset_edges"),
+    }
+    return arrays, clique.rounds, detail, phases
 
 
 def build_oracle(

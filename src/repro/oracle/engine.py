@@ -6,10 +6,18 @@ queries in microseconds.  All strategies share the same front end — an LRU
 cache over normalised pairs, per-query latency recording, and a
 ``stats()`` snapshot — and differ only in the per-strategy kernels:
 
-* ``dense-apsp`` / ``exact-fallback`` — a single matrix lookup.
-* ``landmark-mssp`` — exact ball lookup for near pairs, otherwise the best
-  landmark route ``min_a  d(u, a) + d(a, v)`` over the (1 + ε) MSSP table
-  (a vectorised min over the landmark axis).
+Which kernel family serves an artifact is the strategy's declared
+``query_kind`` (:mod:`repro.oracle.strategies`), so registered strategies
+plug in without touching this module:
+
+* ``"dense"`` (dense-apsp / exact-fallback) — a single matrix lookup.
+* ``"landmark"`` (landmark-mssp / hopset-landmark) — exact ball lookup
+  for near pairs, otherwise the best landmark route
+  ``min_a  d(u, a) + d(a, v)`` over the landmark table (a vectorised min
+  over the landmark axis).
+* ``"spanner"`` (spanner-greedy) — the landmark kernels plus a direct
+  spanner-edge override: pairs joined by a spanner edge are answered with
+  at most that edge's weight, read straight from the spanner CSR.
 
 Both artifact representations are served behind the same front end: a
 monolithic :class:`~repro.oracle.artifact.OracleArtifact` keeps its tables
@@ -37,6 +45,7 @@ from repro.obs.metrics import get_registry
 from repro.oracle.artifact import OracleArtifact
 from repro.oracle.cache import LatencyRecorder, LRUCache, RowBlockCache
 from repro.oracle.sharding import ShardedOracleArtifact
+from repro.oracle.strategies import get_strategy
 
 #: Rows per cached block and blocks kept per sharded array — the hot-row
 #: working set a sharded engine keeps resident (the serving registry's
@@ -79,14 +88,15 @@ class QueryEngine:
         self._block_caches: Dict[str, RowBlockCache] = {}
         self._sharded = isinstance(artifact, ShardedOracleArtifact)
 
+        self.query_kind = get_strategy(self.strategy).query_kind
         if self._sharded:
             self._init_sharded(artifact, block_rows, block_capacity)
-        elif self.strategy in ("dense-apsp", "exact-fallback"):
+        elif self.query_kind == "dense":
             self._dist_matrix = np.asarray(artifact.arrays["dist"], dtype=np.float64)
             self._point = self._point_dense
             self._point_batch = self._point_batch_dense
             self._row = self._row_dense
-        else:  # landmark-mssp
+        else:  # "landmark" and the "spanner" overlay on top of it
             self._landmark_dist = np.asarray(
                 artifact.arrays["landmark_dist"], dtype=np.float64
             )
@@ -106,8 +116,35 @@ class QueryEngine:
             self._point = self._point_landmark
             self._point_batch = self._point_batch_landmark
             self._row = self._row_landmark
+            if self.query_kind == "spanner":
+                self._init_spanner_overlay(
+                    lambda name: np.asarray(artifact.arrays[name]))
+                self._point = self._point_spanner
+                self._point_batch = self._point_batch_spanner
+                self._row = self._row_spanner
 
         self._register_metrics()
+
+    def _init_spanner_overlay(self, fetch) -> None:
+        """Index the spanner CSR for the direct-edge override kernels.
+
+        ``fetch(name)`` returns a common payload array — the in-memory
+        dict for monolithic artifacts, :meth:`~repro.oracle.sharding.
+        ShardedOracleArtifact.common` for sharded ones, so both paths
+        index the *identical* bytes and stay bit-compatible.
+        """
+        self._csr_indptr = np.asarray(fetch("spanner_indptr"), dtype=np.int64)
+        self._csr_indices = np.asarray(fetch("spanner_indices"), dtype=np.int64)
+        self._csr_weights = np.asarray(fetch("spanner_weights"), dtype=np.float64)
+        # Normalised-pair edge map: every query reaches the kernels with
+        # u <= v, so one direction suffices for O(1) point overrides.
+        self._edge_map: Dict[Tuple[int, int], float] = {}
+        for u in range(self.n):
+            for slot in range(int(self._csr_indptr[u]),
+                              int(self._csr_indptr[u + 1])):
+                v = int(self._csr_indices[slot])
+                if u < v:
+                    self._edge_map[(u, v)] = float(self._csr_weights[slot])
 
     def _register_metrics(self) -> None:
         """Expose engine state on the process registry via weakref callbacks.
@@ -176,12 +213,12 @@ class QueryEngine:
             self._block_caches[name] = cache
             return cache
 
-        if self.strategy in ("dense-apsp", "exact-fallback"):
+        if self.query_kind == "dense":
             self._dist_rows = block_cache("dist")
             self._point = self._point_dense_sharded
             self._point_batch = self._point_batch_dense_sharded
             self._row = self._row_dense_sharded
-        else:  # landmark-mssp
+        else:  # "landmark" and the "spanner" overlay on top of it
             self._num_landmarks = artifact.array_shape("landmark_dist")[1]
             self._ld_rows = block_cache("landmark_dist")
             self._ball_idx_rows = block_cache("ball_idx")
@@ -189,6 +226,11 @@ class QueryEngine:
             self._point = self._point_landmark_sharded
             self._point_batch = self._point_batch_landmark_sharded
             self._row = self._row_landmark_sharded
+            if self.query_kind == "spanner":
+                self._init_spanner_overlay(artifact.common)
+                self._point = self._point_spanner_sharded
+                self._point_batch = self._point_batch_spanner_sharded
+                self._row = self._row_spanner_sharded
 
     # ------------------------------------------------------------------
     # public query API
@@ -463,6 +505,45 @@ class QueryEngine:
         return row
 
     # ------------------------------------------------------------------
+    # spanner kernels: the landmark kernels plus a direct spanner-edge
+    # override.  The override helpers are shared verbatim between the
+    # monolithic and sharded variants, so the two paths stay bit-identical.
+    # ------------------------------------------------------------------
+    def _edge_override_point(self, u: int, v: int, value: float) -> float:
+        direct = self._edge_map.get((u, v))
+        if direct is not None and direct < value:
+            return direct
+        return value
+
+    def _edge_override_batch(self, us: np.ndarray, vs: np.ndarray,
+                             out: np.ndarray) -> np.ndarray:
+        edge_map = self._edge_map
+        for index, (u, v) in enumerate(zip(us.tolist(), vs.tolist())):
+            direct = edge_map.get((u, v))
+            if direct is not None and direct < out[index]:
+                out[index] = direct
+        return out
+
+    def _edge_override_row(self, u: int, row: np.ndarray) -> np.ndarray:
+        for slot in range(int(self._csr_indptr[u]),
+                          int(self._csr_indptr[u + 1])):
+            v = int(self._csr_indices[slot])
+            w = float(self._csr_weights[slot])
+            if w < row[v]:
+                row[v] = w
+        return row
+
+    def _point_spanner(self, u: int, v: int) -> float:
+        return self._edge_override_point(u, v, self._point_landmark(u, v))
+
+    def _point_batch_spanner(self, us: np.ndarray, vs: np.ndarray) -> np.ndarray:
+        return self._edge_override_batch(
+            us, vs, self._point_batch_landmark(us, vs))
+
+    def _row_spanner(self, u: int) -> np.ndarray:
+        return self._edge_override_row(u, self._row_landmark(u))
+
+    # ------------------------------------------------------------------
     # sharded (memory-mapped) strategy kernels — bit-identical siblings of
     # the in-memory kernels above
     # ------------------------------------------------------------------
@@ -555,6 +636,18 @@ class QueryEngine:
                 row[start + hit_rows] = np.minimum(row[start + hit_rows], exact)
         row[u] = 0.0
         return row
+
+    def _point_spanner_sharded(self, u: int, v: int) -> float:
+        return self._edge_override_point(
+            u, v, self._point_landmark_sharded(u, v))
+
+    def _point_batch_spanner_sharded(self, us: np.ndarray,
+                                     vs: np.ndarray) -> np.ndarray:
+        return self._edge_override_batch(
+            us, vs, self._point_batch_landmark_sharded(us, vs))
+
+    def _row_spanner_sharded(self, u: int) -> np.ndarray:
+        return self._edge_override_row(u, self._row_landmark_sharded(u))
 
     # ------------------------------------------------------------------
     # helpers

@@ -137,30 +137,76 @@ def _write_shard(task: Dict[str, Any]) -> Dict[str, Any]:
 # ----------------------------------------------------------------------
 # build pipeline
 # ----------------------------------------------------------------------
+def _generic_payload(
+    executor: SlabExecutor,
+    graph: Graph,
+    spec,
+    k: Optional[int],
+    epsilon: float,
+    phases: Dict[str, float],
+):
+    """Fallback payload for registry strategies without a native slab path.
+
+    The strategy's classic build function runs once in the parent — it is
+    deterministic and kernel-independent, so the payload bytes cannot
+    depend on the job count — and the resulting arrays are shared to the
+    workers as memmaps, which then write their shard files concurrently
+    exactly like the native paths.  Per-shard SHA-256 therefore stays
+    identical at any ``jobs``; only the shard writes parallelise.
+    """
+    from repro.oracle.build import OracleBuilder
+
+    tick = time.perf_counter()
+    builder = OracleBuilder(strategy=spec.name, epsilon=epsilon, k=k)
+    arrays, rounds, detail, build_phases = spec.resolve_build()(builder, graph)
+    phases.update(build_phases)
+    phases["share"] = time.perf_counter() - tick
+
+    sharded: Dict[str, Any] = {}
+    common: Dict[str, Any] = {}
+    layout: Dict[str, Any] = {}
+    for name, array in arrays.items():
+        array = np.asarray(array)
+        layout[name] = {"dtype": array.dtype.name, "shape": list(array.shape)}
+        if name in spec.row_sharded_arrays:
+            sharded[name] = ("slab", executor.share(f"payload-{name}", array))
+        else:
+            common[name] = ("array", array)
+    return sharded, common, layout, detail, float(rounds)
+
+
 def _parallel_payload(
     executor: SlabExecutor,
     graph: Graph,
     spec,
     k: Optional[int],
+    epsilon: float,
     phases: Dict[str, float],
 ):
     """Run the compute phases; returns shared-source descriptors + layouts.
 
-    Returns ``(sharded_sources, common_sources, layout, detail)`` where the
-    source descriptors are the ``("slab"|"cols"|"array", ...)`` tuples the
-    shard writer and the in-memory materialiser both consume, and
-    ``layout`` maps every array name to its manifest ``{dtype, shape}``.
+    Returns ``(sharded_sources, common_sources, layout, detail, rounds)``
+    where the source descriptors are the ``("slab"|"cols"|"array", ...)``
+    tuples the shard writer and the in-memory materialiser both consume,
+    and ``layout`` maps every array name to its manifest ``{dtype,
+    shape}``.  Dispatch is by the spec's ``query_kind``: dense strategies
+    take the min-plus closure slab path, ``landmark-mssp`` its native
+    ball/landmark slab path, everything else the deterministic
+    :func:`_generic_payload` fallback.
     """
     n = graph.n
+    if spec.name != "landmark-mssp" and spec.query_kind != "dense":
+        return _generic_payload(executor, graph, spec, k, epsilon, phases)
+
     tick = time.perf_counter()
     W = executor.share("weights", weight_matrix(graph))
     closure, steps = minplus_closure(executor, W)
     phases["closure"] = time.perf_counter() - tick
     detail: Dict[str, Any] = {"squarings": steps}
 
-    if spec.name != "landmark-mssp":
+    if spec.query_kind == "dense":
         layout = {"dist": {"dtype": "float64", "shape": [n, n]}}
-        return {"dist": ("slab", closure)}, {}, layout, detail
+        return {"dist": ("slab", closure)}, {}, layout, detail, 0.0
 
     k_val = k if k is not None else _default_k(n)
     if not 1 <= k_val <= n:
@@ -196,13 +242,15 @@ def _parallel_payload(
         "ball_dist": {"dtype": "float64", "shape": [n, k_val]},
         "landmarks": {"dtype": "int64", "shape": [len(landmarks)]},
     }
-    return sharded, common, layout, detail
+    return sharded, common, layout, detail, 0.0
 
 
 def _metadata(
     graph: Graph,
     spec,
     epsilon: float,
+    k: Optional[int],
+    rounds: float,
     seconds: float,
     jobs: int,
     phases: Dict[str, float],
@@ -210,17 +258,19 @@ def _metadata(
     extra_metadata: Optional[Dict[str, Any]],
 ) -> Dict[str, Any]:
     max_weight = graph.max_weight()
+    native = spec.query_kind == "dense" or spec.name == "landmark-mssp"
     metadata: Dict[str, Any] = {
         "strategy": spec.name,
         "n": graph.n,
         "num_edges": graph.num_edges(),
         "epsilon": epsilon,
         "max_weight": max_weight,
-        "stretch": spec.guarantee(epsilon, max_weight).as_dict(),
+        "stretch": spec.guarantee(epsilon, max_weight, k).as_dict(),
+        "query_kind": spec.query_kind,
         "build": {
-            "rounds": 0.0,
+            "rounds": rounds,
             "seconds": seconds,
-            "kernel": "dense-blocked",
+            "kernel": "dense-blocked" if native else "classic",
             "hot_primitives": list(spec.hot_primitives),
             "mode": "parallel",
             "jobs": jobs,
@@ -260,8 +310,8 @@ def build_parallel(
     phases: Dict[str, float] = {}
     start = time.perf_counter()
     with SlabExecutor(jobs=jobs, pool=pool) as executor:
-        sharded, common, _layout, detail = _parallel_payload(
-            executor, graph, spec, k, phases)
+        sharded, common, _layout, detail, rounds = _parallel_payload(
+            executor, graph, spec, k, float(epsilon), phases)
         tick = time.perf_counter()
         arrays: Dict[str, np.ndarray] = {}
         for name, source in {**sharded, **common}.items():
@@ -275,8 +325,8 @@ def build_parallel(
     seconds = time.perf_counter() - start
     from repro.oracle.build import record_build_phases
     record_build_phases(spec.name, phases)
-    metadata = _metadata(graph, spec, float(epsilon), seconds, jobs, phases,
-                         detail, None)
+    metadata = _metadata(graph, spec, float(epsilon), k, rounds, seconds,
+                         jobs, phases, detail, None)
     artifact = OracleArtifact(metadata=metadata, arrays=arrays)
     artifact.validate()
     return artifact
@@ -309,8 +359,8 @@ def build_sharded_parallel(
     phases: Dict[str, float] = {}
     start = time.perf_counter()
     with SlabExecutor(jobs=jobs, pool=pool) as executor:
-        sharded, common, layout, detail = _parallel_payload(
-            executor, graph, spec, k, phases)
+        sharded, common, layout, detail, rounds = _parallel_payload(
+            executor, graph, spec, k, float(epsilon), phases)
 
         tick = time.perf_counter()
         tasks = []
@@ -339,8 +389,8 @@ def build_sharded_parallel(
     seconds = time.perf_counter() - start
     from repro.oracle.build import record_build_phases
     record_build_phases(spec.name, phases)
-    metadata = _metadata(graph, spec, float(epsilon), seconds, jobs, phases,
-                         detail, extra_metadata)
+    metadata = _metadata(graph, spec, float(epsilon), k, rounds, seconds,
+                         jobs, phases, detail, extra_metadata)
     write_shard_manifest(
         manifest_path,
         metadata,

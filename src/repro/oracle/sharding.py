@@ -480,6 +480,15 @@ class ShardedOracleArtifact:
         return float(self.metadata["build"]["rounds"])
 
     @property
+    def query_kind(self) -> str:
+        """Engine kernel family serving this payload (manifest-recorded;
+        falls back to the registered spec for pre-PR10 artifacts)."""
+        kind = self.metadata.get("query_kind")
+        if kind is not None:
+            return str(kind)
+        return self._spec.query_kind
+
+    @property
     def num_shards(self) -> int:
         return len(self._shards)
 

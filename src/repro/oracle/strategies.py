@@ -13,23 +13,47 @@ computations into a persistent, queryable artifact:
   numbers instead of n².  Near pairs (inside a ball) are answered exactly;
   far pairs are routed through landmarks with stretch at most 3(1 + ε),
   by the Section 6.1 pivot argument.
+* ``spanner-greedy`` — keep only a greedy (2k − 1)-spanner of the graph
+  (Althöfer; the Section 1.1 / Parter–Yogev trade-off) and answer from
+  spanner-metric balls + hitting-set landmarks with exact spanner
+  distances.  The artifact is the spanner CSR plus Õ(n^{3/2}) landmark /
+  ball rows — no dense table anywhere — at stretch 3(2k − 1).
+* ``hopset-landmark`` — landmark tables accelerated by a hopset
+  (:mod:`repro.hopsets`): Bellman–Ford from the hitting-set landmarks
+  over G ∪ H converges in few iterations because the hopset shortcuts
+  long paths, and the resulting table is *exact* (hopset edges are real
+  path lengths), so far pairs carry pure pivot stretch 3.
 * ``exact-fallback`` — exact APSP by iterated dense min-plus squaring
   (the Censor-Hillel et al. 2015 baseline).  Expensive to build
   (Õ(n^{1/3}) simulated rounds) but answers are exact; the comparator the
   approximate strategies are validated against.
 
-:class:`StrategySpec` records, per strategy, the guarantee the built
-artifact advertises; the tests and the query engine both read the guarantee
-from the artifact metadata rather than hard-coding it.
+Strategies are held in a :class:`StrategyRegistry`.  Each
+:class:`StrategySpec` is *declarative*: it carries the build function (a
+lazily imported ``"module:attr"`` dotted path, so registration never drags
+in numpy-heavy build code), the stretch-guarantee rule, the serving cost
+model the artifact registry charges, and the a-priori size / build-cost
+estimators the fleet planner (:mod:`repro.oracle.planner`) optimises over.
+Third parties register their own strategies with :func:`register_strategy`
+and they appear everywhere — CLI ``choices``, error messages, planner
+enumeration — because :data:`STRATEGY_NAMES` is a live view of the
+registry, not a frozen tuple.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, Tuple
+import difflib
+import importlib
+import math
+from typing import Callable, Dict, Optional, Sequence, Tuple, Union
 
-#: Canonical strategy names, in the order the CLI lists them.
-STRATEGY_NAMES: Tuple[str, ...] = ("dense-apsp", "landmark-mssp", "exact-fallback")
+#: The query-kernel families the engine implements.  Every registered
+#: strategy must declare which family serves its payload:
+#: ``"dense"`` (one n×n ``dist`` matrix lookup), ``"landmark"`` (exact
+#: balls + best-landmark routes), or ``"spanner"`` (landmark kernels plus
+#: a direct spanner-edge override).
+QUERY_KINDS: Tuple[str, ...] = ("dense", "landmark", "spanner")
 
 
 @dataclasses.dataclass(frozen=True)
@@ -64,13 +88,58 @@ class StretchGuarantee:
 
 
 @dataclasses.dataclass(frozen=True)
+class CostEstimate:
+    """A-priori cost estimate for building + serving one strategy.
+
+    Everything the planner needs before any build runs: payload size (for
+    memory budgets and shard counts), the sharded-serving row/common split
+    (for resident-set estimates), per-query work (for latency budgets) and
+    relative build cost (the tie-breaker between equally small artifacts).
+    Units: floats for sizes, table-lookup-equivalents for query cost,
+    abstract work units for build cost (only comparisons between
+    strategies at the same ``(n, m)`` are meaningful).
+    """
+
+    payload_floats: float
+    row_width: float
+    common_floats: float
+    query_cost: float
+    build_cost: float
+
+    @property
+    def payload_bytes(self) -> float:
+        return self.payload_floats * 8.0
+
+
+# Signature of a build function: ``(builder, graph) -> (arrays, rounds,
+# detail, phases)`` — exactly what OracleBuilder packages into an artifact.
+BuildFn = Callable[[object, object], tuple]
+
+
+@dataclasses.dataclass(frozen=True)
 class StrategySpec:
-    """Static description of one oracle strategy."""
+    """Declarative description of one oracle strategy.
+
+    Beyond the artifact schema (``required_arrays`` / ``row_sharded_arrays``)
+    a spec carries the four behaviours the rest of the stack dispatches on:
+
+    * ``build_fn`` — how to build: a ``"module:attr"`` dotted path resolved
+      lazily (keeps registration import-light and avoids build↔registry
+      cycles) or a direct callable for third-party registrations.
+    * ``guarantee_fn`` — the stretch guarantee a build with given
+      parameters will advertise, computable *before* building (the planner
+      relies on this).
+    * ``cost_fn`` — ``(n, build_metadata) -> (payload_floats, row_width,
+      common_floats, query_cost)``: the serving-cost model the artifact
+      registry charges for a built artifact.
+    * ``estimate_fn`` — ``(n, m, epsilon) -> CostEstimate``: the a-priori
+      estimator the planner optimises over (no artifact needed).
+    """
 
     name: str
     #: Arrays the artifact payload must contain for this strategy.
     required_arrays: Tuple[str, ...]
-    #: Human-readable summary shown by ``repro oracle build``.
+    #: Human-readable summary shown by ``repro oracle build``/``strategies``.
     summary: str
     #: Whether the guarantee depends on epsilon (exact strategies do not).
     uses_epsilon: bool = True
@@ -83,52 +152,362 @@ class StrategySpec:
     #: Payload arrays whose leading axis is the node axis — the ones the
     #: sharded artifact format (:mod:`repro.oracle.sharding`) splits into
     #: per-node-range shard files.  Everything else (e.g. the landmark id
-    #: vector) is small and travels whole inside shard 0.
+    #: vector or the spanner CSR) is small and travels whole inside shard 0.
     row_sharded_arrays: Tuple[str, ...] = ()
+    #: Which engine kernel family serves this payload (see QUERY_KINDS).
+    query_kind: str = "dense"
+    build_fn: Union[str, BuildFn, None] = None
+    guarantee_fn: Optional[Callable[[float, float, Optional[int]],
+                                    StretchGuarantee]] = None
+    cost_fn: Optional[Callable[[int, dict],
+                               Tuple[float, float, float, float]]] = None
+    estimate_fn: Optional[Callable[[int, int, float], CostEstimate]] = None
 
-    def guarantee(self, epsilon: float, max_weight: float) -> StretchGuarantee:
-        """The stretch guarantee a fresh build with these parameters carries."""
-        if self.name == "dense-apsp":
-            return StretchGuarantee(2.0 + epsilon, (1.0 + epsilon) * max_weight)
-        if self.name == "landmark-mssp":
-            # Far pairs: est <= (1+eps)(d(u,p(u)) + d(p(u),v)) <= 3(1+eps)d;
-            # near pairs are exact, so 3(1+eps) dominates.
-            return StretchGuarantee(3.0 * (1.0 + epsilon), 0.0)
-        if self.name == "exact-fallback":
-            return StretchGuarantee(1.0, 0.0)
-        raise ValueError(f"unknown strategy: {self.name!r}")
+    def guarantee(self, epsilon: float, max_weight: float,
+                  k: Optional[int] = None) -> StretchGuarantee:
+        """The stretch guarantee a fresh build with these parameters carries.
+
+        ``k`` is the builder's ball-size / spanner parameter (``None``
+        means the strategy default); only ``spanner-greedy`` reads it.
+        """
+        if self.guarantee_fn is None:
+            raise ValueError(
+                f"strategy {self.name!r} was registered without a guarantee_fn")
+        return self.guarantee_fn(epsilon, max_weight, k)
+
+    def resolve_build(self) -> BuildFn:
+        """The build callable, importing a dotted-path ``build_fn`` lazily."""
+        fn = self.build_fn
+        if fn is None:
+            raise ValueError(
+                f"strategy {self.name!r} was registered without a build_fn")
+        if callable(fn):
+            return fn
+        module_name, sep, attr = fn.partition(":")
+        if not sep or not attr:
+            raise ValueError(
+                f"strategy {self.name!r} has malformed build_fn {fn!r} "
+                f"(expected 'module:attr')")
+        module = importlib.import_module(module_name)
+        return getattr(module, attr)
+
+    def serving_costs(self, n: int, build: dict,
+                      sharded: bool) -> Tuple[float, float, float]:
+        """``(resident_floats, query_cost, mapped_floats)`` for one artifact.
+
+        The cost model charges only what a loaded engine actually keeps in
+        RAM: a monolithic engine holds the full payload, while a sharded
+        engine holds at most its hot-row block caches (mirroring the
+        engine's ``ROW_BLOCK_ROWS``/``ROW_BLOCK_CAPACITY`` defaults) plus
+        the small common arrays — the payload itself is mapped, not
+        resident.
+        """
+        if self.cost_fn is None:
+            raise ValueError(
+                f"strategy {self.name!r} was registered without a cost_fn")
+        payload, row_width, common, query_cost = self.cost_fn(n, dict(build or {}))
+        if not sharded:
+            return payload, query_cost, 0.0
+        from repro.oracle.engine import ROW_BLOCK_CAPACITY, ROW_BLOCK_ROWS
+        hot_rows = min(n, ROW_BLOCK_ROWS * ROW_BLOCK_CAPACITY)
+        return hot_rows * row_width + common, query_cost, payload
+
+    def estimate(self, n: int, m: int, epsilon: float) -> CostEstimate:
+        """A-priori planner estimate for a graph with ``n`` nodes, ``m`` edges."""
+        if self.estimate_fn is None:
+            raise ValueError(
+                f"strategy {self.name!r} was registered without an estimate_fn")
+        return self.estimate_fn(int(n), int(m), float(epsilon))
 
 
-_SPECS: Dict[str, StrategySpec] = {
-    "dense-apsp": StrategySpec(
-        name="dense-apsp",
-        required_arrays=("dist",),
-        summary="Theorem 28 (2+eps,(1+eps)W)-APSP, dense n x n estimate matrix",
-        hot_primitives=("filtered_product", "minplus_product"),
-        row_sharded_arrays=("dist",),
-    ),
-    "landmark-mssp": StrategySpec(
-        name="landmark-mssp",
-        required_arrays=("landmarks", "landmark_dist", "ball_idx", "ball_dist"),
-        summary="hitting-set landmarks + (1+eps)-MSSP table + exact sqrt(n)-balls",
-        hot_primitives=("filtered_product", "augmented_product"),
-        row_sharded_arrays=("landmark_dist", "ball_idx", "ball_dist"),
-    ),
-    "exact-fallback": StrategySpec(
-        name="exact-fallback",
-        required_arrays=("dist",),
-        summary="exact APSP via iterated dense min-plus squaring (baseline)",
-        uses_epsilon=False,
-        hot_primitives=("minplus_product",),
-        row_sharded_arrays=("dist",),
-    ),
-}
+class StrategyRegistry:
+    """Mutable, ordered catalogue of oracle strategies.
+
+    Registration order is preserved — it is the order the CLI lists
+    strategies and the planner breaks exact ties in.
+    """
+
+    def __init__(self):
+        self._specs: Dict[str, StrategySpec] = {}
+
+    def register(self, spec: StrategySpec, replace: bool = False) -> StrategySpec:
+        """Add ``spec``; duplicate names raise unless ``replace=True``."""
+        if spec.query_kind not in QUERY_KINDS:
+            raise ValueError(
+                f"strategy {spec.name!r} has unknown query_kind "
+                f"{spec.query_kind!r}; expected one of {', '.join(QUERY_KINDS)}")
+        if spec.name in self._specs and not replace:
+            raise ValueError(
+                f"oracle strategy {spec.name!r} is already registered "
+                f"(pass replace=True to override)")
+        self._specs[spec.name] = spec
+        return spec
+
+    def unregister(self, name: str) -> StrategySpec:
+        """Remove and return a registered spec (unknown names raise)."""
+        spec = self.get(name)
+        del self._specs[name]
+        return spec
+
+    def get(self, name: str) -> StrategySpec:
+        """Look up a spec; unknown names raise with suggestions + the catalogue."""
+        spec = self._specs.get(name)
+        if spec is None:
+            known = ", ".join(self._specs) or "<none>"
+            close = difflib.get_close_matches(str(name), list(self._specs), n=2)
+            hint = ""
+            if close:
+                hint = " (did you mean " + " or ".join(
+                    repr(match) for match in close) + "?)"
+            raise ValueError(
+                f"unknown oracle strategy {name!r}{hint}; "
+                f"known strategies: {known}")
+        return spec
+
+    def names(self) -> Tuple[str, ...]:
+        return tuple(self._specs)
+
+    def specs(self) -> Tuple[StrategySpec, ...]:
+        return tuple(self._specs.values())
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._specs
+
+    def __iter__(self):
+        return iter(self._specs)
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+
+class _LiveStrategyNames(Sequence):
+    """A read-only Sequence view over the registry's current names.
+
+    Indexing, iteration, ``in`` and ``len`` all reflect the registry *at
+    call time*, so a strategy registered after import shows up in CLI
+    ``choices=STRATEGY_NAMES``, pytest parametrization, and error text
+    without any re-import.
+    """
+
+    def __init__(self, registry: StrategyRegistry):
+        self._registry = registry
+
+    def __getitem__(self, index):
+        return self._registry.names()[index]
+
+    def __len__(self) -> int:
+        return len(self._registry)
+
+    def __iter__(self):
+        return iter(self._registry.names())
+
+    def __contains__(self, item: object) -> bool:
+        return item in self._registry
+
+    def __repr__(self) -> str:
+        return repr(self._registry.names())
+
+
+#: The process-wide strategy registry all lookups go through.
+REGISTRY = StrategyRegistry()
+
+#: Canonical strategy names, in registration order — a **live view** of
+#: :data:`REGISTRY`, not a snapshot.
+STRATEGY_NAMES: Sequence = _LiveStrategyNames(REGISTRY)
+
+
+def register_strategy(spec: StrategySpec, replace: bool = False) -> StrategySpec:
+    """Register ``spec`` on the process-wide registry (see StrategyRegistry)."""
+    return REGISTRY.register(spec, replace=replace)
 
 
 def get_strategy(name: str) -> StrategySpec:
     """Look up a strategy spec; raises ``ValueError`` with the known names."""
-    spec = _SPECS.get(name)
-    if spec is None:
-        known = ", ".join(STRATEGY_NAMES)
-        raise ValueError(f"unknown oracle strategy {name!r}; known strategies: {known}")
-    return spec
+    return REGISTRY.get(name)
+
+
+# ----------------------------------------------------------------------
+# built-in strategy behaviours
+# ----------------------------------------------------------------------
+def _sqrt_k(n: int) -> int:
+    """The shared default ball size: ceil(sqrt(n)), clamped to [2, n]."""
+    return max(2, min(max(n, 1), math.ceil(math.sqrt(max(n, 1)))))
+
+
+def _log2(n: int) -> float:
+    return max(1.0, math.log2(max(2, n)))
+
+
+def _dense_guarantee(epsilon, max_weight, k):
+    return StretchGuarantee(2.0 + epsilon, (1.0 + epsilon) * max_weight)
+
+
+def _landmark_guarantee(epsilon, max_weight, k):
+    # Far pairs: est <= (1+eps)(d(u,p(u)) + d(p(u),v)) <= 3(1+eps)d;
+    # near pairs are exact, so 3(1+eps) dominates.
+    return StretchGuarantee(3.0 * (1.0 + epsilon), 0.0)
+
+
+def _exact_guarantee(epsilon, max_weight, k):
+    return StretchGuarantee(1.0, 0.0)
+
+
+def _spanner_guarantee(epsilon, max_weight, k):
+    # Spanner distances are (2k-1)-stretched; the pivot argument over
+    # spanner-metric balls adds a factor 3 (near pairs: exact spanner
+    # distance <= (2k-1)d; far pairs: d_S(u,p(u)) <= d_S(u,v), so the
+    # landmark route <= 3 d_S(u,v) <= 3(2k-1)d).  Known from k alone —
+    # the planner selects on this before anything is built.
+    k = 2 if k is None else int(k)
+    return StretchGuarantee(3.0 * (2 * k - 1), 0.0)
+
+
+def _hopset_guarantee(epsilon, max_weight, k):
+    # The landmark table is exact (Bellman-Ford over G ∪ H to convergence;
+    # hopset edges are real path lengths so d_{G∪H} = d_G), leaving only
+    # the pivot factor: est <= d(u,p(u)) + d(p(u),v) <= 3 d(u,v).
+    return StretchGuarantee(3.0, 0.0)
+
+
+def _dense_costs(n, build):
+    return float(n) * n, float(n), 0.0, 1.0
+
+
+def _landmark_shape(n, build):
+    k = int(build.get("k") or _sqrt_k(n))
+    landmarks = int(build.get("num_landmarks") or math.ceil(math.sqrt(max(n, 1))))
+    return k, landmarks
+
+
+def _landmark_costs(n, build):
+    k, landmarks = _landmark_shape(n, build)
+    payload_floats = 2.0 * n * k + 1.0 * n * landmarks
+    return payload_floats, float(landmarks + 2 * k), float(landmarks), float(landmarks)
+
+
+def _hopset_costs(n, build):
+    k = int(build.get("ball_width") or build.get("k") or _sqrt_k(n))
+    landmarks = int(build.get("num_landmarks") or math.ceil(math.sqrt(max(n, 1))))
+    payload_floats = 2.0 * n * k + 1.0 * n * landmarks
+    return payload_floats, float(landmarks + 2 * k), float(landmarks), float(landmarks)
+
+
+def _spanner_costs(n, build):
+    kb = int(build.get("ball_width") or _sqrt_k(n))
+    landmarks = int(build.get("num_landmarks") or math.ceil(math.sqrt(max(n, 1))))
+    # CSR of the undirected spanner: both edge directions appear, plus the
+    # (n + 1)-long indptr.  Default edge count is the greedy bound n^{3/2}
+    # for k = 2 when no build metadata is available.
+    edges = int(build.get("spanner_edges") or round(max(n, 1) ** 1.5))
+    csr_floats = 2.0 * (2 * edges) + (n + 1)
+    payload_floats = 2.0 * n * kb + 1.0 * n * landmarks + csr_floats
+    common = float(landmarks) + csr_floats
+    return payload_floats, float(landmarks + 2 * kb), common, float(landmarks)
+
+
+def _estimate_from_costs(cost_fn, n, build, build_cost):
+    payload, row_width, common, query = cost_fn(n, build)
+    return CostEstimate(payload_floats=payload, row_width=row_width,
+                        common_floats=common, query_cost=query,
+                        build_cost=float(build_cost))
+
+
+def _dense_estimate(n, m, epsilon):
+    # Iterated min-plus squaring over the filtered instances: ~n^3 work.
+    return _estimate_from_costs(_dense_costs, n, {}, float(n) ** 3)
+
+
+def _exact_estimate(n, m, epsilon):
+    # log(n) exact squarings of the full matrix.
+    return _estimate_from_costs(_dense_costs, n, {}, float(n) ** 3 * _log2(n))
+
+
+def _landmark_estimate(n, m, epsilon):
+    # k-nearest + hitting set + MSSP: ~n^2 log n semiring work.
+    return _estimate_from_costs(_landmark_costs, n, {},
+                                float(n) ** 2 * _log2(n))
+
+
+def _spanner_estimate(n, m, epsilon):
+    # Greedy spanner (default k = 2) keeps ~min(m, n^{3/2}) edges; the
+    # build is m bounded Dijkstras plus ~n truncated/landmark Dijkstras
+    # on the sparse spanner.
+    edges = int(min(float(m), float(max(n, 1)) ** 1.5)) or 1
+    build_cost = (m + n) * _log2(n) + float(n) * edges / max(1.0, _log2(n))
+    return _estimate_from_costs(_spanner_costs, n,
+                                {"spanner_edges": edges}, build_cost)
+
+
+def _hopset_estimate(n, m, epsilon):
+    # Hopset construction (bounded source detection over beta-hop balls)
+    # dominates: clearly super-quadratic, the most expensive compact build.
+    return _estimate_from_costs(_hopset_costs, n, {},
+                                float(n) ** 2.5 * _log2(n))
+
+
+register_strategy(StrategySpec(
+    name="dense-apsp",
+    required_arrays=("dist",),
+    summary="Theorem 28 (2+eps,(1+eps)W)-APSP, dense n x n estimate matrix",
+    hot_primitives=("filtered_product", "minplus_product"),
+    row_sharded_arrays=("dist",),
+    query_kind="dense",
+    build_fn="repro.oracle.build:build_dense_arrays",
+    guarantee_fn=_dense_guarantee,
+    cost_fn=_dense_costs,
+    estimate_fn=_dense_estimate,
+))
+
+register_strategy(StrategySpec(
+    name="landmark-mssp",
+    required_arrays=("landmarks", "landmark_dist", "ball_idx", "ball_dist"),
+    summary="hitting-set landmarks + (1+eps)-MSSP table + exact sqrt(n)-balls",
+    hot_primitives=("filtered_product", "augmented_product"),
+    row_sharded_arrays=("landmark_dist", "ball_idx", "ball_dist"),
+    query_kind="landmark",
+    build_fn="repro.oracle.build:build_landmark_arrays",
+    guarantee_fn=_landmark_guarantee,
+    cost_fn=_landmark_costs,
+    estimate_fn=_landmark_estimate,
+))
+
+register_strategy(StrategySpec(
+    name="exact-fallback",
+    required_arrays=("dist",),
+    summary="exact APSP via iterated dense min-plus squaring (baseline)",
+    uses_epsilon=False,
+    hot_primitives=("minplus_product",),
+    row_sharded_arrays=("dist",),
+    query_kind="dense",
+    build_fn="repro.oracle.build:build_exact_arrays",
+    guarantee_fn=_exact_guarantee,
+    cost_fn=_dense_costs,
+    estimate_fn=_exact_estimate,
+))
+
+register_strategy(StrategySpec(
+    name="spanner-greedy",
+    required_arrays=("spanner_indptr", "spanner_indices", "spanner_weights",
+                     "landmarks", "landmark_dist", "ball_idx", "ball_dist"),
+    summary="greedy (2k-1)-spanner CSR + spanner-metric balls and landmarks",
+    uses_epsilon=False,
+    row_sharded_arrays=("landmark_dist", "ball_idx", "ball_dist"),
+    query_kind="spanner",
+    build_fn="repro.oracle.spanner:build_spanner_arrays",
+    guarantee_fn=_spanner_guarantee,
+    cost_fn=_spanner_costs,
+    estimate_fn=_spanner_estimate,
+))
+
+register_strategy(StrategySpec(
+    name="hopset-landmark",
+    required_arrays=("landmarks", "landmark_dist", "ball_idx", "ball_dist"),
+    summary="hopset-accelerated exact landmark table + bunch balls (3x)",
+    uses_epsilon=False,
+    row_sharded_arrays=("landmark_dist", "ball_idx", "ball_dist"),
+    query_kind="landmark",
+    build_fn="repro.oracle.hopset_landmark:build_hopset_landmark_arrays",
+    guarantee_fn=_hopset_guarantee,
+    cost_fn=_hopset_costs,
+    estimate_fn=_hopset_estimate,
+))

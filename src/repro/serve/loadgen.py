@@ -248,7 +248,9 @@ async def run_closed_loop(server: DistanceServer, pairs: Sequence[Pair],
                           record_latency: bool = True,
                           error_types: Tuple[type, ...] = DEFAULT_ERROR_TYPES,
                           collect_samples: bool = False,
-                          timeout: Optional[float] = None) -> LoadReport:
+                          timeout: Optional[float] = None,
+                          budgets: Optional[Sequence[Tuple[float, float]]] = None,
+                          ) -> LoadReport:
     """Drive ``pairs`` through ``server`` with a fixed number of workers.
 
     ``record_latency=False`` skips the per-request client-side timing
@@ -265,9 +267,16 @@ async def run_closed_loop(server: DistanceServer, pairs: Sequence[Pair],
     answered within ``timeout`` seconds is cancelled and counted in
     :attr:`LoadReport.timeouts` — the load loop never hangs on a stuck
     server, which is the whole point under chaos.
+    ``budgets`` optionally carries one ``(multiplicative, additive)``
+    stretch budget per pair — a mixed-fidelity workload where each
+    request routes independently (``repro loadgen --stretch-mix``); when
+    given it overrides the fixed ``multiplicative``/``additive``.
     """
     if concurrency < 1:
         raise ValueError(f"concurrency must be >= 1, got {concurrency}")
+    if budgets is not None and len(budgets) != len(pairs):
+        raise ValueError(
+            f"budgets ({len(budgets)}) must align with pairs ({len(pairs)})")
     recorder = LatencyRecorder(latency_window)
     answers: List[Optional[float]] = [None] * len(pairs)
     samples: List[Dict[str, object]] = []
@@ -284,9 +293,11 @@ async def run_closed_loop(server: DistanceServer, pairs: Sequence[Pair],
             issued = time.time() if collect_samples else 0.0
             started = time.perf_counter_ns() if timing else 0
             status = "ok"
+            mult, add = (budgets[index] if budgets is not None
+                         else (multiplicative, additive))
             try:
-                call = dist(u, v, multiplicative=multiplicative,
-                            additive=additive, client=client)
+                call = dist(u, v, multiplicative=mult,
+                            additive=add, client=client)
                 if timeout is not None:
                     call = asyncio.wait_for(call, timeout)
                 answers[index] = await call
@@ -343,14 +354,20 @@ async def run_open_loop(server: DistanceServer, pairs: Sequence[Pair],
                         latency_window: int = 65536,
                         error_types: Tuple[type, ...] = DEFAULT_ERROR_TYPES,
                         collect_samples: bool = False,
-                        timeout: Optional[float] = None) -> LoadReport:
+                        timeout: Optional[float] = None,
+                        budgets: Optional[Sequence[Tuple[float, float]]] = None,
+                        ) -> LoadReport:
     """Fire ``pairs`` at a fixed target QPS, independent of completions.
 
     ``timeout`` bounds each request client-side exactly as in
-    :func:`run_closed_loop`.
+    :func:`run_closed_loop`, and ``budgets`` optionally carries one
+    per-pair ``(multiplicative, additive)`` stretch budget.
     """
     if qps <= 0:
         raise ValueError(f"qps must be positive, got {qps}")
+    if budgets is not None and len(budgets) != len(pairs):
+        raise ValueError(
+            f"budgets ({len(budgets)}) must align with pairs ({len(pairs)})")
     recorder = LatencyRecorder(latency_window)
     answers: List[Optional[float]] = [None] * len(pairs)
     samples: List[Dict[str, object]] = []
@@ -362,9 +379,11 @@ async def run_open_loop(server: DistanceServer, pairs: Sequence[Pair],
         issued = time.time() if collect_samples else 0.0
         started = time.perf_counter_ns()
         status = "ok"
+        mult, add = (budgets[index] if budgets is not None
+                     else (multiplicative, additive))
         try:
             call = server.dist(
-                u, v, multiplicative=multiplicative, additive=additive,
+                u, v, multiplicative=mult, additive=add,
                 client=client)
             if timeout is not None:
                 call = asyncio.wait_for(call, timeout)

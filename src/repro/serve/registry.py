@@ -43,7 +43,6 @@ from __future__ import annotations
 
 import dataclasses
 import json
-import math
 from collections import OrderedDict
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Tuple
@@ -54,14 +53,14 @@ from repro.oracle.artifact import (
     META_SUFFIX,
     artifact_paths,
 )
-from repro.oracle.engine import ROW_BLOCK_CAPACITY, ROW_BLOCK_ROWS, QueryEngine
+from repro.oracle.engine import QueryEngine
 from repro.oracle.sharding import (
     SHARD_MANIFEST_SUFFIX,
     SHARD_MANIFEST_VERSION,
     load_artifact,
     shard_manifest_path,
 )
-from repro.oracle.strategies import StretchGuarantee
+from repro.oracle.strategies import StretchGuarantee, get_strategy
 
 PathLike = str | Path
 
@@ -121,28 +120,16 @@ def _serving_costs(strategy: str, n: int, build: dict,
                    sharded: bool) -> Tuple[float, float, float]:
     """``(resident_floats, query_cost, mapped_floats)`` for one artifact.
 
-    The cost model charges only what a loaded engine actually keeps in
-    RAM: a monolithic engine holds the full payload, while a sharded
-    engine holds at most its hot-row block caches (mirroring the engine's
-    ``ROW_BLOCK_ROWS``/``ROW_BLOCK_CAPACITY`` defaults) plus the small
-    common arrays — the payload itself is mapped, not resident.
+    Delegates to the registered :class:`~repro.oracle.strategies.
+    StrategySpec`'s declarative cost model (``spec.serving_costs``) so the
+    registry charges third-party strategies correctly without this module
+    knowing their payload shapes.  The model charges only what a loaded
+    engine actually keeps in RAM: a monolithic engine holds the full
+    payload, while a sharded engine holds at most its hot-row block caches
+    plus the small common arrays — the payload itself is mapped, not
+    resident.
     """
-    if strategy == "landmark-mssp":
-        k = int(build.get("k") or max(2, math.ceil(math.sqrt(n))))
-        landmarks = int(build.get("num_landmarks") or math.ceil(math.sqrt(n)))
-        payload_floats = 2.0 * n * k + 1.0 * n * landmarks
-        row_width = float(landmarks + 2 * k)
-        common_floats = float(landmarks)
-        query_cost = float(landmarks)
-    else:  # dense-apsp / exact-fallback store the full n x n matrix
-        payload_floats = float(n) * n
-        row_width = float(n)
-        common_floats = 0.0
-        query_cost = 1.0
-    if not sharded:
-        return payload_floats, query_cost, 0.0
-    hot_rows = min(n, ROW_BLOCK_ROWS * ROW_BLOCK_CAPACITY)
-    return hot_rows * row_width + common_floats, query_cost, payload_floats
+    return get_strategy(strategy).serving_costs(n, build, sharded)
 
 
 def _required_metadata(metadata: dict, source: Path):

@@ -231,6 +231,74 @@ class TestRawSamples:
         assert report.completed == 20
 
 
+class TestPerRequestBudgets:
+    """``budgets=`` threads one stretch budget per request (--stretch-mix)."""
+
+    def test_mixed_budgets_split_into_answers_and_errors(self, graph, engine):
+        # The fixture engine is landmark-mssp (4.5x): an infinite budget
+        # is served, a 1x budget must be refused per-request.
+        pairs = zipf_pairs(graph.n, 6, seed=13)
+        inf = float("inf")
+        budgets = [(inf, inf), (1.0, 0.0), (inf, inf),
+                   (1.0, 0.0), (inf, inf), (1.0, 0.0)]
+
+        async def drive():
+            async with DistanceServer(engine) as server:
+                return await run_closed_loop(server, pairs, concurrency=2,
+                                             budgets=budgets,
+                                             collect_samples=True)
+
+        report = asyncio.run(drive())
+        assert report.completed == 3
+        assert report.errors == 3
+        for (mult, _), answer in zip(budgets, report.answers):
+            assert (answer is None) == (mult == 1.0)
+        assert report.error_taxonomy.get("RoutingError") == 3
+
+    def test_open_loop_honours_budgets_too(self, graph, engine):
+        pairs = zipf_pairs(graph.n, 4, seed=13)
+        budgets = [(float("inf"), float("inf")), (1.0, 0.0),
+                   (float("inf"), float("inf")), (1.0, 0.0)]
+
+        async def drive():
+            async with DistanceServer(engine) as server:
+                return await run_open_loop(server, pairs, qps=2000.0,
+                                           budgets=budgets)
+
+        report = asyncio.run(drive())
+        assert report.completed == 2
+        assert report.errors == 2
+        assert report.answers[1] is None and report.answers[3] is None
+
+    def test_budget_length_mismatch_rejected(self, engine):
+        async def drive_closed():
+            async with DistanceServer(engine) as server:
+                await run_closed_loop(server, [(0, 1), (1, 2)], concurrency=1,
+                                      budgets=[(3.0, 0.0)])
+
+        async def drive_open():
+            async with DistanceServer(engine) as server:
+                await run_open_loop(server, [(0, 1)], qps=100.0,
+                                    budgets=[(3.0, 0.0), (4.5, 0.0)])
+
+        with pytest.raises(ValueError, match="align with pairs"):
+            asyncio.run(drive_closed())
+        with pytest.raises(ValueError, match="align with pairs"):
+            asyncio.run(drive_open())
+
+    def test_fixed_budget_still_applies_without_budgets(self, graph, engine):
+        pairs = zipf_pairs(graph.n, 5, seed=13)
+
+        async def drive():
+            async with DistanceServer(engine) as server:
+                return await run_closed_loop(server, pairs, concurrency=2,
+                                             multiplicative=4.5, additive=0.0)
+
+        report = asyncio.run(drive())
+        assert report.completed == 5
+        assert report.errors == 0
+
+
 class TestJsonlRoundtrip:
     def test_write_then_merge_reconstructs_counts(self, graph, engine,
                                                   tmp_path):

@@ -1,0 +1,87 @@
+"""Edge-case tests for stretch-budget admissibility.
+
+``StretchBudget.admits`` and ``budget_admits`` are the single
+admissibility predicate shared by the router, the server adapter, and
+now the fleet planner — these tests pin its boundary semantics
+(tolerance at exact equality, additive-only budgets, infinities) so the
+three call sites can never drift.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.oracle.strategies import StretchGuarantee
+from repro.serve.router import StretchBudget, budget_admits
+
+
+class TestBudgetAdmits:
+    def test_exact_equality_is_admitted(self):
+        guarantee = StretchGuarantee(3.0, 0.0)
+        assert budget_admits(guarantee, 3.0, 0.0)
+        assert StretchBudget(3.0, 0.0).admits(guarantee)
+
+    def test_tiny_float_noise_does_not_reject(self):
+        # 4.5 computed as 3 * (1 + 0.5) must admit a literal 4.5 budget.
+        guarantee = StretchGuarantee(3.0 * (1.0 + 0.5), 0.0)
+        assert budget_admits(guarantee, 4.5, 0.0)
+
+    def test_strictly_looser_guarantee_rejected(self):
+        guarantee = StretchGuarantee(3.0, 0.0)
+        assert not budget_admits(guarantee, 2.999, 0.0)
+        assert not StretchBudget(1.0).admits(StretchGuarantee(1.0001, 0.0))
+
+    def test_additive_dimension_checked_independently(self):
+        dense_like = StretchGuarantee(2.5, 13.5)
+        assert not budget_admits(dense_like, 2.5, 0.0)
+        assert not budget_admits(dense_like, 2.5, 13.0)
+        assert budget_admits(dense_like, 2.5, 13.5)
+        assert budget_admits(dense_like, 3.0, 20.0)
+
+    def test_additive_only_budget(self):
+        # A purely multiplicative budget of 1x with additive slack admits
+        # exact strategies and additive-error strategies under the slack.
+        assert budget_admits(StretchGuarantee(1.0, 5.0), 1.0, 5.0)
+        assert not budget_admits(StretchGuarantee(1.0, 5.1), 1.0, 5.0)
+
+    def test_default_budget_admits_everything(self):
+        budget = StretchBudget()
+        assert budget.multiplicative == math.inf
+        assert budget.additive == math.inf
+        for guarantee in (StretchGuarantee(1.0, 0.0),
+                          StretchGuarantee(9.0, 0.0),
+                          StretchGuarantee(2.5, 1e12),
+                          StretchGuarantee(math.inf, math.inf)):
+            assert budget.admits(guarantee)
+
+    def test_infinite_guarantee_rejected_by_finite_budget(self):
+        assert not budget_admits(StretchGuarantee(math.inf, 0.0), 100.0, 0.0)
+        assert not budget_admits(StretchGuarantee(1.0, math.inf), 1.0, 100.0)
+
+    def test_multiplicative_one_admits_only_exact(self):
+        budget = StretchBudget(1.0, 0.0)
+        assert budget.admits(StretchGuarantee(1.0, 0.0))
+        assert not budget.admits(StretchGuarantee(4.5, 0.0))
+        assert not budget.admits(StretchGuarantee(1.0, 0.5))
+
+
+class TestParseBudget:
+    def test_plain_and_compound_forms(self):
+        from repro.oracle import parse_budget
+
+        assert parse_budget("3") == StretchBudget(3.0, 0.0)
+        assert parse_budget(" 2.5+13.5 ") == StretchBudget(2.5, 13.5)
+        assert parse_budget("inf") == StretchBudget(math.inf, math.inf)
+        assert parse_budget("inf+5") == StretchBudget(math.inf, 5.0)
+
+    def test_rejects_nonsense(self):
+        from repro.oracle import PlanError, parse_budget
+
+        with pytest.raises(PlanError, match="unparseable"):
+            parse_budget("fast")
+        with pytest.raises(PlanError, match="multiplicative < 1"):
+            parse_budget("0.5")
+        with pytest.raises(PlanError, match="negative additive"):
+            parse_budget("3+-2")
